@@ -1,0 +1,193 @@
+//! Lemma 1 and the profitability threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// The fast/slow queue decomposition of `N` threads on `M` cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSplit {
+    /// Threads per fast core: `T = ⌊N/M⌋`.
+    pub t: u32,
+    /// Slow cores (run `T+1` threads): `SQ = N mod M`.
+    pub slow_cores: u32,
+    /// Fast cores (run `T` threads): `FQ = M − SQ`.
+    pub fast_cores: u32,
+}
+
+impl ThreadSplit {
+    /// Decomposes `n` threads over `m` cores. Requires `n ≥ m ≥ 1` (fewer
+    /// threads than cores means no slow queues and nothing to balance).
+    pub fn new(n: u32, m: u32) -> ThreadSplit {
+        assert!(m >= 1, "need at least one core");
+        assert!(n >= m, "analysis assumes at least one thread per core");
+        ThreadSplit {
+            t: n / m,
+            slow_cores: n % m,
+            fast_cores: m - n % m,
+        }
+    }
+
+    /// True iff the distribution is already even (no slow cores).
+    pub fn balanced(&self) -> bool {
+        self.slow_cores == 0
+    }
+}
+
+/// **Lemma 1**: the number of balancing steps needed so that every thread
+/// has run on a fast core at least once is bounded by `2·⌈SQ/FQ⌉`
+/// (and by 2 when `FQ ≥ SQ`). Zero when already balanced.
+pub fn balancing_steps(n: u32, m: u32) -> u32 {
+    let s = ThreadSplit::new(n, m);
+    if s.balanced() {
+        return 0;
+    }
+    2 * s.slow_cores.div_ceil(s.fast_cores)
+}
+
+/// The profitability threshold on the inter-barrier computation time `S`
+/// (same time unit as the balance interval `b`): speed balancing is
+/// expected to beat queue-length balancing when the total program time
+/// `(T+1)·S` exceeds the balancing steps times `b`, i.e.
+/// `S > 2·⌈SQ/FQ⌉·b / (T+1)`.
+///
+/// Returns 0.0 for balanced distributions (speed balancing can never lose;
+/// it simply has nothing to do).
+pub fn min_profitable_granularity(n: u32, m: u32, b: f64) -> f64 {
+    assert!(b > 0.0, "balance interval must be positive");
+    let s = ThreadSplit::new(n, m);
+    if s.balanced() {
+        return 0.0;
+    }
+    let steps = balancing_steps(n, m) as f64;
+    steps * b / (s.t as f64 + 1.0)
+}
+
+/// Predicate form: is speed balancing expected to be profitable for
+/// inter-barrier granularity `granularity` at balance interval `b`?
+/// "Below this threshold the two algorithms are likely to provide similar
+/// performance" — not worse, so equality counts as not-yet-profitable.
+pub fn is_profitable(n: u32, m: u32, granularity: f64, b: f64) -> bool {
+    granularity > min_profitable_granularity(n, m, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_three_on_two() {
+        // The running example: 3 threads on 2 cores.
+        let s = ThreadSplit::new(3, 2);
+        assert_eq!(s.t, 1);
+        assert_eq!(s.slow_cores, 1);
+        assert_eq!(s.fast_cores, 1);
+        assert!(!s.balanced());
+    }
+
+    #[test]
+    fn split_even() {
+        let s = ThreadSplit::new(16, 4);
+        assert_eq!(s.t, 4);
+        assert!(s.balanced());
+        assert_eq!(s.fast_cores, 4);
+    }
+
+    #[test]
+    fn steps_for_three_on_two() {
+        // FQ = SQ = 1: "for FQ >= SQ two steps are needed".
+        assert_eq!(balancing_steps(3, 2), 2);
+    }
+
+    #[test]
+    fn steps_zero_when_balanced() {
+        assert_eq!(balancing_steps(16, 16), 0);
+        assert_eq!(balancing_steps(32, 16), 0);
+    }
+
+    #[test]
+    fn steps_worst_case_many_slow() {
+        // 2 threads per core on all but one core: SQ = M-1, FQ = 1.
+        let m = 10;
+        let n = 2 * m - 1;
+        assert_eq!(balancing_steps(n, m), 2 * (m - 1));
+    }
+
+    #[test]
+    fn threshold_three_on_two() {
+        // S_min = 2 * 1 / (1+1) = 1 balance interval.
+        assert!((min_profitable_granularity(3, 2, 1.0) - 1.0).abs() < 1e-12);
+        // With B = 100 ms, the threshold is 100 ms of computation.
+        assert!((min_profitable_granularity(3, 2, 0.1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_falls_with_more_threads() {
+        // "For a fixed number of cores, increasing the number of threads
+        // decreases the restrictions on the minimum value of S."
+        let m = 16;
+        let coarse = min_profitable_granularity(m + 1, m, 1.0);
+        let fine = min_profitable_granularity(8 * m + 1, m, 1.0);
+        assert!(fine < coarse, "fine={fine} coarse={coarse}");
+    }
+
+    #[test]
+    fn threshold_rises_with_more_cores() {
+        // "Increasing the number of cores increases the minimum value of S"
+        // along the worst-case diagonal.
+        let worst = |m: u32| min_profitable_granularity(2 * m - 1, m, 1.0);
+        assert!(worst(100) > worst(10));
+    }
+
+    #[test]
+    fn profitability_predicate() {
+        assert!(is_profitable(3, 2, 1.5, 1.0));
+        assert!(!is_profitable(3, 2, 0.5, 1.0));
+        assert!(!is_profitable(3, 2, 1.0, 1.0), "equality is not profit");
+        // Balanced: any positive granularity counts as profitable (nothing
+        // to lose).
+        assert!(is_profitable(4, 2, 0.001, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread per core")]
+    fn rejects_undersubscription() {
+        ThreadSplit::new(3, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn split_partitions_cores(n in 1u32..512, m in 1u32..128) {
+            prop_assume!(n >= m);
+            let s = ThreadSplit::new(n, m);
+            prop_assert_eq!(s.slow_cores + s.fast_cores, m);
+            // Thread conservation: T threads on fast + (T+1) on slow = N.
+            prop_assert_eq!(
+                s.fast_cores * s.t + s.slow_cores * (s.t + 1),
+                n
+            );
+        }
+
+        #[test]
+        fn steps_bound_matches_lemma(n in 1u32..512, m in 2u32..128) {
+            prop_assume!(n > m);
+            let s = ThreadSplit::new(n, m);
+            let steps = balancing_steps(n, m);
+            if s.balanced() {
+                prop_assert_eq!(steps, 0);
+            } else if s.fast_cores >= s.slow_cores {
+                prop_assert_eq!(steps, 2);
+            } else {
+                prop_assert_eq!(steps, 2 * s.slow_cores.div_ceil(s.fast_cores));
+                prop_assert!(steps > 2);
+            }
+        }
+
+        #[test]
+        fn threshold_scales_linearly_in_b(n in 2u32..256, m in 2u32..64, b in 0.01f64..10.0) {
+            prop_assume!(n > m);
+            let unit = min_profitable_granularity(n, m, 1.0);
+            let scaled = min_profitable_granularity(n, m, b);
+            prop_assert!((scaled - unit * b).abs() < 1e-9 * (1.0 + unit * b));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Barrier synchronization with selectable wait policy.
+
+use serde::{Deserialize, Serialize};
+use speedbal_sched::{CondId, Directive, ProgramCtx};
+use speedbal_sim::SimDuration;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How a thread waits at a barrier (or lock, or collective) — the paper's
+/// polling / `sched_yield` / `sleep` taxonomy plus Intel OpenMP's hybrid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WaitMode {
+    /// Busy-poll until released. Fastest in dedicated one-task-per-core
+    /// runs ("orders of magnitude" over sleeping), burns CPU otherwise.
+    Spin,
+    /// `sched_yield` in a loop. The waiter stays on the run queue, so
+    /// queue-length balancers count it as load — the paper's key
+    /// pathology.
+    Yield,
+    /// Sleep until released (futex / `usleep(1)` loop). The waiter leaves
+    /// the run queue, enabling the OS balancer to pull tasks onto the
+    /// sleeping core.
+    Block,
+    /// Spin for the given time, then sleep — `KMP_BLOCKTIME` (Intel OpenMP
+    /// default: 200 ms).
+    SpinThenBlock(SimDuration),
+}
+
+impl WaitMode {
+    /// Intel OpenMP's default barrier behaviour.
+    pub fn kmp_default() -> WaitMode {
+        WaitMode::SpinThenBlock(SimDuration::from_millis(200))
+    }
+
+    /// The directive that implements one wait on `cond`.
+    pub fn directive(self, cond: CondId) -> Directive {
+        match self {
+            WaitMode::Spin => Directive::SpinUntil(cond),
+            WaitMode::Yield => Directive::YieldUntil(cond),
+            WaitMode::Block => Directive::BlockUntil(cond),
+            WaitMode::SpinThenBlock(spin) => Directive::SpinThenBlock { cond, spin },
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    n: usize,
+    arrived: usize,
+    episode: u64,
+    cond: Option<CondId>,
+}
+
+/// A reusable (cyclic) barrier shared by the threads of one application.
+///
+/// Each episode lazily allocates a fresh one-shot condition; the last
+/// arriver sets it, releasing everyone registered on that episode. The
+/// simulator is single-threaded, so `Rc<RefCell<…>>` sharing is sound.
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    state: Rc<RefCell<BarrierState>>,
+}
+
+/// Outcome of a barrier arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Last to arrive: the barrier episode completed, proceed immediately.
+    Released,
+    /// Must wait until the episode's condition is set.
+    Wait(CondId),
+}
+
+impl Barrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Barrier {
+        assert!(n > 0, "a barrier needs at least one participant");
+        Barrier {
+            state: Rc::new(RefCell::new(BarrierState {
+                n,
+                arrived: 0,
+                episode: 0,
+                cond: None,
+            })),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.state.borrow().n
+    }
+
+    /// Completed episodes so far.
+    pub fn episodes(&self) -> u64 {
+        self.state.borrow().episode
+    }
+
+    /// Registers one arrival. The last arriver sets the episode's condition
+    /// (releasing spinners, yielders and sleepers alike) and resets the
+    /// barrier for the next episode.
+    pub fn arrive(&self, ctx: &mut ProgramCtx<'_>) -> Arrival {
+        let mut s = self.state.borrow_mut();
+        if s.arrived == 0 {
+            s.cond = Some(ctx.alloc_cond());
+        }
+        s.arrived += 1;
+        let cond = s.cond.expect("episode condition allocated above");
+        if s.arrived == s.n {
+            s.arrived = 0;
+            s.episode += 1;
+            s.cond = None;
+            drop(s);
+            ctx.set_cond(cond);
+            Arrival::Released
+        } else {
+            Arrival::Wait(cond)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_sim::{SimRng, SimTime};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ProgramCtx<'_>) -> R) -> R {
+        let mut conds = speedbal_sched::cond::CondTable::new();
+        let mut rng = SimRng::new(0);
+        let mut ctx = ProgramCtx::new(
+            SimTime::ZERO,
+            speedbal_sched::TaskId(0),
+            &mut conds,
+            &mut rng,
+        );
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn single_party_never_waits() {
+        with_ctx(|ctx| {
+            let b = Barrier::new(1);
+            for _ in 0..5 {
+                assert_eq!(b.arrive(ctx), Arrival::Released);
+            }
+            assert_eq!(b.episodes(), 5);
+        });
+    }
+
+    #[test]
+    fn last_arriver_releases() {
+        with_ctx(|ctx| {
+            let b = Barrier::new(3);
+            let w1 = b.arrive(ctx);
+            let w2 = b.arrive(ctx);
+            let (c1, c2) = match (w1, w2) {
+                (Arrival::Wait(a), Arrival::Wait(b)) => (a, b),
+                other => panic!("both must wait, got {other:?}"),
+            };
+            assert_eq!(c1, c2, "same episode, same condition");
+            assert!(!ctx.cond_is_set(c1));
+            assert_eq!(b.arrive(ctx), Arrival::Released);
+            assert!(ctx.cond_is_set(c1), "release sets the condition");
+        });
+    }
+
+    #[test]
+    fn episodes_use_fresh_conditions() {
+        with_ctx(|ctx| {
+            let b = Barrier::new(2);
+            let c1 = match b.arrive(ctx) {
+                Arrival::Wait(c) => c,
+                _ => panic!(),
+            };
+            b.arrive(ctx);
+            let c2 = match b.arrive(ctx) {
+                Arrival::Wait(c) => c,
+                _ => panic!(),
+            };
+            assert_ne!(c1, c2, "each episode gets its own condition");
+            assert!(ctx.cond_is_set(c1));
+            assert!(!ctx.cond_is_set(c2));
+        });
+    }
+
+    #[test]
+    fn wait_mode_directives() {
+        with_ctx(|ctx| {
+            let c = ctx.alloc_cond();
+            assert_eq!(WaitMode::Spin.directive(c), Directive::SpinUntil(c));
+            assert_eq!(WaitMode::Yield.directive(c), Directive::YieldUntil(c));
+            assert_eq!(WaitMode::Block.directive(c), Directive::BlockUntil(c));
+            assert_eq!(
+                WaitMode::kmp_default().directive(c),
+                Directive::SpinThenBlock {
+                    cond: c,
+                    spin: SimDuration::from_millis(200)
+                }
+            );
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Competing workloads for the shared-system experiments (§6.3).
+
+use speedbal_sched::{Directive, Program, ProgramCtx};
+use speedbal_sim::{SimDuration, SimTime};
+
+/// The "cpu-hog" of Figure 5: "a compute-intensive task that uses no
+/// memory", pinned to the first core in the paper's setup. Runs in fixed
+/// chunks until its deadline (or forever with `None`).
+pub struct CpuHog {
+    until: Option<SimTime>,
+    chunk: SimDuration,
+}
+
+impl CpuHog {
+    /// A hog that computes until `until` (simulated time).
+    pub fn until(until: SimTime) -> Self {
+        CpuHog {
+            until: Some(until),
+            chunk: SimDuration::from_millis(10),
+        }
+    }
+
+    /// A hog that never exits (the run is bounded by the experiment).
+    pub fn forever() -> Self {
+        CpuHog {
+            until: None,
+            chunk: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl Program for CpuHog {
+    fn next(&mut self, ctx: &mut ProgramCtx<'_>) -> Directive {
+        match self.until {
+            Some(deadline) if ctx.now >= deadline => Directive::Exit,
+            _ => Directive::Compute(self.chunk),
+        }
+    }
+
+    fn label(&self) -> String {
+        "cpu-hog".to_string()
+    }
+}
+
+/// One job of a `make -j`-like batch workload (Figure 6): a sequence of
+/// compilation-sized CPU bursts separated by short I/O waits, "which uses
+/// both memory and I/O and spawns multiple subprocesses". Spawn `j` of
+/// these to model `make -j<j>`.
+pub struct BatchJob {
+    jobs_left: u32,
+    burst_mean_ms: f64,
+    io_mean_ms: f64,
+    computing: bool,
+}
+
+impl BatchJob {
+    /// `jobs` sequential compile steps with mean CPU burst `burst_mean_ms`
+    /// and mean I/O pause `io_mean_ms` (both exponentially distributed).
+    pub fn new(jobs: u32, burst_mean_ms: f64, io_mean_ms: f64) -> Self {
+        assert!(burst_mean_ms > 0.0 && io_mean_ms >= 0.0);
+        BatchJob {
+            jobs_left: jobs,
+            burst_mean_ms,
+            io_mean_ms,
+            computing: false,
+        }
+    }
+
+    /// A configuration resembling a parallel build: ~60 ms compiles with
+    /// ~5 ms of I/O between them.
+    pub fn make_like(jobs: u32) -> Self {
+        BatchJob::new(jobs, 60.0, 5.0)
+    }
+}
+
+impl Program for BatchJob {
+    fn next(&mut self, ctx: &mut ProgramCtx<'_>) -> Directive {
+        if self.computing {
+            // Finished a burst: do the I/O pause, then the next job.
+            self.computing = false;
+            self.jobs_left -= 1;
+            if self.jobs_left == 0 {
+                return Directive::Exit;
+            }
+            let io = ctx.rng.exp(self.io_mean_ms);
+            Directive::SleepFor(SimDuration::from_secs_f64(io / 1000.0))
+        } else {
+            if self.jobs_left == 0 {
+                return Directive::Exit;
+            }
+            self.computing = true;
+            let burst = ctx.rng.exp(self.burst_mean_ms).max(0.1);
+            Directive::Compute(SimDuration::from_secs_f64(burst / 1000.0))
+        }
+    }
+
+    fn label(&self) -> String {
+        "batch-job".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_machine::{uniform, CoreId, CostModel};
+    use speedbal_sched::{NullBalancer, SchedConfig, SpawnSpec, System, TaskState};
+
+    #[test]
+    fn hog_exits_at_deadline() {
+        let mut sys = System::new(
+            uniform(1),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            1,
+        );
+        let g = sys.new_group();
+        let h = sys.spawn(SpawnSpec::new(
+            Box::new(CpuHog::until(SimTime::from_millis(55))),
+            "hog",
+            g,
+        ));
+        let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        // Exits at the first chunk boundary at/after 55 ms.
+        assert_eq!(done, SimTime::from_millis(60));
+        assert_eq!(sys.task_exec_total(h), SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn forever_hog_keeps_burning() {
+        let mut sys = System::new(
+            uniform(1),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            2,
+        );
+        let g = sys.new_group();
+        let h = sys.spawn(SpawnSpec::new(Box::new(CpuHog::forever()), "hog", g));
+        sys.run_until(SimTime::from_millis(200));
+        assert_eq!(sys.task_state(h), TaskState::Running);
+        assert_eq!(sys.task_exec_total(h), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn hog_halves_a_corunner() {
+        // The Figure 5 "One-per-core" effect: a thread sharing core 0 with
+        // the hog runs at 50%.
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            3,
+        );
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(Box::new(CpuHog::forever()), "hog", g).pin(CoreId(0)));
+        let g2 = sys.new_group();
+        let t = sys.spawn(
+            SpawnSpec::new(
+                Box::new(speedbal_sched::ScriptProgram::new(vec![
+                    speedbal_sched::Directive::Compute(SimDuration::from_millis(100)),
+                ])),
+                "worker",
+                g2,
+            )
+            .pin(CoreId(0)),
+        );
+        let done = sys
+            .run_until_group_done(g2, SimTime::from_secs(10))
+            .unwrap();
+        let _ = t;
+        assert!(
+            done >= SimTime::from_millis(195) && done <= SimTime::from_millis(205),
+            "100 ms of work at half speed, got {done}"
+        );
+    }
+
+    #[test]
+    fn batch_job_alternates_and_exits() {
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            4,
+        );
+        let g = sys.new_group();
+        let j = sys.spawn(SpawnSpec::new(
+            Box::new(BatchJob::new(5, 20.0, 2.0)),
+            "job",
+            g,
+        ));
+        let done = sys.run_until_group_done(g, SimTime::from_secs(30)).unwrap();
+        assert!(done > SimTime::from_millis(20), "did some work");
+        // CPU time is less than wall time (I/O pauses), greater than zero.
+        let exec = sys.task_exec_total(j);
+        assert!(!exec.is_zero());
+        assert!(exec.as_nanos() <= done.as_nanos());
+        assert_eq!(sys.task_state(j), TaskState::Exited);
+    }
+
+    #[test]
+    fn batch_durations_are_seeded() {
+        let run = |seed| {
+            let mut sys = System::new(
+                uniform(1),
+                SchedConfig::default(),
+                CostModel::free(),
+                Box::new(NullBalancer::new()),
+                seed,
+            );
+            let g = sys.new_group();
+            sys.spawn(SpawnSpec::new(Box::new(BatchJob::make_like(10)), "j", g));
+            sys.run_until_group_done(g, SimTime::from_secs(60)).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,320 @@
+//! SPMD application model: N threads alternating computation phases with
+//! barriers.
+
+use crate::barrier::{Arrival, Barrier, WaitMode};
+use serde::{Deserialize, Serialize};
+use speedbal_machine::CoreId;
+use speedbal_sched::{Directive, GroupId, Program, ProgramCtx, SpawnSpec, System, TaskId};
+use speedbal_sim::SimDuration;
+
+/// Shape of one SPMD application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpmdConfig {
+    /// Number of threads (the paper compiles NPB with 16).
+    pub threads: usize,
+    /// Number of compute→barrier phases.
+    pub phases: u64,
+    /// Nominal per-thread computation per phase (at core speed 1.0) — the
+    /// paper's inter-barrier granularity `S`.
+    pub work_per_phase: SimDuration,
+    /// Relative standard deviation of per-phase, per-thread work jitter
+    /// (NPB kernels are well balanced; a percent or two of natural jitter).
+    pub imbalance: f64,
+    /// Barrier wait policy.
+    pub wait: WaitMode,
+    /// Resident set size per thread (drives migration cost), e.g. from
+    /// Table 2's RSS column.
+    pub rss_per_thread: u64,
+    /// Memory-bandwidth intensity in [0, 1] of the compute phases (drives
+    /// the contention model on machines that enable it).
+    pub mem_intensity: f64,
+}
+
+impl SpmdConfig {
+    /// A convenient dedicated-run default: spin barriers, no jitter.
+    pub fn new(threads: usize, phases: u64, work_per_phase: SimDuration) -> Self {
+        SpmdConfig {
+            threads,
+            phases,
+            work_per_phase,
+            imbalance: 0.0,
+            wait: WaitMode::Spin,
+            rss_per_thread: 0,
+            mem_intensity: 0.0,
+        }
+    }
+
+    pub fn wait(mut self, mode: WaitMode) -> Self {
+        self.wait = mode;
+        self
+    }
+
+    pub fn imbalance(mut self, rel_stddev: f64) -> Self {
+        self.imbalance = rel_stddev;
+        self
+    }
+
+    pub fn rss(mut self, bytes: u64) -> Self {
+        self.rss_per_thread = bytes;
+        self
+    }
+
+    /// Sets the memory-bandwidth intensity of the compute phases.
+    pub fn mem(mut self, intensity: f64) -> Self {
+        self.mem_intensity = intensity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Total per-thread work (useful for speedup baselines).
+    pub fn work_per_thread(&self) -> SimDuration {
+        self.work_per_phase * self.phases
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// About to start phase `i`'s computation.
+    Compute(u64),
+    /// Just finished phase `i`'s computation; must arrive at the barrier.
+    Arrive(u64),
+    Done,
+}
+
+/// One SPMD thread: `phases` × (compute, barrier).
+pub struct SpmdThread {
+    barrier: Barrier,
+    cfg_phases: u64,
+    work: SimDuration,
+    imbalance: f64,
+    wait: WaitMode,
+    step: Step,
+}
+
+impl SpmdThread {
+    pub fn new(barrier: Barrier, cfg: &SpmdConfig) -> Self {
+        SpmdThread {
+            barrier,
+            cfg_phases: cfg.phases,
+            work: cfg.work_per_phase,
+            imbalance: cfg.imbalance,
+            wait: cfg.wait,
+            step: Step::Compute(0),
+        }
+    }
+}
+
+impl Program for SpmdThread {
+    fn next(&mut self, ctx: &mut ProgramCtx<'_>) -> Directive {
+        loop {
+            match self.step {
+                Step::Compute(i) if i >= self.cfg_phases => {
+                    self.step = Step::Done;
+                    return Directive::Exit;
+                }
+                Step::Compute(i) => {
+                    self.step = Step::Arrive(i);
+                    let work = if self.imbalance > 0.0 {
+                        ctx.rng.perturb(self.work, self.imbalance)
+                    } else {
+                        self.work
+                    };
+                    return Directive::Compute(work);
+                }
+                Step::Arrive(i) => {
+                    self.step = Step::Compute(i + 1);
+                    match self.barrier.arrive(ctx) {
+                        Arrival::Released => continue, // last arriver
+                        Arrival::Wait(cond) => return self.wait.directive(cond),
+                    }
+                }
+                Step::Done => return Directive::Exit,
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        "spmd".to_string()
+    }
+}
+
+/// Spawner for a whole SPMD application.
+pub struct SpmdApp;
+
+impl SpmdApp {
+    /// Spawns `cfg.threads` threads into `group`, optionally restricted to
+    /// `cores` (the paper's "compiled with 16 threads and run on the number
+    /// of cores indicated"). Returns the task ids.
+    pub fn spawn(
+        sys: &mut System,
+        group: GroupId,
+        cfg: &SpmdConfig,
+        cores: Option<Vec<CoreId>>,
+    ) -> Vec<TaskId> {
+        let barrier = Barrier::new(cfg.threads);
+        (0..cfg.threads)
+            .map(|i| {
+                let program = Box::new(SpmdThread::new(barrier.clone(), cfg));
+                let mut spec = SpawnSpec::new(program, format!("spmd{i}"), group)
+                    .rss(cfg.rss_per_thread)
+                    .mem(cfg.mem_intensity);
+                if let Some(cs) = &cores {
+                    spec = spec.allow(cs.clone());
+                }
+                sys.spawn(spec)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_machine::{uniform, CostModel};
+    use speedbal_sched::{NullBalancer, SchedConfig};
+    use speedbal_sim::SimTime;
+
+    fn run_app(n_cores: usize, cfg: &SpmdConfig, seed: u64) -> (System, SimTime) {
+        let mut sys = System::new(
+            uniform(n_cores),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            seed,
+        );
+        let g = sys.new_group();
+        SpmdApp::spawn(&mut sys, g, cfg, None);
+        let done = sys
+            .run_until_group_done(g, SimTime::from_secs(600))
+            .expect("SPMD app must finish");
+        (sys, done)
+    }
+
+    #[test]
+    fn one_thread_per_core_runs_at_full_speed() {
+        for wait in [WaitMode::Spin, WaitMode::Yield, WaitMode::Block] {
+            let cfg = SpmdConfig::new(4, 10, SimDuration::from_millis(10)).wait(wait);
+            let (_, done) = run_app(4, &cfg, 1);
+            // 10 phases x 10 ms with perfect balance: barriers are free.
+            let upper = match wait {
+                // Block barriers pay a wake latency per phase.
+                WaitMode::Block => SimTime::from_millis(120),
+                _ => SimTime::from_millis(101),
+            };
+            assert!(
+                done <= upper,
+                "{wait:?} dedicated run should be near-ideal, got {done}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrier_couples_progress_to_slowest_thread() {
+        // 3 threads on 2 cores, statically placed: the shared core halves
+        // two threads' speed, and barriers drag the third down too: the
+        // whole app runs at 50% => 10 phases x 10 ms => ~200 ms.
+        let cfg = SpmdConfig::new(3, 10, SimDuration::from_millis(10));
+        let (_, done) = run_app(2, &cfg, 2);
+        assert!(
+            done >= SimTime::from_millis(195),
+            "app speed is the slowest thread's speed, got {done}"
+        );
+        assert!(done <= SimTime::from_millis(215), "got {done}");
+    }
+
+    #[test]
+    fn spin_waiters_burn_cpu_yielders_do_not() {
+        // Two threads SHARING one core, imbalanced phases: the early
+        // arriver waits while its partner still computes on the same core.
+        // A spinning waiter steals about half the CPU from the partner; a
+        // yielding waiter cedes it (this is why oversubscribed UPC/MPI
+        // default to sched_yield).
+        let mk = |wait| {
+            SpmdConfig::new(2, 20, SimDuration::from_millis(5))
+                .wait(wait)
+                .imbalance(0.4)
+        };
+        let (sys_spin, done_spin) = run_app(1, &mk(WaitMode::Spin), 3);
+        let (sys_yield, done_yield) = run_app(1, &mk(WaitMode::Yield), 3);
+        let exec = |sys: &System| -> f64 {
+            (0..2)
+                .map(|i| sys.task_exec_total(TaskId(i)).as_secs_f64())
+                .sum()
+        };
+        // Nominal compute totals 2 x 100 ms = 0.2 s on one core.
+        let spin_total = exec(&sys_spin);
+        let yield_total = exec(&sys_yield);
+        assert!(
+            yield_total < spin_total,
+            "yielding must burn less CPU: {yield_total} vs {spin_total}"
+        );
+        assert!(
+            done_yield < done_spin,
+            "ceding the core must also finish sooner: {done_yield} vs {done_spin}"
+        );
+    }
+
+    #[test]
+    fn phase_count_is_respected() {
+        let cfg = SpmdConfig::new(2, 7, SimDuration::from_millis(1));
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            4,
+        );
+        let g = sys.new_group();
+        let barrier = Barrier::new(cfg.threads);
+        for i in 0..cfg.threads {
+            let p = Box::new(SpmdThread::new(barrier.clone(), &cfg));
+            sys.spawn(SpawnSpec::new(p, format!("t{i}"), g));
+        }
+        sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        assert_eq!(barrier.episodes(), 7);
+    }
+
+    #[test]
+    fn imbalance_jitters_but_finishes() {
+        let cfg = SpmdConfig::new(4, 50, SimDuration::from_millis(2)).imbalance(0.05);
+        let (_, done) = run_app(4, &cfg, 5);
+        // 100 ms of nominal work; jitter adds barrier slack but not 2x.
+        assert!(done >= SimTime::from_millis(100));
+        assert!(done <= SimTime::from_millis(140), "got {done}");
+    }
+
+    #[test]
+    fn kmp_barrier_spins_then_sleeps() {
+        // One fast thread and one slow: with a tiny KMP_BLOCKTIME the fast
+        // waiter sleeps through most of the wait instead of burning CPU.
+        let cfg = SpmdConfig::new(2, 1, SimDuration::from_millis(50))
+            .wait(WaitMode::SpinThenBlock(SimDuration::from_millis(5)));
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            6,
+        );
+        let g = sys.new_group();
+        let barrier = Barrier::new(2);
+        // Fast thread: no work, arrives instantly.
+        let fast_cfg = SpmdConfig::new(2, 1, SimDuration::from_nanos(1))
+            .wait(WaitMode::SpinThenBlock(SimDuration::from_millis(5)));
+        let fast = sys.spawn(SpawnSpec::new(
+            Box::new(SpmdThread::new(barrier.clone(), &fast_cfg)),
+            "fast",
+            g,
+        ));
+        sys.spawn(SpawnSpec::new(
+            Box::new(SpmdThread::new(barrier.clone(), &cfg)),
+            "slow",
+            g,
+        ));
+        sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        let burned = sys.task_exec_total(fast);
+        assert!(
+            burned <= SimDuration::from_millis(6),
+            "fast waiter must burn only the 5 ms spin window, got {burned}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Composition of an application-scoped balancer with a system-wide one.
+//!
+//! The paper's `speedbalancer` is a user-space program managing *one*
+//! parallel application while the kernel's load balancer keeps handling
+//! everything else ("speed balancing can easily co-exist with the default
+//! Linux load balance implementation ... without preventing Linux from
+//! load balancing any other unrelated tasks"). [`CompositeBalancer`]
+//! reproduces that arrangement inside the simulator: tasks of the managed
+//! groups are routed to the `app` policy (typically
+//! `speedbal_core::SpeedBalancer`), all other tasks to the `base` policy
+//! (typically [`crate::LinuxLoadBalancer`]).
+//!
+//! Because the speed balancer hard-pins every thread it manages, the base
+//! policy — which, like the kernel, never moves pinned tasks — cannot
+//! interfere, and no further coordination is needed. Timer callbacks are
+//! delivered to both policies; each recognizes its own keys by namespace
+//! tag (see `speedbal_sched::balancer::keys`).
+
+use speedbal_machine::CoreId;
+use speedbal_sched::{Balancer, GroupId, System, TaskId};
+use speedbal_sim::SimDuration;
+
+/// Routes managed application groups to one balancer and the rest of the
+/// system to another.
+pub struct CompositeBalancer {
+    managed: Vec<GroupId>,
+    app: Box<dyn Balancer>,
+    base: Box<dyn Balancer>,
+}
+
+impl CompositeBalancer {
+    /// `app` handles tasks whose group is in `managed`; `base` handles all
+    /// other tasks.
+    pub fn new(managed: Vec<GroupId>, app: Box<dyn Balancer>, base: Box<dyn Balancer>) -> Self {
+        CompositeBalancer { managed, app, base }
+    }
+
+    fn is_managed(&self, sys: &System, t: TaskId) -> bool {
+        self.managed.contains(&sys.task_group(t))
+    }
+}
+
+impl Balancer for CompositeBalancer {
+    fn name(&self) -> &'static str {
+        "SPEED+base"
+    }
+
+    fn on_start(&mut self, sys: &mut System) {
+        self.app.on_start(sys);
+        self.base.on_start(sys);
+    }
+
+    fn place_task(&mut self, sys: &mut System, task: TaskId) -> CoreId {
+        if self.is_managed(sys, task) {
+            self.app.place_task(sys, task)
+        } else {
+            self.base.place_task(sys, task)
+        }
+    }
+
+    fn pin_on_place(&mut self, sys: &mut System, task: TaskId) -> bool {
+        if self.is_managed(sys, task) {
+            self.app.pin_on_place(sys, task)
+        } else {
+            self.base.pin_on_place(sys, task)
+        }
+    }
+
+    fn select_wake_core(&mut self, sys: &mut System, task: TaskId) -> CoreId {
+        if self.is_managed(sys, task) {
+            self.app.select_wake_core(sys, task)
+        } else {
+            self.base.select_wake_core(sys, task)
+        }
+    }
+
+    fn on_timer(&mut self, sys: &mut System, key: u64) {
+        // Each policy recognizes its own key namespace.
+        self.app.on_timer(sys, key);
+        self.base.on_timer(sys, key);
+    }
+
+    fn on_core_idle(&mut self, sys: &mut System, core: CoreId) {
+        self.app.on_core_idle(sys, core);
+        self.base.on_core_idle(sys, core);
+    }
+
+    fn on_task_descheduled(
+        &mut self,
+        sys: &mut System,
+        task: TaskId,
+        core: CoreId,
+        ran: SimDuration,
+    ) {
+        self.app.on_task_descheduled(sys, task, core, ran);
+        self.base.on_task_descheduled(sys, task, core, ran);
+    }
+
+    fn on_task_exit(&mut self, sys: &mut System, task: TaskId) {
+        self.app.on_task_exit(sys, task);
+        self.base.on_task_exit(sys, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linux::LinuxLoadBalancer;
+    use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
+    use speedbal_machine::{uniform, CostModel};
+    use speedbal_sched::{Directive, SchedConfig, ScriptProgram, SpawnSpec};
+    use speedbal_sim::{SimDuration, SimTime};
+
+    fn compute(d: SimDuration) -> Box<dyn speedbal_sched::Program> {
+        Box::new(ScriptProgram::new(vec![Directive::Compute(d)]))
+    }
+
+    #[test]
+    fn managed_app_is_speed_balanced_while_base_handles_the_rest() {
+        let app_group = GroupId(0);
+        let speed = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), 1)
+            .managing(vec![app_group], (0..2).map(CoreId).collect());
+        let stats = speed.stats_handle();
+        let composite = CompositeBalancer::new(
+            vec![app_group],
+            Box::new(speed),
+            Box::new(LinuxLoadBalancer::new()),
+        );
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(composite),
+            1,
+        );
+        let g_app = sys.new_group();
+        assert_eq!(g_app, app_group);
+        let g_other = sys.new_group();
+        // Managed: 3 SPMD threads on 2 cores.
+        for i in 0..3 {
+            sys.spawn(SpawnSpec::new(
+                compute(SimDuration::from_secs(2)),
+                format!("app{i}"),
+                g_app,
+            ));
+        }
+        // Unmanaged batch tasks handled by the Linux policy.
+        for i in 0..2 {
+            sys.spawn(SpawnSpec::new(
+                compute(SimDuration::from_millis(50)),
+                format!("batch{i}"),
+                g_other,
+            ));
+        }
+        let done = sys
+            .run_until_group_done(g_app, SimTime::from_secs(60))
+            .unwrap();
+        assert!(stats.borrow().migrations > 0, "speed balancing active");
+        // Far better than the static 4+ s even with the batch interference.
+        assert!(
+            done < SimTime::from_millis(3700),
+            "composite should speed-balance the app, got {done}"
+        );
+        // Managed tasks are pinned; unmanaged are not.
+        assert!(sys.task_pinned(speedbal_sched::TaskId(0)).is_some());
+        assert!(sys.task_pinned(speedbal_sched::TaskId(3)).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline balancers the paper compares speed balancing against
+//! (Section 2), all reimplemented from their published descriptions:
+//!
+//! * [`LinuxLoadBalancer`] — Linux 2.6.28's queue-length balancing over the
+//!   scheduling-domain hierarchy: per-level intervals, the 125% imbalance
+//!   trigger, cache-hot resistance with escalation after repeated failures,
+//!   newidle pulls, idle-sibling wakeup placement, and the crucial refusal
+//!   to fix one-task imbalances ("if one group has 3 tasks and the other 2,
+//!   Linux will not migrate"). This is the paper's **LOAD**.
+//! * [`Dwrr`] — Distributed Weighted Round-Robin (Li et al.), the
+//!   kernel-level *fair* multiprocessor scheduler: per-CPU round numbers
+//!   kept within one of each other system-wide, round slices, expired
+//!   queues, and round-balancing steals. Not application-aware, not NUMA
+//!   aware, and migration-heavy — exactly the properties §2 and §6.2
+//!   attribute to it.
+//! * [`UleBalancer`] — FreeBSD 7.2 ULE's push migration: twice a second,
+//!   move threads from the longest to the shortest queue, refusing
+//!   single-thread imbalances in the default configuration (the paper
+//!   could not get `kern.sched.steal_thresh=1` to help parallel apps).
+//! * [`Pinned`] — static application-level balancing (round-robin pinning,
+//!   no migrations): the paper's **PINNED** and the "One-per-core" ideal
+//!   when `N = M`.
+//! * [`CompositeBalancer`] — routes chosen application groups to one policy
+//!   (speed balancing) while every other task is handled by another (Linux),
+//!   reproducing the paper's deployment of the user-level `speedbalancer`
+//!   alongside the kernel balancer.
+
+pub mod composite;
+pub mod dwrr;
+pub mod linux;
+pub mod ule;
+
+pub use composite::CompositeBalancer;
+pub use dwrr::{Dwrr, DwrrConfig};
+pub use linux::{LinuxConfig, LinuxLoadBalancer};
+pub use speedbal_sched::NullBalancer as Pinned;
+pub use ule::{UleBalancer, UleConfig};

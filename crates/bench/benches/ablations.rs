@@ -1,0 +1,86 @@
+//! Ablations of the speed balancer's design choices (DESIGN.md §5 calls
+//! these out): interval randomization, the pull threshold, the
+//! post-migration block, and NUMA blocking. Each variant is asserted to
+//! behave sanely, then timed on the same oversubscribed workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedbal_apps::WaitMode;
+use speedbal_core::SpeedBalancerConfig;
+use speedbal_harness::{run_scenario, Machine, Policy, Scenario};
+use speedbal_workloads::ep;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.2;
+const CORES: usize = 5;
+
+fn run_with(cfg: SpeedBalancerConfig, repeats: usize) -> f64 {
+    let app = ep().spmd(16, WaitMode::Yield, SCALE);
+    run_scenario(
+        &Scenario::new(Machine::Tigerton, CORES, Policy::SpeedWith(cfg), app).repeats(repeats),
+    )
+    .completion
+    .mean()
+}
+
+fn variants() -> Vec<(&'static str, SpeedBalancerConfig)> {
+    let base = SpeedBalancerConfig::default();
+    let mut no_jitter = base.clone();
+    no_jitter.randomize_interval = false;
+    let mut loose_threshold = base.clone();
+    loose_threshold.speed_threshold = 0.99;
+    let mut tight_threshold = base.clone();
+    tight_threshold.speed_threshold = 0.6;
+    let mut no_block = base.clone();
+    no_block.post_migration_block = 0;
+    let mut long_block = base.clone();
+    long_block.post_migration_block = 6;
+    let mut cache_tiered = base.clone();
+    cache_tiered.cross_cache_interval_mult = 2;
+    let mut weighted = base.clone();
+    weighted.weight_core_speed = true;
+    let mut queue_metric = base.clone();
+    queue_metric.metric = speedbal_core::SpeedMetric::InverseQueueLength;
+    vec![
+        ("default", base),
+        ("no-jitter", no_jitter),
+        ("threshold-0.99", loose_threshold),
+        ("threshold-0.6", tight_threshold),
+        ("no-post-block", no_block),
+        ("post-block-6", long_block),
+        ("cache-tiered-2x", cache_tiered),
+        ("weighted-speed", weighted),
+        ("queue-length-metric", queue_metric),
+    ]
+}
+
+fn verify_shape() {
+    // Every variant must still beat static pinning on the odd split —
+    // the algorithm is robust across its parameter space.
+    let app = ep().spmd(16, WaitMode::Yield, SCALE);
+    let pinned =
+        run_scenario(&Scenario::new(Machine::Tigerton, CORES, Policy::Pinned, app).repeats(2))
+            .completion
+            .mean();
+    for (name, cfg) in variants() {
+        let t = run_with(cfg, 2);
+        assert!(
+            t < pinned * 1.02,
+            "ablation {name} ({t}) must not lose to PINNED ({pinned})"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for (name, cfg) in variants() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_with(cfg.clone(), 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 1: the analytic profitability-threshold sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedbal_analytic::{figure1, min_profitable_granularity};
+use std::hint::black_box;
+
+fn verify_shape() {
+    let cells = figure1(10..=100, 4);
+    assert!(!cells.is_empty());
+    // Worst cases sit on the two-threads-per-core diagonal.
+    let diag = min_profitable_granularity(199, 100, 1.0);
+    let easy = min_profitable_granularity(400, 100, 1.0);
+    assert!(diag > 10.0 * easy.max(1e-9));
+    // Majority of the plane is fine-grained (S <= 1).
+    let fine = cells.iter().filter(|c| c.min_granularity <= 1.0).count();
+    assert!(fine * 2 > cells.len());
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    c.bench_function("fig1/analytic_sweep_10_100_cores", |b| {
+        b.iter(|| {
+            let cells = figure1(black_box(10..=100), black_box(4));
+            black_box(cells.len())
+        })
+    });
+    c.bench_function("fig1/single_threshold", |b| {
+        b.iter(|| min_profitable_granularity(black_box(199), black_box(100), black_box(1.0)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

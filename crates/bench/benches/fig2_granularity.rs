@@ -1,0 +1,56 @@
+//! Figure 2: three threads on two cores, barrier-granularity × balance
+//! interval. The bench regenerates one coarse-grained and one fine-grained
+//! cell and asserts the crossover the paper shows (§6.1): more frequent
+//! balancing helps once the synchronization granularity exceeds the
+//! profitability threshold, while LOAD stays at the static 4/3 slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use speedbal_apps::WaitMode;
+use speedbal_core::SpeedBalancerConfig;
+use speedbal_harness::{run_scenario, Machine, Policy, Scenario};
+use speedbal_sim::SimDuration;
+use speedbal_workloads::ep_modified;
+use std::hint::black_box;
+
+fn cell(granularity: SimDuration, interval_ms: u64) -> f64 {
+    let per_thread = SimDuration::from_millis(540);
+    let spec = ep_modified(granularity, per_thread, 3);
+    let app = spec.spmd(3, WaitMode::Yield, 1.0);
+    let cfg = SpeedBalancerConfig::with_interval(SimDuration::from_millis(interval_ms));
+    let res = run_scenario(
+        &Scenario::new(Machine::Uniform(2), 0, Policy::SpeedWith(cfg), app).repeats(2),
+    );
+    let fair = per_thread.as_secs_f64() * 1.5;
+    res.completion.mean() / fair
+}
+
+fn verify_shape() {
+    // Coarse grain + fast balancing approaches fair; fine grain stays at
+    // the static 4/3.
+    let coarse_fast = cell(SimDuration::from_millis(270), 20);
+    let fine = cell(SimDuration::from_micros(200), 100);
+    assert!(
+        coarse_fast < 1.25,
+        "coarse grain with B=20ms should approach fair, got {coarse_fast}"
+    );
+    assert!(
+        fine > 1.25,
+        "fine grain cannot be rotated profitably, got {fine}"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("coarse_grain_b20ms", |b| {
+        b.iter(|| black_box(cell(SimDuration::from_millis(270), 20)))
+    });
+    g.bench_function("fine_grain_b100ms", |b| {
+        b.iter(|| black_box(cell(SimDuration::from_micros(200), 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

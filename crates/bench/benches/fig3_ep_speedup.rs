@@ -1,0 +1,60 @@
+//! Figure 3: EP speedup with 16 threads on N cores. The bench times the
+//! policies at two representative core counts — a divisible one (8, where
+//! PINNED is optimal) and a non-divisible one (5, where SPEED's advantage
+//! shows) — and asserts the ranking the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedbal_apps::WaitMode;
+use speedbal_harness::{run_scenario, Machine, Policy, Scenario};
+use speedbal_workloads::ep;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.2;
+
+fn completion(policy: Policy, cores: usize, wait: WaitMode) -> f64 {
+    let app = ep().spmd(16, wait, SCALE);
+    run_scenario(&Scenario::new(Machine::Tigerton, cores, policy, app).repeats(2))
+        .completion
+        .mean()
+}
+
+fn verify_shape() {
+    let serial = ep().serial_time(SCALE).as_secs_f64();
+    // Divisible count: PINNED near-ideal.
+    let pinned8 = completion(Policy::Pinned, 8, WaitMode::Yield);
+    assert!(
+        pinned8 < serial / 8.0 * 1.10,
+        "PINNED at 8 cores near-ideal"
+    );
+    // Non-divisible: SPEED beats PINNED and LOAD-YIELD.
+    let pinned5 = completion(Policy::Pinned, 5, WaitMode::Yield);
+    let speed5 = completion(Policy::Speed, 5, WaitMode::Yield);
+    let load5 = completion(Policy::Load, 5, WaitMode::Yield);
+    assert!(
+        speed5 < pinned5 * 0.95,
+        "SPEED {speed5} vs PINNED {pinned5}"
+    );
+    assert!(speed5 < load5 * 1.02, "SPEED {speed5} vs LOAD {load5}");
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for (label, policy, wait) in [
+        ("PINNED", Policy::Pinned, WaitMode::Yield),
+        ("LOAD-YIELD", Policy::Load, WaitMode::Yield),
+        ("LOAD-SLEEP", Policy::Load, WaitMode::Block),
+        ("SPEED", Policy::Speed, WaitMode::Yield),
+        ("DWRR", Policy::Dwrr, WaitMode::Yield),
+        ("FreeBSD", Policy::Ule, WaitMode::Yield),
+    ] {
+        g.bench_with_input(BenchmarkId::new("5cores", label), &policy, |b, p| {
+            b.iter(|| black_box(completion(p.clone(), 5, wait)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

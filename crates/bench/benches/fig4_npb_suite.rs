@@ -1,0 +1,60 @@
+//! Table 3 / Figure 4: the NPB suite under SPEED vs LOAD vs PINNED. The
+//! bench runs one representative benchmark per granularity class (fine:
+//! sp.A, coarse: ft.B) at a non-divisible core count and asserts the
+//! improvement/variation shape before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedbal_apps::WaitMode;
+use speedbal_harness::{run_scenario, Machine, Policy, Scenario};
+use speedbal_metrics::RepeatStats;
+use speedbal_workloads::{ft_b, sp_a, NpbSpec};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.1;
+const CORES: usize = 7;
+
+fn run(spec: &NpbSpec, policy: Policy, repeats: usize) -> RepeatStats {
+    let app = spec.spmd(16, WaitMode::Yield, SCALE);
+    run_scenario(&Scenario::new(Machine::Tigerton, CORES, policy, app).repeats(repeats)).completion
+}
+
+fn verify_shape() {
+    for spec in [sp_a(), ft_b()] {
+        let speed = run(&spec, Policy::Speed, 4);
+        let load = run(&spec, Policy::Load, 4);
+        // SPEED's average must not lose to LOAD (bandwidth saturation
+        // compresses the differences at this micro scale), and its
+        // variation must stay within the paper's "<5% on average" band.
+        assert!(
+            speed.mean() <= load.mean() * 1.08,
+            "{}: SPEED {} vs LOAD {}",
+            spec.name,
+            speed.mean(),
+            load.mean()
+        );
+        assert!(
+            speed.variation_pct() <= 10.0,
+            "{}: SPEED var {} too high",
+            spec.name,
+            speed.variation_pct()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for spec in [sp_a(), ft_b()] {
+        for policy in [Policy::Pinned, Policy::Load, Policy::Speed] {
+            let label = format!("{}/{}", spec.name, policy.label());
+            g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, p| {
+                b.iter(|| black_box(run(&spec, p.clone(), 1).mean()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

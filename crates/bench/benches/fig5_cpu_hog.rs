@@ -1,0 +1,56 @@
+//! Figure 5: EP sharing with a cpu-hog pinned to core 0 (17 tasks — a
+//! prime, so no static balance exists). Asserts the one-per-core 50%
+//! collapse and SPEED's graceful degradation, then times the policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedbal_apps::WaitMode;
+use speedbal_harness::{run_scenario, Competitor, Machine, Policy, Scenario};
+use speedbal_workloads::ep;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.1;
+const CORES: usize = 8;
+
+fn with_hog(policy: Policy, threads: usize, wait: WaitMode, repeats: usize) -> f64 {
+    let app = ep().spmd(threads, wait, SCALE);
+    run_scenario(
+        &Scenario::new(Machine::Tigerton, CORES, policy, app)
+            .competitors(vec![Competitor::CpuHog { core: 0 }])
+            .repeats(repeats),
+    )
+    .completion
+    .mean()
+}
+
+fn verify_shape() {
+    let serial = ep().serial_time(SCALE).as_secs_f64();
+    let ideal = serial / CORES as f64;
+    // One-per-core: the hog halves core 0 and the barrier couples everyone.
+    let opc = with_hog(Policy::Pinned, CORES, WaitMode::Spin, 2);
+    assert!(
+        opc > ideal * 1.8 && opc < ideal * 2.2,
+        "one-per-core with hog should run at ~50%, got {}x",
+        opc / ideal
+    );
+    // SPEED spreads the pain: clearly better than PINNED-16.
+    let pinned = with_hog(Policy::Pinned, 16, WaitMode::Yield, 2);
+    let speed = with_hog(Policy::Speed, 16, WaitMode::Yield, 2);
+    assert!(speed < pinned * 0.97, "SPEED {speed} vs PINNED {pinned}");
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for policy in [Policy::Pinned, Policy::Load, Policy::Speed] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, p| b.iter(|| black_box(with_hog(p.clone(), 16, WaitMode::Yield, 1))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 6: an NPB benchmark sharing the machine with a `make -j`-like
+//! batch build. Asserts SPEED is at least competitive with LOAD under the
+//! mixed workload, then times both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedbal_apps::WaitMode;
+use speedbal_harness::{run_scenario, Competitor, Machine, Policy, Scenario};
+use speedbal_workloads::cg_b;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.05;
+
+fn with_make(policy: Policy, repeats: usize) -> f64 {
+    let app = cg_b().spmd(16, WaitMode::Yield, SCALE);
+    run_scenario(
+        &Scenario::new(Machine::Tigerton, 16, policy, app)
+            .competitors(vec![Competitor::MakeJ {
+                tasks: 8,
+                jobs_per_task: 20,
+            }])
+            .repeats(repeats),
+    )
+    .completion
+    .mean()
+}
+
+fn verify_shape() {
+    let speed = with_make(Policy::Speed, 3);
+    let load = with_make(Policy::Load, 3);
+    assert!(
+        speed <= load * 1.10,
+        "SPEED ({speed}) must stay competitive with LOAD ({load}) under make -j"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    verify_shape();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for policy in [Policy::Load, Policy::Speed] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, p| b.iter(|| black_box(with_make(p.clone(), 1))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the simulation substrate itself: event-queue
+//! throughput, run-queue churn, and whole-system event processing rate.
+//! These guard the practicality of the paper-scale (`--full`) sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use speedbal_apps::{SpmdApp, SpmdConfig, WaitMode};
+use speedbal_machine::{tigerton, CostModel};
+use speedbal_sched::{NullBalancer, SchedConfig, System};
+use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/event_queue");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(7);
+            for i in 0..n {
+                q.schedule(SimTime::from_nanos(rng.next_below(1 << 40)), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.event);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("xoshiro_1m_u64", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/system");
+    g.sample_size(10);
+    // A busy oversubscribed machine: 32 yield-barrier threads on 16 cores,
+    // 1 ms phases — an event-dense configuration.
+    g.bench_function("tigerton_32thr_1ms_barriers_200ms", |b| {
+        b.iter(|| {
+            let mut sys = System::new(
+                tigerton(),
+                SchedConfig::default(),
+                CostModel::default(),
+                Box::new(NullBalancer::new()),
+                11,
+            );
+            let gid = sys.new_group();
+            let cfg = SpmdConfig {
+                threads: 32,
+                phases: 200,
+                work_per_phase: SimDuration::from_millis(1),
+                imbalance: 0.0,
+                wait: WaitMode::Yield,
+                rss_per_thread: 1 << 20,
+                mem_intensity: 0.0,
+            };
+            SpmdApp::spawn(&mut sys, gid, &cfg, None);
+            let done = sys.run_until_group_done(gid, SimTime::from_secs(60));
+            black_box((done, sys.events_processed()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared helpers for the figure/table benchmarks.
+//!
+//! Each Criterion bench regenerates one artifact of the paper at a
+//! micro profile (so `cargo bench` stays tractable) and asserts the
+//! artifact's *shape* before timing it — a bench that silently reproduces
+//! the wrong curve would be worse than useless. Run `speedbal-cli --full`
+//! for paper-scale numbers.
+
+use speedbal_harness::experiments::Profile;
+
+/// The profile used by `cargo bench`: short runs, two repeats.
+pub fn bench_profile() -> Profile {
+    Profile {
+        scale: 0.02,
+        repeats: 2,
+    }
+}
+
+/// A slightly longer profile for benches that need speed balancing to have
+/// room to act (several balance intervals per run).
+pub fn bench_profile_long() -> Profile {
+    Profile {
+        scale: 0.2,
+        repeats: 2,
+    }
+}

@@ -1,0 +1,227 @@
+//! `speedbal-cli` — regenerate every table and figure of *Load Balancing
+//! on Speed* (PPoPP'10) on the simulated machines.
+//!
+//! ```text
+//! speedbal-cli [options] <artifact>...
+//!
+//! artifacts:
+//!   fig1        analytic profitability threshold (Lemma 1 sweep)
+//!   fig2        3-threads/2-cores granularity × balance-interval sweep
+//!   tab1        modelled test systems
+//!   fig3        EP speedup, 16 threads on 1..16 cores (both machines)
+//!   tab2        NPB catalogue + measured 16-core speedups
+//!   tab3        SPEED vs PINNED/LOAD summary over the UPC suite
+//!   fig4        per-benchmark improvement/variation distributions
+//!   fig5        EP sharing with a cpu-hog pinned to core 0
+//!   fig6        NPB sharing with make -j
+//!   barriers    §6.2 barrier-implementation interaction
+//!   numa        §6.4 NUMA behaviour on Barcelona
+//!   all         everything above
+//!
+//! options:
+//!   --full           paper-scale runs (scale 0.5, 10 repeats) [default: quick]
+//!   --scale <f>      explicit run-length scale
+//!   --repeats <n>    explicit repeat count
+//!   --machine <m>    fig3 machine: tigerton | barcelona | nehalem
+//! ```
+
+use speedbal_harness::experiments::{self, Profile};
+use speedbal_harness::Machine;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    profile: Profile,
+    machine: Option<Machine>,
+    artifacts: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut profile = Profile::quick();
+    let mut machine = None;
+    let mut artifacts = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => profile = Profile::full(),
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                profile.scale = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --scale {v}: {e}"))?;
+                if profile.scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                profile.repeats = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --repeats {v}: {e}"))?;
+                if profile.repeats == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+            }
+            "--machine" => {
+                let v = it.next().ok_or("--machine needs a value")?;
+                machine = Some(match v.as_str() {
+                    "tigerton" => Machine::Tigerton,
+                    "barcelona" => Machine::Barcelona,
+                    "nehalem" => Machine::Nehalem,
+                    other => return Err(format!("unknown machine {other}")),
+                });
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            artifact => artifacts.push(artifact.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        return Err("no artifact requested".into());
+    }
+    Ok(Options {
+        profile,
+        machine,
+        artifacts,
+    })
+}
+
+fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
+    let p = opts.profile;
+    match name {
+        "fig1" => {
+            println!("== fig1: minimum profitable granularity (Lemma 1, B = 1) ==");
+            println!("{}", experiments::fig1().render());
+        }
+        "fig2" => println!("{}", experiments::fig2(p).render()),
+        "tab1" => {
+            println!("== tab1: modelled test systems ==");
+            println!("{}", experiments::tab1().render());
+        }
+        "fig3" => {
+            let machines = match &opts.machine {
+                Some(m) => vec![m.clone()],
+                None => vec![Machine::Tigerton, Machine::Barcelona],
+            };
+            for m in machines {
+                println!("{}", experiments::fig3(m, p).render());
+                println!();
+            }
+        }
+        "tab2" => {
+            println!("== tab2: NPB catalogue + measured 16-core speedups ==");
+            println!("{}", experiments::tab2(p).render());
+        }
+        "tab3" | "fig4" => {
+            let cells = experiments::suite_sweep(Machine::Tigerton, p);
+            if name == "tab3" {
+                println!("== tab3: SPEED improvements over the UPC suite ==");
+                println!("{}", experiments::tab3(&cells).render());
+            } else {
+                println!("{}", experiments::fig4(&cells).render());
+            }
+        }
+        "fig5" => println!("{}", experiments::fig5(p).render()),
+        "fig6" => {
+            println!("== fig6: NPB sharing 16 cores with make -j8 ==");
+            println!("{}", experiments::fig6(p).render());
+        }
+        "barriers" => {
+            println!("== §6.2: barrier implementation × balancer (cg.B, 16 threads / 12 cores) ==");
+            println!("{}", experiments::barriers(p).render());
+        }
+        "numa" => {
+            println!("== §6.4: NUMA behaviour (ft.B, 16 threads / 13 Barcelona cores) ==");
+            println!("{}", experiments::numa(p).render());
+        }
+        "all" => {
+            for a in ["fig1", "fig2", "tab1", "fig3", "tab2"] {
+                run_artifact(a, opts)?;
+                println!();
+            }
+            // tab3 and fig4 share one (expensive) suite sweep.
+            let cells = experiments::suite_sweep(Machine::Tigerton, p);
+            println!("== tab3: SPEED improvements over the UPC suite ==");
+            println!("{}", experiments::tab3(&cells).render());
+            println!();
+            println!("{}", experiments::fig4(&cells).render());
+            println!();
+            for a in ["fig5", "fig6", "barriers", "numa"] {
+                run_artifact(a, opts)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown artifact {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: speedbal-cli [--full] [--scale f] [--repeats n] [--machine m] <artifact>...\n\
+                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa all"
+            );
+            return if e == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    eprintln!(
+        "# profile: scale={} repeats={}",
+        opts.profile.scale, opts.profile.repeats
+    );
+    for artifact in &opts.artifacts {
+        if let Err(e) = run_artifact(artifact, &opts) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_artifacts_and_options() {
+        let o = parse(&["--scale", "0.5", "--repeats", "7", "fig3", "tab1"]).unwrap();
+        assert_eq!(o.profile.scale, 0.5);
+        assert_eq!(o.profile.repeats, 7);
+        assert_eq!(o.artifacts, vec!["fig3", "tab1"]);
+        assert!(o.machine.is_none());
+    }
+
+    #[test]
+    fn full_preset_and_machine() {
+        let o = parse(&["--full", "--machine", "barcelona", "fig3"]).unwrap();
+        assert_eq!(o.profile.repeats, 10);
+        assert_eq!(o.machine, Some(Machine::Barcelona));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err(), "no artifact");
+        assert!(parse(&["--scale", "0", "fig1"]).is_err(), "zero scale");
+        assert!(parse(&["--scale", "x", "fig1"]).is_err(), "bad float");
+        assert!(parse(&["--repeats", "0", "fig1"]).is_err(), "zero repeats");
+        assert!(parse(&["--machine", "mars", "fig1"]).is_err());
+        assert!(parse(&["--bogus", "fig1"]).is_err());
+        assert_eq!(parse(&["-h"]).unwrap_err(), "help");
+    }
+}

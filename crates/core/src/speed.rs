@@ -1,0 +1,754 @@
+//! The distributed speed-balancing algorithm (paper §5.1–5.2).
+
+use crate::config::{SpeedBalancerConfig, SpeedMetric};
+use crate::stats::{SpeedStats, SpeedStatsHandle};
+use speedbal_machine::CoreId;
+use speedbal_sched::balancer::keys;
+use speedbal_sched::{Balancer, GroupId, System, TaskId};
+use speedbal_sim::{SimDuration, SimRng, SimTime};
+
+/// Last observed `(cpu_time, wall_time)` pair for one thread; speed over a
+/// window is the quotient of the deltas.
+#[derive(Debug, Clone, Copy)]
+struct Snapshot {
+    exec: SimDuration,
+    time: SimTime,
+}
+
+/// Per-core balancer-thread state.
+#[derive(Debug, Clone)]
+struct PerCore {
+    /// Published core speed `s_j` (average of its threads' speeds), read by
+    /// the other balancers when they compute the global average. Starts at
+    /// 1.0 (an idle core offers full speed).
+    published: f64,
+    /// Last time this core was the source or destination of a migration;
+    /// drives the ≥ 2-interval post-migration block.
+    last_migration: Option<SimTime>,
+}
+
+/// The user-level speed balancer as a pluggable [`Balancer`].
+///
+/// One logical balancer thread per managed core wakes every
+/// `interval + U(0, interval)`, measures local thread speeds, publishes the
+/// local core speed, and — if the local core is faster than the global
+/// average — pulls **one** thread (the least-migrated) from a core whose
+/// speed is below `T_s ×` the global average.
+///
+/// Threads are hard-pinned at all times (round-robin at startup, re-pinned
+/// on every pull), exactly like the real `speedbalancer`'s use of
+/// `sched_setaffinity`: the kernel's own load balancer can never interfere
+/// with managed threads.
+pub struct SpeedBalancer {
+    cfg: SpeedBalancerConfig,
+    /// Groups this balancer manages; `None` = every group in the system.
+    managed: Option<Vec<GroupId>>,
+    /// Cores the balancer runs on; `None` = every core (resolved at start).
+    cores: Vec<CoreId>,
+    per_core: Vec<Option<PerCore>>,
+    snapshots: Vec<Option<Snapshot>>,
+    rng: SimRng,
+    next_rr: usize,
+    stats: SpeedStatsHandle,
+    /// Per-core activation counters, for the per-domain interval tiers.
+    activations: Vec<u64>,
+}
+
+impl SpeedBalancer {
+    /// A balancer with the paper's default configuration, managing every
+    /// task in the system across all cores.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(SpeedBalancerConfig::default(), seed)
+    }
+
+    /// A balancer managing every task, with an explicit configuration.
+    pub fn with_config(cfg: SpeedBalancerConfig, seed: u64) -> Self {
+        SpeedBalancer {
+            cfg,
+            managed: None,
+            cores: Vec::new(),
+            per_core: Vec::new(),
+            snapshots: Vec::new(),
+            rng: SimRng::new(seed ^ 0x53504545_44424c52), // "SPEEDBLR"
+            next_rr: 0,
+            stats: SpeedStats::new_handle(),
+            activations: Vec::new(),
+        }
+    }
+
+    /// Restricts the balancer to the given application groups and cores —
+    /// the paper's deployment: "apply speed balancing to a particular
+    /// parallel application without preventing Linux from load balancing
+    /// any other unrelated tasks". Compose with a kernel balancer via
+    /// `speedbal-balancers`' `CompositeBalancer`.
+    pub fn managing(mut self, groups: Vec<GroupId>, cores: Vec<CoreId>) -> Self {
+        self.managed = Some(groups);
+        self.cores = cores;
+        self
+    }
+
+    /// Live statistics handle; clone before moving the balancer into the
+    /// system.
+    pub fn stats_handle(&self) -> SpeedStatsHandle {
+        self.stats.clone()
+    }
+
+    fn is_managed(&self, sys: &System, t: TaskId) -> bool {
+        match &self.managed {
+            None => true,
+            Some(gs) => gs.contains(&sys.task_group(t)),
+        }
+    }
+
+    /// Managed, non-exited tasks whose run queue is `core`.
+    fn managed_tasks_on(&self, sys: &System, core: CoreId) -> Vec<TaskId> {
+        sys.all_tasks()
+            .filter(|t| {
+                sys.task_core(*t) == core
+                    && sys.task_exited_at(*t).is_none()
+                    && self.is_managed(sys, *t)
+            })
+            .collect()
+    }
+
+    fn snapshot_mut(&mut self, t: TaskId) -> &mut Option<Snapshot> {
+        if self.snapshots.len() <= t.0 {
+            self.snapshots.resize(t.0 + 1, None);
+        }
+        &mut self.snapshots[t.0]
+    }
+
+    /// Measures the speed of each managed thread on `core` over the window
+    /// since its last snapshot, with multiplicative measurement noise, and
+    /// returns the local core speed (their average). An empty core
+    /// publishes 1.0: it offers a full-speed slot.
+    fn measure_core(&mut self, sys: &mut System, core: CoreId) -> f64 {
+        if self.cfg.metric == SpeedMetric::InverseQueueLength {
+            return self.measure_core_by_queue(sys, core);
+        }
+        let now = sys.now();
+        let tasks = self.managed_tasks_on(sys, core);
+        let noise = self.cfg.measurement_noise;
+        // Heterogeneous extension (§5): scale CPU share by relative core
+        // speed so "progress" is compared, not just CPU time.
+        let core_weight = if self.cfg.weight_core_speed {
+            sys.topology().speed_of(core)
+        } else {
+            1.0
+        };
+        let mut speeds = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            let exec = sys.task_exec_total(t);
+            let snap = self.snapshot_mut(t);
+            match snap {
+                Some(s) if now > s.time => {
+                    let window = now.saturating_since(s.time);
+                    let delta = exec.saturating_sub(s.exec);
+                    let mut speed = (delta / window) * core_weight;
+                    *snap = Some(Snapshot { exec, time: now });
+                    if noise > 0.0 {
+                        speed *= self.rng.gauss(1.0, noise).max(0.0);
+                    }
+                    speeds.push(speed);
+                }
+                Some(_) => {} // zero window: keep waiting
+                None => {
+                    *snap = Some(Snapshot { exec, time: now });
+                }
+            }
+        }
+        if speeds.is_empty() {
+            // An idle core offers its full (weighted) capability.
+            core_weight
+        } else {
+            speeds.iter().sum::<f64>() / speeds.len() as f64
+        }
+    }
+
+    /// The inverse-queue-length strawman (§5): core speed = 1 / nr_running
+    /// at the sampling instant. Instantaneous, priority-blind, and fooled
+    /// by sleeping co-runners — kept for the ablation comparison.
+    fn measure_core_by_queue(&mut self, sys: &mut System, core: CoreId) -> f64 {
+        let len = sys.queue_len(core);
+        let mut speed = if len == 0 { 1.0 } else { 1.0 / len as f64 };
+        if self.cfg.weight_core_speed {
+            speed *= sys.topology().speed_of(core);
+        }
+        if self.cfg.measurement_noise > 0.0 {
+            speed *= self.rng.gauss(1.0, self.cfg.measurement_noise).max(0.0);
+        }
+        speed
+    }
+
+    /// The global core speed: the average of every core's published speed
+    /// (the only shared state between balancer threads).
+    fn global_speed(&self) -> f64 {
+        let speeds: Vec<f64> = self
+            .per_core
+            .iter()
+            .filter_map(|p| p.as_ref().map(|p| p.published))
+            .collect();
+        if speeds.is_empty() {
+            1.0
+        } else {
+            speeds.iter().sum::<f64>() / speeds.len() as f64
+        }
+    }
+
+    fn in_migration_block(&self, core: CoreId, now: SimTime) -> bool {
+        let block = self.cfg.interval * u64::from(self.cfg.post_migration_block);
+        match self.per_core[core.0]
+            .as_ref()
+            .and_then(|p| p.last_migration)
+        {
+            Some(t) => now.saturating_since(t) < block,
+            None => false,
+        }
+    }
+
+    /// One activation of the balancer thread on `local` (paper §5.1 steps
+    /// 1–4 plus the pull).
+    fn balance(&mut self, sys: &mut System, local: CoreId) {
+        let now = sys.now();
+        self.stats.borrow_mut().activations += 1;
+        self.activations[local.0] += 1;
+        // Per-domain interval tiers (§5): cross-cache pulls only on every
+        // `cross_cache_interval_mult`-th activation, so within-cache
+        // migrations happen proportionally more often.
+        let allow_cross_cache = self.cfg.cross_cache_interval_mult <= 1
+            || self.activations[local.0].is_multiple_of(u64::from(self.cfg.cross_cache_interval_mult));
+
+        // Steps 1–2: thread speeds and local core speed.
+        let s_local = self.measure_core(sys, local);
+        if let Some(p) = self.per_core[local.0].as_mut() {
+            p.published = s_local;
+        }
+        // Step 3: global core speed.
+        let s_global = self.global_speed();
+        // Step 4: only a faster-than-average core pulls.
+        if s_local <= s_global || s_global <= 0.0 {
+            return;
+        }
+        self.stats.borrow_mut().balance_attempts += 1;
+        if self.in_migration_block(local, now) {
+            self.stats.borrow_mut().blocked_recent += 1;
+            return;
+        }
+
+        // Find the slowest suitable remote core: speed below threshold, not
+        // recently involved in a migration, NUMA-compatible, and actually
+        // hosting a managed thread to pull.
+        let mut best: Option<(f64, CoreId)> = None;
+        let mut saw_blocked = false;
+        for &k in &self.cores.clone() {
+            if k == local {
+                continue;
+            }
+            let Some(pc) = self.per_core[k.0].as_ref() else {
+                continue;
+            };
+            let s_k = pc.published;
+            if s_k / s_global >= self.cfg.speed_threshold {
+                continue;
+            }
+            if self.cfg.block_numa_migrations && sys.topology().crosses_numa(k, local) {
+                self.stats.borrow_mut().numa_blocked += 1;
+                continue;
+            }
+            if !allow_cross_cache
+                && sys.topology().common_level(k, local) > speedbal_machine::DomainLevel::Cache
+            {
+                continue;
+            }
+            if self.in_migration_block(k, now) {
+                saw_blocked = true;
+                continue;
+            }
+            if self.managed_tasks_on(sys, k).is_empty() {
+                continue;
+            }
+            if best.is_none_or(|(bs, _)| s_k < bs) {
+                best = Some((s_k, k));
+            }
+        }
+        let Some((_, victim_core)) = best else {
+            let mut st = self.stats.borrow_mut();
+            if saw_blocked {
+                st.blocked_recent += 1;
+            } else {
+                st.no_candidate += 1;
+            }
+            return;
+        };
+
+        // Pull the thread that has migrated the least, to avoid creating
+        // "hot-potato" tasks.
+        let candidates = self.managed_tasks_on(sys, victim_core);
+        let victim = candidates
+            .into_iter()
+            .min_by_key(|t| (sys.task_migrations(*t), t.0))
+            .expect("victim core verified non-empty");
+
+        // sched_setaffinity: immediate migration, re-pinned to the local
+        // core so the kernel balancer can never undo the move.
+        sys.pin_task(victim, Some(local));
+        {
+            let mut st = self.stats.borrow_mut();
+            st.migrations += 1;
+            if sys.topology().common_level(victim_core, local)
+                <= speedbal_machine::DomainLevel::Cache
+            {
+                st.migrations_within_cache += 1;
+            } else {
+                st.migrations_cross_cache += 1;
+            }
+        }
+        for c in [local, victim_core] {
+            if let Some(p) = self.per_core[c.0].as_mut() {
+                p.last_migration = Some(now);
+            }
+        }
+        // Post-migration, both cores' thread sets changed: restart their
+        // measurement windows so the next activation sees a full interval
+        // of fresh data.
+        for c in [local, victim_core] {
+            for t in self.managed_tasks_on(sys, c) {
+                let exec = sys.task_exec_total(t);
+                *self.snapshot_mut(t) = Some(Snapshot { exec, time: now });
+            }
+        }
+    }
+
+    fn arm_timer(&mut self, sys: &mut System, core: CoreId) {
+        let mut delay = self.cfg.interval;
+        if self.cfg.randomize_interval {
+            delay += self.rng.jitter(self.cfg.interval);
+        }
+        let at = sys.now() + delay;
+        sys.set_balancer_timer(keys::SPEED | core.0 as u64, at);
+    }
+}
+
+impl Balancer for SpeedBalancer {
+    fn name(&self) -> &'static str {
+        "SPEED"
+    }
+
+    fn on_start(&mut self, sys: &mut System) {
+        if self.cores.is_empty() {
+            self.cores = sys.topology().core_ids().collect();
+        }
+        self.per_core = vec![None; sys.n_cores()];
+        self.activations = vec![0; sys.n_cores()];
+        for &c in &self.cores {
+            self.per_core[c.0] = Some(PerCore {
+                published: 1.0,
+                last_migration: None,
+            });
+        }
+        // Stagger the first activations like independent threads starting.
+        let startup = self.cfg.startup_delay;
+        for &c in &self.cores.clone() {
+            let mut delay = startup + self.cfg.interval;
+            if self.cfg.randomize_interval {
+                delay += self.rng.jitter(self.cfg.interval);
+            }
+            let at = sys.now() + delay;
+            sys.set_balancer_timer(keys::SPEED | c.0 as u64, at);
+        }
+    }
+
+    /// Round-robin initial distribution over the managed cores, hard-pinned
+    /// (see [`Balancer::pin_on_place`]).
+    fn place_task(&mut self, sys: &mut System, task: TaskId) -> CoreId {
+        let cores = if self.cores.is_empty() {
+            sys.topology().core_ids().collect()
+        } else {
+            self.cores.clone()
+        };
+        let n = cores.len();
+        for off in 0..n {
+            let c = cores[(self.next_rr + off) % n];
+            if sys.task_may_run_on(task, c) {
+                self.next_rr = (self.next_rr + off + 1) % n;
+                // Start the measurement window at spawn.
+                let exec = sys.task_exec_total(task);
+                let now = sys.now();
+                *self.snapshot_mut(task) = Some(Snapshot { exec, time: now });
+                return c;
+            }
+        }
+        sys.first_allowed_core(task)
+    }
+
+    fn pin_on_place(&mut self, sys: &mut System, task: TaskId) -> bool {
+        self.is_managed(sys, task)
+    }
+
+    fn on_timer(&mut self, sys: &mut System, key: u64) {
+        if keys::tag(key) != keys::SPEED {
+            return;
+        }
+        let core = CoreId(keys::index(key));
+        if self.per_core.get(core.0).is_some_and(|p| p.is_some()) {
+            self.balance(sys, core);
+            self.arm_timer(sys, core);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_machine::{uniform, CostModel};
+    use speedbal_sched::{Directive, SchedConfig, ScriptProgram, SpawnSpec};
+
+    fn spmd_compute(total: SimDuration) -> Box<dyn speedbal_sched::Program> {
+        Box::new(ScriptProgram::new(vec![Directive::Compute(total)]))
+    }
+
+    fn build(n_cores: usize, seed: u64) -> (System, SpeedStatsHandle) {
+        let bal = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), seed);
+        let stats = bal.stats_handle();
+        let sys = System::new(
+            uniform(n_cores),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(bal),
+            seed,
+        );
+        (sys, stats)
+    }
+
+    #[test]
+    fn round_robin_pinned_placement() {
+        let (mut sys, _) = build(4, 1);
+        let g = sys.new_group();
+        for i in 0..8 {
+            let t = sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_millis(1)),
+                format!("t{i}"),
+                g,
+            ));
+            assert_eq!(sys.task_core(t), CoreId(i % 4));
+            assert_eq!(sys.task_pinned(t), Some(CoreId(i % 4)));
+        }
+    }
+
+    #[test]
+    fn three_on_two_beats_static_balance() {
+        // The paper's running example. Static: 2 s of work per thread, two
+        // threads share core 0 => 4 s makespan (speed 0.5). Speed
+        // balancing approaches the ideal 0.75 speed => ~2.67 s.
+        let (mut sys, stats) = build(2, 7);
+        let g = sys.new_group();
+        for i in 0..3 {
+            sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(2)),
+                format!("t{i}"),
+                g,
+            ));
+        }
+        let done = sys
+            .run_until_group_done(g, SimTime::from_secs(60))
+            .expect("must finish");
+        let secs = done.as_secs_f64();
+        assert!(
+            secs < 3.4,
+            "speed balancing should beat the static 4.0 s, got {secs}"
+        );
+        assert!(secs >= 2.6, "cannot beat the 8/3 s fair bound, got {secs}");
+        assert!(stats.borrow().migrations > 0, "must have migrated");
+    }
+
+    #[test]
+    fn balanced_load_triggers_no_migrations() {
+        // 2 threads on 2 cores: perfectly balanced; the threshold must
+        // suppress every pull.
+        let (mut sys, stats) = build(2, 3);
+        let g = sys.new_group();
+        for i in 0..2 {
+            sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(1)),
+                format!("t{i}"),
+                g,
+            ));
+        }
+        sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        assert_eq!(
+            stats.borrow().migrations,
+            0,
+            "balanced queues must not migrate"
+        );
+    }
+
+    #[test]
+    fn noise_alone_does_not_cause_migrations() {
+        // Same balanced setup but with measurement noise enabled: T_s=0.9
+        // absorbs it.
+        let cfg = SpeedBalancerConfig {
+            measurement_noise: 0.03,
+            ..Default::default()
+        };
+        let bal = SpeedBalancer::with_config(cfg, 11);
+        let stats = bal.stats_handle();
+        let mut sys = System::new(
+            uniform(4),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(bal),
+            11,
+        );
+        let g = sys.new_group();
+        for i in 0..4 {
+            sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(2)),
+                format!("t{i}"),
+                g,
+            ));
+        }
+        sys.run_until_group_done(g, SimTime::from_secs(30)).unwrap();
+        assert_eq!(stats.borrow().migrations, 0);
+    }
+
+    #[test]
+    fn at_most_one_migration_per_activation() {
+        let (mut sys, stats) = build(4, 13);
+        let g = sys.new_group();
+        for i in 0..9 {
+            sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(1)),
+                format!("t{i}"),
+                g,
+            ));
+        }
+        sys.run_until_group_done(g, SimTime::from_secs(60)).unwrap();
+        let s = stats.borrow();
+        assert!(s.migrations > 0);
+        assert!(
+            s.migrations <= s.activations,
+            "one pull per activation max: {} > {}",
+            s.migrations,
+            s.activations
+        );
+    }
+
+    #[test]
+    fn numa_blocking_confines_migrations() {
+        use speedbal_machine::barcelona;
+        let bal = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), 17);
+        let stats = bal.stats_handle();
+        let mut sys = System::new(
+            barcelona(),
+            SchedConfig::default(),
+            CostModel::default(),
+            Box::new(bal),
+            17,
+        );
+        let g = sys.new_group();
+        // 17 threads on 16 cores: one slow core somewhere; with NUMA
+        // blocking, only same-node cores may pull from it.
+        let mut tasks = Vec::new();
+        for i in 0..17 {
+            tasks.push(sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(1)),
+                format!("t{i}"),
+                g,
+            )));
+        }
+        let homes: Vec<_> = tasks
+            .iter()
+            .map(|t| sys.topology().node_of(sys.task_core(*t)))
+            .collect();
+        sys.run_until_group_done(g, SimTime::from_secs(60)).unwrap();
+        // No task ever ended up outside its home node.
+        for (t, home) in tasks.iter().zip(homes) {
+            assert_eq!(
+                sys.topology().node_of(sys.task_core(*t)),
+                home,
+                "task {t:?} crossed a NUMA boundary"
+            );
+        }
+        let _ = stats.borrow();
+    }
+
+    #[test]
+    fn managed_filter_ignores_other_groups() {
+        let bal = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), 19)
+            .managing(vec![GroupId(0)], vec![CoreId(0), CoreId(1)]);
+        let stats = bal.stats_handle();
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(bal),
+            19,
+        );
+        let managed = sys.new_group();
+        let other = sys.new_group();
+        assert_eq!(managed, GroupId(0));
+        // An unmanaged hog pinned to core 0.
+        sys.spawn(
+            SpawnSpec::new(spmd_compute(SimDuration::from_secs(4)), "hog", other).pin(CoreId(0)),
+        );
+        // Two managed threads: the one sharing with the hog is slow.
+        for i in 0..2 {
+            sys.spawn(SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(1)),
+                format!("t{i}"),
+                managed,
+            ));
+        }
+        sys.run_until_group_done(managed, SimTime::from_secs(60))
+            .unwrap();
+        // The balancer moved only managed threads; the hog stayed pinned.
+        assert!(stats.borrow().migrations > 0);
+        assert_eq!(sys.task_core(speedbal_sched::TaskId(0)), CoreId(0));
+    }
+
+    #[test]
+    fn exec_time_metric_handles_priorities_queue_length_does_not() {
+        // §5: the exec-time definition "captures different task priorities
+        // ... without requiring any special cases", whereas inverse queue
+        // length "requires weighting threads by priorities". A *nice*d
+        // (low-weight) co-runner barely slows its core — queue length
+        // reads 2 and misclassifies the core as half speed, causing
+        // unnecessary migrations; exec time reads the real ~0.9 share and
+        // stays put.
+        use crate::config::SpeedMetric;
+        use speedbal_apps::CpuHog;
+
+        let run = |metric: SpeedMetric| -> (f64, u64) {
+            let cfg = SpeedBalancerConfig {
+                metric,
+                measurement_noise: 0.0,
+                ..Default::default()
+            };
+            let bal = SpeedBalancer::with_config(cfg, 7)
+                .managing(vec![GroupId(0)], (0..3).map(CoreId).collect());
+            let stats = bal.stats_handle();
+            let mut sys = System::new(
+                uniform(3),
+                SchedConfig::default(),
+                CostModel::free(),
+                Box::new(bal),
+                7,
+            );
+            let managed = sys.new_group();
+            let other = sys.new_group();
+            // Low-priority hog (weight 128 vs the default 1024): its
+            // co-runner still gets ~89% of core 0.
+            sys.spawn(
+                speedbal_sched::SpawnSpec::new(Box::new(CpuHog::forever()), "hog", other)
+                    .pin(CoreId(0))
+                    .weight(128),
+            );
+            for i in 0..3 {
+                sys.spawn(speedbal_sched::SpawnSpec::new(
+                    spmd_compute(SimDuration::from_secs(2)),
+                    format!("t{i}"),
+                    managed,
+                ));
+            }
+            let done = sys
+                .run_until_group_done(managed, SimTime::from_secs(60))
+                .unwrap()
+                .as_secs_f64();
+            let migrations = stats.borrow().migrations;
+            (done, migrations)
+        };
+        let (exec_t, exec_m) = run(SpeedMetric::ExecTime);
+        let (queue_t, queue_m) = run(SpeedMetric::InverseQueueLength);
+        // Exec-time reads a ~0.9 share (slice-granularity jitter may let a
+        // few windows dip below the threshold); queue-length reads a flat
+        // 0.5 and churns far more.
+        assert!(
+            queue_m > 2 * exec_m && queue_m > 0,
+            "queue-length ({queue_m} migrations) must churn far more than              exec-time ({exec_m})"
+        );
+        assert!(
+            exec_t <= queue_t * 1.03,
+            "exec-time metric ({exec_t}) must not lose to queue-length ({queue_t})"
+        );
+    }
+
+    #[test]
+    fn cross_cache_interval_tiers() {
+        use speedbal_machine::tigerton;
+        // Tigerton restricted to 4 cores = two L2 pairs. With an
+        // effectively infinite multiplier, cross-cache pulls never become
+        // eligible: every migration stays within a cache pair.
+        let cfg = SpeedBalancerConfig {
+            cross_cache_interval_mult: u32::MAX,
+            measurement_noise: 0.0,
+            ..Default::default()
+        };
+        let bal = SpeedBalancer::with_config(cfg, 23);
+        let stats = bal.stats_handle();
+        let mut sys = System::new(
+            tigerton().restrict(4),
+            speedbal_sched::SchedConfig::default(),
+            CostModel::free(),
+            Box::new(bal),
+            23,
+        );
+        let g = sys.new_group();
+        for i in 0..9 {
+            sys.spawn(speedbal_sched::SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(2)),
+                format!("t{i}"),
+                g,
+            ));
+        }
+        sys.run_until_group_done(g, SimTime::from_secs(120))
+            .unwrap();
+        let s = stats.borrow();
+        assert_eq!(
+            s.migrations_cross_cache, 0,
+            "cross-cache pulls must be gated out"
+        );
+        // And the default (mult = 1) does use cross-cache pulls.
+        let bal = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), 23);
+        let stats = bal.stats_handle();
+        let mut sys = System::new(
+            tigerton().restrict(4),
+            speedbal_sched::SchedConfig::default(),
+            CostModel::free(),
+            Box::new(bal),
+            23,
+        );
+        let g = sys.new_group();
+        for i in 0..9 {
+            sys.spawn(speedbal_sched::SpawnSpec::new(
+                spmd_compute(SimDuration::from_secs(2)),
+                format!("t{i}"),
+                g,
+            ));
+        }
+        sys.run_until_group_done(g, SimTime::from_secs(120))
+            .unwrap();
+        assert!(
+            stats.borrow().migrations_cross_cache > 0,
+            "uniform intervals should cross cache groups"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let (mut sys, stats) = build(4, seed);
+            let g = sys.new_group();
+            for i in 0..7 {
+                sys.spawn(SpawnSpec::new(
+                    spmd_compute(SimDuration::from_secs(1)),
+                    format!("t{i}"),
+                    g,
+                ));
+            }
+            let done = sys.run_until_group_done(g, SimTime::from_secs(60)).unwrap();
+            let migrations = stats.borrow().migrations;
+            (done, migrations)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,74 @@
+//! Observable counters of a speed balancer run.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Counters accumulated by a [`crate::SpeedBalancer`] during a run.
+///
+/// Obtain a live handle with [`crate::SpeedBalancer::stats_handle`] before
+/// moving the balancer into the system; the handle stays readable after the
+/// run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpeedStats {
+    /// Balancer activations (timer fires across all cores).
+    pub activations: u64,
+    /// Activations where the local core was faster than the global average
+    /// (step 4 entered).
+    pub balance_attempts: u64,
+    /// Threads actually pulled.
+    pub migrations: u64,
+    /// Pulls whose source shares a cache with the destination.
+    pub migrations_within_cache: u64,
+    /// Pulls crossing a cache (or higher) domain boundary.
+    pub migrations_cross_cache: u64,
+    /// Attempts abandoned because no candidate core was below the speed
+    /// threshold.
+    pub no_candidate: u64,
+    /// Attempts abandoned because every candidate was inside its
+    /// post-migration block.
+    pub blocked_recent: u64,
+    /// Candidate cores rejected because pulling would cross a NUMA node.
+    pub numa_blocked: u64,
+}
+
+/// Shared handle to live stats.
+pub type SpeedStatsHandle = Rc<RefCell<SpeedStats>>;
+
+impl SpeedStats {
+    pub fn new_handle() -> SpeedStatsHandle {
+        Rc::new(RefCell::new(SpeedStats::default()))
+    }
+
+    /// Migrations per activation — the paper's design limits the migration
+    /// rate by stealing only one task at a time, so this is ≤ 1 by
+    /// construction; useful to compare against DWRR's much higher rate.
+    pub fn migrations_per_activation(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            self.migrations as f64 / self.activations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_handles_zero() {
+        let s = SpeedStats::default();
+        assert_eq!(s.migrations_per_activation(), 0.0);
+    }
+
+    #[test]
+    fn rate_computes() {
+        let s = SpeedStats {
+            activations: 10,
+            migrations: 3,
+            ..Default::default()
+        };
+        assert!((s.migrations_per_activation() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,739 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each function reproduces one artifact (same axes, same series) on the
+//! simulated machines. Absolute numbers are not expected to match a 2009
+//! testbed; the *shape* — who wins, by what factor, where the crossovers
+//! fall — is the reproduction target (see EXPERIMENTS.md for the recorded
+//! comparison).
+
+use crate::scenario::{run_scenario, Competitor, Machine, Policy, Scenario};
+use serde::{Deserialize, Serialize};
+use speedbal_analytic::{balancing_steps, min_profitable_granularity};
+use speedbal_apps::WaitMode;
+use speedbal_core::SpeedBalancerConfig;
+use speedbal_metrics::table::fmt_f;
+use speedbal_metrics::{RepeatStats, Series, TextTable};
+use speedbal_sim::SimDuration;
+use speedbal_workloads::{ep, ep_modified, npb_suite};
+
+/// Effort preset for the experiment sweeps.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Profile {
+    /// Run-length scale relative to the paper's seconds-long runs.
+    pub scale: f64,
+    /// Repeats per cell ("each experiment has been repeated ten times or
+    /// more").
+    pub repeats: usize,
+}
+
+impl Profile {
+    /// Fast preset for CI and Criterion benches.
+    pub fn quick() -> Profile {
+        Profile {
+            scale: 0.05,
+            repeats: 3,
+        }
+    }
+
+    /// The paper's methodology: full-length runs, ten repeats.
+    pub fn full() -> Profile {
+        Profile {
+            scale: 0.5,
+            repeats: 10,
+        }
+    }
+}
+
+/// A regenerated figure: named series over a common x-axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Renders the figure as an aligned text table, one row per x-value.
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec![self.x_label.as_str()];
+        for s in &self.series {
+            header.push(&s.label);
+        }
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        let mut t = TextTable::new(&header);
+        for x in xs {
+            let mut row = vec![fmt_f(x)];
+            for s in &self.series {
+                let v = s
+                    .points
+                    .iter()
+                    .find(|p| p.x == x)
+                    .map(|p| p.stats.mean())
+                    .unwrap_or(f64::NAN);
+                row.push(fmt_f(v));
+            }
+            t.row(row);
+        }
+        let mut out = format!("== {}: {} ==\n", self.id, self.title);
+        out.push_str(&format!("   x: {} | y: {}\n", self.x_label, self.y_label));
+        out.push_str(&t.render());
+        for n in &self.notes {
+            out.push_str(&format!("\nnote: {n}"));
+        }
+        out
+    }
+}
+
+fn stats_of(values: Vec<f64>) -> RepeatStats {
+    RepeatStats { values }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — analytic profitability threshold
+// ---------------------------------------------------------------------
+
+/// Figure 1: minimum inter-barrier granularity `S` (units of the balance
+/// interval, B = 1) for speed balancing to beat queue-length balancing.
+pub fn fig1() -> TextTable {
+    let mut t = TextTable::new(&[
+        "cores",
+        "threads",
+        "T",
+        "slow_cores",
+        "steps(Lemma1)",
+        "min_S(B=1)",
+    ]);
+    for m in (10..=100).step_by(10) {
+        for n in [m + 1, m + m / 2, 2 * m - 1, 2 * m + 1, 3 * m + 1, 4 * m - 1] {
+            t.row(vec![
+                m.to_string(),
+                n.to_string(),
+                (n / m).to_string(),
+                (n % m).to_string(),
+                balancing_steps(n, m).to_string(),
+                fmt_f(min_profitable_granularity(n, m, 1.0)),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 / §6.1 — balancing vs synchronization granularity
+// ---------------------------------------------------------------------
+
+/// Figure 2: three threads on two cores, fixed total computation, barriers
+/// at increasing granularity; series = speed-balancer intervals plus LOAD.
+/// y = slowdown versus perfectly fair execution (1.5× the per-thread
+/// work on 2 cores).
+pub fn fig2(profile: Profile) -> Figure {
+    let per_thread = SimDuration::from_secs(27).mul_f64(profile.scale);
+    let fair_secs = per_thread.as_secs_f64() * 3.0 / 2.0;
+    let granularities_us: Vec<u64> = vec![100, 500, 1_000, 5_000, 10_000, 50_000, 100_000];
+    let intervals_ms = [20u64, 50, 100, 200];
+    let mut series: Vec<Series> = Vec::new();
+    for b in intervals_ms {
+        let mut s = Series::new(format!("SPEED-B{b}ms"));
+        for &g in &granularities_us {
+            let spec = ep_modified(SimDuration::from_micros(g), per_thread, 3);
+            let app = spec.spmd(3, WaitMode::Yield, 1.0);
+            let mut cfg = SpeedBalancerConfig::with_interval(SimDuration::from_millis(b));
+            cfg.measurement_noise = 0.01;
+            let res = run_scenario(
+                &Scenario::new(Machine::Uniform(2), 0, Policy::SpeedWith(cfg), app)
+                    .repeats(profile.repeats),
+            );
+            let slowdowns = res
+                .completion
+                .values
+                .iter()
+                .map(|c| c / fair_secs)
+                .collect();
+            s.push(g as f64, stats_of(slowdowns));
+        }
+        series.push(s);
+    }
+    // LOAD baseline: static 2/1 split => slowdown ≈ 4/3.
+    let mut load = Series::new("LOAD");
+    for &g in &granularities_us {
+        let spec = ep_modified(SimDuration::from_micros(g), per_thread, 3);
+        let app = spec.spmd(3, WaitMode::Yield, 1.0);
+        let res = run_scenario(
+            &Scenario::new(Machine::Uniform(2), 0, Policy::Load, app).repeats(profile.repeats),
+        );
+        let slowdowns = res
+            .completion
+            .values
+            .iter()
+            .map(|c| c / fair_secs)
+            .collect();
+        load.push(g as f64, stats_of(slowdowns));
+    }
+    series.push(load);
+    Figure {
+        id: "fig2".into(),
+        title: "3 threads on 2 cores, barrier granularity sweep".into(),
+        x_label: "inter-barrier-us".into(),
+        y_label: "slowdown vs fair (1.0 = perfect)".into(),
+        series,
+        notes: vec![
+            "Paper: more frequent balancing helps the cache-light EP; 20 ms is best".into(),
+            "LOAD stays at ~4/3 (static 2/1 split = 2x per phase / 1.5x fair)".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — machine inventory
+// ---------------------------------------------------------------------
+
+/// Table 1: the modelled test systems.
+pub fn tab1() -> TextTable {
+    let mut t = TextTable::new(&[
+        "system",
+        "cores",
+        "sockets",
+        "numa_nodes",
+        "smt",
+        "shared_cache",
+    ]);
+    for m in [Machine::Tigerton, Machine::Barcelona, Machine::Nehalem] {
+        let topo = m.topology();
+        let smt = topo.smt_siblings(speedbal_machine::CoreId(0)).len() + 1;
+        t.row(vec![
+            m.label(),
+            topo.n_cores().to_string(),
+            topo.n_sockets().to_string(),
+            topo.n_nodes().to_string(),
+            format!("{smt}x"),
+            format!("{}MB", topo.cache_bytes() >> 20),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — EP speedup, 16 threads on 1..16 cores
+// ---------------------------------------------------------------------
+
+/// The policy line-up of Figure 3.
+fn fig3_policies() -> Vec<(&'static str, Policy, WaitMode)> {
+    vec![
+        ("SPEED-YIELD", Policy::Speed, WaitMode::Yield),
+        ("SPEED-SLEEP", Policy::Speed, WaitMode::Block),
+        ("LOAD-YIELD", Policy::Load, WaitMode::Yield),
+        ("LOAD-SLEEP", Policy::Load, WaitMode::Block),
+        ("PINNED", Policy::Pinned, WaitMode::Yield),
+        ("DWRR", Policy::Dwrr, WaitMode::Yield),
+        ("FreeBSD", Policy::Ule, WaitMode::Yield),
+    ]
+}
+
+/// Figure 3: EP class C compiled with 16 threads, run on 1..16 cores of
+/// `machine`; speedup (serial time / measured) per policy, plus the
+/// one-thread-per-core ideal.
+pub fn fig3(machine: Machine, profile: Profile) -> Figure {
+    let spec = ep();
+    let serial = spec.serial_time(profile.scale).as_secs_f64();
+    let core_counts: Vec<usize> = (1..=16).collect();
+    let mut series = Vec::new();
+
+    let mut one_per_core = Series::new("One-per-core");
+    for &n in &core_counts {
+        let app = spec.spmd(n, WaitMode::Spin, profile.scale);
+        let res = run_scenario(
+            &Scenario::new(machine.clone(), n, Policy::Pinned, app).repeats(profile.repeats),
+        );
+        let speedups = res.completion.values.iter().map(|c| serial / c).collect();
+        one_per_core.push(n as f64, stats_of(speedups));
+    }
+    series.push(one_per_core);
+
+    for (label, policy, wait) in fig3_policies() {
+        let mut s = Series::new(label);
+        for &n in &core_counts {
+            let app = spec.spmd(16, wait, profile.scale);
+            let res = run_scenario(
+                &Scenario::new(machine.clone(), n, policy.clone(), app).repeats(profile.repeats),
+            );
+            let speedups = res.completion.values.iter().map(|c| serial / c).collect();
+            s.push(n as f64, stats_of(speedups));
+        }
+        series.push(s);
+    }
+    Figure {
+        id: format!("fig3-{}", machine.label()),
+        title: "EP class C speedup, 16 threads on N cores".into(),
+        x_label: "cores".into(),
+        y_label: "speedup vs serial".into(),
+        series,
+        notes: vec![
+            "PINNED optimal only where 16 mod N == 0 (2,4,8,16)".into(),
+            "SPEED near-optimal at all core counts with low variation".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — benchmark characteristics + measured 16-core speedups
+// ---------------------------------------------------------------------
+
+/// Table 2: the NPB profile catalogue and the simulator's 16-core
+/// speedups on both machines (under SPEED, yield barriers).
+pub fn tab2(profile: Profile) -> TextTable {
+    let mut t = TextTable::new(&[
+        "BM",
+        "RSS/core(GB)",
+        "inter-barrier(ms)",
+        "speedup@16 tigerton",
+        "speedup@16 barcelona",
+    ]);
+    for spec in npb_suite() {
+        let serial = spec.serial_time(profile.scale).as_secs_f64();
+        let mut speedups = Vec::new();
+        for machine in [Machine::Tigerton, Machine::Barcelona] {
+            let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+            let res = run_scenario(
+                &Scenario::new(machine, 16, Policy::Speed, app).repeats(profile.repeats),
+            );
+            speedups.push(res.speedup(serial));
+        }
+        t.row(vec![
+            spec.name.to_string(),
+            fmt_f(spec.rss_per_thread_bytes as f64 / (1u64 << 30) as f64),
+            fmt_f(spec.inter_barrier.as_millis_f64()),
+            fmt_f(speedups[0]),
+            fmt_f(speedups[1]),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Table 3 / Figure 4 — SPEED vs PINNED and LOAD over the UPC suite
+// ---------------------------------------------------------------------
+
+/// Raw measurements behind Table 3 and Figure 4: per benchmark × core
+/// count, the repeat stats for SPEED, LOAD and PINNED.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteCell {
+    pub benchmark: String,
+    pub cores: usize,
+    pub speed: RepeatStats,
+    pub load: RepeatStats,
+    pub pinned: RepeatStats,
+}
+
+/// Core counts used for the suite sweeps: emphasizes the non-divisible
+/// counts where balancing matters, keeping a few divisible ones.
+pub fn suite_core_counts() -> Vec<usize> {
+    vec![5, 6, 7, 9, 10, 11, 12, 13, 15]
+}
+
+/// Runs the combined UPC-style workload (yield barriers) under SPEED, LOAD
+/// and PINNED for every benchmark × core count.
+pub fn suite_sweep(machine: Machine, profile: Profile) -> Vec<SuiteCell> {
+    let mut cells = Vec::new();
+    for spec in npb_suite() {
+        for &cores in &suite_core_counts() {
+            let run = |policy: Policy| {
+                let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+                run_scenario(
+                    &Scenario::new(machine.clone(), cores, policy, app).repeats(profile.repeats),
+                )
+                .completion
+            };
+            cells.push(SuiteCell {
+                benchmark: spec.name.to_string(),
+                cores,
+                speed: run(Policy::Speed),
+                load: run(Policy::Load),
+                pinned: run(Policy::Pinned),
+            });
+        }
+    }
+    cells
+}
+
+/// Table 3: percentage improvements of SPEED over PINNED and LOAD
+/// (average and worst case) and run-to-run variation, aggregated per
+/// benchmark and overall.
+pub fn tab3(cells: &[SuiteCell]) -> TextTable {
+    let mut t = TextTable::new(&[
+        "BM",
+        "vs PINNED avg%",
+        "vs LOAD avg%",
+        "vs LOAD worst%",
+        "SPEED var%",
+        "LOAD var%",
+    ]);
+    let mut names: Vec<String> = cells.iter().map(|c| c.benchmark.clone()).collect();
+    names.dedup();
+    let agg = |filter: &dyn Fn(&&SuiteCell) -> bool| -> Vec<f64> {
+        let sel: Vec<&SuiteCell> = cells.iter().filter(filter).collect();
+        let mean = |f: &dyn Fn(&SuiteCell) -> f64| {
+            sel.iter().map(|c| f(c)).sum::<f64>() / sel.len().max(1) as f64
+        };
+        vec![
+            mean(&|c| c.speed.improvement_over_pct(&c.pinned)),
+            mean(&|c| c.speed.improvement_over_pct(&c.load)),
+            mean(&|c| c.speed.worst_case_improvement_pct(&c.load)),
+            mean(&|c| c.speed.variation_pct()),
+            mean(&|c| c.load.variation_pct()),
+        ]
+    };
+    for name in &names {
+        let vals = agg(&|c| &c.benchmark == name);
+        let mut row = vec![name.clone()];
+        row.extend(vals.into_iter().map(fmt_f));
+        t.row(row);
+    }
+    let mut row = vec!["all".to_string()];
+    row.extend(agg(&|_| true).into_iter().map(fmt_f));
+    t.row(row);
+    t
+}
+
+/// Figure 4: per-benchmark average and worst-case LOAD/SPEED time ratios
+/// and the two variations, across core counts.
+pub fn fig4(cells: &[SuiteCell]) -> Figure {
+    let mut names: Vec<String> = cells.iter().map(|c| c.benchmark.clone()).collect();
+    names.dedup();
+    let mut series = Vec::new();
+    for (label, f) in [
+        (
+            "LB_AVG/SB_AVG",
+            Box::new(|c: &SuiteCell| c.load.mean() / c.speed.mean())
+                as Box<dyn Fn(&SuiteCell) -> f64>,
+        ),
+        (
+            "LB_WORST/SB_WORST",
+            Box::new(|c: &SuiteCell| c.load.max() / c.speed.max()),
+        ),
+        (
+            "SB_VARIATION%",
+            Box::new(|c: &SuiteCell| c.speed.variation_pct()),
+        ),
+        (
+            "LB_VARIATION%",
+            Box::new(|c: &SuiteCell| c.load.variation_pct()),
+        ),
+    ] {
+        let mut s = Series::new(label);
+        for (i, name) in names.iter().enumerate() {
+            let vals: Vec<f64> = cells
+                .iter()
+                .filter(|c| &c.benchmark == name)
+                .map(&f)
+                .collect();
+            s.push(i as f64, stats_of(vals));
+        }
+        series.push(s);
+    }
+    Figure {
+        id: "fig4".into(),
+        title: format!("SPEED vs LOAD per benchmark (x = {:?})", names),
+        x_label: "benchmark#".into(),
+        y_label: "ratio / variation%".into(),
+        series,
+        notes: vec![format!("benchmark order: {names:?}")],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 — sharing with a cpu-hog
+// ---------------------------------------------------------------------
+
+/// Figure 5: EP sharing the machine with a compute hog pinned to core 0.
+pub fn fig5(profile: Profile) -> Figure {
+    let spec = ep();
+    let serial = spec.serial_time(profile.scale).as_secs_f64();
+    let core_counts: Vec<usize> = (2..=16).collect();
+    let mut series = Vec::new();
+
+    // One thread per core, pinned: the hog always takes half of core 0.
+    let mut opc = Series::new("One-per-core");
+    for &n in &core_counts {
+        let app = spec.spmd(n, WaitMode::Spin, profile.scale);
+        let res = run_scenario(
+            &Scenario::new(Machine::Tigerton, n, Policy::Pinned, app)
+                .competitors(vec![Competitor::CpuHog { core: 0 }])
+                .repeats(profile.repeats),
+        );
+        opc.push(
+            n as f64,
+            stats_of(res.completion.values.iter().map(|c| serial / c).collect()),
+        );
+    }
+    series.push(opc);
+
+    for (label, policy) in [
+        ("PINNED-16", Policy::Pinned),
+        ("LOAD", Policy::Load),
+        ("SPEED", Policy::Speed),
+    ] {
+        let mut s = Series::new(label);
+        for &n in &core_counts {
+            let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+            let res = run_scenario(
+                &Scenario::new(Machine::Tigerton, n, policy.clone(), app)
+                    .competitors(vec![Competitor::CpuHog { core: 0 }])
+                    .repeats(profile.repeats),
+            );
+            s.push(
+                n as f64,
+                stats_of(res.completion.values.iter().map(|c| serial / c).collect()),
+            );
+        }
+        series.push(s);
+    }
+    Figure {
+        id: "fig5".into(),
+        title: "EP + cpu-hog pinned to core 0 (17 tasks: no static balance)".into(),
+        x_label: "cores".into(),
+        y_label: "speedup vs serial".into(),
+        series,
+        notes: vec![
+            "One-per-core runs at ~50% (hog halves core 0, barriers gate everyone)".into(),
+            "SPEED degrades gracefully; total task count 17 is prime".into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — sharing with make -j
+// ---------------------------------------------------------------------
+
+/// Figure 6: NPB benchmarks sharing 16 cores with a make -j-like batch
+/// workload; relative performance of SPEED over LOAD per benchmark.
+pub fn fig6(profile: Profile) -> TextTable {
+    let mut t = TextTable::new(&["BM", "SPEED(s)", "LOAD(s)", "LOAD/SPEED"]);
+    for spec in npb_suite() {
+        let run = |policy: Policy| {
+            let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+            run_scenario(
+                &Scenario::new(Machine::Tigerton, 16, policy, app)
+                    .competitors(vec![Competitor::MakeJ {
+                        tasks: 8,
+                        jobs_per_task: 40,
+                    }])
+                    .repeats(profile.repeats),
+            )
+            .completion
+        };
+        let speed = run(Policy::Speed);
+        let load = run(Policy::Load);
+        t.row(vec![
+            spec.name.to_string(),
+            fmt_f(speed.mean()),
+            fmt_f(load.mean()),
+            fmt_f(load.mean() / speed.mean()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// §6.2 — barrier implementation interaction
+// ---------------------------------------------------------------------
+
+/// §6.2: the barrier-implementation × balancer matrix (the paper's
+/// LB_DEF / LB_INF / SB_DEF / SB_INF comparison), oversubscribed: 16
+/// threads on 12 cores of Tigerton, cg.B (4 ms barriers).
+pub fn barriers(profile: Profile) -> TextTable {
+    let spec = speedbal_workloads::npb("cg.B").unwrap();
+    let mut t = TextTable::new(&["barrier", "LOAD(s)", "SPEED(s)", "LOAD/SPEED"]);
+    for (label, wait) in [
+        ("DEF (spin 200ms then sleep)", WaitMode::kmp_default()),
+        ("INF (poll)", WaitMode::Spin),
+        ("YIELD (sched_yield)", WaitMode::Yield),
+        ("SLEEP (block)", WaitMode::Block),
+    ] {
+        let run = |policy: Policy| {
+            let app = spec.spmd(16, wait, profile.scale);
+            run_scenario(
+                &Scenario::new(Machine::Tigerton, 12, policy, app).repeats(profile.repeats),
+            )
+            .completion
+        };
+        let load = run(Policy::Load);
+        let speed = run(Policy::Speed);
+        t.row(vec![
+            label.to_string(),
+            fmt_f(load.mean()),
+            fmt_f(speed.mean()),
+            fmt_f(load.mean() / speed.mean()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// §6.4 — NUMA
+// ---------------------------------------------------------------------
+
+/// §6.4: Barcelona NUMA behaviour — LOAD vs SPEED (NUMA migrations
+/// blocked, the default) vs SPEED with cross-node migrations allowed,
+/// on the memory-heavy ft.B, oversubscribed on 13 cores.
+pub fn numa(profile: Profile) -> TextTable {
+    let spec = speedbal_workloads::npb("ft.B").unwrap();
+    let mut t = TextTable::new(&["policy", "mean(s)", "var%", "migrations"]);
+    let cfg_free = SpeedBalancerConfig {
+        block_numa_migrations: false,
+        ..Default::default()
+    };
+    for (label, policy) in [
+        ("PINNED", Policy::Pinned),
+        ("LOAD", Policy::Load),
+        ("SPEED (NUMA blocked)", Policy::Speed),
+        ("SPEED (NUMA allowed)", Policy::SpeedWith(cfg_free.clone())),
+    ] {
+        let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+        let res = run_scenario(
+            &Scenario::new(Machine::Barcelona, 13, policy, app).repeats(profile.repeats),
+        );
+        t.row(vec![
+            label.to_string(),
+            fmt_f(res.completion.mean()),
+            fmt_f(res.completion.variation_pct()),
+            fmt_f(res.migrations.mean()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Profile {
+        Profile {
+            scale: 0.02,
+            repeats: 2,
+        }
+    }
+
+    #[test]
+    fn figure_render_fills_missing_points() {
+        use speedbal_metrics::Series;
+        let mut a = Series::new("A");
+        a.push(1.0, stats_of(vec![2.0]));
+        a.push(2.0, stats_of(vec![3.0]));
+        let mut b = Series::new("B");
+        b.push(2.0, stats_of(vec![5.0]));
+        let f = Figure {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![a, b],
+            notes: vec!["hello".into()],
+        };
+        let out = f.render();
+        // x = 1 has no B value: rendered as "-".
+        let row1 = out.lines().find(|l| l.starts_with("1.00")).unwrap();
+        assert!(row1.contains('-'), "missing point must render as -: {row1}");
+        assert!(out.contains("note: hello"));
+    }
+
+    #[test]
+    fn fig1_has_rows() {
+        let t = fig1();
+        assert!(t.n_rows() >= 60);
+    }
+
+    #[test]
+    fn tab1_lists_three_machines() {
+        assert_eq!(tab1().n_rows(), 3);
+    }
+
+    #[test]
+    fn fig2_runs_and_orders_sanely() {
+        let f = fig2(Profile {
+            scale: 0.01,
+            repeats: 2,
+        });
+        assert_eq!(f.series.len(), 5);
+        // At coarse granularity every SPEED series beats the LOAD slowdown.
+        let load_last = f.series.last().unwrap().points.last().unwrap().stats.mean();
+        for s in &f.series[..4] {
+            let v = s.points.last().unwrap().stats.mean();
+            assert!(
+                v < load_last,
+                "{} ({v}) should beat LOAD ({load_last}) at coarse grain",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_quick_shape() {
+        let f = fig3(Machine::Tigerton, tiny());
+        assert_eq!(f.series.len(), 8);
+        // One-per-core scales perfectly (within a few percent).
+        let opc = &f.series[0];
+        let at16 = opc.points.iter().find(|p| p.x == 16.0).unwrap();
+        assert!(
+            at16.stats.mean() > 14.5,
+            "one-per-core must be near 16, got {}",
+            at16.stats.mean()
+        );
+        let render = f.render();
+        assert!(render.contains("SPEED-YIELD"));
+    }
+
+    #[test]
+    fn fig5_fig6_barriers_numa_smoke() {
+        // Tiny-profile smoke coverage of the remaining regenerators: they
+        // must produce complete artifacts with sane values.
+        let p = Profile {
+            scale: 0.01,
+            repeats: 1,
+        };
+        let f5 = fig5(p);
+        assert_eq!(f5.series.len(), 4);
+        for s in &f5.series {
+            assert_eq!(s.points.len(), 15, "{}: cores 2..=16", s.label);
+            for pt in &s.points {
+                assert!(pt.stats.mean() > 0.0);
+            }
+        }
+        assert_eq!(fig6(p).n_rows(), 5);
+        assert_eq!(barriers(p).n_rows(), 4);
+        assert_eq!(numa(p).n_rows(), 4);
+    }
+
+    #[test]
+    fn suite_cells_and_tables() {
+        // One benchmark, one core count, to keep the test fast.
+        let profile = tiny();
+        let spec = &npb_suite()[4]; // sp.A, smallest phases
+        let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+        let mk = |policy| {
+            run_scenario(
+                &Scenario::new(Machine::Tigerton, 5, policy, app.clone()).repeats(profile.repeats),
+            )
+            .completion
+        };
+        let cells = vec![SuiteCell {
+            benchmark: spec.name.to_string(),
+            cores: 5,
+            speed: mk(Policy::Speed),
+            load: mk(Policy::Load),
+            pinned: mk(Policy::Pinned),
+        }];
+        let t3 = tab3(&cells);
+        assert_eq!(t3.n_rows(), 2); // benchmark + "all"
+        let f4 = fig4(&cells);
+        assert_eq!(f4.series.len(), 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! Experiment harness: wires machines, workloads, competitors and
+//! balancing policies together, runs repeats, and regenerates every table
+//! and figure of the paper's evaluation (see `experiments`).
+
+pub mod experiments;
+pub mod scenario;
+
+pub use scenario::{run_scenario, Competitor, Machine, Policy, Scenario, ScenarioResult};

@@ -1,0 +1,357 @@
+//! One experiment cell: machine × policy × application × competitors,
+//! repeated with distinct seeds.
+
+use serde::{Deserialize, Serialize};
+use speedbal_apps::{BatchJob, CpuHog, SpmdApp, SpmdConfig};
+use speedbal_balancers::{
+    CompositeBalancer, Dwrr, LinuxLoadBalancer, Pinned, UleBalancer, UleConfig,
+};
+use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
+use speedbal_machine::{
+    asymmetric, barcelona, nehalem, tigerton, uniform, CoreId, CostModel, Topology,
+};
+use speedbal_metrics::RepeatStats;
+use speedbal_sched::{Balancer, GroupId, SchedConfig, SpawnSpec, System};
+use speedbal_sim::{SimDuration, SimTime};
+
+/// Which machine model to run on (Table 1 presets plus generics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Machine {
+    Tigerton,
+    Barcelona,
+    Nehalem,
+    Uniform(usize),
+    Asymmetric {
+        fast: usize,
+        slow: usize,
+        factor: f64,
+    },
+}
+
+impl Machine {
+    pub fn topology(&self) -> Topology {
+        match self {
+            Machine::Tigerton => tigerton(),
+            Machine::Barcelona => barcelona(),
+            Machine::Nehalem => nehalem(),
+            Machine::Uniform(n) => uniform(*n),
+            Machine::Asymmetric { fast, slow, factor } => asymmetric(*fast, *slow, *factor),
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match self {
+            Machine::Tigerton => "tigerton".into(),
+            Machine::Barcelona => "barcelona".into(),
+            Machine::Nehalem => "nehalem".into(),
+            Machine::Uniform(n) => format!("uniform{n}"),
+            Machine::Asymmetric { fast, slow, factor } => {
+                format!("asym{fast}x{factor}+{slow}")
+            }
+        }
+    }
+}
+
+/// Balancing policy under test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Static round-robin placement, no migrations (paper: PINNED).
+    Pinned,
+    /// Linux queue-length load balancing (paper: LOAD).
+    Load,
+    /// Speed balancing for the application + Linux for everything else
+    /// (paper: SPEED), with the default configuration.
+    Speed,
+    /// Speed balancing with an explicit configuration (interval sweeps,
+    /// NUMA-blocking ablations, ...).
+    SpeedWith(SpeedBalancerConfig),
+    /// Distributed Weighted Round-Robin (paper: DWRR).
+    Dwrr,
+    /// FreeBSD-ULE push migration, default configuration (paper: FreeBSD).
+    Ule,
+    /// ULE with `steal_thresh=1` (the tuning the paper attempted).
+    UleTuned,
+}
+
+impl Policy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Pinned => "PINNED",
+            Policy::Load => "LOAD",
+            Policy::Speed | Policy::SpeedWith(_) => "SPEED",
+            Policy::Dwrr => "DWRR",
+            Policy::Ule => "FreeBSD",
+            Policy::UleTuned => "FreeBSD-tuned",
+        }
+    }
+}
+
+/// Competing workloads sharing the machine (§6.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Competitor {
+    /// A compute-intensive task using no memory, pinned to a core
+    /// (Figure 5 pins it to core 0).
+    CpuHog { core: usize },
+    /// `make -j tasks`: that many parallel jobs, each a chain of
+    /// compile-sized CPU bursts and short I/O sleeps (Figure 6).
+    MakeJ { tasks: u32, jobs_per_task: u32 },
+}
+
+/// A fully specified experiment cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    pub machine: Machine,
+    /// Run the workload on the first `cores` CPUs (`taskset`-style);
+    /// 0 = the whole machine.
+    pub cores: usize,
+    pub policy: Policy,
+    pub app: SpmdConfig,
+    pub competitors: Vec<Competitor>,
+    pub cost: CostModel,
+    pub repeats: usize,
+    pub seed: u64,
+    /// Per-repeat simulated-time budget.
+    pub deadline: SimDuration,
+}
+
+impl Scenario {
+    /// A dedicated-machine scenario with default cost model, 10 repeats.
+    pub fn new(machine: Machine, cores: usize, policy: Policy, app: SpmdConfig) -> Scenario {
+        Scenario {
+            machine,
+            cores,
+            policy,
+            app,
+            competitors: Vec::new(),
+            cost: CostModel::default(),
+            repeats: 10,
+            seed: 0xB0A710AD,
+            deadline: SimDuration::from_secs(600),
+        }
+    }
+
+    pub fn competitors(mut self, c: Vec<Competitor>) -> Scenario {
+        self.competitors = c;
+        self
+    }
+
+    pub fn repeats(mut self, r: usize) -> Scenario {
+        self.repeats = r;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Scenario {
+        self.seed = s;
+        self
+    }
+
+    pub fn cost(mut self, c: CostModel) -> Scenario {
+        self.cost = c;
+        self
+    }
+}
+
+/// Aggregated results of a scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Application completion times, seconds, one per repeat.
+    pub completion: RepeatStats,
+    /// Total migrations per repeat.
+    pub migrations: RepeatStats,
+    /// Repeats that hit the deadline without finishing.
+    pub timeouts: usize,
+}
+
+impl ScenarioResult {
+    /// Speedup of `serial` seconds of work against the mean completion.
+    pub fn speedup(&self, serial: f64) -> f64 {
+        self.completion.speedup(serial)
+    }
+}
+
+fn build_balancer(
+    policy: &Policy,
+    topo: &Topology,
+    app_group: GroupId,
+    seed: u64,
+) -> Box<dyn Balancer> {
+    match policy {
+        Policy::Pinned => Box::new(Pinned::new()),
+        Policy::Load => Box::new(LinuxLoadBalancer::new()),
+        Policy::Speed => build_speed(SpeedBalancerConfig::default(), topo, app_group, seed),
+        Policy::SpeedWith(cfg) => build_speed(cfg.clone(), topo, app_group, seed),
+        Policy::Dwrr => Box::new(Dwrr::new()),
+        Policy::Ule => Box::new(UleBalancer::new()),
+        Policy::UleTuned => Box::new(UleBalancer::with_config(UleConfig {
+            steal_threshold: 1,
+            ..UleConfig::default()
+        })),
+    }
+}
+
+fn build_speed(
+    cfg: SpeedBalancerConfig,
+    topo: &Topology,
+    app_group: GroupId,
+    seed: u64,
+) -> Box<dyn Balancer> {
+    let cores: Vec<CoreId> = topo.core_ids().collect();
+    let speed = SpeedBalancer::with_config(cfg, seed).managing(vec![app_group], cores);
+    Box::new(CompositeBalancer::new(
+        vec![app_group],
+        Box::new(speed),
+        Box::new(LinuxLoadBalancer::new()),
+    ))
+}
+
+/// Runs every repeat of a scenario. Deterministic: repeat `r` uses seed
+/// `scenario.seed + r`.
+pub fn run_scenario(s: &Scenario) -> ScenarioResult {
+    let mut completion = RepeatStats::default();
+    let mut migrations = RepeatStats::default();
+    let mut timeouts = 0usize;
+    for r in 0..s.repeats {
+        let seed = s.seed.wrapping_add(r as u64);
+        let topo = {
+            let full = s.machine.topology();
+            if s.cores == 0 || s.cores >= full.n_cores() {
+                full
+            } else {
+                full.restrict(s.cores)
+            }
+        };
+        let app_group = GroupId(0);
+        let balancer = build_balancer(&s.policy, &topo, app_group, seed);
+        let mut sys = System::new(topo, SchedConfig::default(), s.cost.clone(), balancer, seed);
+        let g = sys.new_group();
+        debug_assert_eq!(g, app_group);
+        let comp_group = sys.new_group();
+        // Competitors start first (they are "already running" when the
+        // parallel job launches).
+        for c in &s.competitors {
+            match c {
+                Competitor::CpuHog { core } => {
+                    sys.spawn(
+                        SpawnSpec::new(Box::new(CpuHog::forever()), "cpu-hog", comp_group)
+                            .pin(CoreId(*core)),
+                    );
+                }
+                Competitor::MakeJ {
+                    tasks,
+                    jobs_per_task,
+                } => {
+                    for i in 0..*tasks {
+                        sys.spawn(SpawnSpec::new(
+                            Box::new(BatchJob::make_like(*jobs_per_task)),
+                            format!("make{i}"),
+                            comp_group,
+                        ));
+                    }
+                }
+            }
+        }
+        SpmdApp::spawn(&mut sys, app_group, &s.app, None);
+        let deadline = SimTime::ZERO + s.deadline;
+        match sys.run_until_group_done(app_group, deadline) {
+            Some(done) => {
+                completion.push(done.as_secs_f64());
+                migrations.push(sys.total_migrations() as f64);
+            }
+            None => {
+                timeouts += 1;
+                completion.push(s.deadline.as_secs_f64());
+                migrations.push(sys.total_migrations() as f64);
+            }
+        }
+    }
+    ScenarioResult {
+        completion,
+        migrations,
+        timeouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_apps::WaitMode;
+    use speedbal_workloads::ep;
+
+    fn quick(policy: Policy, cores: usize, threads: usize) -> ScenarioResult {
+        let app = ep().spmd(threads, WaitMode::Yield, 0.05);
+        run_scenario(
+            &Scenario::new(Machine::Tigerton, cores, policy, app)
+                .repeats(3)
+                .cost(CostModel::default()),
+        )
+    }
+
+    #[test]
+    fn all_policies_complete() {
+        for policy in [
+            Policy::Pinned,
+            Policy::Load,
+            Policy::Speed,
+            Policy::Dwrr,
+            Policy::Ule,
+            Policy::UleTuned,
+        ] {
+            let r = quick(policy.clone(), 4, 16);
+            assert_eq!(r.timeouts, 0, "{policy:?} timed out");
+            assert_eq!(r.completion.len(), 3);
+            assert!(r.completion.mean() > 0.0);
+        }
+    }
+
+    #[test]
+    fn speed_beats_pinned_on_odd_split() {
+        // 16 threads on 5 cores: N mod M = 1, classic speed-balancing win.
+        let pinned = quick(Policy::Pinned, 5, 16);
+        let speed = quick(Policy::Speed, 5, 16);
+        assert!(
+            speed.completion.mean() < pinned.completion.mean() * 0.95,
+            "SPEED {} should beat PINNED {}",
+            speed.completion.mean(),
+            pinned.completion.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = quick(Policy::Load, 6, 16);
+        let b = quick(Policy::Load, 6, 16);
+        assert_eq!(a.completion.values, b.completion.values);
+        assert_eq!(a.migrations.values, b.migrations.values);
+    }
+
+    #[test]
+    fn repeats_differ_under_load() {
+        // LOAD's random start-up placement yields run-to-run variation.
+        let app = ep().spmd(16, WaitMode::Yield, 0.05);
+        let r = run_scenario(&Scenario::new(Machine::Tigerton, 6, Policy::Load, app).repeats(8));
+        assert!(
+            r.completion.variation_pct() > 0.0,
+            "expected some LOAD variation, got {:?}",
+            r.completion.values
+        );
+    }
+
+    #[test]
+    fn competitors_slow_the_app() {
+        let app = ep().spmd(4, WaitMode::Yield, 0.05);
+        let alone = run_scenario(
+            &Scenario::new(Machine::Uniform(4), 0, Policy::Pinned, app.clone()).repeats(2),
+        );
+        let shared = run_scenario(
+            &Scenario::new(Machine::Uniform(4), 0, Policy::Pinned, app)
+                .competitors(vec![Competitor::CpuHog { core: 0 }])
+                .repeats(2),
+        );
+        assert!(
+            shared.completion.mean() > alone.completion.mean() * 1.5,
+            "hog on core 0 must hurt: {} vs {}",
+            shared.completion.mean(),
+            alone.completion.mean()
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Migration and locality cost model.
+//!
+//! Section 4 of the paper quotes Li et al.'s microbenchmarks: migrating a
+//! task costs from a few **microseconds** (working set fits in the shared
+//! cache it moves within) up to **2 milliseconds** (working set larger than
+//! the cache and the move crosses a cache boundary), against a 100 ms
+//! scheduling quantum. NUMA migrations additionally leave the task running
+//! against remote memory, a *persistent* slowdown rather than a one-off
+//! refill — which is why `speedbalancer` blocks cross-node migrations by
+//! default.
+//!
+//! [`CostModel`] turns a (from-core, to-core, resident-set-size) triple into
+//! a one-off cache refill stall, and exposes the remote-memory slowdown
+//! factor the scheduler applies while a task executes off its home node.
+
+use crate::topology::{CoreId, DomainLevel, Topology};
+use serde::{Deserialize, Serialize};
+use speedbal_sim::SimDuration;
+
+/// Parameters of the migration/locality cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Bandwidth at which a migrated task refills its working set, bytes/s.
+    pub refill_bytes_per_sec: f64,
+    /// Floor for any migration (pure kernel bookkeeping, a few µs).
+    pub min_migration_cost: SimDuration,
+    /// Ceiling for a migration stall (Li et al. measured ~2 ms).
+    pub max_migration_cost: SimDuration,
+    /// Compute-rate divisor while a task runs on a core whose NUMA node is
+    /// not the task's home node (remote memory accesses). 1.0 disables the
+    /// effect, as on UMA machines.
+    pub numa_remote_factor: f64,
+    /// Migrations within an SMT pair are effectively free (shared caches);
+    /// this is the token cost applied there.
+    pub smt_migration_cost: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            refill_bytes_per_sec: 8.0e9,
+            min_migration_cost: SimDuration::from_micros(3),
+            max_migration_cost: SimDuration::from_millis(2),
+            numa_remote_factor: 1.25,
+            smt_migration_cost: SimDuration::from_micros(1),
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with every effect disabled — useful for analytic
+    /// validation runs where the paper assumes "migration cost is
+    /// negligible".
+    pub fn free() -> Self {
+        CostModel {
+            refill_bytes_per_sec: f64::INFINITY,
+            min_migration_cost: SimDuration::ZERO,
+            max_migration_cost: SimDuration::ZERO,
+            numa_remote_factor: 1.0,
+            smt_migration_cost: SimDuration::ZERO,
+        }
+    }
+
+    /// One-off stall a task pays after moving `from → to` with a resident
+    /// set of `rss_bytes`. The refill volume is the part of the working set
+    /// that no longer lives in a cache shared with the destination:
+    /// capped by the shared-cache capacity at the boundary crossed.
+    pub fn migration_cost(
+        &self,
+        topo: &Topology,
+        from: CoreId,
+        to: CoreId,
+        rss_bytes: u64,
+    ) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        let level = topo.common_level(from, to);
+        if level == DomainLevel::Smt {
+            // SMT siblings share all cache levels: Linux itself exempts
+            // them from the cache-hot heuristic.
+            return self.smt_migration_cost;
+        }
+        let cache_cap = match level {
+            DomainLevel::Smt => unreachable!(),
+            // Moving within a cache group: only private caches are lost.
+            DomainLevel::Cache => topo.private_cache_bytes(),
+            // Crossing the shared cache boundary: lose up to the shared
+            // cache worth of footprint.
+            DomainLevel::Socket | DomainLevel::Numa | DomainLevel::System => topo.cache_bytes(),
+        };
+        let refill = rss_bytes.min(cache_cap);
+        let secs = refill as f64 / self.refill_bytes_per_sec;
+        SimDuration::from_secs_f64(secs)
+            .max(self.min_migration_cost)
+            .min(self.max_migration_cost)
+    }
+
+    /// Compute-rate divisor for a task whose home NUMA node is `home` while
+    /// it runs on `core`.
+    pub fn locality_factor(&self, topo: &Topology, core: CoreId, home: crate::NodeId) -> f64 {
+        if topo.node_of(core) == home {
+            1.0
+        } else {
+            self.numa_remote_factor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{barcelona, tigerton};
+    use crate::topology::{NodeId, Topology, TopologySpec};
+
+    #[test]
+    fn same_core_is_free() {
+        let t = tigerton();
+        let m = CostModel::default();
+        assert_eq!(
+            m.migration_cost(&t, CoreId(0), CoreId(0), 1 << 30),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn bigger_footprint_costs_more_until_cache_cap() {
+        let t = tigerton();
+        let m = CostModel::default();
+        let small = m.migration_cost(&t, CoreId(0), CoreId(2), 64 << 10);
+        let big = m.migration_cost(&t, CoreId(0), CoreId(2), 16 << 20);
+        let huge = m.migration_cost(&t, CoreId(0), CoreId(2), 1 << 30);
+        assert!(small < big, "{small} < {big}");
+        // Footprint beyond the shared cache refills only the cache's worth.
+        assert_eq!(big, huge);
+    }
+
+    #[test]
+    fn cost_is_clamped() {
+        let t = tigerton();
+        let m = CostModel::default();
+        let tiny = m.migration_cost(&t, CoreId(0), CoreId(2), 1);
+        assert_eq!(tiny, m.min_migration_cost);
+        let slow = CostModel {
+            refill_bytes_per_sec: 1.0,
+            ..CostModel::default()
+        };
+        let capped = slow.migration_cost(&t, CoreId(0), CoreId(2), 1 << 30);
+        assert_eq!(capped, slow.max_migration_cost);
+    }
+
+    #[test]
+    fn within_cache_group_cheaper_than_across() {
+        let t = tigerton(); // L2 shared by pairs: {0,1}, {2,3}, ...
+        let m = CostModel::default();
+        let rss = 8 << 20;
+        let within = m.migration_cost(&t, CoreId(0), CoreId(1), rss);
+        let across = m.migration_cost(&t, CoreId(0), CoreId(2), rss);
+        assert!(
+            within < across,
+            "within-cache {within} should be cheaper than across {across}"
+        );
+    }
+
+    #[test]
+    fn smt_migration_is_token_cost() {
+        let t = Topology::build(&TopologySpec {
+            sockets: 1,
+            cores_per_socket: 2,
+            smt: 2,
+            cores_per_cache_group: 2,
+            ..Default::default()
+        });
+        let m = CostModel::default();
+        assert_eq!(
+            m.migration_cost(&t, CoreId(0), CoreId(1), 1 << 30),
+            m.smt_migration_cost
+        );
+    }
+
+    #[test]
+    fn locality_factor_on_numa() {
+        let t = barcelona();
+        let m = CostModel::default();
+        assert_eq!(m.locality_factor(&t, CoreId(0), NodeId(0)), 1.0);
+        assert_eq!(
+            m.locality_factor(&t, CoreId(0), NodeId(1)),
+            m.numa_remote_factor
+        );
+    }
+
+    #[test]
+    fn free_model_is_free() {
+        let t = barcelona();
+        let m = CostModel::free();
+        assert_eq!(
+            m.migration_cost(&t, CoreId(0), CoreId(15), 1 << 30),
+            SimDuration::ZERO
+        );
+        assert_eq!(m.locality_factor(&t, CoreId(0), NodeId(3)), 1.0);
+    }
+}

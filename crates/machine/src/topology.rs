@@ -1,0 +1,650 @@
+//! Core inventory and scheduling-domain hierarchy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a logical CPU (a hardware execution context).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Index of a NUMA node (memory locality domain).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+/// Levels of the scheduling-domain hierarchy, ordered from the most tightly
+/// coupled (SMT siblings sharing a physical core) to the whole system.
+///
+/// This mirrors the hierarchy Linux constructs (`SMT` → `MC` → `CPU`/socket
+/// → `NUMA`) and drives both the load balancer's per-level intervals and the
+/// migration cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DomainLevel {
+    /// Hardware threads of one physical core (share everything).
+    Smt,
+    /// Cores sharing a mid/last-level cache (e.g. L2 pairs on Tigerton,
+    /// the per-socket L3 on Barcelona).
+    Cache,
+    /// Cores of one package/socket.
+    Socket,
+    /// Cores of one NUMA node.
+    Numa,
+    /// All cores in the machine.
+    System,
+}
+
+impl DomainLevel {
+    /// All levels, bottom-up.
+    pub const ALL: [DomainLevel; 5] = [
+        DomainLevel::Smt,
+        DomainLevel::Cache,
+        DomainLevel::Socket,
+        DomainLevel::Numa,
+        DomainLevel::System,
+    ];
+}
+
+/// A scheduling domain: a set of cores sharing a resource at some level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Domain {
+    pub level: DomainLevel,
+    pub cores: Vec<CoreId>,
+}
+
+/// Static description of one logical CPU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreInfo {
+    pub id: CoreId,
+    /// Socket (package) index.
+    pub socket: usize,
+    /// NUMA node the core's local memory controller belongs to.
+    pub node: NodeId,
+    /// Index of the shared-cache group this core belongs to.
+    pub cache_group: usize,
+    /// Index of the physical core, shared by SMT siblings. Equal to a unique
+    /// value per logical CPU on non-SMT machines.
+    pub smt_group: usize,
+    /// Relative compute speed of this core (1.0 = nominal). Captures
+    /// asymmetric systems and Turbo Boost-style overclocking.
+    pub speed: f64,
+}
+
+/// A complete machine description.
+///
+/// Construct via [`Topology::build`] or one of the presets in
+/// [`crate::presets`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    cores: Vec<CoreInfo>,
+    n_nodes: usize,
+    n_sockets: usize,
+    /// Bytes of shared cache at the `Cache` level (per group).
+    cache_bytes: u64,
+    /// Bytes of private per-core cache (L1+L2 where applicable).
+    private_cache_bytes: u64,
+    /// When both SMT siblings are busy, each runs at this fraction of the
+    /// speed it would have alone (1.0 on non-SMT machines).
+    smt_busy_factor: f64,
+    /// Memory bandwidth per bandwidth domain, in "streams": how many fully
+    /// memory-bound threads the domain sustains at full speed. A bandwidth
+    /// domain is a NUMA node on NUMA machines (its own memory controller)
+    /// and the whole machine on UMA ones (a shared front-side bus, as on
+    /// Tigerton). `f64::INFINITY` disables contention.
+    bw_streams: f64,
+}
+
+/// Builder-style specification for [`Topology::build`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    pub name: String,
+    pub sockets: usize,
+    pub cores_per_socket: usize,
+    /// Hardware threads per physical core (1 = no SMT).
+    pub smt: usize,
+    /// Physical cores per shared-cache group *within a socket*. A value
+    /// equal to `cores_per_socket` means a socket-wide cache (Barcelona L3);
+    /// 2 means pairwise sharing (Tigerton L2).
+    pub cores_per_cache_group: usize,
+    /// True if each socket is its own NUMA node; false for UMA machines.
+    pub numa: bool,
+    pub cache_bytes: u64,
+    pub private_cache_bytes: u64,
+    pub smt_busy_factor: f64,
+    /// Per-logical-CPU relative speeds; if shorter than the core count the
+    /// last value (or 1.0 when empty) is repeated.
+    pub speeds: Vec<f64>,
+    /// Sustained memory streams per bandwidth domain (see
+    /// [`Topology::bw_streams`]). Infinite by default.
+    pub bw_streams: f64,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec {
+            name: "generic".to_string(),
+            sockets: 1,
+            cores_per_socket: 4,
+            smt: 1,
+            cores_per_cache_group: 4,
+            numa: false,
+            cache_bytes: 4 << 20,
+            private_cache_bytes: 64 << 10,
+            smt_busy_factor: 1.0,
+            speeds: Vec::new(),
+            bw_streams: f64::INFINITY,
+        }
+    }
+}
+
+impl Topology {
+    /// Builds the topology described by `spec`.
+    ///
+    /// Logical CPU numbering follows the common Linux convention: socket
+    /// major, physical core next, SMT context last — so consecutive CPU ids
+    /// within a socket are distinct physical cores.
+    pub fn build(spec: &TopologySpec) -> Topology {
+        assert!(spec.sockets > 0, "need at least one socket");
+        assert!(spec.cores_per_socket > 0, "need at least one core");
+        assert!(spec.smt > 0, "smt must be >= 1");
+        assert!(
+            spec.cores_per_cache_group > 0
+                && spec
+                    .cores_per_socket
+                    .is_multiple_of(spec.cores_per_cache_group),
+            "cache groups must evenly tile a socket"
+        );
+        let mut cores = Vec::new();
+        let speed_at = |i: usize| -> f64 {
+            if spec.speeds.is_empty() {
+                1.0
+            } else {
+                *spec
+                    .speeds
+                    .get(i)
+                    .unwrap_or_else(|| spec.speeds.last().unwrap())
+            }
+        };
+        let groups_per_socket = spec.cores_per_socket / spec.cores_per_cache_group;
+        // Enumeration order: for each socket, for each physical core, for
+        // each SMT context, assign the next logical id. Physical cores of
+        // one cache group are contiguous.
+        let mut next_id = 0usize;
+        for socket in 0..spec.sockets {
+            for phys in 0..spec.cores_per_socket {
+                let group_in_socket = phys / spec.cores_per_cache_group;
+                let cache_group = socket * groups_per_socket + group_in_socket;
+                let smt_group = socket * spec.cores_per_socket + phys;
+                for _ctx in 0..spec.smt {
+                    cores.push(CoreInfo {
+                        id: CoreId(next_id),
+                        socket,
+                        node: if spec.numa { NodeId(socket) } else { NodeId(0) },
+                        cache_group,
+                        smt_group,
+                        speed: speed_at(next_id),
+                    });
+                    next_id += 1;
+                }
+            }
+        }
+        Topology {
+            name: spec.name.clone(),
+            cores,
+            n_nodes: if spec.numa { spec.sockets } else { 1 },
+            n_sockets: spec.sockets,
+            cache_bytes: spec.cache_bytes,
+            private_cache_bytes: spec.private_cache_bytes,
+            smt_busy_factor: spec.smt_busy_factor,
+            bw_streams: spec.bw_streams,
+        }
+    }
+
+    /// Restriction of this machine to its first `n` logical CPUs — how the
+    /// paper runs a 16-thread binary "on the number of cores indicated on
+    /// the x-axis" (via `taskset`-style affinity masks). Domain structure is
+    /// preserved; cores outside the subset simply do not exist.
+    pub fn restrict(&self, n: usize) -> Topology {
+        assert!(n > 0 && n <= self.cores.len());
+        let cores: Vec<CoreInfo> = self.cores[..n].to_vec();
+        let n_nodes = cores.iter().map(|c| c.node.0).max().unwrap() + 1;
+        let n_sockets = cores.iter().map(|c| c.socket).max().unwrap() + 1;
+        Topology {
+            name: format!("{}[0..{}]", self.name, n),
+            cores,
+            n_nodes,
+            n_sockets,
+            cache_bytes: self.cache_bytes,
+            private_cache_bytes: self.private_cache_bytes,
+            smt_busy_factor: self.smt_busy_factor,
+            bw_streams: self.bw_streams,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of logical CPUs.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    pub fn n_sockets(&self) -> usize {
+        self.n_sockets
+    }
+
+    /// Iterator over all core ids.
+    pub fn core_ids(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.cores.iter().map(|c| c.id)
+    }
+
+    pub fn core(&self, id: CoreId) -> &CoreInfo {
+        &self.cores[id.0]
+    }
+
+    pub fn node_of(&self, id: CoreId) -> NodeId {
+        self.cores[id.0].node
+    }
+
+    pub fn speed_of(&self, id: CoreId) -> f64 {
+        self.cores[id.0].speed
+    }
+
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache_bytes
+    }
+
+    pub fn private_cache_bytes(&self) -> u64 {
+        self.private_cache_bytes
+    }
+
+    pub fn smt_busy_factor(&self) -> f64 {
+        self.smt_busy_factor
+    }
+
+    /// Sustained memory streams per bandwidth domain; infinite when
+    /// contention modelling is disabled.
+    pub fn bw_streams(&self) -> f64 {
+        self.bw_streams
+    }
+
+    /// True iff memory-bandwidth contention is modelled.
+    pub fn models_bandwidth(&self) -> bool {
+        self.bw_streams.is_finite()
+    }
+
+    /// The bandwidth domain of a core: its NUMA node on NUMA machines
+    /// (per-node memory controllers), the whole machine (domain 0) on UMA
+    /// ones (shared front-side bus).
+    pub fn bw_domain_of(&self, id: CoreId) -> usize {
+        if self.n_nodes > 1 {
+            self.cores[id.0].node.0
+        } else {
+            0
+        }
+    }
+
+    /// Cores in the given bandwidth domain.
+    pub fn cores_in_bw_domain(&self, domain: usize) -> Vec<CoreId> {
+        self.cores
+            .iter()
+            .filter(|c| {
+                if self.n_nodes > 1 {
+                    c.node.0 == domain
+                } else {
+                    domain == 0
+                }
+            })
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// True iff the machine has more than one NUMA node.
+    pub fn is_numa(&self) -> bool {
+        self.n_nodes > 1
+    }
+
+    /// SMT siblings of `id` (excluding `id` itself); empty on non-SMT parts.
+    pub fn smt_siblings(&self, id: CoreId) -> Vec<CoreId> {
+        let g = self.cores[id.0].smt_group;
+        self.cores
+            .iter()
+            .filter(|c| c.smt_group == g && c.id != id)
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Cores in the given NUMA node.
+    pub fn cores_in_node(&self, node: NodeId) -> Vec<CoreId> {
+        self.cores
+            .iter()
+            .filter(|c| c.node == node)
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// The smallest domain level containing both cores — i.e. the boundary a
+    /// migration between them crosses. `Smt` means they share a physical
+    /// core (cheapest); `System` means they are on different NUMA nodes of a
+    /// NUMA machine or simply share nothing but memory on a UMA machine.
+    pub fn common_level(&self, a: CoreId, b: CoreId) -> DomainLevel {
+        let ca = &self.cores[a.0];
+        let cb = &self.cores[b.0];
+        if ca.smt_group == cb.smt_group {
+            DomainLevel::Smt
+        } else if ca.cache_group == cb.cache_group {
+            DomainLevel::Cache
+        } else if ca.socket == cb.socket {
+            DomainLevel::Socket
+        } else if ca.node == cb.node {
+            DomainLevel::Numa
+        } else {
+            DomainLevel::System
+        }
+    }
+
+    /// True iff moving a task from `a` to `b` crosses a NUMA node boundary.
+    pub fn crosses_numa(&self, a: CoreId, b: CoreId) -> bool {
+        self.cores[a.0].node != self.cores[b.0].node
+    }
+
+    /// The scheduling-domain chain for `core`, bottom-up, as Linux would
+    /// build it: each entry is the set of cores `core` can balance with at
+    /// that level. Levels whose domain would be identical to the level below
+    /// (e.g. `Smt` on non-SMT machines) are skipped, as Linux degenerates
+    /// them too.
+    pub fn domains_for(&self, core: CoreId) -> Vec<Domain> {
+        let info = &self.cores[core.0];
+        let mut out: Vec<Domain> = Vec::new();
+        let mut push_level = |level: DomainLevel, members: Vec<CoreId>| {
+            if members.len() <= 1 {
+                return;
+            }
+            if let Some(last) = out.last() {
+                if last.cores == members {
+                    return;
+                }
+            }
+            out.push(Domain {
+                level,
+                cores: members,
+            });
+        };
+        let smt: Vec<CoreId> = self
+            .cores
+            .iter()
+            .filter(|c| c.smt_group == info.smt_group)
+            .map(|c| c.id)
+            .collect();
+        push_level(DomainLevel::Smt, smt);
+        let cache: Vec<CoreId> = self
+            .cores
+            .iter()
+            .filter(|c| c.cache_group == info.cache_group)
+            .map(|c| c.id)
+            .collect();
+        push_level(DomainLevel::Cache, cache);
+        let socket: Vec<CoreId> = self
+            .cores
+            .iter()
+            .filter(|c| c.socket == info.socket)
+            .map(|c| c.id)
+            .collect();
+        push_level(DomainLevel::Socket, socket);
+        let node: Vec<CoreId> = self
+            .cores
+            .iter()
+            .filter(|c| c.node == info.node)
+            .map(|c| c.id)
+            .collect();
+        push_level(DomainLevel::Numa, node);
+        let all: Vec<CoreId> = self.cores.iter().map(|c| c.id).collect();
+        push_level(DomainLevel::System, all);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_by_two() -> Topology {
+        Topology::build(&TopologySpec {
+            name: "t".into(),
+            sockets: 2,
+            cores_per_socket: 4,
+            smt: 1,
+            cores_per_cache_group: 2,
+            numa: true,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn core_counts() {
+        let t = four_by_two();
+        assert_eq!(t.n_cores(), 8);
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.n_sockets(), 2);
+        assert!(t.is_numa());
+    }
+
+    #[test]
+    fn cache_groups_tile_sockets() {
+        let t = four_by_two();
+        // Socket 0: cores 0..4, cache groups {0,1}, {2,3}.
+        assert_eq!(t.common_level(CoreId(0), CoreId(1)), DomainLevel::Cache);
+        assert_eq!(t.common_level(CoreId(0), CoreId(2)), DomainLevel::Socket);
+        assert_eq!(t.common_level(CoreId(0), CoreId(4)), DomainLevel::System);
+        assert_eq!(t.common_level(CoreId(0), CoreId(0)), DomainLevel::Smt);
+    }
+
+    #[test]
+    fn numa_assignment_follows_sockets() {
+        let t = four_by_two();
+        assert_eq!(t.node_of(CoreId(3)), NodeId(0));
+        assert_eq!(t.node_of(CoreId(4)), NodeId(1));
+        assert!(t.crosses_numa(CoreId(3), CoreId(4)));
+        assert!(!t.crosses_numa(CoreId(0), CoreId(3)));
+        assert_eq!(t.cores_in_node(NodeId(1)).len(), 4);
+    }
+
+    #[test]
+    fn uma_machine_has_one_node() {
+        let t = Topology::build(&TopologySpec {
+            sockets: 4,
+            cores_per_socket: 4,
+            numa: false,
+            cores_per_cache_group: 2,
+            ..Default::default()
+        });
+        assert_eq!(t.n_nodes(), 1);
+        assert!(!t.is_numa());
+        // Different sockets share the single node => level Numa, not System.
+        assert_eq!(t.common_level(CoreId(0), CoreId(15)), DomainLevel::Numa);
+    }
+
+    #[test]
+    fn smt_siblings() {
+        let t = Topology::build(&TopologySpec {
+            sockets: 1,
+            cores_per_socket: 2,
+            smt: 2,
+            cores_per_cache_group: 2,
+            ..Default::default()
+        });
+        assert_eq!(t.n_cores(), 4);
+        // ids: phys0 -> {0,1}, phys1 -> {2,3}
+        assert_eq!(t.smt_siblings(CoreId(0)), vec![CoreId(1)]);
+        assert_eq!(t.smt_siblings(CoreId(3)), vec![CoreId(2)]);
+        assert_eq!(t.common_level(CoreId(0), CoreId(1)), DomainLevel::Smt);
+        assert_eq!(t.common_level(CoreId(1), CoreId(2)), DomainLevel::Cache);
+    }
+
+    #[test]
+    fn domains_are_bottom_up_and_deduplicated() {
+        let t = four_by_two();
+        let d = t.domains_for(CoreId(0));
+        // No SMT level (degenerate), then cache pair, socket, system.
+        assert_eq!(d[0].level, DomainLevel::Cache);
+        assert_eq!(d[0].cores, vec![CoreId(0), CoreId(1)]);
+        assert_eq!(d[1].level, DomainLevel::Socket);
+        assert_eq!(d[1].cores.len(), 4);
+        assert_eq!(d.last().unwrap().level, DomainLevel::System);
+        assert_eq!(d.last().unwrap().cores.len(), 8);
+        for w in d.windows(2) {
+            assert!(w[0].cores.len() < w[1].cores.len(), "strictly growing");
+            assert!(w[1].cores.contains(&CoreId(0)));
+        }
+    }
+
+    #[test]
+    fn single_core_has_no_domains() {
+        let t = Topology::build(&TopologySpec {
+            sockets: 1,
+            cores_per_socket: 1,
+            cores_per_cache_group: 1,
+            ..Default::default()
+        });
+        assert!(t.domains_for(CoreId(0)).is_empty());
+    }
+
+    #[test]
+    fn restrict_preserves_structure() {
+        let t = four_by_two();
+        let r = t.restrict(5);
+        assert_eq!(r.n_cores(), 5);
+        assert_eq!(r.n_nodes(), 2); // core 4 is on node 1
+        assert_eq!(r.node_of(CoreId(4)), NodeId(1));
+        let r3 = t.restrict(3);
+        assert_eq!(r3.n_nodes(), 1);
+    }
+
+    #[test]
+    fn speeds_extend_with_last_value() {
+        let t = Topology::build(&TopologySpec {
+            sockets: 1,
+            cores_per_socket: 4,
+            cores_per_cache_group: 4,
+            speeds: vec![2.0, 1.0],
+            ..Default::default()
+        });
+        assert_eq!(t.speed_of(CoreId(0)), 2.0);
+        assert_eq!(t.speed_of(CoreId(1)), 1.0);
+        assert_eq!(t.speed_of(CoreId(3)), 1.0);
+    }
+
+    #[test]
+    fn domain_level_ordering() {
+        assert!(DomainLevel::Smt < DomainLevel::Cache);
+        assert!(DomainLevel::Cache < DomainLevel::Socket);
+        assert!(DomainLevel::Socket < DomainLevel::Numa);
+        assert!(DomainLevel::Numa < DomainLevel::System);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec_strategy() -> impl Strategy<Value = TopologySpec> {
+        (
+            1usize..=4, // sockets
+            1usize..=8, // cores per socket
+            1usize..=2, // smt
+            any::<bool>(),
+            0usize..=2, // cache group divisor selector
+        )
+            .prop_map(|(sockets, cps, smt, numa, sel)| {
+                // Pick a cache-group size that divides cores_per_socket.
+                let divisors: Vec<usize> = (1..=cps).filter(|d| cps % d == 0).collect();
+                let cores_per_cache_group = divisors[sel % divisors.len()];
+                TopologySpec {
+                    name: "prop".into(),
+                    sockets,
+                    cores_per_socket: cps,
+                    smt,
+                    cores_per_cache_group,
+                    numa,
+                    ..Default::default()
+                }
+            })
+    }
+
+    proptest! {
+        /// Core ids are dense, and every hierarchy level partitions them.
+        #[test]
+        fn hierarchy_is_consistent(spec in spec_strategy()) {
+            let t = Topology::build(&spec);
+            prop_assert_eq!(
+                t.n_cores(),
+                spec.sockets * spec.cores_per_socket * spec.smt
+            );
+            for (i, c) in t.core_ids().enumerate() {
+                prop_assert_eq!(c, CoreId(i));
+            }
+            // Nodes partition the cores.
+            let node_total: usize = (0..t.n_nodes())
+                .map(|n| t.cores_in_node(NodeId(n)).len())
+                .sum();
+            prop_assert_eq!(node_total, t.n_cores());
+            // common_level is symmetric and Smt iff same id or SMT sibling.
+            for a in t.core_ids() {
+                for b in t.core_ids() {
+                    prop_assert_eq!(t.common_level(a, b), t.common_level(b, a));
+                }
+            }
+        }
+
+        /// Per-core domain chains are strictly nested and always contain
+        /// the owning core.
+        #[test]
+        fn domain_chains_nest(spec in spec_strategy()) {
+            let t = Topology::build(&spec);
+            for c in t.core_ids() {
+                let chain = t.domains_for(c);
+                let mut prev_len = 1usize;
+                for dom in &chain {
+                    prop_assert!(dom.cores.contains(&c));
+                    prop_assert!(dom.cores.len() > prev_len || prev_len == 1);
+                    prop_assert!(dom.cores.len() >= prev_len);
+                    prev_len = dom.cores.len();
+                }
+                if let Some(last) = chain.last() {
+                    // The top of a multi-core machine's chain is everything.
+                    if t.n_cores() > 1 {
+                        prop_assert_eq!(last.cores.len(), t.n_cores());
+                    }
+                }
+            }
+        }
+
+        /// `restrict(n)` preserves prefix identity of the core inventory.
+        #[test]
+        fn restrict_is_prefix(spec in spec_strategy(), keep in 1usize..=64) {
+            let t = Topology::build(&spec);
+            let keep = keep.min(t.n_cores());
+            let r = t.restrict(keep);
+            prop_assert_eq!(r.n_cores(), keep);
+            for c in r.core_ids() {
+                prop_assert_eq!(r.node_of(c), t.node_of(c));
+                prop_assert_eq!(r.speed_of(c), t.speed_of(c));
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Measurement methodology of the paper, as reusable statistics types.
+//!
+//! Every experiment is repeated (the paper uses ten runs or more) and
+//! reported as averages plus **performance variation**, defined as "the
+//! ratio of the maximum to minimum run times across 10 runs". Speedup
+//! curves (Figure 3) divide serial work by measured makespan; improvement
+//! summaries (Table 3 / Figure 4) compare policy A's average and worst
+//! runs against policy B's.
+
+pub mod stats;
+pub mod table;
+
+pub use stats::{RepeatStats, Sample};
+pub use table::TextTable;
+
+use serde::{Deserialize, Serialize};
+
+/// A named measurement series: one (policy, configuration) cell of a paper
+/// figure, with all its repeats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    pub label: String,
+    /// One entry per (x-value), e.g. per core count.
+    pub points: Vec<Point>,
+}
+
+/// One x-position of a series with its repeat statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// The x-value (core count, barrier interval in µs, ...).
+    pub x: f64,
+    pub stats: RepeatStats,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, stats: RepeatStats) {
+        self.points.push(Point { x, stats });
+    }
+
+    /// Mean values by x, for quick plotting/printing.
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.x, p.stats.mean())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_collects_points() {
+        let mut s = Series::new("SPEED");
+        s.push(1.0, RepeatStats::from_values(&[2.0, 2.2]));
+        s.push(2.0, RepeatStats::from_values(&[1.0]));
+        assert_eq!(s.points.len(), 2);
+        let m = s.means();
+        assert!((m[0].1 - 2.1).abs() < 1e-12);
+        assert_eq!(m[1], (2.0, 1.0));
+    }
+}

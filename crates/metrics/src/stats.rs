@@ -1,0 +1,144 @@
+//! Repeat statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured run (seconds of simulated time, or any positive metric).
+pub type Sample = f64;
+
+/// Statistics over the repeats of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RepeatStats {
+    pub values: Vec<Sample>,
+}
+
+impl RepeatStats {
+    pub fn from_values(values: &[Sample]) -> RepeatStats {
+        RepeatStats {
+            values: values.to_vec(),
+        }
+    }
+
+    pub fn push(&mut self, v: Sample) {
+        self.values.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// The paper's **variation**: max/min across repeats, as a percentage
+    /// above 1 (e.g. 5.0 means the slowest run took 5% longer than the
+    /// fastest). LOAD reaches ~67–100%; SPEED stays under ~5%.
+    pub fn variation_pct(&self) -> f64 {
+        let min = self.min();
+        if !min.is_finite() || min <= 0.0 {
+            return f64::NAN;
+        }
+        (self.max() / min - 1.0) * 100.0
+    }
+
+    /// Average-vs-average improvement of `self` (the better policy) over
+    /// `other`, as a percentage: 25.0 means `other`'s mean run time is 25%
+    /// longer than `self`'s.
+    pub fn improvement_over_pct(&self, other: &RepeatStats) -> f64 {
+        (other.mean() / self.mean() - 1.0) * 100.0
+    }
+
+    /// Worst-vs-worst improvement (the paper's `SB_WORST / LB_WORST`
+    /// comparison, inverted to a percentage gain).
+    pub fn worst_case_improvement_pct(&self, other: &RepeatStats) -> f64 {
+        (other.max() / self.max() - 1.0) * 100.0
+    }
+
+    /// Speedup of serial work `serial` against this cell's mean makespan.
+    pub fn speedup(&self, serial: f64) -> f64 {
+        serial / self.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = RepeatStats::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert!((s.stddev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_matches_paper_definition() {
+        // "ratio of the maximum to minimum run times"
+        let s = RepeatStats::from_values(&[10.0, 11.0, 16.7]);
+        assert!((s.variation_pct() - 67.0).abs() < 1e-9);
+        let tight = RepeatStats::from_values(&[10.0, 10.2]);
+        assert!(tight.variation_pct() < 5.0);
+    }
+
+    #[test]
+    fn improvements() {
+        let speed = RepeatStats::from_values(&[10.0, 10.0]);
+        let load = RepeatStats::from_values(&[12.0, 16.0]);
+        // LOAD mean 14 vs SPEED mean 10: 40% improvement.
+        assert!((speed.improvement_over_pct(&load) - 40.0).abs() < 1e-9);
+        // Worst: 16 vs 10: 60%.
+        assert!((speed.worst_case_improvement_pct(&load) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup() {
+        let s = RepeatStats::from_values(&[2.0]);
+        assert_eq!(s.speedup(32.0), 16.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let e = RepeatStats::default();
+        assert!(e.mean().is_nan());
+        assert!(e.variation_pct().is_nan());
+        let one = RepeatStats::from_values(&[5.0]);
+        assert_eq!(one.stddev(), 0.0);
+        assert_eq!(one.variation_pct(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text table rendering for the figure/table regenerators.
+
+/// A simple aligned text table (monospace output for the CLI and
+//  EXPERIMENTS.md).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', widths[i] - cell.len()));
+            }
+            out.trim_end().to_string()
+        };
+        let mut lines = Vec::with_capacity(self.rows.len() + 2);
+        lines.push(fmt_row(&self.header));
+        lines.push(
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--"),
+        );
+        for row in &self.rows {
+            lines.push(fmt_row(row));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Formats a float with sensible default precision for report tables.
+pub fn fmt_f(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("x"));
+        // Columns aligned: "value" column starts at same offset everywhere.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(123.456), "123");
+        assert_eq!(fmt_f(12.34), "12.3");
+        assert_eq!(fmt_f(1.234), "1.23");
+        assert_eq!(fmt_f(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,105 @@
+//! `sched_setaffinity` bindings: the migration mechanism.
+//!
+//! "The `sched_setaffinity` system call is also used to migrate threads
+//! when balancing. \[It\] forces a task to be moved immediately to another
+//! core ... Any thread migrated using `sched_setaffinity` is fixed to the
+//! new core; Linux will not attempt to move it when doing load balancing."
+
+use std::io;
+use std::mem;
+
+/// Returns the set of CPUs the thread may run on.
+pub fn get_affinity(tid: i32) -> io::Result<Vec<usize>> {
+    // SAFETY: cpu_set_t is a plain bitmask struct; zeroed is a valid value
+    // and the kernel writes at most `size_of::<cpu_set_t>()` bytes.
+    unsafe {
+        let mut set: libc::cpu_set_t = mem::zeroed();
+        let rc = libc::sched_getaffinity(tid, mem::size_of::<libc::cpu_set_t>(), &mut set);
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut cpus = Vec::new();
+        for cpu in 0..libc::CPU_SETSIZE as usize {
+            if libc::CPU_ISSET(cpu, &set) {
+                cpus.push(cpu);
+            }
+        }
+        Ok(cpus)
+    }
+}
+
+/// Restricts the thread to the given CPUs.
+pub fn set_affinity(tid: i32, cpus: &[usize]) -> io::Result<()> {
+    if cpus.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty CPU set"));
+    }
+    // SAFETY: as above; CPU_SET only writes within the set.
+    unsafe {
+        let mut set: libc::cpu_set_t = mem::zeroed();
+        for &cpu in cpus {
+            if cpu >= libc::CPU_SETSIZE as usize {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("cpu {cpu} beyond CPU_SETSIZE"),
+                ));
+            }
+            libc::CPU_SET(cpu, &mut set);
+        }
+        let rc = libc::sched_setaffinity(tid, mem::size_of::<libc::cpu_set_t>(), &set);
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Pins a thread to exactly one CPU — the paper's placement and migration
+/// primitive (a one-CPU mask both moves the thread immediately and keeps
+/// the kernel balancer away from it).
+pub fn pin_to_cpu(tid: i32, cpu: usize) -> io::Result<()> {
+    set_affinity(tid, &[cpu])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn own_tid() -> i32 {
+        // SAFETY: trivial syscall wrapper.
+        unsafe { libc::gettid() }
+    }
+
+    #[test]
+    fn roundtrip_on_own_thread() {
+        let tid = own_tid();
+        let original = get_affinity(tid).expect("read own affinity");
+        assert!(!original.is_empty());
+        // Pin to the first allowed CPU and observe the narrowed mask.
+        let target = original[0];
+        pin_to_cpu(tid, target).expect("pin");
+        let narrowed = get_affinity(tid).expect("read after pin");
+        assert_eq!(narrowed, vec![target]);
+        // Restore.
+        set_affinity(tid, &original).expect("restore");
+        assert_eq!(get_affinity(tid).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_empty_and_out_of_range() {
+        let tid = own_tid();
+        assert!(set_affinity(tid, &[]).is_err());
+        assert!(set_affinity(tid, &[libc::CPU_SETSIZE as usize + 5]).is_err());
+    }
+
+    #[test]
+    fn pinning_takes_effect_immediately() {
+        let tid = own_tid();
+        let original = get_affinity(tid).unwrap();
+        pin_to_cpu(tid, original[0]).unwrap();
+        // sched_getcpu must report the pinned CPU once we are running again.
+        // SAFETY: trivial syscall.
+        let cpu = unsafe { libc::sched_getcpu() };
+        assert_eq!(cpu as usize, original[0]);
+        set_affinity(tid, &original).unwrap();
+    }
+}

@@ -1,0 +1,409 @@
+//! The distributed balancing loop over real threads.
+
+use crate::affinity::pin_to_cpu;
+use crate::proc::{list_tids, process_alive, read_thread_cpu_time};
+use crate::topo::NativeTopology;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of the native balancer (defaults = the paper's settings).
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Balance interval `B` (100 ms in all the paper's experiments).
+    pub interval: Duration,
+    /// Pull threshold `T_s`.
+    pub speed_threshold: f64,
+    /// Cores involved in a migration are blocked for this many intervals.
+    pub post_migration_block: u32,
+    /// Keep migrations inside a NUMA node.
+    pub block_numa: bool,
+    /// Cores to manage; `None` = every online CPU.
+    pub cores: Option<Vec<usize>>,
+    /// Delay before first discovery ("a user tunable startup delay for the
+    /// balancer to poll the /proc file system").
+    pub startup_delay: Duration,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            interval: Duration::from_millis(100),
+            speed_threshold: 0.9,
+            post_migration_block: 2,
+            block_numa: true,
+            cores: None,
+            startup_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Counters published by a balancing run.
+#[derive(Debug, Default)]
+pub struct NativeStats {
+    pub activations: AtomicU64,
+    pub migrations: AtomicU64,
+    pub threads_seen: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadSample {
+    exec: Duration,
+    at: Instant,
+    core: usize,
+    migrations: u64,
+}
+
+struct Shared {
+    /// tid -> last measurement + current pinned core + migration count.
+    threads: Mutex<HashMap<i32, ThreadSample>>,
+    /// Published per-core speed, as f64 bits (index = position in cores).
+    published: Vec<AtomicU64>,
+    /// Millis-since-start of each core's last migration involvement.
+    last_migration: Vec<AtomicU64>,
+    start: Instant,
+    stats: NativeStats,
+}
+
+impl Shared {
+    fn publish(&self, slot: usize, speed: f64) {
+        self.published[slot].store(speed.to_bits(), Ordering::Relaxed);
+    }
+
+    fn speed_of(&self, slot: usize) -> f64 {
+        f64::from_bits(self.published[slot].load(Ordering::Relaxed))
+    }
+
+    fn global_speed(&self) -> f64 {
+        let n = self.published.len().max(1);
+        (0..self.published.len())
+            .map(|i| self.speed_of(i))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    fn mark_migration(&self, slot: usize) {
+        let ms = self.start.elapsed().as_millis() as u64;
+        self.last_migration[slot].store(ms.max(1), Ordering::Relaxed);
+    }
+
+    fn in_block(&self, slot: usize, block: Duration) -> bool {
+        let last = self.last_migration[slot].load(Ordering::Relaxed);
+        if last == 0 {
+            return false;
+        }
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        now_ms.saturating_sub(last) < block.as_millis() as u64
+    }
+}
+
+/// A user-level speed balancer attached to one process.
+pub struct NativeSpeedBalancer {
+    pid: i32,
+    cfg: NativeConfig,
+    topo: NativeTopology,
+}
+
+/// A tiny xorshift for interval jitter (no determinism requirement here —
+/// the jitter exists precisely to decorrelate balancers).
+fn jitter_ms(state: &mut u64, max_ms: u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    if max_ms == 0 {
+        0
+    } else {
+        *state % (max_ms + 1)
+    }
+}
+
+impl NativeSpeedBalancer {
+    /// Attaches to a running process.
+    pub fn attach(pid: i32, cfg: NativeConfig) -> io::Result<NativeSpeedBalancer> {
+        if !process_alive(pid) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such process: {pid}"),
+            ));
+        }
+        let topo = NativeTopology::discover()?;
+        Ok(NativeSpeedBalancer { pid, cfg, topo })
+    }
+
+    fn managed_cores(&self) -> Vec<usize> {
+        match &self.cfg.cores {
+            Some(cs) if !cs.is_empty() => cs.clone(),
+            _ => self.topo.cpus.clone(),
+        }
+    }
+
+    /// Discovers (new) threads of the target and pins them round-robin —
+    /// initial distribution "in such a way as to distribute the threads in
+    /// round-robin fashion across the available cores". Returns how many
+    /// threads were newly adopted.
+    fn adopt_threads(&self, shared: &Shared, cores: &[usize]) -> usize {
+        let Ok(tids) = list_tids(self.pid) else {
+            return 0;
+        };
+        let mut map = shared.threads.lock();
+        // Forget exited threads.
+        map.retain(|tid, _| tids.contains(tid));
+        let mut adopted = 0;
+        for (i, tid) in tids.iter().enumerate() {
+            if map.contains_key(tid) {
+                continue;
+            }
+            let core = cores[(map.len() + i) % cores.len()];
+            if pin_to_cpu(*tid, core).is_err() {
+                continue; // raced with thread exit
+            }
+            let exec = read_thread_cpu_time(self.pid, *tid)
+                .map(|t| t.total())
+                .unwrap_or_default();
+            map.insert(
+                *tid,
+                ThreadSample {
+                    exec,
+                    at: Instant::now(),
+                    core,
+                    migrations: 0,
+                },
+            );
+            adopted += 1;
+            shared.stats.threads_seen.fetch_add(1, Ordering::Relaxed);
+        }
+        adopted
+    }
+
+    /// One activation of the balancer for `slot` (= index into `cores`):
+    /// measure, publish, maybe pull one thread.
+    fn balance_once(&self, shared: &Shared, cores: &[usize], slot: usize) {
+        shared.stats.activations.fetch_add(1, Ordering::Relaxed);
+        let local_cpu = cores[slot];
+        let now = Instant::now();
+
+        // Steps 1-2: measure local thread speeds over the elapsed window.
+        let mut local_speeds = Vec::new();
+        {
+            let mut map = shared.threads.lock();
+            for (tid, sample) in map.iter_mut() {
+                if sample.core != local_cpu {
+                    continue;
+                }
+                let Ok(times) = read_thread_cpu_time(self.pid, *tid) else {
+                    continue; // exited; next adopt pass cleans up
+                };
+                let wall = now.duration_since(sample.at);
+                if wall < self.cfg.interval / 2 {
+                    continue; // stale window (e.g. just migrated here)
+                }
+                let exec_delta = times.total().saturating_sub(sample.exec);
+                let speed = exec_delta.as_secs_f64() / wall.as_secs_f64();
+                sample.exec = times.total();
+                sample.at = now;
+                local_speeds.push(speed.min(1.5));
+            }
+        }
+        let s_local = if local_speeds.is_empty() {
+            1.0
+        } else {
+            local_speeds.iter().sum::<f64>() / local_speeds.len() as f64
+        };
+        shared.publish(slot, s_local);
+
+        // Steps 3-4.
+        let s_global = shared.global_speed();
+        if s_local <= s_global || s_global <= 0.0 {
+            return;
+        }
+        let block = self.cfg.interval * self.cfg.post_migration_block;
+        if shared.in_block(slot, block) {
+            return;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for (k, &cpu) in cores.iter().enumerate() {
+            if k == slot {
+                continue;
+            }
+            let s_k = shared.speed_of(k);
+            if s_k / s_global >= self.cfg.speed_threshold {
+                continue;
+            }
+            if self.cfg.block_numa && self.topo.crosses_numa(cpu, local_cpu) {
+                continue;
+            }
+            if shared.in_block(k, block) {
+                continue;
+            }
+            if best.is_none_or(|(bs, _)| s_k < bs) {
+                best = Some((s_k, k));
+            }
+        }
+        let Some((_, victim_slot)) = best else { return };
+        let victim_cpu = cores[victim_slot];
+
+        // Pull the least-migrated thread from the victim core.
+        let mut map = shared.threads.lock();
+        let Some((&tid, _)) = map
+            .iter()
+            .filter(|(_, s)| s.core == victim_cpu)
+            .min_by_key(|(tid, s)| (s.migrations, **tid))
+        else {
+            return;
+        };
+        if pin_to_cpu(tid, local_cpu).is_err() {
+            return;
+        }
+        if let Some(s) = map.get_mut(&tid) {
+            s.core = local_cpu;
+            s.migrations += 1;
+            s.at = now;
+            if let Ok(t) = read_thread_cpu_time(self.pid, tid) {
+                s.exec = t.total();
+            }
+        }
+        drop(map);
+        shared.stats.migrations.fetch_add(1, Ordering::Relaxed);
+        shared.mark_migration(slot);
+        shared.mark_migration(victim_slot);
+    }
+
+    /// Runs the balancer (one thread per managed core, as in the paper)
+    /// until the target exits or `stop` is set. Returns the final stats.
+    pub fn run(&self, stop: &AtomicBool) -> NativeStats {
+        let cores = self.managed_cores();
+        let shared = Shared {
+            threads: Mutex::new(HashMap::new()),
+            published: (0..cores.len())
+                .map(|_| AtomicU64::new(1.0f64.to_bits()))
+                .collect(),
+            last_migration: (0..cores.len()).map(|_| AtomicU64::new(0)).collect(),
+            start: Instant::now(),
+            stats: NativeStats::default(),
+        };
+        std::thread::sleep(self.cfg.startup_delay);
+        self.adopt_threads(&shared, &cores);
+
+        std::thread::scope(|scope| {
+            for slot in 0..cores.len() {
+                let shared = &shared;
+                let cores = &cores;
+                scope.spawn(move || {
+                    // The balancer thread lives on its local core.
+                    // SAFETY: trivial syscall.
+                    let self_tid = unsafe { libc::gettid() };
+                    let _ = pin_to_cpu(self_tid, cores[slot]);
+                    let mut rng_state = 0x9E3779B97F4A7C15u64 ^ (slot as u64 + 1) ^ self_tid as u64;
+                    while !stop.load(Ordering::Relaxed) && process_alive(self.pid) {
+                        let base = self.cfg.interval.as_millis() as u64;
+                        let sleep_ms = base + jitter_ms(&mut rng_state, base);
+                        // Sleep in short slices so shutdown is prompt.
+                        let deadline = Instant::now() + Duration::from_millis(sleep_ms);
+                        while Instant::now() < deadline {
+                            if stop.load(Ordering::Relaxed) || !process_alive(self.pid) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        if slot == 0 {
+                            // Dynamic parallelism: adopt newly spawned
+                            // threads (a single scanner suffices).
+                            self.adopt_threads(shared, cores);
+                        }
+                        self.balance_once(shared, cores, slot);
+                    }
+                });
+            }
+        });
+        shared.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::{Child, Command, Stdio};
+    use std::sync::Arc;
+
+    fn spawn_spinner() -> Child {
+        Command::new("sh")
+            .arg("-c")
+            .arg("while :; do :; done")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn spinner")
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let mut s = 42u64;
+        for _ in 0..1000 {
+            assert!(jitter_ms(&mut s, 100) <= 100);
+        }
+        assert_eq!(jitter_ms(&mut s, 0), 0);
+    }
+
+    #[test]
+    fn attach_rejects_dead_pid() {
+        assert!(NativeSpeedBalancer::attach(-1, NativeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn balances_a_real_spinner_briefly() {
+        let mut child = spawn_spinner();
+        let pid = child.id() as i32;
+        let cfg = NativeConfig {
+            interval: Duration::from_millis(50),
+            startup_delay: Duration::from_millis(10),
+            ..NativeConfig::default()
+        };
+        let bal = NativeSpeedBalancer::attach(pid, cfg).expect("attach");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(600));
+            stop2.store(true, Ordering::Relaxed);
+        });
+        let stats = bal.run(&stop);
+        handle.join().unwrap();
+        child.kill().ok();
+        child.wait().ok();
+        assert!(
+            stats.activations.load(Ordering::Relaxed) > 0,
+            "balancer threads must have activated"
+        );
+        assert!(
+            stats.threads_seen.load(Ordering::Relaxed) >= 1,
+            "must have adopted the spinner"
+        );
+    }
+
+    #[test]
+    fn run_returns_when_target_exits() {
+        let mut child = spawn_spinner();
+        let pid = child.id() as i32;
+        let cfg = NativeConfig {
+            interval: Duration::from_millis(30),
+            startup_delay: Duration::ZERO,
+            ..NativeConfig::default()
+        };
+        let bal = NativeSpeedBalancer::attach(pid, cfg).expect("attach");
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            // SAFETY: kill on a pid we own.
+            unsafe { libc::kill(pid, libc::SIGKILL) };
+        });
+        let stop = AtomicBool::new(false);
+        let start = Instant::now();
+        let _ = bal.run(&stop);
+        killer.join().unwrap();
+        child.wait().ok();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "run must return promptly after target death"
+        );
+    }
+}

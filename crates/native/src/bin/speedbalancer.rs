@@ -1,0 +1,168 @@
+//! `speedbalancer` — the paper's stand-alone user-level balancer.
+//!
+//! ```text
+//! speedbalancer [options] -- <command> [args...]   # launch and balance
+//! speedbalancer [options] --pid <pid>              # attach to a process
+//! speedbalancer --demo-worker <threads> <seconds>  # built-in spin workload
+//!
+//! options:
+//!   -i, --interval <ms>     balance interval (default 100, the paper's B)
+//!   -t, --threshold <f>     pull threshold T_s (default 0.9)
+//!   --allow-numa            allow cross-NUMA-node migrations
+//!   --cores <cpulist>       manage only these CPUs (e.g. "0-3,8")
+//! ```
+//!
+//! "speedbalancer takes as input the parallel application to balance and
+//! forks a child which executes the parallel application" — the `--`
+//! form. The demo worker provides a self-contained SPMD-ish workload for
+//! the quickstart.
+
+use speedbal_native::balancer::{NativeConfig, NativeSpeedBalancer};
+use speedbal_native::topo::parse_cpulist;
+use std::process::{exit, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: speedbalancer [-i ms] [-t f] [--allow-numa] [--cores list] \
+         (--pid P | -- cmd args... | --demo-worker N SECS)"
+    );
+    exit(2);
+}
+
+fn demo_worker(threads: usize, seconds: f64) {
+    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut x = 1u64;
+                while Instant::now() < deadline {
+                    for _ in 0..100_000 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                    }
+                    std::hint::black_box(x);
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = NativeConfig::default();
+    let mut pid: Option<i32> = None;
+    let mut command: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-i" | "--interval" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.interval = Duration::from_millis(ms.max(1));
+            }
+            "-t" | "--threshold" => {
+                i += 1;
+                let t: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.speed_threshold = t;
+            }
+            "--allow-numa" => cfg.block_numa = false,
+            "--cores" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                let cpus = parse_cpulist(list);
+                if cpus.is_empty() {
+                    usage();
+                }
+                cfg.cores = Some(cpus);
+            }
+            "--pid" => {
+                i += 1;
+                pid = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--demo-worker" => {
+                let threads: usize = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                let secs: f64 = args
+                    .get(i + 2)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                demo_worker(threads, secs);
+                return;
+            }
+            "--" => {
+                command = Some(args[i + 1..].to_vec());
+                break;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let stop = AtomicBool::new(false);
+    match (pid, command) {
+        (Some(pid), None) => {
+            let bal = match NativeSpeedBalancer::attach(pid, cfg) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("speedbalancer: cannot attach to {pid}: {e}");
+                    exit(1);
+                }
+            };
+            eprintln!("speedbalancer: attached to pid {pid}");
+            let stats = bal.run(&stop);
+            eprintln!(
+                "speedbalancer: done — activations={} migrations={} threads={}",
+                stats.activations.load(Ordering::Relaxed),
+                stats.migrations.load(Ordering::Relaxed),
+                stats.threads_seen.load(Ordering::Relaxed)
+            );
+        }
+        (None, Some(cmd)) if !cmd.is_empty() => {
+            let mut child = match Command::new(&cmd[0]).args(&cmd[1..]).spawn() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("speedbalancer: cannot launch {}: {e}", cmd[0]);
+                    exit(1);
+                }
+            };
+            let pid = child.id() as i32;
+            eprintln!("speedbalancer: balancing `{}` (pid {pid})", cmd.join(" "));
+            let bal = match NativeSpeedBalancer::attach(pid, cfg) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("speedbalancer: attach failed: {e}");
+                    child.kill().ok();
+                    exit(1);
+                }
+            };
+            let stats = bal.run(&stop);
+            let status = child.wait().ok();
+            eprintln!(
+                "speedbalancer: child exited ({:?}) — activations={} migrations={} threads={}",
+                status.map(|s| s.code()),
+                stats.activations.load(Ordering::Relaxed),
+                stats.migrations.load(Ordering::Relaxed),
+                stats.threads_seen.load(Ordering::Relaxed)
+            );
+            if let Some(code) = status.and_then(|s| s.code()) {
+                exit(code);
+            }
+        }
+        _ => usage(),
+    }
+}

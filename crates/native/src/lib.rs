@@ -1,0 +1,28 @@
+//! The real user-level speed balancer for Linux — the deployable form of
+//! the paper's `speedbalancer` program (§5.2).
+//!
+//! `speedbalancer` "is currently implemented as a stand-alone
+//! multi-threaded program that runs in user space": it takes a target
+//! process, discovers its threads through `/proc`, pins them round-robin
+//! across the requested cores with `sched_setaffinity`, and then runs one
+//! balancer thread per core. Each balancer periodically measures its
+//! threads' speeds (`t_exec / t_real` from `/proc/<pid>/task/<tid>/stat`,
+//! utime+stime), publishes the local core speed, and pulls one thread from
+//! a core slower than `T_s ×` the global average — re-pinning it, so the
+//! kernel's own balancer never interferes.
+//!
+//! Differences from the 2009 implementation, documented in DESIGN.md: we
+//! read per-thread CPU time from `/proc/<pid>/task/<tid>/stat` instead of
+//! the taskstats netlink socket (same utime+stime counters, no extra
+//! privileges), and the scheduling-domain layout comes from
+//! `/sys/devices/system/cpu` and `/sys/devices/system/node`.
+
+pub mod affinity;
+pub mod balancer;
+pub mod proc;
+pub mod topo;
+
+pub use affinity::{get_affinity, pin_to_cpu, set_affinity};
+pub use balancer::{NativeConfig, NativeSpeedBalancer, NativeStats};
+pub use proc::{list_tids, read_thread_cpu_time, ThreadTimes};
+pub use topo::{online_cpus, NativeTopology};

@@ -1,0 +1,168 @@
+//! `/proc` thread discovery and CPU-time accounting.
+//!
+//! The paper's implementation "inspects the /proc file system to determine
+//! the process identifiers (PIDs) of all the threads in the parallel
+//! application" and needs "the elapsed system and user times for every
+//! thread being monitored". We take both from procfs: thread ids from
+//! `/proc/<pid>/task/`, utime+stime from field 14+15 of
+//! `/proc/<pid>/task/<tid>/stat`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// CPU time consumed by one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadTimes {
+    /// User-mode time.
+    pub utime: Duration,
+    /// Kernel-mode time.
+    pub stime: Duration,
+}
+
+impl ThreadTimes {
+    /// Total CPU time (`t_exec` in the speed definition).
+    pub fn total(&self) -> Duration {
+        self.utime + self.stime
+    }
+}
+
+/// Clock ticks per second (`sysconf(_SC_CLK_TCK)`).
+pub fn clock_ticks_per_sec() -> u64 {
+    // SAFETY: sysconf is async-signal-safe and has no memory arguments.
+    let hz = unsafe { libc::sysconf(libc::_SC_CLK_TCK) };
+    if hz <= 0 {
+        100
+    } else {
+        hz as u64
+    }
+}
+
+/// Lists the thread ids of a process (including the main thread). Threads
+/// that exit mid-scan are simply absent — callers must tolerate churn, as
+/// the paper notes ("due to delays in updating the system logs" it polls
+/// with a start-up delay).
+pub fn list_tids(pid: i32) -> io::Result<Vec<i32>> {
+    let dir = format!("/proc/{pid}/task");
+    let mut tids = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Ok(tid) = name.parse::<i32>() {
+                tids.push(tid);
+            }
+        }
+    }
+    tids.sort_unstable();
+    Ok(tids)
+}
+
+/// Parses the utime (14th) and stime (15th) fields out of a
+/// `/proc/.../stat` line. The command name (field 2) may contain spaces
+/// and parentheses, so fields are counted after the **last** `)`.
+pub fn parse_stat_times(stat: &str, ticks_per_sec: u64) -> Option<ThreadTimes> {
+    let after = &stat[stat.rfind(')')? + 1..];
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    // `after` starts at field 3 ("state"), so utime/stime (fields 14/15)
+    // are at indices 11 and 12.
+    let utime_ticks: u64 = fields.get(11)?.parse().ok()?;
+    let stime_ticks: u64 = fields.get(12)?.parse().ok()?;
+    let to_dur = |ticks: u64| {
+        Duration::from_nanos(ticks.saturating_mul(1_000_000_000 / ticks_per_sec.max(1)))
+    };
+    Some(ThreadTimes {
+        utime: to_dur(utime_ticks),
+        stime: to_dur(stime_ticks),
+    })
+}
+
+/// Reads the cumulative CPU time of one thread of one process.
+pub fn read_thread_cpu_time(pid: i32, tid: i32) -> io::Result<ThreadTimes> {
+    let path = format!("/proc/{pid}/task/{tid}/stat");
+    let stat = fs::read_to_string(Path::new(&path))?;
+    parse_stat_times(&stat, clock_ticks_per_sec())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed stat line"))
+}
+
+/// True iff the process is still alive **and running** — a zombie (exited
+/// but not yet reaped by its parent) keeps its `/proc` entry, so existence
+/// alone is not enough: a balancer looping on it would never terminate.
+pub fn process_alive(pid: i32) -> bool {
+    let Ok(stat) = fs::read_to_string(format!("/proc/{pid}/stat")) else {
+        return false;
+    };
+    // State is the first field after the parenthesized command name.
+    match stat[stat.rfind(')').map(|i| i + 1).unwrap_or(0)..]
+        .split_whitespace()
+        .next()
+    {
+        Some("Z") | None => false,
+        Some(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_stat() {
+        let stat = "1234 (worker) R 1 1 1 0 -1 4194304 103 0 0 0 250 50 0 0 20 0 1 0 538409 2703360 329 18446744073709551615 0 0 0 0 0 0 0 0 0 0 0 0 17 0 0 0 0 0 0 0";
+        let t = parse_stat_times(stat, 100).unwrap();
+        assert_eq!(t.utime, Duration::from_millis(2500));
+        assert_eq!(t.stime, Duration::from_millis(500));
+        assert_eq!(t.total(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn parse_handles_evil_comm_names() {
+        // Command names may contain spaces and parentheses.
+        let stat = "99 (a (evil) name) S 1 1 1 0 -1 0 0 0 0 0 100 200 0 0 20 0 1 0 0 0 0 0";
+        let t = parse_stat_times(stat, 100).unwrap();
+        assert_eq!(t.utime, Duration::from_secs(1));
+        assert_eq!(t.stime, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_stat_times("not a stat line", 100).is_none());
+        assert!(parse_stat_times("1 (x) R 1 2", 100).is_none());
+    }
+
+    #[test]
+    fn own_process_is_discoverable() {
+        let pid = std::process::id() as i32;
+        let tids = list_tids(pid).expect("must read own /proc");
+        assert!(!tids.is_empty());
+        assert!(process_alive(pid));
+        assert!(!process_alive(-1));
+        // Reading our own main thread's times must succeed and be sane.
+        let t = read_thread_cpu_time(pid, pid).expect("own stat");
+        assert!(t.total() < Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn ticks_per_sec_is_positive() {
+        let hz = clock_ticks_per_sec();
+        assert!((1..=10_000).contains(&hz));
+    }
+
+    #[test]
+    fn busy_thread_accumulates_time() {
+        let pid = std::process::id() as i32;
+        let before = read_thread_cpu_time(pid, unsafe { libc::gettid() }).unwrap();
+        // Burn ~50 ms of CPU.
+        let start = std::time::Instant::now();
+        let mut x = 0u64;
+        while start.elapsed() < Duration::from_millis(60) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(x);
+        let after = read_thread_cpu_time(pid, unsafe { libc::gettid() }).unwrap();
+        assert!(
+            after.total() >= before.total(),
+            "CPU time must be monotonic"
+        );
+    }
+}

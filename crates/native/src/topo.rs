@@ -1,0 +1,148 @@
+//! Topology discovery from sysfs.
+//!
+//! "The scheduling domains are determined by reading the configuration
+//! details from the /sys file system." We read the online CPU list, each
+//! CPU's package id, and the NUMA node CPU lists, giving the balancer what
+//! it needs to block cross-node migrations and tier migration intervals.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parses a Linux cpulist string ("0-3,8,10-11") into CPU indices.
+pub fn parse_cpulist(s: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for part in s.trim().split(',') {
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                    cpus.extend(lo..=hi);
+                }
+            }
+            None => {
+                if let Ok(v) = part.trim().parse::<usize>() {
+                    cpus.push(v);
+                }
+            }
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    cpus
+}
+
+/// The online CPUs of this machine.
+pub fn online_cpus() -> io::Result<Vec<usize>> {
+    let s = fs::read_to_string("/sys/devices/system/cpu/online")?;
+    Ok(parse_cpulist(&s))
+}
+
+/// Machine layout as discovered from sysfs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeTopology {
+    pub cpus: Vec<usize>,
+    /// Package (socket) id per CPU, aligned with `cpus`.
+    pub package: Vec<usize>,
+    /// NUMA node per CPU, aligned with `cpus` (0 when nodes are absent).
+    pub node: Vec<usize>,
+}
+
+impl NativeTopology {
+    /// Discovers the current machine.
+    pub fn discover() -> io::Result<NativeTopology> {
+        let cpus = online_cpus()?;
+        let mut package = Vec::with_capacity(cpus.len());
+        for &cpu in &cpus {
+            let path = format!("/sys/devices/system/cpu/cpu{cpu}/topology/physical_package_id");
+            let pkg = fs::read_to_string(&path)
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            package.push(pkg);
+        }
+        let mut node = vec![0usize; cpus.len()];
+        if let Ok(entries) = fs::read_dir("/sys/devices/system/node") {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(idx) = name.strip_prefix("node") else {
+                    continue;
+                };
+                let Ok(node_id) = idx.parse::<usize>() else {
+                    continue;
+                };
+                let list = entry.path().join("cpulist");
+                if let Ok(s) = fs::read_to_string(&list) {
+                    for cpu in parse_cpulist(&s) {
+                        if let Some(pos) = cpus.iter().position(|c| *c == cpu) {
+                            node[pos] = node_id;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(NativeTopology {
+            cpus,
+            package,
+            node,
+        })
+    }
+
+    pub fn n_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// NUMA node of a CPU (by CPU number).
+    pub fn node_of(&self, cpu: usize) -> usize {
+        self.cpus
+            .iter()
+            .position(|c| *c == cpu)
+            .map(|i| self.node[i])
+            .unwrap_or(0)
+    }
+
+    /// True iff moving between the two CPUs crosses a NUMA node.
+    pub fn crosses_numa(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) != self.node_of(b)
+    }
+}
+
+/// True iff sysfs topology information is present (it is on any modern
+/// Linux; containers occasionally hide it).
+pub fn sysfs_available() -> bool {
+    Path::new("/sys/devices/system/cpu/online").exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_forms() {
+        assert_eq!(parse_cpulist("0-3"), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0,2,4"), vec![0, 2, 4]);
+        assert_eq!(parse_cpulist("0-1,8,10-11"), vec![0, 1, 8, 10, 11]);
+        assert_eq!(parse_cpulist("5"), vec![5]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        assert_eq!(parse_cpulist(" 3 , 1 - 2 "), vec![1, 2, 3]);
+        assert_eq!(parse_cpulist("junk"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn discovers_this_machine() {
+        if !sysfs_available() {
+            eprintln!("sysfs hidden; skipping");
+            return;
+        }
+        let topo = NativeTopology::discover().expect("discover");
+        assert!(topo.n_cpus() >= 1);
+        assert_eq!(topo.cpus.len(), topo.package.len());
+        assert_eq!(topo.cpus.len(), topo.node.len());
+        // Same CPU never crosses NUMA with itself.
+        let c0 = topo.cpus[0];
+        assert!(!topo.crosses_numa(c0, c0));
+    }
+}

@@ -1,0 +1,134 @@
+//! The pluggable "scheduling in space" layer.
+//!
+//! A [`Balancer`] observes the [`crate::System`] through its public
+//! query API and redistributes tasks with
+//! [`System::migrate_task`](crate::System::migrate_task). The system invokes
+//! it at well-defined points: start-of-simulation, task placement, wakeup
+//! placement, timers the balancer itself arms, core-went-idle, and
+//! per-deschedule accounting (needed by round-based schedulers like DWRR).
+//!
+//! During every callback the balancer is *taken out* of the system, so it
+//! receives `&mut System` without aliasing. Re-entrant callbacks cannot
+//! happen.
+
+use crate::system::System;
+use crate::task::TaskId;
+use speedbal_machine::CoreId;
+use speedbal_sim::SimDuration;
+
+/// Timer-key namespacing: every balancer implementation tags its timer keys
+/// with a distinct high-bits constant so that composed balancers (e.g.
+/// speed balancing for one application over Linux balancing for the rest)
+/// can route `on_timer` callbacks without collisions.
+pub mod keys {
+    /// Speed balancer per-core timers.
+    pub const SPEED: u64 = 1 << 56;
+    /// Linux load-balancer per-core timers.
+    pub const LINUX: u64 = 2 << 56;
+    /// FreeBSD-ULE push-migration timer.
+    pub const ULE: u64 = 3 << 56;
+    /// DWRR maintenance timers.
+    pub const DWRR: u64 = 4 << 56;
+
+    /// The namespace tag of a key.
+    pub fn tag(key: u64) -> u64 {
+        key & (0xFF << 56)
+    }
+
+    /// The per-balancer payload of a key (e.g. a core index).
+    pub fn index(key: u64) -> usize {
+        (key & !(0xFF << 56)) as usize
+    }
+}
+
+/// A load-balancing policy.
+///
+/// All methods have defaults, so simple balancers implement only what they
+/// need. `place_task` is the only decision every balancer must make.
+pub trait Balancer {
+    /// Short name for reports (e.g. `"SPEED"`, `"LOAD"`).
+    fn name(&self) -> &'static str;
+
+    /// Called once when the simulation starts; arm initial timers here.
+    fn on_start(&mut self, _sys: &mut System) {}
+
+    /// Chooses the core a newly spawned task starts on. The spawn's own
+    /// pinning (if any) takes precedence and this is then not called.
+    fn place_task(&mut self, sys: &mut System, task: TaskId) -> CoreId;
+
+    /// When true, the placement chosen by [`Balancer::place_task`] is
+    /// installed as a hard pin (a one-CPU `sched_setaffinity` mask). The
+    /// user-level speed balancer works this way: it pins the application's
+    /// threads round-robin at startup, so only it — never the kernel — moves
+    /// them afterwards.
+    fn pin_on_place(&mut self, _sys: &mut System, _task: TaskId) -> bool {
+        false
+    }
+
+    /// Chooses the core a woken task is enqueued on. Defaults to the core
+    /// it slept on, which is what a wakeup without balancing does.
+    fn select_wake_core(&mut self, sys: &mut System, task: TaskId) -> CoreId {
+        let c = sys.task_core(task);
+        if sys.task_may_run_on(task, c) {
+            c
+        } else {
+            sys.first_allowed_core(task)
+        }
+    }
+
+    /// A timer armed via [`System::set_balancer_timer`] fired.
+    fn on_timer(&mut self, _sys: &mut System, _key: u64) {}
+
+    /// A core's run queue just became empty (Linux "newidle" balancing
+    /// hook).
+    fn on_core_idle(&mut self, _sys: &mut System, _core: CoreId) {}
+
+    /// A task came off a CPU after running for `ran` (DWRR's round-slice
+    /// accounting hook).
+    fn on_task_descheduled(
+        &mut self,
+        _sys: &mut System,
+        _task: TaskId,
+        _core: CoreId,
+        _ran: SimDuration,
+    ) {
+    }
+
+    /// A task exited.
+    fn on_task_exit(&mut self, _sys: &mut System, _task: TaskId) {}
+}
+
+/// No balancing at all: tasks stay wherever they were placed. With
+/// round-robin initial placement this is the paper's **PINNED** (static
+/// application-level balancing) configuration.
+#[derive(Debug, Default)]
+pub struct NullBalancer {
+    next: usize,
+}
+
+impl NullBalancer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Balancer for NullBalancer {
+    fn name(&self) -> &'static str {
+        "PINNED"
+    }
+
+    /// Round-robin over the allowed cores, the distribution the paper's
+    /// `speedbalancer` also installs at startup ("ensures maximum
+    /// exploitation of hardware parallelism").
+    fn place_task(&mut self, sys: &mut System, task: TaskId) -> CoreId {
+        let n = sys.n_cores();
+        for off in 0..n {
+            let c = CoreId((self.next + off) % n);
+            if sys.task_may_run_on(task, c) {
+                self.next = (c.0 + 1) % n;
+                return c;
+            }
+        }
+        CoreId(0)
+    }
+}

@@ -1,0 +1,148 @@
+//! One-shot conditions: the synchronization primitive programs wait on.
+//!
+//! A condition starts unset and is set exactly once (e.g. "everyone has
+//! arrived at barrier episode 17"). Barriers and locks in `speedbal-apps`
+//! allocate a fresh condition per episode. Waiters register so the system
+//! can wake blocked tasks and release spinners the instant a condition is
+//! set.
+
+use crate::task::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a one-shot condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CondId(pub usize);
+
+#[derive(Debug, Default)]
+struct Cond {
+    set: bool,
+    waiters: Vec<TaskId>,
+}
+
+/// Table of all conditions in a [`crate::System`].
+#[derive(Debug, Default)]
+pub struct CondTable {
+    conds: Vec<Cond>,
+    /// Conditions set since the system last drained wakeups.
+    pending: Vec<CondId>,
+}
+
+impl CondTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unset condition.
+    pub fn alloc(&mut self) -> CondId {
+        let id = CondId(self.conds.len());
+        self.conds.push(Cond::default());
+        id
+    }
+
+    /// True iff the condition has been set.
+    pub fn is_set(&self, id: CondId) -> bool {
+        self.conds[id.0].set
+    }
+
+    /// Sets the condition. Idempotent. The system drains the resulting
+    /// wakeups after the current program step.
+    pub fn set(&mut self, id: CondId) {
+        let c = &mut self.conds[id.0];
+        if !c.set {
+            c.set = true;
+            self.pending.push(id);
+        }
+    }
+
+    /// Registers `task` as waiting on `id` (for wakeup on set). Must not be
+    /// called on an already-set condition.
+    pub fn add_waiter(&mut self, id: CondId, task: TaskId) {
+        debug_assert!(!self.conds[id.0].set, "waiting on an already-set cond");
+        self.conds[id.0].waiters.push(task);
+    }
+
+    /// Removes a waiter registration (e.g. spin timeout fired first).
+    pub fn remove_waiter(&mut self, id: CondId, task: TaskId) {
+        self.conds[id.0].waiters.retain(|t| *t != task);
+    }
+
+    /// Drains the set-since-last-drain conditions, returning each condition
+    /// with its registered waiters (which are cleared).
+    pub fn drain_pending(&mut self) -> Vec<(CondId, Vec<TaskId>)> {
+        let pending = std::mem::take(&mut self.pending);
+        pending
+            .into_iter()
+            .map(|id| (id, std::mem::take(&mut self.conds[id.0].waiters)))
+            .collect()
+    }
+
+    /// Number of allocated conditions (diagnostics).
+    pub fn len(&self) -> usize {
+        self.conds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_starts_unset() {
+        let mut t = CondTable::new();
+        let c = t.alloc();
+        assert!(!t.is_set(c));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut t = CondTable::new();
+        let c = t.alloc();
+        t.set(c);
+        t.set(c);
+        assert!(t.is_set(c));
+        assert_eq!(t.drain_pending().len(), 1);
+        assert!(t.drain_pending().is_empty());
+    }
+
+    #[test]
+    fn waiters_delivered_once() {
+        let mut t = CondTable::new();
+        let c = t.alloc();
+        t.add_waiter(c, TaskId(1));
+        t.add_waiter(c, TaskId(2));
+        t.set(c);
+        let drained = t.drain_pending();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, c);
+        assert_eq!(drained[0].1, vec![TaskId(1), TaskId(2)]);
+        // Waiters were consumed.
+        assert!(t.drain_pending().is_empty());
+    }
+
+    #[test]
+    fn remove_waiter_unregisters() {
+        let mut t = CondTable::new();
+        let c = t.alloc();
+        t.add_waiter(c, TaskId(1));
+        t.add_waiter(c, TaskId(2));
+        t.remove_waiter(c, TaskId(1));
+        t.set(c);
+        assert_eq!(t.drain_pending()[0].1, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn multiple_conditions_drain_in_set_order() {
+        let mut t = CondTable::new();
+        let a = t.alloc();
+        let b = t.alloc();
+        t.set(b);
+        t.set(a);
+        let order: Vec<CondId> = t.drain_pending().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(order, vec![b, a]);
+    }
+}

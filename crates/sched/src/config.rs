@@ -1,0 +1,91 @@
+//! Tunables of the per-core scheduler, mirroring the Linux CFS sysctls the
+//! paper discusses.
+
+use serde::{Deserialize, Serialize};
+use speedbal_sim::SimDuration;
+
+/// Scheduler configuration.
+///
+/// Defaults approximate a Linux 2.6.28 server build (HZ=1000): the paper
+/// notes "a typical scheduling time quantum is 100 ms" and a cache-hot
+/// window of ≈5 ms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedConfig {
+    /// CFS `sched_latency`: the period within which every runnable task on a
+    /// core should run once. The per-dispatch slice is
+    /// `max(sched_latency / nr_running, min_granularity)`.
+    pub sched_latency: SimDuration,
+    /// CFS `sched_min_granularity`: floor on the per-dispatch slice.
+    pub min_granularity: SimDuration,
+    /// CFS `sched_wakeup_granularity`: a woken task preempts the running one
+    /// only if its (normalized) vruntime is at least this much smaller.
+    pub wakeup_granularity: SimDuration,
+    /// Sleeper credit: a woken task's vruntime is floored at
+    /// `min_vruntime - sleeper_credit` so sleepers get scheduled promptly.
+    pub sleeper_credit: SimDuration,
+    /// Time since a task last ran below which Linux considers it cache-hot
+    /// and resists migrating it (`sysctl_sched_migration_cost`, ≈5 ms
+    /// in the paper's description).
+    pub cache_hot_time: SimDuration,
+    /// CPU time one pass through a `sched_yield` loop costs (syscall +
+    /// reschedule). Real measurements put it around a microsecond.
+    pub yield_cost: SimDuration,
+    /// Granularity of timed sleeps (timer-tick rounding): `usleep(1)` does
+    /// not wake after a microsecond but after roughly a tick.
+    pub timer_granularity: SimDuration,
+    /// Hard cap on simulated events, to turn accidental infinite loops into
+    /// a crash instead of a hang.
+    pub max_events: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            sched_latency: SimDuration::from_millis(48),
+            min_granularity: SimDuration::from_millis(6),
+            wakeup_granularity: SimDuration::from_millis(1),
+            sleeper_credit: SimDuration::from_millis(24),
+            cache_hot_time: SimDuration::from_millis(5),
+            yield_cost: SimDuration::from_micros(1),
+            timer_granularity: SimDuration::from_millis(1),
+            max_events: 2_000_000_000,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Per-dispatch slice for a queue with `nr_running` tasks.
+    pub fn slice_for(&self, nr_running: usize) -> SimDuration {
+        if nr_running <= 1 {
+            return self.sched_latency;
+        }
+        (self.sched_latency / nr_running as u64).max(self.min_granularity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_divides_latency() {
+        let c = SchedConfig::default();
+        assert_eq!(c.slice_for(1), c.sched_latency);
+        assert_eq!(c.slice_for(2), c.sched_latency / 2);
+        assert_eq!(c.slice_for(4), c.sched_latency / 4);
+    }
+
+    #[test]
+    fn slice_floored_at_min_granularity() {
+        let c = SchedConfig::default();
+        assert_eq!(c.slice_for(1000), c.min_granularity);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SchedConfig::default();
+        assert!(c.min_granularity < c.sched_latency);
+        assert!(c.wakeup_granularity < c.sched_latency);
+        assert!(c.yield_cost < c.min_granularity);
+    }
+}

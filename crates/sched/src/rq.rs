@@ -1,0 +1,146 @@
+//! A CFS-like per-core run queue: tasks ordered by virtual runtime.
+
+use crate::task::TaskId;
+use std::collections::BTreeSet;
+
+/// Run queue holding *runnable, not currently running* tasks ordered by
+/// `(vruntime, TaskId)`. The currently running task is tracked separately by
+/// the core, as in Linux.
+#[derive(Debug, Default)]
+pub struct RunQueue {
+    set: BTreeSet<(u64, TaskId)>,
+    /// Monotonic floor for vruntime normalization across queues.
+    min_vruntime: u64,
+}
+
+impl RunQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued (runnable, not running) tasks.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Inserts a task keyed by its vruntime.
+    pub fn enqueue(&mut self, vruntime: u64, task: TaskId) {
+        let inserted = self.set.insert((vruntime, task));
+        debug_assert!(inserted, "task {task} double-enqueued");
+    }
+
+    /// Removes a specific task (its stored key must match).
+    pub fn dequeue(&mut self, vruntime: u64, task: TaskId) -> bool {
+        self.set.remove(&(vruntime, task))
+    }
+
+    /// Pops the leftmost (minimum-vruntime) task.
+    pub fn pop_min(&mut self) -> Option<(u64, TaskId)> {
+        let first = *self.set.iter().next()?;
+        self.set.remove(&first);
+        Some(first)
+    }
+
+    /// Peeks at the leftmost task without removing it.
+    pub fn peek_min(&self) -> Option<(u64, TaskId)> {
+        self.set.iter().next().copied()
+    }
+
+    /// Largest vruntime present (used by `sched_yield`, which parks the
+    /// yielder at the right edge of the tree).
+    pub fn max_vruntime(&self) -> Option<u64> {
+        self.set.iter().next_back().map(|(v, _)| *v)
+    }
+
+    /// Queue-wide minimum vruntime floor. Monotonically non-decreasing.
+    pub fn min_vruntime(&self) -> u64 {
+        self.min_vruntime
+    }
+
+    /// Raises the floor to `v` if larger (called as the leftmost task
+    /// advances).
+    pub fn advance_min_vruntime(&mut self, v: u64) {
+        if v > self.min_vruntime {
+            self.min_vruntime = v;
+        }
+    }
+
+    /// Iterates over queued tasks in vruntime order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.set.iter().map(|(_, t)| *t)
+    }
+
+    /// True iff the given task is queued with the given key.
+    pub fn contains(&self, vruntime: u64, task: TaskId) -> bool {
+        self.set.contains(&(vruntime, task))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_vruntime_order() {
+        let mut q = RunQueue::new();
+        q.enqueue(30, TaskId(3));
+        q.enqueue(10, TaskId(1));
+        q.enqueue(20, TaskId(2));
+        assert_eq!(q.pop_min(), Some((10, TaskId(1))));
+        assert_eq!(q.pop_min(), Some((20, TaskId(2))));
+        assert_eq!(q.pop_min(), Some((30, TaskId(3))));
+        assert_eq!(q.pop_min(), None);
+    }
+
+    #[test]
+    fn ties_broken_by_task_id() {
+        let mut q = RunQueue::new();
+        q.enqueue(5, TaskId(9));
+        q.enqueue(5, TaskId(2));
+        assert_eq!(q.pop_min(), Some((5, TaskId(2))));
+        assert_eq!(q.pop_min(), Some((5, TaskId(9))));
+    }
+
+    #[test]
+    fn dequeue_specific() {
+        let mut q = RunQueue::new();
+        q.enqueue(1, TaskId(1));
+        q.enqueue(2, TaskId(2));
+        assert!(q.dequeue(2, TaskId(2)));
+        assert!(!q.dequeue(2, TaskId(2)));
+        assert!(!q.dequeue(7, TaskId(1)), "wrong key must not remove");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn min_vruntime_is_monotonic() {
+        let mut q = RunQueue::new();
+        q.advance_min_vruntime(10);
+        q.advance_min_vruntime(5);
+        assert_eq!(q.min_vruntime(), 10);
+        q.advance_min_vruntime(12);
+        assert_eq!(q.min_vruntime(), 12);
+    }
+
+    #[test]
+    fn max_vruntime_tracks_right_edge() {
+        let mut q = RunQueue::new();
+        assert_eq!(q.max_vruntime(), None);
+        q.enqueue(10, TaskId(1));
+        q.enqueue(40, TaskId(2));
+        assert_eq!(q.max_vruntime(), Some(40));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut q = RunQueue::new();
+        q.enqueue(3, TaskId(3));
+        q.enqueue(1, TaskId(1));
+        let order: Vec<TaskId> = q.iter().collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(3)]);
+    }
+}

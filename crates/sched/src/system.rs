@@ -1,0 +1,1312 @@
+//! The simulated multicore system: event loop, per-core dispatch, wakeups
+//! and migration.
+//!
+//! # Model
+//!
+//! Each core runs a CFS-like fair scheduler over its private run queue
+//! (see [`crate::rq`]). Tasks execute [`Program`]s that alternate
+//! computation with synchronization directives. The system is advanced by a
+//! deterministic discrete-event loop; the only event kinds are:
+//!
+//! * **core events** — the running task on a core reaches a boundary
+//!   (slice expiry, computation complete, spin timeout, yield step);
+//! * **wake events** — a timed sleep expires;
+//! * **balancer timers** — a [`Balancer`] asked to be called back.
+//!
+//! Anything that changes a core's situation out-of-band (a wakeup, a
+//! migration, a condition being set, an SMT sibling changing state) simply
+//! *reschedules* the core: bumps its sequence number and posts a zero-delay
+//! core event, which re-accounts the in-flight task and re-dispatches.
+//!
+//! # Accounting fidelity
+//!
+//! `exec_total` advances for every nanosecond a task occupies a CPU —
+//! including busy-waiting and `sched_yield` loops — exactly like
+//! utime+stime in `/proc`, because that is what the paper's user-level
+//! balancer measures. Blocked time does not count, which is how sleeping at
+//! a barrier "is reflected by increases in the speed of the co-runners".
+
+use crate::balancer::Balancer;
+use crate::cond::{CondId, CondTable};
+use crate::config::SchedConfig;
+use crate::program::{Directive, Program, ProgramCtx};
+use crate::rq::RunQueue;
+use crate::task::{Activity, Task, TaskId, TaskState};
+use speedbal_machine::{CoreId, CostModel, Topology};
+use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+/// Handle to a task group (one application / competing workload).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct GroupId(pub usize);
+
+/// Parameters for spawning a task.
+pub struct SpawnSpec {
+    pub program: Box<dyn Program>,
+    pub name: String,
+    pub group: GroupId,
+    /// Resident set size for the migration cost model.
+    pub rss_bytes: u64,
+    /// Memory-bandwidth intensity in [0, 1] (see `Task::mem_intensity`).
+    pub mem_intensity: f64,
+    /// CFS load weight (1024 = nice 0).
+    pub weight: u32,
+    /// Hard single-core affinity installed at spawn.
+    pub pinned: Option<CoreId>,
+    /// `taskset`-style mask restricting placement (used to run "16 threads
+    /// on N cores"). `None` = whole machine.
+    pub allowed: Option<Vec<CoreId>>,
+}
+
+impl SpawnSpec {
+    /// A plain unpinned task with default weight and no memory footprint.
+    pub fn new(program: Box<dyn Program>, name: impl Into<String>, group: GroupId) -> Self {
+        SpawnSpec {
+            program,
+            name: name.into(),
+            group,
+            rss_bytes: 0,
+            mem_intensity: 0.0,
+            weight: 1024,
+            pinned: None,
+            allowed: None,
+        }
+    }
+
+    pub fn rss(mut self, bytes: u64) -> Self {
+        self.rss_bytes = bytes;
+        self
+    }
+
+    /// Sets the memory-bandwidth intensity (clamped to [0, 1]).
+    pub fn mem(mut self, intensity: f64) -> Self {
+        self.mem_intensity = intensity.clamp(0.0, 1.0);
+        self
+    }
+
+    pub fn pin(mut self, core: CoreId) -> Self {
+        self.pinned = Some(core);
+        self
+    }
+
+    pub fn allow(mut self, cores: Vec<CoreId>) -> Self {
+        self.allowed = Some(cores);
+        self
+    }
+
+    pub fn weight(mut self, w: u32) -> Self {
+        self.weight = w;
+        self
+    }
+}
+
+/// One recorded migration (requires [`System::enable_migration_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MigrationRecord {
+    pub time: SimTime,
+    pub task: TaskId,
+    pub from: CoreId,
+    pub to: CoreId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Core { core: usize, seq: u64 },
+    Wake { task: TaskId, gen: u64 },
+    BalancerTimer { key: u64 },
+}
+
+struct Core {
+    queue: RunQueue,
+    current: Option<TaskId>,
+    /// Staleness guard for core events.
+    seq: u64,
+    /// Compute rate sampled at dispatch (speed × SMT × NUMA factors).
+    current_rate: f64,
+    busy_total: SimDuration,
+    nr_switches: u64,
+    /// Stable occupied/idle state, flipped only when a dispatch cycle ends
+    /// with the opposite occupancy (drives SMT sibling notifications).
+    busy_flag: bool,
+}
+
+impl Core {
+    fn new() -> Self {
+        Core {
+            queue: RunQueue::new(),
+            current: None,
+            seq: 0,
+            current_rate: 1.0,
+            busy_total: SimDuration::ZERO,
+            nr_switches: 0,
+            busy_flag: false,
+        }
+    }
+
+    /// Linux `nr_running`: queued plus current.
+    fn nr_running(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Group {
+    total: usize,
+    live: usize,
+    finished_at: Option<SimTime>,
+}
+
+/// The simulated machine: topology + per-core schedulers + tasks + a
+/// pluggable balancer, advanced by a deterministic event loop.
+pub struct System {
+    topo: Topology,
+    cfg: SchedConfig,
+    cost: CostModel,
+    tasks: Vec<Task>,
+    cores: Vec<Core>,
+    conds: CondTable,
+    events: EventQueue<Ev>,
+    balancer: Option<Box<dyn Balancer>>,
+    rng: SimRng,
+    task_rngs: Vec<Option<SimRng>>,
+    groups: Vec<Group>,
+    total_migrations: u64,
+    events_processed: u64,
+    /// Deferred balancer notifications (collected while the balancer is
+    /// detached during system mutation, drained after each event).
+    pending_desched: Vec<(TaskId, CoreId, SimDuration)>,
+    pending_exits: Vec<TaskId>,
+    /// Optional migration trace (diagnostics/verification).
+    migration_log: Option<Vec<MigrationRecord>>,
+}
+
+/// Bound on chained zero-time program transitions, to turn a program that
+/// livelocks (e.g. infinitely returning `Compute(0)`) into a panic.
+const MAX_CHAINED_TRANSITIONS: usize = 1024;
+
+impl System {
+    /// Builds a system over `topo` with the given balancer. `seed` fixes
+    /// every random choice in the run.
+    pub fn new(
+        topo: Topology,
+        cfg: SchedConfig,
+        cost: CostModel,
+        balancer: Box<dyn Balancer>,
+        seed: u64,
+    ) -> System {
+        let n = topo.n_cores();
+        let mut sys = System {
+            topo,
+            cfg,
+            cost,
+            tasks: Vec::new(),
+            cores: (0..n).map(|_| Core::new()).collect(),
+            conds: CondTable::new(),
+            events: EventQueue::new(),
+            balancer: None,
+            rng: SimRng::new(seed),
+            task_rngs: Vec::new(),
+            groups: Vec::new(),
+            total_migrations: 0,
+            events_processed: 0,
+            pending_desched: Vec::new(),
+            pending_exits: Vec::new(),
+            migration_log: None,
+        };
+        let mut bal = balancer;
+        bal.on_start(&mut sys);
+        sys.balancer = Some(bal);
+        sys
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (used by balancers, apps, metrics)
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The deterministic RNG shared by balancer policies.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Linux `nr_running` for a core: queued runnable tasks plus the one on
+    /// the CPU. This is the "load" that queue-length balancing equalizes.
+    pub fn queue_len(&self, core: CoreId) -> usize {
+        self.cores[core.0].nr_running()
+    }
+
+    /// Tasks occupying the core's run queue (current first, then queued in
+    /// vruntime order).
+    pub fn tasks_on_core(&self, core: CoreId) -> Vec<TaskId> {
+        let c = &self.cores[core.0];
+        c.current.into_iter().chain(c.queue.iter()).collect()
+    }
+
+    /// The task currently on the CPU of `core`.
+    pub fn current_task(&self, core: CoreId) -> Option<TaskId> {
+        self.cores[core.0].current
+    }
+
+    pub fn task_state(&self, t: TaskId) -> TaskState {
+        self.tasks[t.0].state
+    }
+
+    /// The core whose queue the task belongs to (last placement if blocked).
+    pub fn task_core(&self, t: TaskId) -> CoreId {
+        self.tasks[t.0].core
+    }
+
+    pub fn task_group(&self, t: TaskId) -> GroupId {
+        self.tasks[t.0].group
+    }
+
+    pub fn task_name(&self, t: TaskId) -> &str {
+        &self.tasks[t.0].name
+    }
+
+    /// Cumulative CPU time (utime+stime equivalent) as of now.
+    pub fn task_exec_total(&self, t: TaskId) -> SimDuration {
+        self.tasks[t.0].exec_total_at(self.now())
+    }
+
+    pub fn task_migrations(&self, t: TaskId) -> u64 {
+        self.tasks[t.0].migrations
+    }
+
+    pub fn task_wakeups(&self, t: TaskId) -> u64 {
+        self.tasks[t.0].wakeups
+    }
+
+    pub fn task_rss(&self, t: TaskId) -> u64 {
+        self.tasks[t.0].rss_bytes
+    }
+
+    pub fn task_pinned(&self, t: TaskId) -> Option<CoreId> {
+        self.tasks[t.0].pinned
+    }
+
+    pub fn task_spawned_at(&self, t: TaskId) -> SimTime {
+        self.tasks[t.0].spawned_at
+    }
+
+    pub fn task_exited_at(&self, t: TaskId) -> Option<SimTime> {
+        self.tasks[t.0].exited_at
+    }
+
+    pub fn task_may_run_on(&self, t: TaskId, core: CoreId) -> bool {
+        self.tasks[t.0].may_run_on(core)
+    }
+
+    /// First core the task's affinity mask allows.
+    pub fn first_allowed_core(&self, t: TaskId) -> CoreId {
+        let task = &self.tasks[t.0];
+        if let Some(p) = task.pinned {
+            return p;
+        }
+        match &task.allowed {
+            Some(mask) => *mask.first().expect("empty affinity mask"),
+            None => CoreId(0),
+        }
+    }
+
+    /// Linux's cache-hot heuristic: the task ran on its core within
+    /// `cache_hot_time` (≈5 ms). SMT-sibling exemption is applied by the
+    /// Linux balancer itself.
+    pub fn is_cache_hot(&self, t: TaskId) -> bool {
+        let task = &self.tasks[t.0];
+        if task.state == TaskState::Running {
+            return true;
+        }
+        self.now().saturating_since(task.last_ran_at) < self.cfg.cache_hot_time
+    }
+
+    /// All task ids ever spawned.
+    pub fn all_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Live (non-exited) tasks in a group.
+    pub fn group_live_tasks(&self, g: GroupId) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|t| t.group == g && t.state != TaskState::Exited)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// All tasks ever spawned in a group.
+    pub fn group_tasks(&self, g: GroupId) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|t| t.group == g)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// When the group's last task exited, if it has.
+    pub fn group_finished_at(&self, g: GroupId) -> Option<SimTime> {
+        self.groups[g.0].finished_at
+    }
+
+    pub fn total_migrations(&self) -> u64 {
+        self.total_migrations
+    }
+
+    /// Starts recording every migration (time, task, source, destination).
+    pub fn enable_migration_log(&mut self) {
+        if self.migration_log.is_none() {
+            self.migration_log = Some(Vec::new());
+        }
+    }
+
+    /// The migrations recorded so far (empty unless enabled).
+    pub fn migration_log(&self) -> &[MigrationRecord] {
+        self.migration_log.as_deref().unwrap_or(&[])
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total CPU-busy time accumulated by a core (excludes the in-flight
+    /// stretch).
+    pub fn core_busy_time(&self, core: CoreId) -> SimDuration {
+        self.cores[core.0].busy_total
+    }
+
+    pub fn core_switches(&self, core: CoreId) -> u64 {
+        self.cores[core.0].nr_switches
+    }
+
+    /// Number of conditions allocated (diagnostics).
+    pub fn n_conds(&self) -> usize {
+        self.conds.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /// Registers a new task group.
+    pub fn new_group(&mut self) -> GroupId {
+        let id = GroupId(self.groups.len());
+        self.groups.push(Group::default());
+        id
+    }
+
+    /// Allocates a condition usable by programs (apps pre-allocate barrier
+    /// episode conditions here).
+    pub fn alloc_cond(&mut self) -> CondId {
+        self.conds.alloc()
+    }
+
+    /// True iff the condition has been set.
+    pub fn cond_is_set(&self, c: CondId) -> bool {
+        self.conds.is_set(c)
+    }
+
+    /// Spawns a task. Placement: the spec's pin wins; otherwise the
+    /// balancer's `place_task` decides (Linux tries an idle core, the speed
+    /// balancer pins round-robin, etc.).
+    pub fn spawn(&mut self, spec: SpawnSpec) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        let now = self.now();
+        let group = spec.group;
+        assert!(group.0 < self.groups.len(), "spawn into unknown group");
+        let rng = self.rng.fork(id.0 as u64 + 0x5eed);
+        let task = Task {
+            id,
+            name: spec.name,
+            group,
+            state: TaskState::Runnable,
+            activity: Activity::Fresh,
+            core: CoreId(0),
+            pinned: spec.pinned,
+            allowed: spec.allowed,
+            vruntime: 0,
+            weight: spec.weight.max(1),
+            exec_total: SimDuration::ZERO,
+            last_dispatched: now,
+            last_ran_at: now,
+            migrations: 0,
+            wakeups: 0,
+            home_node: None,
+            rss_bytes: spec.rss_bytes,
+            mem_intensity: spec.mem_intensity,
+            pending_stall: SimDuration::ZERO,
+            suspended: false,
+            program: Some(spec.program),
+            spawned_at: now,
+            exited_at: None,
+            sleep_gen: 0,
+        };
+        self.tasks.push(task);
+        self.task_rng_store(id, rng);
+        self.groups[group.0].total += 1;
+        self.groups[group.0].live += 1;
+
+        let core = if let Some(p) = self.tasks[id.0].pinned {
+            p
+        } else {
+            let chosen = self.with_balancer(|bal, sys| {
+                let c = bal.place_task(sys, id);
+                (c, bal.pin_on_place(sys, id))
+            });
+            match chosen {
+                Some((c, pin)) if self.tasks[id.0].may_run_on(c) => {
+                    if pin {
+                        self.tasks[id.0].pinned = Some(c);
+                    }
+                    c
+                }
+                _ => self.first_allowed_core(id),
+            }
+        };
+        // First-touch memory placement: the task's pages land on the node
+        // of the core it starts on.
+        self.tasks[id.0].home_node = Some(self.topo.node_of(core));
+        self.enqueue_task(id, core, false);
+        self.drain_conds();
+        id
+    }
+
+    /// Installs (or clears) a hard single-core pin, as `sched_setaffinity`
+    /// with a one-CPU mask would. Pinning to a different core than the task
+    /// currently occupies migrates it immediately.
+    pub fn pin_task(&mut self, t: TaskId, to: Option<CoreId>) {
+        self.tasks[t.0].pinned = to;
+        if let Some(c) = to {
+            if self.tasks[t.0].core != c && self.tasks[t.0].state != TaskState::Exited {
+                self.migrate_task(t, c);
+            }
+        }
+    }
+
+    /// Moves a task to another core **immediately**, as `sched_setaffinity`
+    /// does ("without allowing the task to finish the run time remaining in
+    /// its quantum"). Pays the cache-refill stall from the cost model.
+    /// Returns false if the task cannot move (exited, same core, or
+    /// affinity-disallowed for kernel balancers).
+    pub fn migrate_task(&mut self, t: TaskId, to: CoreId) -> bool {
+        let now = self.now();
+        let from = self.tasks[t.0].core;
+        if self.tasks[t.0].state == TaskState::Exited || from == to || to.0 >= self.cores.len() {
+            return false;
+        }
+        if let Some(log) = self.migration_log.as_mut() {
+            log.push(MigrationRecord {
+                time: now,
+                task: t,
+                from,
+                to,
+            });
+        }
+        let stall = self
+            .cost
+            .migration_cost(&self.topo, from, to, self.tasks[t.0].rss_bytes);
+        match self.tasks[t.0].state {
+            TaskState::Running => {
+                // Rip it off the CPU: account the partial stretch, then move.
+                debug_assert_eq!(self.cores[from.0].current, Some(t));
+                self.cores[from.0].current = None;
+                // Invalidate the armed boundary event for the interrupted
+                // stretch: re-dispatching below arms a fresh one, and a
+                // stale live event would otherwise keep interrupting the
+                // next task at nanosecond granularity.
+                self.cores[from.0].seq += 1;
+                self.account_and_settle(t, from, now);
+                if self.tasks[t.0].state == TaskState::Exited {
+                    // The interrupted stretch completed its program.
+                    self.pick_and_dispatch(from.0, now);
+                    self.drain_conds();
+                    return false;
+                }
+                self.detach_vruntime_common(t, from);
+                self.finish_migration(t, from, to, stall, now);
+                self.pick_and_dispatch(from.0, now);
+            }
+            TaskState::Runnable => {
+                debug_assert!(self.tasks[t.0].on_queue());
+                if self.tasks[t.0].suspended {
+                    // Parked off-queue: nothing to dequeue.
+                    self.detach_vruntime_common(t, from);
+                    self.finish_migration(t, from, to, stall, now);
+                } else {
+                    let v = self.tasks[t.0].vruntime;
+                    let removed = self.cores[from.0].queue.dequeue(v, t);
+                    debug_assert!(removed, "runnable task missing from queue");
+                    self.detach_vruntime_common(t, from);
+                    self.finish_migration(t, from, to, stall, now);
+                    // The source queue shrank; its current task's slice grew.
+                    self.reschedule(from, now);
+                }
+            }
+            TaskState::Blocked => {
+                // Off-queue: just retarget; it will enqueue there on wake.
+                self.tasks[t.0].core = to;
+                self.tasks[t.0].migrations += 1;
+                self.tasks[t.0].pending_stall += stall;
+                self.total_migrations += 1;
+            }
+            TaskState::Exited => unreachable!(),
+        }
+        self.drain_conds();
+        true
+    }
+
+    /// Arms (or re-arms) a balancer timer with the given key.
+    pub fn set_balancer_timer(&mut self, key: u64, at: SimTime) {
+        let at = at.max(self.now());
+        self.events.schedule(at, Ev::BalancerTimer { key });
+    }
+
+    /// Takes a task off the runnable set even though it is logically
+    /// runnable (DWRR's "expired" queue). A running task is interrupted and
+    /// accounted first. No effect on exited tasks. Idempotent.
+    pub fn suspend_task(&mut self, t: TaskId) {
+        let now = self.now();
+        if self.tasks[t.0].suspended || self.tasks[t.0].state == TaskState::Exited {
+            return;
+        }
+        self.tasks[t.0].suspended = true;
+        match self.tasks[t.0].state {
+            TaskState::Running => {
+                let core = self.tasks[t.0].core;
+                debug_assert_eq!(self.cores[core.0].current, Some(t));
+                self.cores[core.0].current = None;
+                // Invalidate the interrupted stretch's boundary event (see
+                // migrate_task).
+                self.cores[core.0].seq += 1;
+                self.account_and_settle(t, core, now);
+                // account_and_settle leaves a still-runnable task unqueued;
+                // `suspended` keeps it that way (with detached vruntime,
+                // matching blocked tasks). If it blocked or exited the flag
+                // is simply latent until resume.
+                if self.tasks[t.0].state == TaskState::Runnable {
+                    self.detach_vruntime_common(t, core);
+                }
+                self.pick_and_dispatch(core.0, now);
+                self.drain_conds();
+            }
+            TaskState::Runnable => {
+                let v = self.tasks[t.0].vruntime;
+                let core = self.tasks[t.0].core;
+                if self.cores[core.0].queue.dequeue(v, t) {
+                    self.detach_vruntime_common(t, core);
+                    self.reschedule(core, now);
+                }
+            }
+            TaskState::Blocked => {} // stays off-queue; wake respects the flag
+            TaskState::Exited => unreachable!(),
+        }
+    }
+
+    /// Puts a suspended task back on the runnable set (on its current
+    /// core). Idempotent for non-suspended tasks.
+    pub fn resume_task(&mut self, t: TaskId) {
+        if !self.tasks[t.0].suspended {
+            return;
+        }
+        self.tasks[t.0].suspended = false;
+        if self.tasks[t.0].state == TaskState::Runnable {
+            let core = self.tasks[t.0].core;
+            let now = self.now();
+            self.attach_and_enqueue(t, core, false, now);
+        }
+    }
+
+    /// True iff the task is balancer-suspended.
+    pub fn task_suspended(&self, t: TaskId) -> bool {
+        self.tasks[t.0].suspended
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Processes a single event. Returns false when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        assert!(
+            self.events_processed < self.cfg.max_events,
+            "event budget exhausted at {} — runaway simulation?",
+            self.now()
+        );
+        match ev.event {
+            Ev::Core { core, seq } => {
+                if self.cores[core].seq == seq {
+                    self.advance_core(core, ev.time);
+                }
+            }
+            Ev::Wake { task, gen } => {
+                let t = &self.tasks[task.0];
+                if let Activity::Sleeping { gen: g, .. } = t.activity {
+                    if g == gen && t.state == TaskState::Blocked {
+                        self.wake_task(task);
+                    }
+                }
+            }
+            Ev::BalancerTimer { key } => {
+                self.with_balancer(|bal, sys| bal.on_timer(sys, key));
+            }
+        }
+        self.drain_conds();
+        self.flush_balancer_notifications();
+        true
+    }
+
+    /// Runs until the event queue is exhausted (all tasks exited and all
+    /// timers drained). Returns the final time.
+    pub fn run_to_quiescence(&mut self) -> SimTime {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Runs until `group` finishes or the system goes quiescent or `deadline`
+    /// passes. Returns the group completion time if it finished.
+    pub fn run_until_group_done(&mut self, group: GroupId, deadline: SimTime) -> Option<SimTime> {
+        loop {
+            if let Some(t) = self.groups[group.0].finished_at {
+                return Some(t);
+            }
+            match self.events.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => return self.groups[group.0].finished_at,
+            }
+        }
+    }
+
+    /// Runs until simulated `deadline` (events after it stay pending) and
+    /// advances the clock to exactly `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.events.advance_to(deadline);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn with_balancer<R>(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn Balancer>, &mut System) -> R,
+    ) -> Option<R> {
+        let mut bal = self.balancer.take()?;
+        let r = f(&mut bal, self);
+        self.balancer = Some(bal);
+        Some(r)
+    }
+
+    fn flush_balancer_notifications(&mut self) {
+        while !self.pending_desched.is_empty() || !self.pending_exits.is_empty() {
+            let desched = std::mem::take(&mut self.pending_desched);
+            let exits = std::mem::take(&mut self.pending_exits);
+            self.with_balancer(|bal, sys| {
+                for (t, c, ran) in desched {
+                    bal.on_task_descheduled(sys, t, c, ran);
+                }
+                for t in exits {
+                    bal.on_task_exit(sys, t);
+                }
+            });
+        }
+    }
+
+    /// Effective compute rate of `task` on `core` right now: core speed,
+    /// reduced while an SMT sibling is busy, divided by the NUMA
+    /// remote-memory factor.
+    fn compute_rate(&self, core: CoreId, task: TaskId) -> f64 {
+        let mut rate = self.topo.speed_of(core);
+        let sf = self.topo.smt_busy_factor();
+        if sf < 1.0 {
+            let sibling_busy = self
+                .topo
+                .smt_siblings(core)
+                .iter()
+                .any(|s| self.cores[s.0].current.is_some());
+            if sibling_busy {
+                rate *= sf;
+            }
+        }
+        if let Some(home) = self.tasks[task.0].home_node {
+            rate /= self.cost.locality_factor(&self.topo, core, home);
+        }
+        rate * self.bandwidth_factor(core, task)
+    }
+
+    /// Memory-bandwidth contention (enabled per machine): when the summed
+    /// intensity of the tasks running in a bandwidth domain exceeds the
+    /// domain's sustainable streams, the memory-bound fraction of each
+    /// task's execution is scaled down proportionally:
+    /// `rate = (1 - mi) + mi * min(1, streams / demand)`.
+    fn bandwidth_factor(&self, core: CoreId, task: TaskId) -> f64 {
+        let mi = self.tasks[task.0].mem_intensity;
+        if mi <= 0.0 || !self.topo.models_bandwidth() {
+            return 1.0;
+        }
+        let domain = self.topo.bw_domain_of(core);
+        let mut demand = mi; // self counts even while being dispatched
+        for c in self.topo.cores_in_bw_domain(domain) {
+            if c == core {
+                continue;
+            }
+            if let Some(cur) = self.cores[c.0].current {
+                demand += self.tasks[cur.0].mem_intensity;
+            }
+        }
+        let streams = self.topo.bw_streams();
+        if demand <= streams {
+            1.0
+        } else {
+            (1.0 - mi) + mi * (streams / demand)
+        }
+    }
+
+    /// Bumps the core's sequence number and posts an immediate core event.
+    fn reschedule(&mut self, core: CoreId, now: SimTime) {
+        let c = &mut self.cores[core.0];
+        c.seq += 1;
+        let seq = c.seq;
+        self.events.schedule(now, Ev::Core { core: core.0, seq });
+    }
+
+    /// Core event fired: pull the current task off the CPU, account it,
+    /// settle it, then dispatch the next one.
+    fn advance_core(&mut self, c: usize, now: SimTime) {
+        if let Some(tid) = self.cores[c].current.take() {
+            self.account_and_settle(tid, CoreId(c), now);
+            // Requeue if the task remains runnable (and not suspended).
+            let task = &mut self.tasks[tid.0];
+            if task.state == TaskState::Runnable {
+                if task.suspended {
+                    self.detach_vruntime_common(tid, CoreId(c));
+                } else {
+                    let v = task.vruntime;
+                    self.cores[c].queue.enqueue(v, tid);
+                }
+            }
+        }
+        self.pick_and_dispatch(c, now);
+    }
+
+    /// Accounts the stretch the task just ran, applies activity progress,
+    /// and walks through any completed transitions (may run the program,
+    /// block, sleep or exit the task). On return the task is in state
+    /// Runnable (not queued), Blocked, or Exited.
+    fn account_and_settle(&mut self, tid: TaskId, core: CoreId, now: SimTime) {
+        let rate = self.cores[core.0].current_rate;
+        {
+            let task = &mut self.tasks[tid.0];
+            debug_assert_eq!(task.state, TaskState::Running);
+            let ran = now.saturating_since(task.last_dispatched);
+            task.exec_total += ran;
+            task.last_ran_at = now;
+            task.vruntime += ran.as_nanos() * 1024 / task.weight as u64;
+            self.cores[core.0].busy_total += ran;
+            // Advance the queue's vruntime floor.
+            let floor = match self.cores[core.0].queue.peek_min() {
+                Some((v, _)) => v.min(task.vruntime),
+                None => task.vruntime,
+            };
+            self.cores[core.0].queue.advance_min_vruntime(floor);
+
+            // Burn the migration stall first, then make activity progress.
+            let mut wall = ran;
+            if !task.pending_stall.is_zero() {
+                let burned = task.pending_stall.min(wall);
+                task.pending_stall -= burned;
+                wall = wall.saturating_sub(burned);
+            }
+            match &mut task.activity {
+                Activity::Compute { remaining } => {
+                    let done = wall.mul_f64(rate);
+                    *remaining = remaining.saturating_sub(done);
+                }
+                Activity::SpinThenBlock { remaining_spin, .. } => {
+                    *remaining_spin = remaining_spin.saturating_sub(wall);
+                }
+                _ => {}
+            }
+            task.state = TaskState::Runnable;
+            self.pending_desched.push((tid, core, ran));
+        }
+        // A `sched_yield` completes: the yielder parks at the right edge of
+        // the queue so everyone else runs first (CFS yield_task).
+        if let Activity::YieldLoop { cond } = self.tasks[tid.0].activity {
+            if !self.conds.is_set(cond) {
+                if let Some(maxv) = self.cores[core.0].queue.max_vruntime() {
+                    let t = &mut self.tasks[tid.0];
+                    t.vruntime = t.vruntime.max(maxv + 1);
+                }
+            }
+        }
+        self.settle_task(tid, now);
+    }
+
+    /// Walks a runnable task through every transition that is already due:
+    /// finished computations, satisfied conditions, expired spin timeouts.
+    /// Calls the program as needed.
+    fn settle_task(&mut self, tid: TaskId, now: SimTime) {
+        for _ in 0..MAX_CHAINED_TRANSITIONS {
+            let due = match self.tasks[tid.0].activity {
+                Activity::Fresh => true,
+                Activity::Compute { remaining } => {
+                    remaining.is_zero() && self.tasks[tid.0].pending_stall.is_zero()
+                }
+                Activity::Spin { cond } | Activity::YieldLoop { cond } => self.conds.is_set(cond),
+                Activity::SpinThenBlock {
+                    cond,
+                    remaining_spin,
+                } => {
+                    if self.conds.is_set(cond) {
+                        true
+                    } else if remaining_spin.is_zero() {
+                        // Timeout: fall asleep on the condition.
+                        let t = &mut self.tasks[tid.0];
+                        t.activity = Activity::Blocked { cond };
+                        t.state = TaskState::Blocked;
+                        self.detach_vruntime(tid);
+                        // Waiter was registered at spin entry; keep it.
+                        return;
+                    } else {
+                        false
+                    }
+                }
+                Activity::Blocked { .. } | Activity::Sleeping { .. } | Activity::Exited => {
+                    return;
+                }
+            };
+            if !due {
+                return;
+            }
+            let directive = self.run_program(tid, now);
+            if self.apply_directive(tid, directive, now) {
+                return; // task went off-queue (blocked/sleeping/exited)
+            }
+        }
+        panic!(
+            "task {} livelocked: {MAX_CHAINED_TRANSITIONS} zero-time transitions at {now}",
+            self.tasks[tid.0].name
+        );
+    }
+
+    fn run_program(&mut self, tid: TaskId, now: SimTime) -> Directive {
+        let mut program = self.tasks[tid.0]
+            .program
+            .take()
+            .expect("program re-entered");
+        let mut rng = self.task_rng_take(tid);
+        let directive = {
+            let mut ctx = ProgramCtx {
+                now,
+                task: tid,
+                conds: &mut self.conds,
+                rng: &mut rng,
+            };
+            program.next(&mut ctx)
+        };
+        self.task_rng_store(tid, rng);
+        self.tasks[tid.0].program = Some(program);
+        directive
+    }
+
+    /// Installs the directive as the task's new activity. Returns true if
+    /// the task left the runnable set.
+    fn apply_directive(&mut self, tid: TaskId, d: Directive, now: SimTime) -> bool {
+        match d {
+            Directive::Compute(amount) => {
+                self.tasks[tid.0].activity = Activity::Compute { remaining: amount };
+                false
+            }
+            Directive::SpinUntil(cond) => {
+                self.tasks[tid.0].activity = Activity::Spin { cond };
+                if !self.conds.is_set(cond) {
+                    self.conds.add_waiter(cond, tid);
+                }
+                false
+            }
+            Directive::YieldUntil(cond) => {
+                self.tasks[tid.0].activity = Activity::YieldLoop { cond };
+                if !self.conds.is_set(cond) {
+                    self.conds.add_waiter(cond, tid);
+                }
+                false
+            }
+            Directive::SpinThenBlock { cond, spin } => {
+                self.tasks[tid.0].activity = Activity::SpinThenBlock {
+                    cond,
+                    remaining_spin: spin,
+                };
+                if !self.conds.is_set(cond) {
+                    self.conds.add_waiter(cond, tid);
+                }
+                false
+            }
+            Directive::BlockUntil(cond) => {
+                if self.conds.is_set(cond) {
+                    // Already satisfied; continue to the next directive via
+                    // the settle loop (model it as an instantly-complete
+                    // computation).
+                    self.tasks[tid.0].activity = Activity::Compute {
+                        remaining: SimDuration::ZERO,
+                    };
+                    false
+                } else {
+                    let t = &mut self.tasks[tid.0];
+                    t.activity = Activity::Blocked { cond };
+                    t.state = TaskState::Blocked;
+                    self.conds.add_waiter(cond, tid);
+                    self.detach_vruntime(tid);
+                    true
+                }
+            }
+            Directive::SleepFor(d) => {
+                let dur = d.max(self.cfg.timer_granularity);
+                let until = now + dur;
+                let t = &mut self.tasks[tid.0];
+                t.sleep_gen += 1;
+                let gen = t.sleep_gen;
+                t.activity = Activity::Sleeping { until, gen };
+                t.state = TaskState::Blocked;
+                self.detach_vruntime(tid);
+                self.events.schedule(until, Ev::Wake { task: tid, gen });
+                true
+            }
+            Directive::Exit => {
+                let t = &mut self.tasks[tid.0];
+                t.activity = Activity::Exited;
+                t.state = TaskState::Exited;
+                t.exited_at = Some(now);
+                let g = t.group;
+                let group = &mut self.groups[g.0];
+                group.live -= 1;
+                if group.live == 0 {
+                    group.finished_at = Some(now);
+                }
+                self.pending_exits.push(tid);
+                true
+            }
+        }
+    }
+
+    /// CFS-style vruntime normalization when a task leaves a queue.
+    fn detach_vruntime(&mut self, tid: TaskId) {
+        let core = self.tasks[tid.0].core;
+        self.detach_vruntime_common(tid, core);
+    }
+
+    fn detach_vruntime_common(&mut self, tid: TaskId, core: CoreId) {
+        let min = self.cores[core.0].queue.min_vruntime();
+        let t = &mut self.tasks[tid.0];
+        t.vruntime = t.vruntime.saturating_sub(min);
+    }
+
+    fn finish_migration(
+        &mut self,
+        tid: TaskId,
+        _from: CoreId,
+        to: CoreId,
+        stall: SimDuration,
+        now: SimTime,
+    ) {
+        {
+            let t = &mut self.tasks[tid.0];
+            t.migrations += 1;
+            t.pending_stall += stall;
+            t.state = TaskState::Runnable;
+        }
+        self.total_migrations += 1;
+        self.attach_and_enqueue(tid, to, false, now);
+    }
+
+    /// Wakes a blocked task: picks a wake core (balancer hook), enqueues
+    /// with sleeper credit, and preempts if warranted.
+    fn wake_task(&mut self, tid: TaskId) {
+        let now = self.now();
+        debug_assert_eq!(self.tasks[tid.0].state, TaskState::Blocked);
+        self.tasks[tid.0].wakeups += 1;
+        // Next directive runs when dispatched.
+        self.tasks[tid.0].activity = Activity::Fresh;
+        let chosen = self
+            .with_balancer(|bal, sys| bal.select_wake_core(sys, tid))
+            .unwrap_or(self.tasks[tid.0].core);
+        let core = if self.tasks[tid.0].may_run_on(chosen) {
+            chosen
+        } else {
+            self.first_allowed_core(tid)
+        };
+        self.tasks[tid.0].state = TaskState::Runnable;
+        self.attach_and_enqueue(tid, core, true, now);
+    }
+
+    /// Enqueues a detached task on `core` (attaching vruntime, optionally
+    /// with sleeper credit) and triggers dispatch/preemption.
+    fn attach_and_enqueue(&mut self, tid: TaskId, core: CoreId, sleeper: bool, now: SimTime) {
+        if self.tasks[tid.0].suspended {
+            // Stays logically runnable but parked (DWRR expired) with its
+            // vruntime detached; `resume` attaches and enqueues it.
+            self.tasks[tid.0].core = core;
+            return;
+        }
+        let min = self.cores[core.0].queue.min_vruntime();
+        {
+            let t = &mut self.tasks[tid.0];
+            t.core = core;
+            t.vruntime = t.vruntime.saturating_add(min);
+            if sleeper {
+                let credit = self.cfg.sleeper_credit.as_nanos();
+                t.vruntime = t.vruntime.max(min.saturating_sub(credit));
+            }
+        }
+        let v = self.tasks[tid.0].vruntime;
+        self.cores[core.0].queue.enqueue(v, tid);
+        match self.cores[core.0].current {
+            None => self.reschedule(core, now),
+            Some(cur) => {
+                let gran = self.cfg.wakeup_granularity.as_nanos();
+                if v.saturating_add(gran) < self.tasks[cur.0].vruntime {
+                    self.reschedule(core, now);
+                } else {
+                    // The running task's slice shrank with the longer queue;
+                    // re-arm its boundary.
+                    self.rearm_current(core, now);
+                }
+            }
+        }
+    }
+
+    /// Spawn-time placement helper: attach a fresh task (vruntime starts at
+    /// the queue floor so it is neither penalized nor favored).
+    fn enqueue_task(&mut self, tid: TaskId, core: CoreId, sleeper: bool) {
+        let now = self.now();
+        self.tasks[tid.0].vruntime = 0;
+        self.attach_and_enqueue(tid, core, sleeper, now);
+    }
+
+    /// Re-arms the running task's boundary event without descheduling it
+    /// (used when queue length changes under it).
+    fn rearm_current(&mut self, core: CoreId, now: SimTime) {
+        if self.cores[core.0].current.is_some() {
+            // Cheap and safe: treat as a reschedule; accounting is exact and
+            // the min-vruntime task (likely the same) is re-dispatched.
+            self.reschedule(core, now);
+        }
+    }
+
+    /// Picks the next task for an empty CPU and arms its boundary event.
+    fn pick_and_dispatch(&mut self, c: usize, now: SimTime) {
+        debug_assert!(self.cores[c].current.is_none());
+        loop {
+            let Some((_v, tid)) = self.cores[c].queue.pop_min() else {
+                // Queue empty: newidle balancing may refill it.
+                self.with_balancer(|bal, sys| bal.on_core_idle(sys, CoreId(c)));
+                if let Some((_v2, tid2)) = self.cores[c].queue.pop_min() {
+                    if self.try_dispatch(c, tid2, now) {
+                        return;
+                    }
+                    continue;
+                }
+                // Truly idle.
+                self.update_busy_flag(c, now);
+                return;
+            };
+            if self.try_dispatch(c, tid, now) {
+                return;
+            }
+        }
+    }
+
+    /// Reconciles the core's stable busy flag with its actual occupancy;
+    /// notifies SMT siblings only on a real transition. Called at the end
+    /// of every dispatch cycle, so same-instant deschedule/redispatch pairs
+    /// do not generate notification ping-pong.
+    fn update_busy_flag(&mut self, c: usize, now: SimTime) {
+        let busy = self.cores[c].current.is_some();
+        if self.cores[c].busy_flag != busy {
+            self.cores[c].busy_flag = busy;
+            self.notify_smt_change(CoreId(c), now);
+        }
+    }
+
+    /// Settles a picked task; dispatches it if it is still runnable.
+    /// Returns true when the CPU is now occupied.
+    fn try_dispatch(&mut self, c: usize, tid: TaskId, now: SimTime) -> bool {
+        // The task may have been released/blocked/exited while queued.
+        self.settle_task(tid, now);
+        let state = self.tasks[tid.0].state;
+        if state != TaskState::Runnable {
+            return false;
+        }
+        let core = CoreId(c);
+        self.tasks[tid.0].state = TaskState::Running;
+        self.tasks[tid.0].last_dispatched = now;
+        self.tasks[tid.0].core = core;
+        self.cores[c].current = Some(tid);
+        self.cores[c].nr_switches += 1;
+        self.cores[c].current_rate = self.compute_rate(core, tid);
+        self.update_busy_flag(c, now);
+        self.arm_boundary(c, now);
+        true
+    }
+
+    /// Computes and schedules the running task's next boundary event.
+    fn arm_boundary(&mut self, c: usize, now: SimTime) {
+        let tid = self.cores[c].current.expect("arming idle core");
+        let nr = self.cores[c].nr_running();
+        let rate = self.cores[c].current_rate;
+        let stall = self.tasks[tid.0].pending_stall;
+        let activity_wall: Option<SimDuration> = match self.tasks[tid.0].activity {
+            Activity::Compute { remaining } => {
+                debug_assert!(rate > 0.0, "dispatched on a zero-speed core");
+                Some(stall + remaining.mul_f64(1.0 / rate))
+            }
+            Activity::Spin { .. } => None, // released externally
+            Activity::SpinThenBlock { remaining_spin, .. } => Some(stall + remaining_spin),
+            Activity::YieldLoop { .. } => {
+                if self.cores[c].queue.is_empty() {
+                    // A lone yielder degenerates to a spinner: sched_yield
+                    // returns immediately with nobody to yield to.
+                    None
+                } else {
+                    Some(self.cfg.yield_cost)
+                }
+            }
+            Activity::Fresh
+            | Activity::Blocked { .. }
+            | Activity::Sleeping { .. }
+            | Activity::Exited => unreachable!("dispatched unsettled task"),
+        };
+        let slice_wall: Option<SimDuration> = if nr > 1 {
+            Some(self.cfg.slice_for(nr))
+        } else {
+            None
+        };
+        let mut boundary = match (activity_wall, slice_wall) {
+            (Some(a), Some(s)) => Some(a.min(s)),
+            (Some(a), None) => Some(a),
+            (None, Some(s)) => Some(s),
+            (None, None) => None, // external events will reschedule us
+        };
+        // Bandwidth contention changes with what the *other* cores run;
+        // rates are sampled at dispatch, so bandwidth-sensitive tasks
+        // resample on a short tick to bound the staleness.
+        if self.topo.models_bandwidth() && self.tasks[tid.0].mem_intensity > 0.0 {
+            let tick = SimDuration::from_millis(5);
+            boundary = Some(boundary.map_or(tick, |b| b.min(tick)));
+        }
+        if let Some(b) = boundary {
+            // Never arm a zero-delay boundary: settle() guarantees pending
+            // work, but a fully-stalled zero slice could otherwise loop.
+            let b = b.max(SimDuration::from_nanos(1));
+            let seq = self.cores[c].seq;
+            self.events.schedule(now + b, Ev::Core { core: c, seq });
+        }
+    }
+
+    /// On SMT machines a core going busy/idle changes its siblings' compute
+    /// rates; re-arm them.
+    fn notify_smt_change(&mut self, core: CoreId, now: SimTime) {
+        if self.topo.smt_busy_factor() >= 1.0 {
+            return;
+        }
+        for sib in self.topo.smt_siblings(core) {
+            if self.cores[sib.0].current.is_some() {
+                self.reschedule(sib, now);
+            }
+        }
+    }
+
+    /// Delivers set conditions: wakes blocked waiters and reschedules cores
+    /// whose running task was spin/yield-waiting on a now-set condition.
+    fn drain_conds(&mut self) {
+        loop {
+            let drained = self.conds.drain_pending();
+            if drained.is_empty() {
+                return;
+            }
+            for (cond, waiters) in drained {
+                for tid in waiters {
+                    match self.tasks[tid.0].activity {
+                        Activity::Blocked { cond: c2 } if c2 == cond => {
+                            self.wake_task(tid);
+                        }
+                        Activity::Spin { cond: c2 }
+                        | Activity::YieldLoop { cond: c2 }
+                        | Activity::SpinThenBlock { cond: c2, .. }
+                            // A running waiter advances right now. A queued
+                            // waiter normally advances at its next dispatch,
+                            // but its core may have parked its boundary (a
+                            // degenerate all-yielders queue), so reschedule
+                            // the core in both cases.
+                            if c2 == cond && self.tasks[tid.0].on_queue() =>
+                        {
+                            let core = self.tasks[tid.0].core;
+                            self.reschedule(core, self.now());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // wake_task may run balancer hooks but cannot set conditions;
+            // programs settled during subsequent dispatches post new events
+            // rather than recursing here. One extra loop iteration catches
+            // conditions set by exit-notification side effects.
+        }
+    }
+
+    // Per-task RNG storage. Kept out of `Task` construction hot paths.
+    fn task_rng_take(&mut self, tid: TaskId) -> SimRng {
+        self.task_rngs
+            .get_mut(tid.0)
+            .and_then(Option::take)
+            .expect("task rng missing")
+    }
+
+    fn task_rng_store(&mut self, tid: TaskId, rng: SimRng) {
+        if self.task_rngs.len() <= tid.0 {
+            self.task_rngs.resize_with(tid.0 + 1, || None);
+        }
+        self.task_rngs[tid.0] = Some(rng);
+    }
+}

@@ -1,0 +1,232 @@
+//! Task state: everything the scheduler and the balancers know about one
+//! thread.
+
+use crate::cond::CondId;
+use crate::program::Program;
+use serde::{Deserialize, Serialize};
+use speedbal_machine::{CoreId, NodeId};
+use speedbal_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Handle to a task (thread). Linux "does not differentiate between threads
+/// and processes: these are all tasks" — neither do we.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Coarse lifecycle state, as a balancer would see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// On a run queue, not currently executing.
+    Runnable,
+    /// Currently executing on its core.
+    Running,
+    /// Off the run queue (sleeping / blocked on a condition).
+    Blocked,
+    /// Finished.
+    Exited,
+}
+
+/// What the task is currently spending its scheduled time on. Internal to
+/// the scheduler; balancers see only [`TaskState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Activity {
+    /// Newly spawned; `Program::next` has not run yet.
+    Fresh,
+    /// Computing; `remaining` is nominal-speed time left.
+    Compute { remaining: SimDuration },
+    /// Busy-wait on a condition.
+    Spin { cond: CondId },
+    /// `sched_yield` loop on a condition.
+    YieldLoop { cond: CondId },
+    /// Spin with a timeout, then block (Intel OpenMP `KMP_BLOCKTIME`).
+    SpinThenBlock {
+        cond: CondId,
+        remaining_spin: SimDuration,
+    },
+    /// Blocked on a condition (off the run queue).
+    Blocked { cond: CondId },
+    /// Timed sleep until the given instant (off the run queue).
+    Sleeping { until: SimTime, gen: u64 },
+    /// Done.
+    Exited,
+}
+
+/// One simulated thread.
+pub(crate) struct Task {
+    pub id: TaskId,
+    pub name: String,
+    pub group: crate::system::GroupId,
+    pub state: TaskState,
+    pub activity: Activity,
+    /// Core whose run queue the task belongs to (meaningful unless Exited).
+    pub core: CoreId,
+    /// If set, the task may only run on this core (a `sched_setaffinity`
+    /// single-CPU mask: what both PINNED mode and the user-level speed
+    /// balancer install). The kernel-level balancers must not move it.
+    pub pinned: Option<CoreId>,
+    /// Set of cores the task may use when not hard-pinned (a `taskset`-style
+    /// mask). `None` = all cores.
+    pub allowed: Option<Vec<CoreId>>,
+    /// CFS virtual runtime, nanoseconds scaled by weight.
+    pub vruntime: u64,
+    /// CFS load weight (1024 = nice 0).
+    pub weight: u32,
+    /// Total CPU time consumed (utime+stime equivalent).
+    pub exec_total: SimDuration,
+    /// When the task was last put on a CPU (valid while Running).
+    pub last_dispatched: SimTime,
+    /// When the task last came off a CPU.
+    pub last_ran_at: SimTime,
+    /// Number of cross-core migrations so far (speed balancing picks the
+    /// least-migrated candidate to avoid "hot-potato" tasks).
+    pub migrations: u64,
+    /// Number of times the task has been woken from sleep.
+    pub wakeups: u64,
+    /// NUMA node holding the task's memory (first-touch).
+    pub home_node: Option<NodeId>,
+    /// Resident set size, for the migration cost model.
+    pub rss_bytes: u64,
+    /// Fraction of this task's execution that is memory-bandwidth bound
+    /// (0.0 = pure compute, 1.0 = streaming). Drives the bandwidth
+    /// contention model on machines that enable it.
+    pub mem_intensity: f64,
+    /// Outstanding cache-refill stall to burn before useful work continues.
+    pub pending_stall: SimDuration,
+    /// Suspended by a balancer (DWRR's expired queue): kept off the run
+    /// queue even while logically runnable, until resumed.
+    pub suspended: bool,
+    /// The thread body; taken out temporarily while `next()` runs.
+    pub program: Option<Box<dyn Program>>,
+    pub spawned_at: SimTime,
+    pub exited_at: Option<SimTime>,
+    /// Generation counter for timed sleeps, to invalidate stale wake events.
+    pub sleep_gen: u64,
+}
+
+impl Task {
+    /// True if the task occupies a run-queue slot (running or runnable) —
+    /// i.e. it counts toward Linux's notion of load.
+    pub fn on_queue(&self) -> bool {
+        matches!(self.state, TaskState::Runnable | TaskState::Running)
+    }
+
+    /// True if the task may be placed on `core` given its affinity mask.
+    pub fn may_run_on(&self, core: CoreId) -> bool {
+        if let Some(p) = self.pinned {
+            return p == core;
+        }
+        match &self.allowed {
+            Some(mask) => mask.contains(&core),
+            None => true,
+        }
+    }
+
+    /// CPU time consumed as of `now`, including the in-flight stretch if the
+    /// task is currently on a CPU. This is what `/proc/<tid>/stat` would
+    /// report.
+    pub fn exec_total_at(&self, now: SimTime) -> SimDuration {
+        if self.state == TaskState::Running {
+            self.exec_total + now.saturating_since(self.last_dispatched)
+        } else {
+            self.exec_total
+        }
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .field("activity", &self.activity)
+            .field("core", &self.core)
+            .field("vruntime", &self.vruntime)
+            .field("exec_total", &self.exec_total)
+            .field("migrations", &self.migrations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_task() -> Task {
+        Task {
+            id: TaskId(1),
+            name: "x".into(),
+            group: crate::system::GroupId(0),
+            state: TaskState::Runnable,
+            activity: Activity::Fresh,
+            core: CoreId(0),
+            pinned: None,
+            allowed: None,
+            vruntime: 0,
+            weight: 1024,
+            exec_total: SimDuration::ZERO,
+            last_dispatched: SimTime::ZERO,
+            last_ran_at: SimTime::ZERO,
+            migrations: 0,
+            wakeups: 0,
+            home_node: None,
+            rss_bytes: 0,
+            mem_intensity: 0.0,
+            pending_stall: SimDuration::ZERO,
+            suspended: false,
+            program: None,
+            spawned_at: SimTime::ZERO,
+            exited_at: None,
+            sleep_gen: 0,
+        }
+    }
+
+    #[test]
+    fn on_queue_classification() {
+        let mut t = mk_task();
+        assert!(t.on_queue());
+        t.state = TaskState::Running;
+        assert!(t.on_queue());
+        t.state = TaskState::Blocked;
+        assert!(!t.on_queue());
+        t.state = TaskState::Exited;
+        assert!(!t.on_queue());
+    }
+
+    #[test]
+    fn pinning_overrides_mask() {
+        let mut t = mk_task();
+        assert!(t.may_run_on(CoreId(5)));
+        t.allowed = Some(vec![CoreId(0), CoreId(1)]);
+        assert!(t.may_run_on(CoreId(1)));
+        assert!(!t.may_run_on(CoreId(5)));
+        t.pinned = Some(CoreId(7));
+        assert!(t.may_run_on(CoreId(7)));
+        assert!(!t.may_run_on(CoreId(0)));
+    }
+
+    #[test]
+    fn exec_total_includes_running_stretch() {
+        let mut t = mk_task();
+        t.exec_total = SimDuration::from_millis(10);
+        t.state = TaskState::Running;
+        t.last_dispatched = SimTime::from_millis(100);
+        assert_eq!(
+            t.exec_total_at(SimTime::from_millis(107)),
+            SimDuration::from_millis(17)
+        );
+        t.state = TaskState::Runnable;
+        assert_eq!(
+            t.exec_total_at(SimTime::from_millis(107)),
+            SimDuration::from_millis(10)
+        );
+    }
+}

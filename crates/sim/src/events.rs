@@ -1,0 +1,283 @@
+//! Deterministic pending-event set.
+//!
+//! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
+//! sequence number is assigned at insertion, so two events scheduled for the
+//! same instant pop in insertion order — the property that makes whole-system
+//! replays bit-identical.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus its scheduled time, as returned by [`EventQueue::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    pub time: SimTime,
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-queue of future events ordered by time, FIFO within a single
+/// instant.
+///
+/// The queue enforces monotonicity: popping advances an internal clock and
+/// scheduling an event before that clock is a logic error that panics in all
+/// builds (a simulator that time-travels produces silently wrong results,
+/// which is far worse than a crash).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`. Panics if `at` is in the
+    /// past.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled an event in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event and advances the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap order violated");
+        self.now = entry.time;
+        Some(ScheduledEvent {
+            time: entry.time,
+            event: entry.event,
+        })
+    }
+
+    /// Discards every pending event (used when tearing a simulation down
+    /// early).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Advances the clock to `t` without processing events. Panics if an
+    /// event earlier than `t` is still pending (that event must be popped
+    /// first). Used to settle the clock at a run deadline when the next
+    /// event lies beyond it.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if let Some(p) = self.peek_time() {
+            assert!(p >= t, "advance_to({t}) would skip a pending event at {p}");
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(1));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(9), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 1);
+        q.pop();
+        q.schedule(q.now(), 2); // immediate follow-up event
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        for i in 0..5u32 {
+            q.schedule(SimTime::from_nanos(i as u64), i);
+        }
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), "first");
+        let e = q.pop().unwrap();
+        assert_eq!(e.event, "first");
+        q.schedule(e.time + SimDuration::from_millis(1), "second");
+        assert_eq!(q.pop().unwrap().event, "second");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the insertion order, pops come out sorted by time, and
+        /// same-time events preserve insertion order (stable).
+        #[test]
+        fn pops_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(*t), (*t, i));
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some(e) = q.pop() {
+                let (t, i) = e.event;
+                prop_assert_eq!(SimTime::from_nanos(t), e.time);
+                if let Some((lt, li)) = last {
+                    prop_assert!(e.time >= lt);
+                    if e.time == lt {
+                        prop_assert!(i > li, "FIFO within an instant");
+                    }
+                }
+                last = Some((e.time, i));
+            }
+        }
+
+        /// The clock equals the time of the last popped event and never
+        /// regresses across interleaved schedule/pop sequences.
+        #[test]
+        fn clock_monotone_under_interleaving(
+            ops in proptest::collection::vec((0u64..1000, any::<bool>()), 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            let mut max_seen = SimTime::ZERO;
+            for (t, do_pop) in ops {
+                let at = q.now() + crate::time::SimDuration::from_nanos(t);
+                q.schedule(at, ());
+                if do_pop {
+                    let e = q.pop().unwrap();
+                    prop_assert!(e.time >= max_seen);
+                    max_seen = e.time;
+                    prop_assert_eq!(q.now(), e.time);
+                }
+            }
+        }
+    }
+}

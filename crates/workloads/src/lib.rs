@@ -1,0 +1,15 @@
+//! NAS-Parallel-Benchmark-like workload catalogue.
+//!
+//! The paper evaluates UPC/OpenMP/MPI NPB codes (classes S–C) whose
+//! behaviour, for scheduling purposes, is characterized by three numbers
+//! reported in Table 2: the **resident set size** per core, the
+//! **inter-barrier computation time** (granularity `S`), and near-perfect
+//! internal balance. We reproduce each benchmark as a synthetic SPMD
+//! profile with those published parameters; total run lengths are scaled
+//! down (~seconds instead of tens of seconds) without touching the
+//! granularity, which is the parameter the balancing analysis actually
+//! depends on.
+
+pub mod npb;
+
+pub use npb::{bt_a, cg_b, ep, ep_modified, ft_b, is_c, npb, npb_suite, sp_a, NpbSpec};

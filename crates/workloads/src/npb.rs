@@ -1,0 +1,261 @@
+//! The benchmark profiles of Table 2 (plus EP, the paper's microscope).
+
+use serde::{Deserialize, Serialize};
+use speedbal_apps::{SpmdConfig, WaitMode};
+use speedbal_sim::SimDuration;
+
+/// Profile of one NAS benchmark configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NpbSpec {
+    /// Benchmark.class, e.g. "ft.B".
+    pub name: &'static str,
+    /// Average resident set size per core (Table 2's RSS column).
+    pub rss_per_thread_bytes: u64,
+    /// Inter-barrier computation time per thread *at the reference thread
+    /// count* (Table 2's inter-barrier time, measured with 16 threads; we
+    /// use the UPC column where both are reported).
+    pub inter_barrier: SimDuration,
+    /// Serial work of the whole (scaled-down) problem. NPB is strong
+    /// scaling: `threads` threads each do `total_work / threads`.
+    pub total_work: SimDuration,
+    /// Natural per-phase imbalance (NPB kernels are well balanced).
+    pub imbalance: f64,
+    /// Thread count at which `inter_barrier` was measured (16 for the
+    /// Table 2 catalogue).
+    pub reference_threads: usize,
+    /// Memory-bandwidth intensity in [0, 1], calibrated so the simulated
+    /// 16-core speedups land near Table 2's (Tigerton's single FSB vs
+    /// Barcelona's four memory controllers).
+    pub mem_intensity: f64,
+}
+
+impl NpbSpec {
+    /// Number of barrier phases (a property of the problem, independent of
+    /// how many threads divide it): per-thread work at the reference
+    /// thread count divided by the reference granularity.
+    pub fn phases(&self, scale: f64) -> u64 {
+        let per_thread = self.total_work.mul_f64(scale) / self.reference_threads as u64;
+        (per_thread.as_nanos() / self.inter_barrier.as_nanos().max(1)).max(1)
+    }
+
+    /// Builds the SPMD configuration for `threads` threads with the given
+    /// barrier wait policy, at run-length scale `scale` (1.0 = the
+    /// profile's nominal seconds-long run; smaller = faster simulation,
+    /// same granularity). Strong scaling: the problem's work is divided
+    /// over the phases and threads.
+    pub fn spmd(&self, threads: usize, wait: WaitMode, scale: f64) -> SpmdConfig {
+        assert!(scale > 0.0);
+        let phases = self.phases(scale);
+        let per_phase = self.total_work.mul_f64(scale) / threads as u64 / phases;
+        SpmdConfig {
+            threads,
+            phases,
+            work_per_phase: per_phase,
+            imbalance: self.imbalance,
+            wait,
+            rss_per_thread: self.rss_per_thread_bytes,
+            mem_intensity: self.mem_intensity,
+        }
+    }
+
+    /// Serial execution time of the whole problem (the numerator of
+    /// speedup curves), barriers excluded.
+    pub fn serial_time(&self, scale: f64) -> SimDuration {
+        self.total_work.mul_f64(scale)
+    }
+}
+
+const GB: u64 = 1 << 30;
+const MB: u64 = 1 << 20;
+
+/// EP ("embarrassingly parallel"): negligible memory, no synchronization
+/// until the final reduction. "A good test case for the efficiency of load
+/// balancing mechanisms."
+pub fn ep() -> NpbSpec {
+    NpbSpec {
+        name: "ep.C",
+        rss_per_thread_bytes: 4 * MB,
+        // One long phase per thread; the barrier only at the end.
+        inter_barrier: SimDuration::from_millis(2000),
+        total_work: SimDuration::from_secs(32),
+        imbalance: 0.0,
+        reference_threads: 16,
+        mem_intensity: 0.0, // "uses negligible memory"
+    }
+}
+
+/// The modified EP of §6.1 / Figure 2: same negligible footprint, barriers
+/// inserted every `inter_barrier` of computation.
+pub fn ep_modified(
+    inter_barrier: SimDuration,
+    per_thread_work: SimDuration,
+    threads: usize,
+) -> NpbSpec {
+    NpbSpec {
+        name: "ep.mod",
+        rss_per_thread_bytes: 4 * MB,
+        inter_barrier,
+        total_work: per_thread_work * threads as u64,
+        imbalance: 0.0,
+        reference_threads: threads,
+        mem_intensity: 0.0,
+    }
+}
+
+/// bt.A: small footprint, fine-grained barriers.
+pub fn bt_a() -> NpbSpec {
+    NpbSpec {
+        name: "bt.A",
+        rss_per_thread_bytes: (0.4 * GB as f64 / 16.0) as u64 * 16, // 0.4 GB/core
+        inter_barrier: SimDuration::from_millis(10),
+        total_work: SimDuration::from_secs(40),
+        imbalance: 0.02,
+        reference_threads: 16,
+        mem_intensity: 0.96, // Table 2: 4.6x at 16 Tigerton cores
+    }
+}
+
+/// cg.B: "performs barrier synchronization every 4 ms".
+pub fn cg_b() -> NpbSpec {
+    NpbSpec {
+        name: "cg.B",
+        rss_per_thread_bytes: GB,
+        inter_barrier: SimDuration::from_millis(4),
+        total_work: SimDuration::from_secs(32),
+        imbalance: 0.02,
+        reference_threads: 16,
+        mem_intensity: 0.90,
+    }
+}
+
+/// ft.B: large memory (5.6 GB/core RSS), coarse barriers (73 ms).
+pub fn ft_b() -> NpbSpec {
+    NpbSpec {
+        name: "ft.B",
+        rss_per_thread_bytes: (5.6 * GB as f64) as u64,
+        inter_barrier: SimDuration::from_millis(73),
+        total_work: SimDuration::from_millis(46_720),
+        imbalance: 0.02,
+        reference_threads: 16,
+        mem_intensity: 0.92, // Table 2: 5.3x / 10.5x
+    }
+}
+
+/// is.C: integer sort, 3.1 GB/core, 44 ms granularity.
+pub fn is_c() -> NpbSpec {
+    NpbSpec {
+        name: "is.C",
+        rss_per_thread_bytes: (3.1 * GB as f64) as u64,
+        inter_barrier: SimDuration::from_millis(44),
+        total_work: SimDuration::from_millis(42_240),
+        imbalance: 0.03,
+        reference_threads: 16,
+        mem_intensity: 0.95, // Table 2: 4.8x / 8.4x
+    }
+}
+
+/// sp.A: tiny footprint, very fine barriers (2 ms).
+pub fn sp_a() -> NpbSpec {
+    NpbSpec {
+        name: "sp.A",
+        rss_per_thread_bytes: (0.1 * GB as f64) as u64,
+        inter_barrier: SimDuration::from_millis(2),
+        total_work: SimDuration::from_secs(32),
+        imbalance: 0.02,
+        reference_threads: 16,
+        mem_intensity: 0.80, // Table 2: 7.2x / 12.4x
+    }
+}
+
+/// Looks a profile up by name ("ep.C", "bt.A", "cg.B", "ft.B", "is.C",
+/// "sp.A").
+pub fn npb(name: &str) -> Option<NpbSpec> {
+    match name {
+        "ep.C" => Some(ep()),
+        "bt.A" => Some(bt_a()),
+        "cg.B" => Some(cg_b()),
+        "ft.B" => Some(ft_b()),
+        "is.C" => Some(is_c()),
+        "sp.A" => Some(sp_a()),
+        _ => None,
+    }
+}
+
+/// The representative sample of Table 2 (the "combined UPC workload").
+pub fn npb_suite() -> Vec<NpbSpec> {
+    vec![bt_a(), cg_b(), ft_b(), is_c(), sp_a()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_consistent() {
+        for spec in npb_suite() {
+            assert!(spec.inter_barrier <= spec.total_work);
+            assert!(spec.phases(1.0) >= 1);
+            assert!(npb(spec.name).is_some());
+            assert_eq!(npb(spec.name).unwrap().name, spec.name);
+        }
+        assert!(npb("xx.Z").is_none());
+    }
+
+    #[test]
+    fn granularities_match_table2() {
+        assert_eq!(ft_b().inter_barrier, SimDuration::from_millis(73));
+        assert_eq!(is_c().inter_barrier, SimDuration::from_millis(44));
+        assert_eq!(sp_a().inter_barrier, SimDuration::from_millis(2));
+        assert_eq!(cg_b().inter_barrier, SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn phases_scale_linearly() {
+        let s = cg_b();
+        assert_eq!(s.phases(1.0), 500);
+        assert_eq!(s.phases(0.1), 50);
+        assert_eq!(s.phases(0.0001), 1, "at least one phase");
+    }
+
+    #[test]
+    fn spmd_config_carries_profile() {
+        let cfg = ft_b().spmd(16, WaitMode::Yield, 0.5);
+        assert_eq!(cfg.threads, 16);
+        assert_eq!(cfg.phases, 20);
+        assert_eq!(cfg.work_per_phase, SimDuration::from_millis(73));
+        assert_eq!(cfg.wait, WaitMode::Yield);
+        assert_eq!(cfg.rss_per_thread, ft_b().rss_per_thread_bytes);
+    }
+
+    #[test]
+    fn serial_time_for_speedups() {
+        let s = ep();
+        assert_eq!(s.serial_time(1.0), SimDuration::from_secs(32));
+        assert_eq!(s.serial_time(0.5), SimDuration::from_secs(16));
+    }
+
+    #[test]
+    fn strong_scaling_divides_work() {
+        let s = ep();
+        // 16 threads: 2 s per thread, 1 phase each.
+        let c16 = s.spmd(16, WaitMode::Spin, 1.0);
+        assert_eq!(c16.phases, 1);
+        assert_eq!(c16.work_per_phase, SimDuration::from_secs(2));
+        // 8 threads: 4 s per thread.
+        let c8 = s.spmd(8, WaitMode::Spin, 1.0);
+        assert_eq!(c8.work_per_phase, SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn ep_modified_sets_granularity() {
+        let m = ep_modified(
+            SimDuration::from_micros(50),
+            SimDuration::from_millis(100),
+            3,
+        );
+        assert_eq!(m.phases(1.0), 2000);
+        // Per-thread work honours the declared thread count.
+        let cfg = m.spmd(3, WaitMode::Spin, 1.0);
+        assert_eq!(cfg.work_per_phase, SimDuration::from_micros(50));
+    }
+}

@@ -1,0 +1,49 @@
+//! Barrier implementations × balancers (paper §6.2).
+//!
+//! Run with `cargo run --release --example barrier_showdown`.
+//!
+//! How a runtime waits at a barrier decides what the OS balancer can see:
+//! `sched_yield` waiters stay on the run queue (Linux sees balance where
+//! there is none), sleepers leave it (Linux can help). With speed
+//! balancing the wait policy stops mattering — "identical levels of
+//! performance can be achieved by calling only sched_yield".
+
+use speedbal::prelude::*;
+
+fn main() {
+    // Oversubscribed: 16 threads on 12 cores, cg.B's 4 ms barriers.
+    let spec = npb("cg.B").expect("catalogued");
+    let scale = 0.1;
+    let modes: [(&str, WaitMode); 4] = [
+        ("spin (poll, KMP_BLOCKTIME=infinite)", WaitMode::Spin),
+        ("yield (sched_yield, UPC/MPI default)", WaitMode::Yield),
+        ("sleep (block/futex)", WaitMode::Block),
+        (
+            "spin-then-sleep (KMP default 200ms)",
+            WaitMode::kmp_default(),
+        ),
+    ];
+
+    println!("cg.B, 16 threads on 12 tigerton cores, 5 repeats\n");
+    println!(
+        "{:<38} {:>9} {:>9} {:>11}",
+        "barrier implementation", "LOAD(s)", "SPEED(s)", "LOAD/SPEED"
+    );
+    for (label, wait) in modes {
+        let app = spec.spmd(16, wait, scale);
+        let load = run_scenario(
+            &Scenario::new(Machine::Tigerton, 12, Policy::Load, app.clone()).repeats(5),
+        );
+        let speed =
+            run_scenario(&Scenario::new(Machine::Tigerton, 12, Policy::Speed, app).repeats(5));
+        println!(
+            "{:<38} {:>9.3} {:>9.3} {:>11.2}",
+            label,
+            load.completion.mean(),
+            speed.completion.mean(),
+            load.completion.mean() / speed.completion.mean()
+        );
+    }
+    println!("\nUnder LOAD the choice of barrier is a performance knob the");
+    println!("application must tune; under SPEED the rows converge.");
+}

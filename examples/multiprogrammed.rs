@@ -1,0 +1,75 @@
+//! Non-dedicated environments (paper §6.3 / Figures 5–6): the parallel
+//! application shares the machine with other work.
+//!
+//! Run with `cargo run --release --example multiprogrammed`.
+
+use speedbal::prelude::*;
+
+fn main() {
+    let spec = ep();
+    let scale = 0.1;
+    let serial = spec.serial_time(scale).as_secs_f64();
+
+    // --- Figure 5 flavour: a cpu-hog pinned to core 0. -----------------
+    println!("EP (16 threads) + cpu-hog pinned to core 0, on N tigerton cores");
+    println!("(17 total tasks: a prime — no static balance exists)\n");
+    println!(
+        "{:>5} {:>14} {:>10} {:>10} {:>10}",
+        "cores", "One-per-core", "PINNED", "LOAD", "SPEED"
+    );
+    for cores in [4usize, 8, 12, 16] {
+        let mut row = format!("{cores:>5}");
+        // One thread per core, so the hog permanently halves core 0.
+        let opc = run_scenario(
+            &Scenario::new(
+                Machine::Tigerton,
+                cores,
+                Policy::Pinned,
+                spec.spmd(cores, WaitMode::Spin, scale),
+            )
+            .competitors(vec![Competitor::CpuHog { core: 0 }])
+            .repeats(3),
+        );
+        row += &format!(" {:>14.2}", serial / opc.completion.mean());
+        for policy in [Policy::Pinned, Policy::Load, Policy::Speed] {
+            let res = run_scenario(
+                &Scenario::new(
+                    Machine::Tigerton,
+                    cores,
+                    policy,
+                    spec.spmd(16, WaitMode::Yield, scale),
+                )
+                .competitors(vec![Competitor::CpuHog { core: 0 }])
+                .repeats(3),
+            );
+            row += &format!(" {:>10.2}", serial / res.completion.mean());
+        }
+        println!("{row}");
+    }
+    println!("(numbers are speedups vs serial; the hog costs everyone, but");
+    println!(" SPEED spreads the pain instead of letting one thread eat it)\n");
+
+    // --- Figure 6 flavour: sharing with make -j. ------------------------
+    println!("cg.B (16 threads) on 16 cores + `make -j8`-like batch build:");
+    let cg = npb("cg.B").unwrap();
+    for (label, policy) in [("LOAD", Policy::Load), ("SPEED", Policy::Speed)] {
+        let res = run_scenario(
+            &Scenario::new(
+                Machine::Tigerton,
+                16,
+                policy,
+                cg.spmd(16, WaitMode::Yield, 0.1),
+            )
+            .competitors(vec![Competitor::MakeJ {
+                tasks: 8,
+                jobs_per_task: 30,
+            }])
+            .repeats(3),
+        );
+        println!(
+            "  {label:<6} mean {:.3}s, variation {:.1}%",
+            res.completion.mean(),
+            res.completion.variation_pct()
+        );
+    }
+}

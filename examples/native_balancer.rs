@@ -1,0 +1,80 @@
+//! The *real* user-level speed balancer, on this machine.
+//!
+//! Run with `cargo run --release --example native_balancer`.
+//!
+//! This example re-executes itself as a spin-thread worker process
+//! (`--worker N SECS`), attaches the native speed balancer to it exactly
+//! as the paper's stand-alone `speedbalancer` program would, and reports
+//! the balancing statistics. On a single-CPU machine the balancer runs,
+//! measures thread speeds and finds nothing to migrate; with more CPUs
+//! (try 3 worker threads on 2 cores via `taskset`) it rotates the odd
+//! thread.
+
+use speedbal::native::{NativeConfig, NativeSpeedBalancer};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn worker(threads: usize, seconds: f64) {
+    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut x = 1u64;
+                while Instant::now() < deadline {
+                    for _ in 0..100_000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    std::hint::black_box(x);
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--worker" {
+        let threads: usize = args[2].parse().expect("thread count");
+        let secs: f64 = args[3].parse().expect("seconds");
+        worker(threads, secs);
+        return;
+    }
+
+    let n_cpus = speedbal::native::online_cpus()
+        .map(|v| v.len())
+        .unwrap_or(1);
+    // One more worker thread than CPUs: the situation speed balancing is
+    // built for.
+    let threads = n_cpus + 1;
+    let run_secs = 2.0;
+    println!("machine has {n_cpus} online CPU(s); spawning a worker process with {threads} spin threads for {run_secs}s");
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .args(["--worker", &threads.to_string(), &run_secs.to_string()])
+        .spawn()
+        .expect("spawn worker");
+    let pid = child.id() as i32;
+
+    let cfg = NativeConfig {
+        interval: Duration::from_millis(100), // the paper's B
+        ..NativeConfig::default()
+    };
+    let balancer = NativeSpeedBalancer::attach(pid, cfg).expect("attach");
+    println!("attached speedbalancer to pid {pid}; balancing until it exits...");
+    let stop = AtomicBool::new(false);
+    let stats = balancer.run(&stop);
+    child.wait().ok();
+
+    println!(
+        "done: {} balancer activations, {} threads adopted, {} migrations",
+        stats.activations.load(Ordering::Relaxed),
+        stats.threads_seen.load(Ordering::Relaxed),
+        stats.migrations.load(Ordering::Relaxed),
+    );
+    if n_cpus == 1 {
+        println!("(single CPU: every thread shares it, so no migration can help — the");
+        println!(" balancer correctly found no faster core to pull toward)");
+    }
+}

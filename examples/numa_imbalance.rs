@@ -1,0 +1,60 @@
+//! NUMA behaviour (paper §6.4): why `speedbalancer` blocks cross-node
+//! migrations by default.
+//!
+//! Run with `cargo run --release --example numa_imbalance`.
+//!
+//! On the Barcelona model (4 sockets = 4 NUMA nodes), a task migrated off
+//! its home node keeps paying remote-memory accesses for the rest of the
+//! run. Speed balancing confined to a node fixes oversubscription where it
+//! can, for free; unrestricted migration keeps paying the remote penalty.
+
+use speedbal::prelude::*;
+
+fn main() {
+    // ft.B: the paper's memory-heavy benchmark (5.6 GB/core RSS, 73 ms
+    // barriers). 16 threads on 13 cores: 3 cores run two threads.
+    let spec = npb("ft.B").expect("catalogued");
+    let app = spec.spmd(16, WaitMode::Yield, 0.25);
+    let serial = spec.serial_time(0.25).as_secs_f64();
+
+    println!("ft.B (16 threads) on 13 of barcelona's 16 cores, 5 repeats\n");
+    println!(
+        "{:<24} {:>8} {:>8} {:>10} {:>11}",
+        "policy", "mean(s)", "var%", "speedup", "migrations"
+    );
+
+    let allow_numa = SpeedBalancerConfig {
+        block_numa_migrations: false,
+        ..Default::default()
+    };
+
+    for (label, policy) in [
+        ("PINNED", Policy::Pinned),
+        ("LOAD", Policy::Load),
+        ("SPEED (NUMA blocked)", Policy::Speed),
+        ("SPEED (NUMA allowed)", Policy::SpeedWith(allow_numa)),
+    ] {
+        let res =
+            run_scenario(&Scenario::new(Machine::Barcelona, 13, policy, app.clone()).repeats(5));
+        println!(
+            "{:<24} {:>8.3} {:>8.1} {:>10.2} {:>11.0}",
+            label,
+            res.completion.mean(),
+            res.completion.variation_pct(),
+            serial / res.completion.mean(),
+            res.migrations.mean(),
+        );
+    }
+
+    println!("\nThe same application on the UMA tigerton for contrast:");
+    for (label, policy) in [("LOAD", Policy::Load), ("SPEED", Policy::Speed)] {
+        let res =
+            run_scenario(&Scenario::new(Machine::Tigerton, 13, policy, app.clone()).repeats(5));
+        println!(
+            "{:<24} {:>8.3}s mean, {:>5.1}% variation",
+            label,
+            res.completion.mean(),
+            res.completion.variation_pct()
+        );
+    }
+}

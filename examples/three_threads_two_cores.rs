@@ -1,0 +1,76 @@
+//! Anatomy of the 3-threads / 2-cores case: watch per-thread progress and
+//! migrations under each balancer, at the raw `System` API level.
+//!
+//! Run with `cargo run --release --example three_threads_two_cores`.
+
+use speedbal::balancers::{Dwrr, LinuxLoadBalancer, Pinned, UleBalancer};
+use speedbal::prelude::*;
+
+fn build_system(balancer: Box<dyn Balancer>, seed: u64) -> System {
+    System::new(
+        uniform(2),
+        SchedConfig::default(),
+        CostModel::free(),
+        balancer,
+        seed,
+    )
+}
+
+fn run_one(name: &str, balancer: Box<dyn Balancer>) {
+    let mut sys = build_system(balancer, 42);
+    let g = sys.new_group();
+    let spec = ep_modified(SimDuration::from_millis(250), SimDuration::from_secs(1), 3);
+    let tasks = SpmdApp::spawn(&mut sys, g, &spec.spmd(3, WaitMode::Yield, 1.0), None);
+
+    // Sample each thread's cumulative CPU share at 250 ms checkpoints.
+    println!("--- {name} ---");
+    println!("   t(ms)  speeds(t0,t1,t2 since start)        queue lens");
+    for ms in [250u64, 500, 750, 1000] {
+        sys.run_until(SimTime::from_millis(ms));
+        let speeds: Vec<String> = tasks
+            .iter()
+            .map(|t| {
+                let exec = sys.task_exec_total(*t).as_secs_f64();
+                format!("{:.2}", exec / sys.now().as_secs_f64())
+            })
+            .collect();
+        let lens: Vec<usize> = (0..2).map(|c| sys.queue_len(CoreId(c))).collect();
+        println!(
+            "   {ms:>5}  [{}]                     {lens:?}",
+            speeds.join(", ")
+        );
+    }
+    let done = sys
+        .run_until_group_done(g, SimTime::from_secs(60))
+        .expect("finish");
+    let migrations: u64 = tasks.iter().map(|t| sys.task_migrations(*t)).sum();
+    println!(
+        "   finished at {:.3}s with {migrations} app-thread migrations\n",
+        done.as_secs_f64()
+    );
+}
+
+fn main() {
+    println!("3 threads x 1s work on 2 cores, barriers every 250 ms.");
+    println!("Per-thread speed = t_exec/t_real — the metric speed balancing equalizes.\n");
+    run_one("PINNED (static round-robin)", Box::new(Pinned::new()));
+    run_one(
+        "LOAD (Linux queue-length)",
+        Box::new(LinuxLoadBalancer::new()),
+    );
+    run_one("FreeBSD (ULE push)", Box::new(UleBalancer::new()));
+    run_one("DWRR (round-based fair)", Box::new(Dwrr::new()));
+    let speed = SpeedBalancer::new(42);
+    let stats = speed.stats_handle();
+    run_one("SPEED (this paper)", Box::new(speed));
+    let s = stats.borrow();
+    println!(
+        "SPEED balancer internals: {} activations, {} migrations ({:.2} per activation), {} below-threshold misses",
+        s.activations,
+        s.migrations,
+        s.migrations_per_activation(),
+        s.no_candidate
+    );
+    println!("Note how SPEED's per-thread speeds converge to ~0.66 each, while");
+    println!("PINNED/LOAD leave one thread at ~1.0 and two at ~0.5.");
+}

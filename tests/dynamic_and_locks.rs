@@ -1,0 +1,153 @@
+//! Dynamic parallelism and lock-based synchronization under the balancers.
+//!
+//! §5.2 footnote: "This implementation can be easily extended to balance
+//! applications with dynamic parallelism by polling the /proc file system
+//! to determine task relationships" — the simulated balancer handles tasks
+//! spawned mid-run through the same `place_task` path. §3 lists locks
+//! among the synchronization operations that mediate balancing behaviour.
+
+use speedbal::apps::{Lock, LockWorker};
+use speedbal::core::SpeedBalancer;
+use speedbal::machine::CostModel;
+use speedbal::prelude::*;
+
+fn compute(d: SimDuration) -> Box<dyn Program> {
+    Box::new(speedbal::sched::ScriptProgram::new(vec![
+        Directive::Compute(d),
+    ]))
+}
+
+/// Threads that arrive while the system is already running get placed by
+/// the live balancer and the application still beats static placement.
+#[test]
+fn late_spawned_threads_are_adopted() {
+    let bal = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), 31);
+    let stats = bal.stats_handle();
+    let mut sys = System::new(
+        uniform(2),
+        SchedConfig::default(),
+        CostModel::free(),
+        Box::new(bal),
+        31,
+    );
+    let g = sys.new_group();
+    // Two threads start; a third arrives 200 ms in (dynamic parallelism).
+    for i in 0..2 {
+        sys.spawn(SpawnSpec::new(
+            compute(SimDuration::from_secs(2)),
+            format!("t{i}"),
+            g,
+        ));
+    }
+    sys.run_until(SimTime::from_millis(200));
+    let late = sys.spawn(SpawnSpec::new(
+        compute(SimDuration::from_secs(2)),
+        "late",
+        g,
+    ));
+    assert!(
+        sys.task_pinned(late).is_some(),
+        "the balancer must adopt and pin the late arrival"
+    );
+    let done = sys
+        .run_until_group_done(g, SimTime::from_secs(60))
+        .expect("finish");
+    // Static placement of this arrival pattern: cores {t0,t2},{t1} after
+    // 200 ms => t0/late finish around 0.2 + 2x1.9 = 4.0 s. Speed balancing
+    // rotates and lands clearly below.
+    assert!(
+        done.as_secs_f64() < 3.6,
+        "dynamic arrival should still be balanced, got {done}"
+    );
+    assert!(stats.borrow().migrations > 0);
+}
+
+/// A lock-heavy oversubscribed workload completes correctly under every
+/// policy and preserves mutual exclusion (total acquisitions exact).
+#[test]
+fn lock_workload_correct_under_all_policies() {
+    for policy_seed in 0..2u64 {
+        for (name, bal) in mk_balancers(policy_seed) {
+            let mut sys = System::new(
+                uniform(3),
+                SchedConfig::default(),
+                CostModel::free(),
+                bal,
+                policy_seed,
+            );
+            let g = sys.new_group();
+            let lock = Lock::new();
+            let workers = 7usize;
+            let rounds = 20u64;
+            for i in 0..workers {
+                sys.spawn(SpawnSpec::new(
+                    Box::new(LockWorker::new(
+                        lock.clone(),
+                        rounds,
+                        SimDuration::from_micros(300),
+                        SimDuration::from_micros(100),
+                        WaitMode::Yield,
+                    )),
+                    format!("w{i}"),
+                    g,
+                ));
+            }
+            let done = sys.run_until_group_done(g, SimTime::from_secs(120));
+            assert!(done.is_some(), "{name}: lock workload deadlocked");
+            assert_eq!(
+                lock.acquisitions(),
+                workers as u64 * rounds,
+                "{name}: every round must acquire exactly once"
+            );
+        }
+    }
+}
+
+fn mk_balancers(seed: u64) -> Vec<(&'static str, Box<dyn Balancer>)> {
+    use speedbal::balancers::{Dwrr, LinuxLoadBalancer, Pinned, UleBalancer};
+    vec![
+        ("PINNED", Box::new(Pinned::new())),
+        ("LOAD", Box::new(LinuxLoadBalancer::new())),
+        ("SPEED", Box::new(SpeedBalancer::new(seed))),
+        ("DWRR", Box::new(Dwrr::new())),
+        ("ULE", Box::new(UleBalancer::new())),
+    ]
+}
+
+/// A batch of short-lived tasks arriving over time (fork-heavy behaviour):
+/// every balancer keeps the machine busy and all tasks complete.
+#[test]
+fn staggered_arrivals_complete_under_all_policies() {
+    for (name, bal) in mk_balancers(5) {
+        let mut sys = System::new(
+            uniform(4),
+            SchedConfig::default(),
+            CostModel::default(),
+            bal,
+            5,
+        );
+        let g = sys.new_group();
+        let mut spawned = 0;
+        for wave in 0..5u64 {
+            sys.run_until(SimTime::from_millis(wave * 40));
+            for i in 0..3 {
+                sys.spawn(SpawnSpec::new(
+                    compute(SimDuration::from_millis(60)),
+                    format!("w{wave}-{i}"),
+                    g,
+                ));
+                spawned += 1;
+            }
+        }
+        let done = sys.run_until_group_done(g, SimTime::from_secs(30));
+        assert!(done.is_some(), "{name}: staggered batch stalled");
+        let exited = sys
+            .group_tasks(g)
+            .iter()
+            .filter(|t| sys.task_exited_at(**t).is_some())
+            .count();
+        assert_eq!(exited, spawned, "{name}: all arrivals must finish");
+        // Work conservation: 15 x 60 ms on 4 cores >= 225 ms.
+        assert!(done.unwrap() >= SimTime::from_millis(225));
+    }
+}

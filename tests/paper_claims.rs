@@ -1,0 +1,418 @@
+//! End-to-end reproduction checks: the paper's headline claims, asserted
+//! against the simulator. These are the "shape" targets of EXPERIMENTS.md.
+
+use speedbal::prelude::*;
+
+const SCALE: f64 = 0.05;
+
+fn ep_app(threads: usize, wait: WaitMode) -> SpmdConfig {
+    ep().spmd(threads, wait, SCALE)
+}
+
+fn run(
+    machine: Machine,
+    cores: usize,
+    policy: Policy,
+    app: SpmdConfig,
+    repeats: usize,
+) -> RepeatStats {
+    run_scenario(&Scenario::new(machine, cores, policy, app).repeats(repeats)).completion
+}
+
+/// §3: "The default Linux load balancing algorithm will statically assign
+/// two threads to one of the cores and the application will perceive the
+/// system as running at 50% speed"; DWRR gives 66%, speed balancing
+/// approaches the per-thread ideal.
+#[test]
+fn three_on_two_policy_ordering() {
+    // EP-style: one long phase, barrier only at the end — the shape behind
+    // the §3 50%/66% numbers. (Fine-grained barriers interact badly with
+    // DWRR's expired queue: a thread suspended mid-phase stalls everyone;
+    // the fine-grained case is covered by fig2's granularity sweep.)
+    let spec = ep_modified(SimDuration::from_secs(1), SimDuration::from_secs(1), 3);
+    let app = spec.spmd(3, WaitMode::Yield, 1.0);
+    let t = |policy| run(Machine::Uniform(2), 0, policy, app.clone(), 3).mean();
+    let pinned = t(Policy::Pinned);
+    let load = t(Policy::Load);
+    let ule = t(Policy::Ule);
+    let dwrr = t(Policy::Dwrr);
+    let speed = t(Policy::Speed);
+    // Static-ish policies run at ~50% speed: ~2.0 s for 1 s of work.
+    for (name, v) in [("PINNED", pinned), ("LOAD", load), ("ULE", ule)] {
+        assert!(
+            v > 1.9 && v < 2.2,
+            "{name} should be ~2.0s (50% speed), got {v}"
+        );
+    }
+    // DWRR's repeated migration: ~66% speed => ~1.5s, plus real round
+    // bookkeeping overhead (expiry is quantized to the maintenance tick).
+    assert!(
+        dwrr > 1.35 && dwrr < 1.9,
+        "DWRR should be near 1.5s (66% speed), got {dwrr}"
+    );
+    // SPEED matches or beats the fair bound region.
+    assert!(
+        speed < 1.75,
+        "SPEED should at least match fair DWRR, got {speed}"
+    );
+    assert!(
+        speed >= 1.45,
+        "cannot beat the 1.5s fair bound, got {speed}"
+    );
+}
+
+/// Figure 3: "static application level balancing ... only achieves optimal
+/// speedup when 16 mod N = 0"; SPEED is near-optimal at all core counts.
+#[test]
+fn pinned_optimal_only_at_divisible_counts_speed_everywhere() {
+    // Speed balancing needs the run to span enough balance intervals
+    // (Lemma 1); EP class C runs for tens of seconds in the paper, so use
+    // a scale that keeps dozens of intervals in the makespan.
+    const SCALE: f64 = 0.4;
+    let ep_app = |threads: usize, wait: WaitMode| ep().spmd(threads, wait, SCALE);
+    let serial = ep().serial_time(SCALE).as_secs_f64();
+    // Divisible: PINNED is optimal.
+    for cores in [4usize, 8] {
+        let pinned = run(
+            Machine::Tigerton,
+            cores,
+            Policy::Pinned,
+            ep_app(16, WaitMode::Yield),
+            2,
+        );
+        let ideal = serial / cores as f64;
+        assert!(
+            pinned.mean() < ideal * 1.10,
+            "PINNED at {cores} cores should be near-ideal: {} vs {ideal}",
+            pinned.mean()
+        );
+    }
+    // Non-divisible: PINNED loses ~(1 - N*floor(16/N)/16) while SPEED stays
+    // close to ideal.
+    for cores in [5usize, 7, 11] {
+        let pinned = run(
+            Machine::Tigerton,
+            cores,
+            Policy::Pinned,
+            ep_app(16, WaitMode::Yield),
+            2,
+        );
+        let speed = run(
+            Machine::Tigerton,
+            cores,
+            Policy::Speed,
+            ep_app(16, WaitMode::Yield),
+            2,
+        );
+        let ideal = serial / cores as f64;
+        assert!(
+            pinned.mean() > ideal * 1.2,
+            "PINNED at {cores} cores must be visibly sub-optimal: {} vs {ideal}",
+            pinned.mean()
+        );
+        assert!(
+            speed.mean() < pinned.mean() * 0.92,
+            "SPEED must clearly beat PINNED at {cores} cores: {} vs {}",
+            speed.mean(),
+            pinned.mean()
+        );
+        assert!(
+            speed.mean() < ideal * 1.25,
+            "SPEED at {cores} cores should be near-ideal: {} vs {ideal}",
+            speed.mean()
+        );
+    }
+}
+
+/// §6.2: with sleeping barriers the Linux balancer can help (threads leave
+/// the run queue); with yield barriers it cannot.
+#[test]
+fn load_handles_sleepers_not_yielders() {
+    let cores = 5;
+    let yield_t = run(
+        Machine::Tigerton,
+        cores,
+        Policy::Load,
+        ep_app(16, WaitMode::Yield),
+        4,
+    );
+    let sleep_t = run(
+        Machine::Tigerton,
+        cores,
+        Policy::Load,
+        ep_app(16, WaitMode::Block),
+        4,
+    );
+    assert!(
+        sleep_t.mean() < yield_t.mean() * 0.93,
+        "LOAD-SLEEP ({}) must beat LOAD-YIELD ({})",
+        sleep_t.mean(),
+        yield_t.mean()
+    );
+}
+
+/// "With speed balancing, identical levels of performance can be achieved
+/// by calling only sched_yield, irrespective of the instantaneous system
+/// load."
+#[test]
+fn speed_makes_barrier_choice_irrelevant() {
+    let cores = 5;
+    let y = run(
+        Machine::Tigerton,
+        cores,
+        Policy::Speed,
+        ep_app(16, WaitMode::Yield),
+        3,
+    );
+    let b = run(
+        Machine::Tigerton,
+        cores,
+        Policy::Speed,
+        ep_app(16, WaitMode::Block),
+        3,
+    );
+    let ratio = y.mean() / b.mean();
+    assert!(
+        (0.85..=1.15).contains(&ratio),
+        "SPEED yield vs sleep should be within ~15%: {ratio}"
+    );
+}
+
+/// Table 3: "performance with LOAD is erratic ... whereas with SPEED it
+/// varies less than 5% on average".
+#[test]
+fn speed_variation_is_far_below_load() {
+    let spec = npb("sp.A").unwrap();
+    let app = spec.spmd(16, WaitMode::Yield, SCALE);
+    let mut speed_var = 0.0;
+    let mut load_var = 0.0;
+    for cores in [5usize, 7, 11] {
+        let s = run(Machine::Tigerton, cores, Policy::Speed, app.clone(), 6);
+        let l = run(Machine::Tigerton, cores, Policy::Load, app.clone(), 6);
+        speed_var += s.variation_pct();
+        load_var += l.variation_pct();
+    }
+    assert!(
+        speed_var < 15.0,
+        "SPEED total variation over 3 cells should be small, got {speed_var}"
+    );
+    assert!(
+        speed_var < load_var,
+        "SPEED variation ({speed_var}) must undercut LOAD ({load_var})"
+    );
+}
+
+/// Figure 5: with a hog pinned to core 0, the one-thread-per-core run is
+/// dragged to ~50% by the barrier coupling.
+#[test]
+fn one_per_core_with_hog_runs_at_half_speed() {
+    let spec = ep();
+    let serial = spec.serial_time(SCALE).as_secs_f64();
+    let cores = 8;
+    let res = run_scenario(
+        &Scenario::new(
+            Machine::Tigerton,
+            cores,
+            Policy::Pinned,
+            spec.spmd(cores, WaitMode::Spin, SCALE),
+        )
+        .competitors(vec![Competitor::CpuHog { core: 0 }])
+        .repeats(2),
+    );
+    let ideal = serial / cores as f64;
+    let ratio = res.completion.mean() / ideal;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "hog should halve the one-per-core run, got {ratio}x ideal"
+    );
+}
+
+/// Figure 5: SPEED degrades gracefully under the hog where PINNED-16 does
+/// not, and clearly beats it.
+#[test]
+fn speed_beats_pinned_under_hog() {
+    let spec = ep();
+    let cores = 8;
+    let with_hog = |policy| {
+        run_scenario(
+            &Scenario::new(
+                Machine::Tigerton,
+                cores,
+                policy,
+                spec.spmd(16, WaitMode::Yield, SCALE),
+            )
+            .competitors(vec![Competitor::CpuHog { core: 0 }])
+            .repeats(3),
+        )
+        .completion
+    };
+    let pinned = with_hog(Policy::Pinned);
+    let speed = with_hog(Policy::Speed);
+    assert!(
+        speed.mean() < pinned.mean() * 0.95,
+        "SPEED {} must beat PINNED {} when sharing with a hog",
+        speed.mean(),
+        pinned.mean()
+    );
+}
+
+/// Lemma 1 in the simulator: below the profitability threshold SPEED and
+/// LOAD perform alike; far above it SPEED wins (§4, Figure 1/2).
+#[test]
+fn profitability_threshold_visible_in_simulation() {
+    let b = SimDuration::from_millis(100); // balance interval
+    let per_thread = SimDuration::from_secs_f64(1.35);
+    // Coarse phases (S = 20 B): profitable.
+    let coarse = ep_modified(SimDuration::from_secs(2), per_thread, 3);
+    // Very fine phases (S = B/100): not profitable — but not worse either.
+    let fine = ep_modified(SimDuration::from_millis(1), per_thread, 3);
+    let t = |spec: &NpbSpec, policy| {
+        run(
+            Machine::Uniform(2),
+            0,
+            policy,
+            spec.spmd(3, WaitMode::Yield, 1.0),
+            2,
+        )
+        .mean()
+    };
+    let _ = b;
+    let coarse_speed = t(&coarse, Policy::Speed);
+    let coarse_load = t(&coarse, Policy::Load);
+    assert!(
+        coarse_speed < coarse_load * 0.90,
+        "coarse grain: SPEED {coarse_speed} must beat LOAD {coarse_load}"
+    );
+    let fine_speed = t(&fine, Policy::Speed);
+    let fine_load = t(&fine, Policy::Load);
+    assert!(
+        fine_speed < fine_load * 1.08,
+        "fine grain: SPEED {fine_speed} must not lose to LOAD {fine_load}"
+    );
+}
+
+/// The asymmetric-machine motivation (§1 condition 2): on a machine with
+/// fast and slow cores, speed balancing equalizes progress automatically.
+#[test]
+fn asymmetric_cores_need_the_weighting_extension() {
+    // §5: "the preceding argument ... can be easily extended to
+    // heterogeneous systems where cores have different performance by
+    // weighting the number of threads per core with the relative core
+    // speed". The raw t_exec/t_real metric is CPU *share* and cannot see
+    // clock asymmetry; the `weight_core_speed` extension restores it.
+    let machine = Machine::Asymmetric {
+        fast: 2,
+        slow: 2,
+        factor: 1.5,
+    };
+    // Fine phases (10 ms) relative to the 100 ms measurement window keep
+    // the sleep-fraction aliasing small; sleeping barriers, because a lone
+    // yield-waiter degenerates to a spinner whose 100% CPU share would
+    // read as full speed, defeating any metric built on CPU time (true of
+    // the real speedbalancer too).
+    let spec = ep_modified(SimDuration::from_millis(10), SimDuration::from_secs(2), 6);
+    let app = spec.spmd(6, WaitMode::Block, 1.0);
+    let pinned = run(machine.clone(), 0, Policy::Pinned, app.clone(), 3);
+    let plain = run(machine.clone(), 0, Policy::Speed, app.clone(), 3);
+    let weighted_cfg = SpeedBalancerConfig {
+        weight_core_speed: true,
+        ..Default::default()
+    };
+    let weighted = run(machine, 0, Policy::SpeedWith(weighted_cfg), app, 3);
+    // Reproduction finding (recorded in EXPERIMENTS.md): the unweighted
+    // balancer misreads CPU *share* as progress on clock-asymmetric cores
+    // and migrates threads onto slow cores — it is actively harmful here,
+    // which is precisely why §5 calls out the weighting extension.
+    assert!(
+        plain.mean() > pinned.mean(),
+        "unweighted SPEED ({}) is expected to hurt vs PINNED ({}) — if this \
+         starts passing, the asymmetric finding in EXPERIMENTS.md is stale",
+        plain.mean(),
+        pinned.mean()
+    );
+    assert!(
+        plain.mean() <= pinned.mean() * 2.5,
+        "unweighted SPEED ({}) should still be bounded vs PINNED ({})",
+        plain.mean(),
+        pinned.mean()
+    );
+    // The weighted extension must match or beat static placement.
+    assert!(
+        weighted.mean() <= pinned.mean() * 1.03,
+        "weighted SPEED ({}) must match/beat PINNED ({})",
+        weighted.mean(),
+        pinned.mean()
+    );
+    // And improve on the unweighted metric.
+    assert!(
+        weighted.mean() <= plain.mean() * 1.02,
+        "weighting should help on asymmetric cores: {} vs {}",
+        weighted.mean(),
+        plain.mean()
+    );
+}
+
+/// DWRR tracks SPEED at moderate core counts (Figure 3: "scales as well as
+/// with SPEED up to eight cores").
+#[test]
+fn dwrr_close_to_speed_at_moderate_scale() {
+    let cores = 6;
+    let speed = run(
+        Machine::Tigerton,
+        cores,
+        Policy::Speed,
+        ep_app(16, WaitMode::Yield),
+        2,
+    );
+    let dwrr = run(
+        Machine::Tigerton,
+        cores,
+        Policy::Dwrr,
+        ep_app(16, WaitMode::Yield),
+        2,
+    );
+    assert!(
+        dwrr.mean() < speed.mean() * 1.35,
+        "DWRR ({}) should be in SPEED's ({}) neighbourhood at {cores} cores",
+        dwrr.mean(),
+        speed.mean()
+    );
+}
+
+/// Table 2: with the bandwidth-contention model calibrated to the two
+/// machines (one saturated FSB on Tigerton vs four memory controllers on
+/// Barcelona), the measured 16-core speedups land near the published ones.
+#[test]
+fn table2_speedups_reproduced() {
+    // (benchmark, paper Tigerton speedup, paper Barcelona speedup)
+    let rows = [
+        ("bt.A", 4.6, 10.0),
+        ("ft.B", 5.3, 10.5),
+        ("is.C", 4.8, 8.4),
+        ("sp.A", 7.2, 12.4),
+    ];
+    for (name, tig_paper, barc_paper) in rows {
+        let spec = npb(name).unwrap();
+        let serial = spec.serial_time(0.2).as_secs_f64();
+        let measure = |machine: Machine| {
+            let app = spec.spmd(16, WaitMode::Yield, 0.2);
+            run_scenario(&Scenario::new(machine, 16, Policy::Speed, app).repeats(2))
+                .completion
+                .speedup(serial)
+        };
+        let tig = measure(Machine::Tigerton);
+        let barc = measure(Machine::Barcelona);
+        assert!(
+            (tig / tig_paper - 1.0).abs() < 0.25,
+            "{name} tigerton: measured {tig:.2} vs paper {tig_paper}"
+        );
+        assert!(
+            (barc / barc_paper - 1.0).abs() < 0.25,
+            "{name} barcelona: measured {barc:.2} vs paper {barc_paper}"
+        );
+        assert!(
+            barc > tig,
+            "{name}: NUMA controllers must out-scale the FSB"
+        );
+    }
+}
