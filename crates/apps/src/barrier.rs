@@ -1,7 +1,7 @@
 //! Barrier synchronization with selectable wait policy.
 
 use serde::{Deserialize, Serialize};
-use speedbal_sched::{CondId, Directive, ProgramCtx};
+use speedbal_sched::{CondId, Directive, ProgramCtx, TraceEvent};
 use speedbal_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -104,12 +104,28 @@ impl Barrier {
         }
         s.arrived += 1;
         let cond = s.cond.expect("episode condition allocated above");
-        if s.arrived == s.n {
+        let (arrived, episode, parties) = (s.arrived, s.episode, s.n);
+        let released = s.arrived == s.n;
+        if released {
             s.arrived = 0;
             s.episode += 1;
             s.cond = None;
-            drop(s);
+        }
+        drop(s);
+        ctx.trace_event(TraceEvent::BarrierArrive {
+            task: ctx.task.0,
+            cond: cond.0,
+            episode,
+            arrived,
+            parties,
+        });
+        if released {
             ctx.set_cond(cond);
+            ctx.trace_event(TraceEvent::BarrierRelease {
+                task: ctx.task.0,
+                cond: cond.0,
+                episode,
+            });
             Arrival::Released
         } else {
             Arrival::Wait(cond)

@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 use speedbal_machine::CoreId;
 use speedbal_sched::balancer::keys;
-use speedbal_sched::{Balancer, System, TaskId, TaskState};
+use speedbal_sched::{Balancer, MigrationReason, System, TaskId, TaskState};
 use speedbal_sim::SimDuration;
 
 /// DWRR tunables.
@@ -158,7 +158,8 @@ impl Dwrr {
             if stolen >= to_steal {
                 break;
             }
-            if sys.migrate_task(t, core) {
+            if sys.migrate_task_with_reason(t, core, MigrationReason::DwrrRound { round: my_round })
+            {
                 sys.resume_task(t);
                 self.task_mut(t).used = SimDuration::ZERO;
                 self.migrations += 1;
@@ -174,7 +175,8 @@ impl Dwrr {
             if stolen >= to_steal {
                 break;
             }
-            if sys.migrate_task(t, core) {
+            if sys.migrate_task_with_reason(t, core, MigrationReason::DwrrRound { round: my_round })
+            {
                 self.migrations += 1;
                 stolen += 1;
             }

@@ -25,7 +25,9 @@
 use serde::{Deserialize, Serialize};
 use speedbal_machine::{CoreId, DomainLevel};
 use speedbal_sched::balancer::keys;
-use speedbal_sched::{Balancer, System, TaskId, TaskState};
+use speedbal_sched::{
+    ActivationOutcome, Balancer, MigrationReason, System, TaskId, TaskState, TraceEvent,
+};
 use speedbal_sim::{SimDuration, SimTime};
 
 /// Tunables mirroring the kernel's `/proc/sys/kernel/sched_domain`
@@ -210,7 +212,8 @@ impl LinuxLoadBalancer {
         for _ in 0..to_move {
             match self.pick_candidate(sys, busiest, core, escalate) {
                 Some(t) => {
-                    if sys.migrate_task(t, core) {
+                    if sys.migrate_task_with_reason(t, core, MigrationReason::LoadBalance { level })
+                    {
                         self.migrations += 1;
                         moved += 1;
                     }
@@ -218,6 +221,20 @@ impl LinuxLoadBalancer {
                 None => break,
             }
         }
+        sys.trace_event(
+            core,
+            TraceEvent::BalancerActivation {
+                policy: "LOAD",
+                local: local_len as f64,
+                global: busiest_len as f64,
+                outcome: if moved > 0 {
+                    ActivationOutcome::Pulled
+                } else {
+                    ActivationOutcome::NoCandidate
+                },
+                jitter: SimDuration::ZERO,
+            },
+        );
         if moved == 0 {
             // All candidates were running or cache-hot: remember the
             // failure so the next attempt escalates past cache-hot (the
@@ -349,7 +366,7 @@ impl Balancer for LinuxLoadBalancer {
         // Newidle is allowed to fix a "one extra task" situation because the
         // destination is empty: 2 vs 0 has a true imbalance of 2.
         if let Some(t) = self.pick_candidate(sys, busiest, core, false) {
-            if sys.migrate_task(t, core) {
+            if sys.migrate_task_with_reason(t, core, MigrationReason::NewIdle) {
                 self.migrations += 1;
             }
         }

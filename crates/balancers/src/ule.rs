@@ -13,7 +13,7 @@
 use serde::{Deserialize, Serialize};
 use speedbal_machine::CoreId;
 use speedbal_sched::balancer::keys;
-use speedbal_sched::{Balancer, System, TaskId, TaskState};
+use speedbal_sched::{Balancer, MigrationReason, System, TaskId, TaskState};
 use speedbal_sim::SimDuration;
 
 /// ULE tunables (`kern.sched.*`).
@@ -93,7 +93,7 @@ impl UleBalancer {
             return;
         }
         if let Some(t) = self.movable(sys, hi, lo) {
-            if sys.migrate_task(t, lo) {
+            if sys.migrate_task_with_reason(t, lo, MigrationReason::UlePush) {
                 self.migrations += 1;
             }
         }
@@ -164,7 +164,7 @@ impl Balancer for UleBalancer {
             return;
         }
         if let Some(t) = self.movable(sys, busiest, core) {
-            if sys.migrate_task(t, core) {
+            if sys.migrate_task_with_reason(t, core, MigrationReason::UleSteal) {
                 self.migrations += 1;
             }
         }

@@ -17,28 +17,59 @@
 //!   barriers    §6.2 barrier-implementation interaction
 //!   numa        §6.4 NUMA behaviour on Barcelona
 //!   all         everything above
+//!   trace <scenario>  record an event trace of a named scenario
+//!                     (ep-3x2, ep-16x8, ep-hog, cg-barrier) under the
+//!                     SPEED and LOAD policies and print a summary
 //!
 //! options:
 //!   --full           paper-scale runs (scale 0.5, 10 repeats) [default: quick]
 //!   --scale <f>      explicit run-length scale
 //!   --repeats <n>    explicit repeat count
 //!   --machine <m>    fig3 machine: tigerton | barcelona | nehalem
+//!   --policy <p>     trace policy: pinned|load|speed|dwrr|ule|ule-tuned
+//!                    [default: speed and load]
+//!   --trace-out <f>  write Chrome trace JSON (load in Perfetto). With
+//!                    `trace` the files derive from <f>; with any other
+//!                    artifact every scenario dumps one file per repeat.
 //! ```
 
 use speedbal_harness::experiments::{self, Profile};
-use speedbal_harness::Machine;
+use speedbal_harness::{
+    run_scenario_with_traces, set_trace_output, trace_file_path, Machine, Policy,
+};
+use speedbal_trace::{export_chrome, render_summary};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 #[derive(Debug)]
 struct Options {
     profile: Profile,
+    /// Did the user pass --repeats explicitly? (`trace` defaults to 1.)
+    repeats_explicit: bool,
     machine: Option<Machine>,
+    policy: Option<Policy>,
+    trace_out: Option<PathBuf>,
     artifacts: Vec<String>,
+}
+
+fn parse_policy(v: &str) -> Result<Policy, String> {
+    Ok(match v {
+        "pinned" => Policy::Pinned,
+        "load" => Policy::Load,
+        "speed" => Policy::Speed,
+        "dwrr" => Policy::Dwrr,
+        "ule" => Policy::Ule,
+        "ule-tuned" => Policy::UleTuned,
+        other => return Err(format!("unknown policy {other}")),
+    })
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut profile = Profile::quick();
+    let mut repeats_explicit = false;
     let mut machine = None;
+    let mut policy = None;
+    let mut trace_out = None;
     let mut artifacts = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +92,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if profile.repeats == 0 {
                     return Err("--repeats must be at least 1".into());
                 }
+                repeats_explicit = true;
+            }
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policy = Some(parse_policy(v)?);
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a path")?;
+                trace_out = Some(PathBuf::from(v));
             }
             "--machine" => {
                 let v = it.next().ok_or("--machine needs a value")?;
@@ -72,6 +112,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 });
             }
             "--help" | "-h" => return Err("help".into()),
+            "trace" => {
+                let name = it.next().ok_or("trace needs a scenario name")?;
+                artifacts.push(format!("trace:{name}"));
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}"));
             }
@@ -83,13 +127,60 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     Ok(Options {
         profile,
+        repeats_explicit,
         machine,
+        policy,
+        trace_out,
         artifacts,
     })
 }
 
+/// `speedbal-cli trace <scenario>`: run the named scenario traced under
+/// SPEED and LOAD (or just `--policy`), write one Chrome trace file per
+/// policy × repeat, and print each policy's first-repeat summary.
+fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
+    let mut p = opts.profile;
+    if !opts.repeats_explicit {
+        p.repeats = 1;
+    }
+    let base = opts
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("{name}.json")));
+    let policies = match &opts.policy {
+        Some(pol) => vec![pol.clone()],
+        None => vec![Policy::Speed, Policy::Load],
+    };
+    println!("== trace: {name} ==");
+    for (seq, policy) in policies.into_iter().enumerate() {
+        let s = experiments::trace_scenario(name, policy, p)?;
+        let (result, traces) = run_scenario_with_traces(&s);
+        for (r, buf) in traces.iter().enumerate() {
+            let buf = buf.as_ref().expect("trace scenarios always record");
+            let path = trace_file_path(&base, &s.label(), seq as u64, r);
+            std::fs::write(&path, export_chrome(buf))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+        }
+        println!(
+            "{}: mean completion {:.3}s over {} repeat(s), {} timeouts",
+            s.policy.label(),
+            result.completion.mean(),
+            result.completion.len(),
+            result.timeouts
+        );
+        if let Some(buf) = traces.first().and_then(|t| t.as_ref()) {
+            println!("{}", render_summary(buf));
+        }
+    }
+    Ok(())
+}
+
 fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
     let p = opts.profile;
+    if let Some(scenario) = name.strip_prefix("trace:") {
+        return run_trace(scenario, opts);
+    }
     match name {
         "fig1" => {
             println!("== fig1: minimum profitable granularity (Lemma 1, B = 1) ==");
@@ -167,8 +258,10 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: speedbal-cli [--full] [--scale f] [--repeats n] [--machine m] <artifact>...\n\
-                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa all"
+                "usage: speedbal-cli [--full] [--scale f] [--repeats n] [--machine m]\n\
+                 \x20                   [--policy p] [--trace-out file.json] <artifact>...\n\
+                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa all\n\
+                 \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier)"
             );
             return if e == "help" {
                 ExitCode::SUCCESS
@@ -181,6 +274,11 @@ fn main() -> ExitCode {
         "# profile: scale={} repeats={}",
         opts.profile.scale, opts.profile.repeats
     );
+    // For figure/table artifacts, --trace-out turns on the module-level
+    // trace dump: every scenario writes one Chrome trace file per repeat.
+    if opts.trace_out.is_some() && opts.artifacts.iter().any(|a| !a.starts_with("trace:")) {
+        set_trace_output(opts.trace_out.clone());
+    }
     for artifact in &opts.artifacts {
         if let Err(e) = run_artifact(artifact, &opts) {
             eprintln!("error: {e}");
@@ -212,6 +310,21 @@ mod tests {
         let o = parse(&["--full", "--machine", "barcelona", "fig3"]).unwrap();
         assert_eq!(o.profile.repeats, 10);
         assert_eq!(o.machine, Some(Machine::Barcelona));
+    }
+
+    #[test]
+    fn parses_trace_subcommand_and_options() {
+        let o = parse(&["trace", "ep-3x2", "--trace-out", "/tmp/t.json"]).unwrap();
+        assert_eq!(o.artifacts, vec!["trace:ep-3x2"]);
+        assert_eq!(o.trace_out, Some(PathBuf::from("/tmp/t.json")));
+        assert!(!o.repeats_explicit);
+        assert!(o.policy.is_none());
+
+        let o = parse(&["--policy", "load", "--repeats", "2", "trace", "ep-hog"]).unwrap();
+        assert_eq!(o.policy, Some(Policy::Load));
+        assert!(o.repeats_explicit);
+        assert!(parse(&["trace"]).is_err(), "trace needs a scenario");
+        assert!(parse(&["--policy", "mars", "fig1"]).is_err());
     }
 
     #[test]

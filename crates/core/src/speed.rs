@@ -4,7 +4,9 @@ use crate::config::{SpeedBalancerConfig, SpeedMetric};
 use crate::stats::{SpeedStats, SpeedStatsHandle};
 use speedbal_machine::CoreId;
 use speedbal_sched::balancer::keys;
-use speedbal_sched::{Balancer, GroupId, System, TaskId};
+use speedbal_sched::{
+    ActivationOutcome, Balancer, GroupId, MigrationReason, System, TaskId, TraceEvent,
+};
 use speedbal_sim::{SimDuration, SimRng, SimTime};
 
 /// Last observed `(cpu_time, wall_time)` pair for one thread; speed over a
@@ -149,6 +151,14 @@ impl SpeedBalancer {
                     if noise > 0.0 {
                         speed *= self.rng.gauss(1.0, noise).max(0.0);
                     }
+                    // What the balancer measured is what the trace shows.
+                    sys.trace_event(
+                        core,
+                        TraceEvent::SpeedSample {
+                            task: Some(t.0),
+                            speed,
+                        },
+                    );
                     speeds.push(speed);
                 }
                 Some(_) => {} // zero window: keep waiting
@@ -207,8 +217,9 @@ impl SpeedBalancer {
     }
 
     /// One activation of the balancer thread on `local` (paper §5.1 steps
-    /// 1–4 plus the pull).
-    fn balance(&mut self, sys: &mut System, local: CoreId) {
+    /// 1–4 plus the pull). Returns `(s_local, s_global, outcome)` for the
+    /// trace.
+    fn balance(&mut self, sys: &mut System, local: CoreId) -> (f64, f64, ActivationOutcome) {
         let now = sys.now();
         self.stats.borrow_mut().activations += 1;
         self.activations[local.0] += 1;
@@ -216,7 +227,8 @@ impl SpeedBalancer {
         // `cross_cache_interval_mult`-th activation, so within-cache
         // migrations happen proportionally more often.
         let allow_cross_cache = self.cfg.cross_cache_interval_mult <= 1
-            || self.activations[local.0].is_multiple_of(u64::from(self.cfg.cross_cache_interval_mult));
+            || self.activations[local.0]
+                .is_multiple_of(u64::from(self.cfg.cross_cache_interval_mult));
 
         // Steps 1–2: thread speeds and local core speed.
         let s_local = self.measure_core(sys, local);
@@ -227,12 +239,12 @@ impl SpeedBalancer {
         let s_global = self.global_speed();
         // Step 4: only a faster-than-average core pulls.
         if s_local <= s_global || s_global <= 0.0 {
-            return;
+            return (s_local, s_global, ActivationOutcome::BelowAverage);
         }
         self.stats.borrow_mut().balance_attempts += 1;
         if self.in_migration_block(local, now) {
             self.stats.borrow_mut().blocked_recent += 1;
-            return;
+            return (s_local, s_global, ActivationOutcome::Blocked);
         }
 
         // Find the slowest suitable remote core: speed below threshold, not
@@ -271,14 +283,16 @@ impl SpeedBalancer {
                 best = Some((s_k, k));
             }
         }
-        let Some((_, victim_core)) = best else {
+        let Some((best_s_k, victim_core)) = best else {
             let mut st = self.stats.borrow_mut();
-            if saw_blocked {
+            let outcome = if saw_blocked {
                 st.blocked_recent += 1;
+                ActivationOutcome::Blocked
             } else {
                 st.no_candidate += 1;
-            }
-            return;
+                ActivationOutcome::NoCandidate
+            };
+            return (s_local, s_global, outcome);
         };
 
         // Pull the thread that has migrated the least, to avoid creating
@@ -291,7 +305,15 @@ impl SpeedBalancer {
 
         // sched_setaffinity: immediate migration, re-pinned to the local
         // core so the kernel balancer can never undo the move.
-        sys.pin_task(victim, Some(local));
+        sys.pin_task_with_reason(
+            victim,
+            Some(local),
+            MigrationReason::SpeedPull {
+                local_speed: s_local,
+                remote_speed: best_s_k,
+                global_speed: s_global,
+            },
+        );
         {
             let mut st = self.stats.borrow_mut();
             st.migrations += 1;
@@ -317,15 +339,19 @@ impl SpeedBalancer {
                 *self.snapshot_mut(t) = Some(Snapshot { exec, time: now });
             }
         }
+        (s_local, s_global, ActivationOutcome::Pulled)
     }
 
-    fn arm_timer(&mut self, sys: &mut System, core: CoreId) {
-        let mut delay = self.cfg.interval;
+    /// Arms the next activation; returns the jitter drawn (zero when the
+    /// interval is not randomized) so it can be attributed in the trace.
+    fn arm_timer(&mut self, sys: &mut System, core: CoreId) -> SimDuration {
+        let mut jitter = SimDuration::ZERO;
         if self.cfg.randomize_interval {
-            delay += self.rng.jitter(self.cfg.interval);
+            jitter = self.rng.jitter(self.cfg.interval);
         }
-        let at = sys.now() + delay;
+        let at = sys.now() + self.cfg.interval + jitter;
         sys.set_balancer_timer(keys::SPEED | core.0 as u64, at);
+        jitter
     }
 }
 
@@ -391,8 +417,18 @@ impl Balancer for SpeedBalancer {
         }
         let core = CoreId(keys::index(key));
         if self.per_core.get(core.0).is_some_and(|p| p.is_some()) {
-            self.balance(sys, core);
-            self.arm_timer(sys, core);
+            let (local, global, outcome) = self.balance(sys, core);
+            let jitter = self.arm_timer(sys, core);
+            sys.trace_event(
+                core,
+                TraceEvent::BalancerActivation {
+                    policy: "SPEED",
+                    local,
+                    global,
+                    outcome,
+                    jitter,
+                },
+            );
         }
     }
 }

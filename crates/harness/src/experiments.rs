@@ -611,6 +611,65 @@ pub fn numa(profile: Profile) -> TextTable {
     t
 }
 
+// ---------------------------------------------------------------------
+// Named trace scenarios
+// ---------------------------------------------------------------------
+
+/// The named scenarios `speedbal-cli trace <name>` accepts.
+pub const TRACE_SCENARIOS: &[(&str, &str)] = &[
+    (
+        "ep-3x2",
+        "EP, 3 threads on 2 uniform cores (Figure 2's cell)",
+    ),
+    (
+        "ep-16x8",
+        "EP, 16 threads on 8 Tigerton cores, yield barriers",
+    ),
+    (
+        "ep-hog",
+        "EP, 16 threads sharing Tigerton with a pinned cpu-hog",
+    ),
+    (
+        "cg-barrier",
+        "cg.B, 16 threads / 12 cores, blocking barriers",
+    ),
+];
+
+/// Builds a named trace scenario with the given policy. The repeat count
+/// comes from the profile; callers usually override it to 1.
+pub fn trace_scenario(name: &str, policy: Policy, profile: Profile) -> Result<Scenario, String> {
+    let p = profile;
+    let s = match name {
+        "ep-3x2" => {
+            let app = ep().spmd(3, WaitMode::Block, p.scale);
+            Scenario::new(Machine::Uniform(2), 0, policy, app)
+        }
+        "ep-16x8" => {
+            let app = ep().spmd(16, WaitMode::Yield, p.scale);
+            Scenario::new(Machine::Tigerton, 8, policy, app)
+        }
+        "ep-hog" => {
+            let app = ep().spmd(16, WaitMode::Yield, p.scale);
+            Scenario::new(Machine::Tigerton, 0, policy, app)
+                .competitors(vec![Competitor::CpuHog { core: 0 }])
+        }
+        "cg-barrier" => {
+            let spec = speedbal_workloads::npb("cg.B")
+                .ok_or_else(|| "cg.B missing from the NPB catalogue".to_string())?;
+            let app = spec.spmd(16, WaitMode::Block, p.scale);
+            Scenario::new(Machine::Tigerton, 12, policy, app)
+        }
+        other => {
+            let known: Vec<&str> = TRACE_SCENARIOS.iter().map(|(n, _)| *n).collect();
+            return Err(format!(
+                "unknown trace scenario {other}; known: {}",
+                known.join(", ")
+            ));
+        }
+    };
+    Ok(s.repeats(p.repeats).traced(true))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

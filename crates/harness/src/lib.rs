@@ -5,4 +5,7 @@
 pub mod experiments;
 pub mod scenario;
 
-pub use scenario::{run_scenario, Competitor, Machine, Policy, Scenario, ScenarioResult};
+pub use scenario::{
+    run_repeat, run_scenario, run_scenario_with_traces, set_trace_output, trace_file_path,
+    Competitor, Machine, Policy, RepeatOutcome, Scenario, ScenarioResult,
+};

@@ -13,6 +13,10 @@ use speedbal_machine::{
 use speedbal_metrics::RepeatStats;
 use speedbal_sched::{Balancer, GroupId, SchedConfig, SpawnSpec, System};
 use speedbal_sim::{SimDuration, SimTime};
+use speedbal_trace::{export_chrome, TraceBuffer};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which machine model to run on (Table 1 presets plus generics).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,6 +116,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Per-repeat simulated-time budget.
     pub deadline: SimDuration,
+    /// Record a structured event trace for every repeat (see
+    /// `speedbal-trace`). Tracing never changes scheduling decisions, only
+    /// run time and memory.
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -127,6 +135,7 @@ impl Scenario {
             repeats: 10,
             seed: 0xB0A710AD,
             deadline: SimDuration::from_secs(600),
+            trace: false,
         }
     }
 
@@ -148,6 +157,21 @@ impl Scenario {
     pub fn cost(mut self, c: CostModel) -> Scenario {
         self.cost = c;
         self
+    }
+
+    pub fn traced(mut self, on: bool) -> Scenario {
+        self.trace = on;
+        self
+    }
+
+    /// A short file-system-friendly label: machine, cores, policy.
+    pub fn label(&self) -> String {
+        let cores = if self.cores == 0 {
+            "allcores".to_string()
+        } else {
+            format!("c{}", self.cores)
+        };
+        format!("{}-{}-{}", self.machine.label(), cores, self.policy.label())
     }
 }
 
@@ -204,70 +228,194 @@ fn build_speed(
     ))
 }
 
-/// Runs every repeat of a scenario. Deterministic: repeat `r` uses seed
-/// `scenario.seed + r`.
-pub fn run_scenario(s: &Scenario) -> ScenarioResult {
-    let mut completion = RepeatStats::default();
-    let mut migrations = RepeatStats::default();
-    let mut timeouts = 0usize;
-    for r in 0..s.repeats {
-        let seed = s.seed.wrapping_add(r as u64);
-        let topo = {
-            let full = s.machine.topology();
-            if s.cores == 0 || s.cores >= full.n_cores() {
-                full
-            } else {
-                full.restrict(s.cores)
-            }
-        };
-        let app_group = GroupId(0);
-        let balancer = build_balancer(&s.policy, &topo, app_group, seed);
-        let mut sys = System::new(topo, SchedConfig::default(), s.cost.clone(), balancer, seed);
-        let g = sys.new_group();
-        debug_assert_eq!(g, app_group);
-        let comp_group = sys.new_group();
-        // Competitors start first (they are "already running" when the
-        // parallel job launches).
-        for c in &s.competitors {
-            match c {
-                Competitor::CpuHog { core } => {
-                    sys.spawn(
-                        SpawnSpec::new(Box::new(CpuHog::forever()), "cpu-hog", comp_group)
-                            .pin(CoreId(*core)),
-                    );
-                }
-                Competitor::MakeJ {
-                    tasks,
-                    jobs_per_task,
-                } => {
-                    for i in 0..*tasks {
-                        sys.spawn(SpawnSpec::new(
-                            Box::new(BatchJob::make_like(*jobs_per_task)),
-                            format!("make{i}"),
-                            comp_group,
-                        ));
-                    }
-                }
-            }
+/// What one repeat produced.
+#[derive(Debug)]
+pub struct RepeatOutcome {
+    /// Application completion time, seconds (the deadline if it timed out).
+    pub completion_secs: f64,
+    /// Total migrations observed over the repeat.
+    pub migrations: f64,
+    /// Did the repeat hit the deadline without finishing?
+    pub timed_out: bool,
+    /// The event trace, when tracing was requested.
+    pub trace: Option<TraceBuffer>,
+}
+
+/// Runs one repeat of a scenario. Deterministic: repeat `r` uses seed
+/// `scenario.seed + r` regardless of which repeats run around it, and
+/// tracing is strictly observational, so the outcome is identical with
+/// `traced` on or off.
+pub fn run_repeat(s: &Scenario, r: usize, traced: bool) -> RepeatOutcome {
+    let seed = s.seed.wrapping_add(r as u64);
+    let topo = {
+        let full = s.machine.topology();
+        if s.cores == 0 || s.cores >= full.n_cores() {
+            full
+        } else {
+            full.restrict(s.cores)
         }
-        SpmdApp::spawn(&mut sys, app_group, &s.app, None);
-        let deadline = SimTime::ZERO + s.deadline;
-        match sys.run_until_group_done(app_group, deadline) {
-            Some(done) => {
-                completion.push(done.as_secs_f64());
-                migrations.push(sys.total_migrations() as f64);
+    };
+    let app_group = GroupId(0);
+    let balancer = build_balancer(&s.policy, &topo, app_group, seed);
+    let mut sys = System::new(topo, SchedConfig::default(), s.cost.clone(), balancer, seed);
+    if traced {
+        sys.enable_tracing();
+    }
+    let g = sys.new_group();
+    debug_assert_eq!(g, app_group);
+    let comp_group = sys.new_group();
+    // Competitors start first (they are "already running" when the
+    // parallel job launches).
+    for c in &s.competitors {
+        match c {
+            Competitor::CpuHog { core } => {
+                sys.spawn(
+                    SpawnSpec::new(Box::new(CpuHog::forever()), "cpu-hog", comp_group)
+                        .pin(CoreId(*core)),
+                );
             }
-            None => {
-                timeouts += 1;
-                completion.push(s.deadline.as_secs_f64());
-                migrations.push(sys.total_migrations() as f64);
+            Competitor::MakeJ {
+                tasks,
+                jobs_per_task,
+            } => {
+                for i in 0..*tasks {
+                    sys.spawn(SpawnSpec::new(
+                        Box::new(BatchJob::make_like(*jobs_per_task)),
+                        format!("make{i}"),
+                        comp_group,
+                    ));
+                }
             }
         }
     }
-    ScenarioResult {
-        completion,
-        migrations,
-        timeouts,
+    SpmdApp::spawn(&mut sys, app_group, &s.app, None);
+    let deadline = SimTime::ZERO + s.deadline;
+    let (completion_secs, timed_out) = match sys.run_until_group_done(app_group, deadline) {
+        Some(done) => (done.as_secs_f64(), false),
+        None => (s.deadline.as_secs_f64(), true),
+    };
+    RepeatOutcome {
+        completion_secs,
+        migrations: sys.total_migrations() as f64,
+        timed_out,
+        trace: sys.take_trace(),
+    }
+}
+
+/// Runs every repeat of a scenario, spread across worker threads.
+/// Deterministic and bit-identical to a serial loop: repeat `r` always
+/// uses seed `scenario.seed + r` in a fresh `System`, and results are
+/// assembled in repeat order.
+pub fn run_scenario(s: &Scenario) -> ScenarioResult {
+    let (result, traces) = run_scenario_with_traces(s);
+    write_trace_files(s, &traces);
+    result
+}
+
+/// Like [`run_scenario`], also returning each repeat's trace (empty
+/// options unless the scenario — or the module-level trace output — asks
+/// for tracing).
+pub fn run_scenario_with_traces(s: &Scenario) -> (ScenarioResult, Vec<Option<TraceBuffer>>) {
+    let traced = s.trace || trace_output_base().is_some();
+    let outcomes = run_repeats(s, traced);
+    let mut completion = RepeatStats::default();
+    let mut migrations = RepeatStats::default();
+    let mut timeouts = 0usize;
+    let mut traces = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        completion.push(o.completion_secs);
+        migrations.push(o.migrations);
+        timeouts += o.timed_out as usize;
+        traces.push(o.trace);
+    }
+    (
+        ScenarioResult {
+            completion,
+            migrations,
+            timeouts,
+        },
+        traces,
+    )
+}
+
+/// The parallel repeat driver. Workers pull repeat indices from a shared
+/// counter and write into per-repeat slots, so output order never depends
+/// on thread scheduling.
+fn run_repeats(s: &Scenario, traced: bool) -> Vec<RepeatOutcome> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(s.repeats)
+        .max(1);
+    if workers == 1 {
+        return (0..s.repeats).map(|r| run_repeat(s, r, traced)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RepeatOutcome>>> =
+        (0..s.repeats).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let r = next.fetch_add(1, Ordering::Relaxed);
+                if r >= s.repeats {
+                    break;
+                }
+                let outcome = run_repeat(s, r, traced);
+                *slots[r].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every repeat slot filled by a worker")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Trace file output
+//
+// Figure/table generators call `run_scenario` many times with no channel
+// for side outputs, so the "dump every trace" switch lives here: the CLI
+// sets a base path once and every subsequent scenario writes one Chrome
+// trace JSON file per repeat next to it.
+
+static TRACE_OUT: Mutex<Option<PathBuf>> = Mutex::new(None);
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Directs every subsequent [`run_scenario`] call to dump per-repeat
+/// Chrome trace files derived from `base` (`None` turns it back off).
+/// Files are named `<stem>.s<seq>-<machine>-<cores>-<policy>.r<N>.json`.
+pub fn set_trace_output(base: Option<PathBuf>) {
+    *TRACE_OUT.lock().unwrap() = base;
+    TRACE_SEQ.store(0, Ordering::Relaxed);
+}
+
+fn trace_output_base() -> Option<PathBuf> {
+    TRACE_OUT.lock().unwrap().clone()
+}
+
+/// The per-repeat trace file path for `base`, scenario sequence number
+/// `seq` and repeat `r`.
+pub fn trace_file_path(base: &Path, label: &str, seq: u64, r: usize) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    base.with_file_name(format!("{stem}.s{seq:03}-{label}.r{r}.json"))
+}
+
+fn write_trace_files(s: &Scenario, traces: &[Option<TraceBuffer>]) {
+    let Some(base) = trace_output_base() else {
+        return;
+    };
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    for (r, buf) in traces.iter().enumerate() {
+        let Some(buf) = buf else { continue };
+        let path = trace_file_path(&base, &s.label(), seq, r);
+        if let Err(e) = std::fs::write(&path, export_chrome(buf)) {
+            eprintln!("warning: could not write trace {}: {e}", path.display());
+        }
     }
 }
 
@@ -334,6 +482,50 @@ mod tests {
             "expected some LOAD variation, got {:?}",
             r.completion.values
         );
+    }
+
+    #[test]
+    fn parallel_repeats_match_serial() {
+        // run_scenario spreads repeats across threads; a hand-rolled serial
+        // loop over run_repeat must produce bit-identical numbers.
+        let app = ep().spmd(16, WaitMode::Yield, 0.05);
+        let s = Scenario::new(Machine::Tigerton, 6, Policy::Load, app).repeats(6);
+        let par = run_scenario(&s);
+        let serial: Vec<RepeatOutcome> = (0..s.repeats).map(|r| run_repeat(&s, r, false)).collect();
+        let serial_completion: Vec<f64> = serial.iter().map(|o| o.completion_secs).collect();
+        let serial_migrations: Vec<f64> = serial.iter().map(|o| o.migrations).collect();
+        assert_eq!(par.completion.values, serial_completion);
+        assert_eq!(par.migrations.values, serial_migrations);
+    }
+
+    #[test]
+    fn traced_scenario_returns_buffers_and_same_numbers() {
+        let app = ep().spmd(3, WaitMode::Block, 0.05);
+        let plain = Scenario::new(Machine::Uniform(2), 0, Policy::Speed, app).repeats(2);
+        let traced = plain.clone().traced(true);
+        let (pr, pt) = run_scenario_with_traces(&plain);
+        let (tr, tt) = run_scenario_with_traces(&traced);
+        assert!(pt.iter().all(|t| t.is_none()));
+        assert_eq!(tt.len(), 2);
+        for t in &tt {
+            let buf = t.as_ref().expect("traced repeat yields a buffer");
+            assert!(!buf.is_empty());
+            assert!(buf.counters().dispatches > 0);
+        }
+        // Tracing is observational: the numbers must not move.
+        assert_eq!(pr.completion.values, tr.completion.values);
+        assert_eq!(pr.migrations.values, tr.migrations.values);
+    }
+
+    #[test]
+    fn trace_file_names_are_distinct_per_repeat() {
+        let base = std::path::Path::new("/tmp/out.json");
+        let a = trace_file_path(base, "uniform2-call-SPEED", 0, 0);
+        let b = trace_file_path(base, "uniform2-call-SPEED", 0, 1);
+        let c = trace_file_path(base, "uniform2-call-SPEED", 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(a.to_str().unwrap().ends_with(".json"));
     }
 
     #[test]

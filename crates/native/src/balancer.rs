@@ -4,6 +4,9 @@ use crate::affinity::pin_to_cpu;
 use crate::proc::{list_tids, process_alive, read_thread_cpu_time};
 use crate::topo::NativeTopology;
 use parking_lot::Mutex;
+use speedbal_machine::{CoreId, DomainLevel};
+use speedbal_sim::SimTime;
+use speedbal_trace::{ActivationOutcome, MigrationReason, TraceBuffer, TraceConfig, TraceEvent};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,9 +68,32 @@ struct Shared {
     last_migration: Vec<AtomicU64>,
     start: Instant,
     stats: NativeStats,
+    /// Event recorder using the simulator's schema, timestamped with
+    /// wall-clock nanoseconds since `start`. `None` = tracing off.
+    trace: Option<Mutex<TraceBuffer>>,
 }
 
 impl Shared {
+    /// Wall time since start as a `SimTime` (the trace's clock).
+    fn now_sim(&self) -> SimTime {
+        SimTime::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn trace_event(&self, cpu: usize, event: TraceEvent) {
+        if let Some(buf) = &self.trace {
+            let now = self.now_sim();
+            buf.lock().record(now, CoreId(cpu), event);
+        }
+    }
+
+    fn trace_spawn(&self, tid: i32) {
+        if let Some(buf) = &self.trace {
+            let now = self.now_sim();
+            buf.lock()
+                .task_spawned(tid as usize, &format!("tid{tid}"), now);
+        }
+    }
+
     fn publish(&self, slot: usize, speed: f64) {
         self.published[slot].store(speed.to_bits(), Ordering::Relaxed);
     }
@@ -173,16 +199,30 @@ impl NativeSpeedBalancer {
             );
             adopted += 1;
             shared.stats.threads_seen.fetch_add(1, Ordering::Relaxed);
+            shared.trace_spawn(*tid);
         }
         adopted
     }
 
     /// One activation of the balancer for `slot` (= index into `cores`):
     /// measure, publish, maybe pull one thread.
-    fn balance_once(&self, shared: &Shared, cores: &[usize], slot: usize) {
+    fn balance_once(&self, shared: &Shared, cores: &[usize], slot: usize, jitter: Duration) {
         shared.stats.activations.fetch_add(1, Ordering::Relaxed);
         let local_cpu = cores[slot];
         let now = Instant::now();
+        let jitter_sim = speedbal_sim::SimDuration::from_nanos(jitter.as_nanos() as u64);
+        let activation = |local: f64, global: f64, outcome: ActivationOutcome| {
+            shared.trace_event(
+                local_cpu,
+                TraceEvent::BalancerActivation {
+                    policy: "SPEED",
+                    local,
+                    global,
+                    outcome,
+                    jitter: jitter_sim,
+                },
+            );
+        };
 
         // Steps 1-2: measure local thread speeds over the elapsed window.
         let mut local_speeds = Vec::new();
@@ -204,6 +244,13 @@ impl NativeSpeedBalancer {
                 sample.exec = times.total();
                 sample.at = now;
                 local_speeds.push(speed.min(1.5));
+                shared.trace_event(
+                    local_cpu,
+                    TraceEvent::SpeedSample {
+                        task: Some(*tid as usize),
+                        speed: speed.min(1.5),
+                    },
+                );
             }
         }
         let s_local = if local_speeds.is_empty() {
@@ -212,14 +259,23 @@ impl NativeSpeedBalancer {
             local_speeds.iter().sum::<f64>() / local_speeds.len() as f64
         };
         shared.publish(slot, s_local);
+        shared.trace_event(
+            local_cpu,
+            TraceEvent::SpeedSample {
+                task: None,
+                speed: s_local,
+            },
+        );
 
         // Steps 3-4.
         let s_global = shared.global_speed();
         if s_local <= s_global || s_global <= 0.0 {
+            activation(s_local, s_global, ActivationOutcome::BelowAverage);
             return;
         }
         let block = self.cfg.interval * self.cfg.post_migration_block;
         if shared.in_block(slot, block) {
+            activation(s_local, s_global, ActivationOutcome::Blocked);
             return;
         }
         let mut best: Option<(f64, usize)> = None;
@@ -241,7 +297,10 @@ impl NativeSpeedBalancer {
                 best = Some((s_k, k));
             }
         }
-        let Some((_, victim_slot)) = best else { return };
+        let Some((best_s_k, victim_slot)) = best else {
+            activation(s_local, s_global, ActivationOutcome::NoCandidate);
+            return;
+        };
         let victim_cpu = cores[victim_slot];
 
         // Pull the least-migrated thread from the victim core.
@@ -251,9 +310,13 @@ impl NativeSpeedBalancer {
             .filter(|(_, s)| s.core == victim_cpu)
             .min_by_key(|(tid, s)| (s.migrations, **tid))
         else {
+            drop(map);
+            activation(s_local, s_global, ActivationOutcome::NoCandidate);
             return;
         };
         if pin_to_cpu(tid, local_cpu).is_err() {
+            drop(map);
+            activation(s_local, s_global, ActivationOutcome::NoCandidate);
             return;
         }
         if let Some(s) = map.get_mut(&tid) {
@@ -268,11 +331,47 @@ impl NativeSpeedBalancer {
         shared.stats.migrations.fetch_add(1, Ordering::Relaxed);
         shared.mark_migration(slot);
         shared.mark_migration(victim_slot);
+        shared.trace_event(
+            local_cpu,
+            TraceEvent::Migrate {
+                task: tid as usize,
+                from: CoreId(victim_cpu),
+                to: CoreId(local_cpu),
+                tier: if self.topo.crosses_numa(victim_cpu, local_cpu) {
+                    DomainLevel::Numa
+                } else {
+                    DomainLevel::Cache
+                },
+                reason: MigrationReason::SpeedPull {
+                    local_speed: s_local,
+                    remote_speed: best_s_k,
+                    global_speed: s_global,
+                },
+            },
+        );
+        activation(s_local, s_global, ActivationOutcome::Pulled);
     }
 
     /// Runs the balancer (one thread per managed core, as in the paper)
     /// until the target exits or `stop` is set. Returns the final stats.
     pub fn run(&self, stop: &AtomicBool) -> NativeStats {
+        self.run_inner(stop, None).0
+    }
+
+    /// Like [`run`](Self::run), also recording an event trace in the
+    /// simulator's schema — speed samples, balancer activations and
+    /// migrations from real `/proc` measurements, timestamped with
+    /// wall-clock nanoseconds since attach.
+    pub fn run_traced(&self, stop: &AtomicBool, cfg: TraceConfig) -> (NativeStats, TraceBuffer) {
+        let (stats, trace) = self.run_inner(stop, Some(cfg));
+        (stats, trace.expect("tracing was requested"))
+    }
+
+    fn run_inner(
+        &self,
+        stop: &AtomicBool,
+        trace: Option<TraceConfig>,
+    ) -> (NativeStats, Option<TraceBuffer>) {
         let cores = self.managed_cores();
         let shared = Shared {
             threads: Mutex::new(HashMap::new()),
@@ -282,6 +381,11 @@ impl NativeSpeedBalancer {
             last_migration: (0..cores.len()).map(|_| AtomicU64::new(0)).collect(),
             start: Instant::now(),
             stats: NativeStats::default(),
+            trace: trace.map(|cfg| {
+                let mut buf = TraceBuffer::with_config(cfg);
+                buf.set_n_cores(cores.iter().max().map_or(0, |m| m + 1));
+                Mutex::new(buf)
+            }),
         };
         std::thread::sleep(self.cfg.startup_delay);
         self.adopt_threads(&shared, &cores);
@@ -298,9 +402,9 @@ impl NativeSpeedBalancer {
                     let mut rng_state = 0x9E3779B97F4A7C15u64 ^ (slot as u64 + 1) ^ self_tid as u64;
                     while !stop.load(Ordering::Relaxed) && process_alive(self.pid) {
                         let base = self.cfg.interval.as_millis() as u64;
-                        let sleep_ms = base + jitter_ms(&mut rng_state, base);
+                        let jitter = jitter_ms(&mut rng_state, base);
                         // Sleep in short slices so shutdown is prompt.
-                        let deadline = Instant::now() + Duration::from_millis(sleep_ms);
+                        let deadline = Instant::now() + Duration::from_millis(base + jitter);
                         while Instant::now() < deadline {
                             if stop.load(Ordering::Relaxed) || !process_alive(self.pid) {
                                 return;
@@ -312,12 +416,13 @@ impl NativeSpeedBalancer {
                             // threads (a single scanner suffices).
                             self.adopt_threads(shared, cores);
                         }
-                        self.balance_once(shared, cores, slot);
+                        self.balance_once(shared, cores, slot, Duration::from_millis(jitter));
                     }
                 });
             }
         });
-        shared.stats
+        let trace = shared.trace.map(|m| m.into_inner());
+        (shared.stats, trace)
     }
 }
 
@@ -351,6 +456,42 @@ mod tests {
         assert!(NativeSpeedBalancer::attach(-1, NativeConfig::default()).is_err());
     }
 
+    // Environment-dependent for the same reasons as the other spinner
+    // tests; checks the traced run records the simulator's event schema.
+    #[ignore = "wall-clock timing; needs multi-core machine and real /proc"]
+    #[test]
+    fn traced_run_records_samples() {
+        let mut child = spawn_spinner();
+        let pid = child.id() as i32;
+        let cfg = NativeConfig {
+            interval: Duration::from_millis(50),
+            startup_delay: Duration::from_millis(10),
+            ..NativeConfig::default()
+        };
+        let bal = NativeSpeedBalancer::attach(pid, cfg).expect("attach");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(600));
+            stop2.store(true, Ordering::Relaxed);
+        });
+        let (stats, trace) = bal.run_traced(&stop, TraceConfig::default());
+        handle.join().unwrap();
+        child.kill().ok();
+        child.wait().ok();
+        assert!(stats.activations.load(Ordering::Relaxed) > 0);
+        assert!(trace.n_tasks() >= 1, "spinner adopted into the trace");
+        assert!(
+            trace.counters().balancer_activations > 0,
+            "activations recorded"
+        );
+        assert!(trace.counters().speed_samples > 0, "speeds recorded");
+    }
+
+    // Environment-dependent: needs real sched_setaffinity, a permissive
+    // /proc, and hundreds of ms of wall-clock time — flaky on loaded or
+    // single-core CI runners. Run explicitly with `cargo test -- --ignored`.
+    #[ignore = "wall-clock timing; needs multi-core machine and real /proc"]
     #[test]
     fn balances_a_real_spinner_briefly() {
         let mut child = spawn_spinner();
@@ -381,6 +522,8 @@ mod tests {
         );
     }
 
+    // Environment-dependent for the same reasons as above.
+    #[ignore = "wall-clock timing; needs multi-core machine and real /proc"]
     #[test]
     fn run_returns_when_target_exits() {
         let mut child = spawn_spinner();

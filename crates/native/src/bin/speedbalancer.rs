@@ -10,6 +10,8 @@
 //!   -t, --threshold <f>     pull threshold T_s (default 0.9)
 //!   --allow-numa            allow cross-NUMA-node migrations
 //!   --cores <cpulist>       manage only these CPUs (e.g. "0-3,8")
+//!   --trace-out <file>      record a Chrome trace (speed samples,
+//!                           activations, migrations; load in Perfetto)
 //! ```
 //!
 //! "speedbalancer takes as input the parallel application to balance and
@@ -17,8 +19,9 @@
 //! form. The demo worker provides a self-contained SPMD-ish workload for
 //! the quickstart.
 
-use speedbal_native::balancer::{NativeConfig, NativeSpeedBalancer};
+use speedbal_native::balancer::{NativeConfig, NativeSpeedBalancer, NativeStats};
 use speedbal_native::topo::parse_cpulist;
+use speedbal_trace::{export_chrome, TraceConfig};
 use std::process::{exit, Command};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -26,9 +29,28 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: speedbalancer [-i ms] [-t f] [--allow-numa] [--cores list] \
-         (--pid P | -- cmd args... | --demo-worker N SECS)"
+         [--trace-out file] (--pid P | -- cmd args... | --demo-worker N SECS)"
     );
     exit(2);
+}
+
+/// Runs the balancer, dumping a Chrome trace to `trace_out` if requested.
+fn run_balancer(
+    bal: &NativeSpeedBalancer,
+    stop: &AtomicBool,
+    trace_out: Option<&str>,
+) -> NativeStats {
+    match trace_out {
+        None => bal.run(stop),
+        Some(path) => {
+            let (stats, trace) = bal.run_traced(stop, TraceConfig::default());
+            match std::fs::write(path, export_chrome(&trace)) {
+                Ok(()) => eprintln!("speedbalancer: wrote trace to {path}"),
+                Err(e) => eprintln!("speedbalancer: cannot write {path}: {e}"),
+            }
+            stats
+        }
+    }
 }
 
 fn demo_worker(threads: usize, seconds: f64) {
@@ -55,6 +77,7 @@ fn main() {
     let mut cfg = NativeConfig::default();
     let mut pid: Option<i32> = None;
     let mut command: Option<Vec<String>> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,6 +98,10 @@ fn main() {
                 cfg.speed_threshold = t;
             }
             "--allow-numa" => cfg.block_numa = false,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
             "--cores" => {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
@@ -124,7 +151,7 @@ fn main() {
                 }
             };
             eprintln!("speedbalancer: attached to pid {pid}");
-            let stats = bal.run(&stop);
+            let stats = run_balancer(&bal, &stop, trace_out.as_deref());
             eprintln!(
                 "speedbalancer: done — activations={} migrations={} threads={}",
                 stats.activations.load(Ordering::Relaxed),
@@ -150,7 +177,7 @@ fn main() {
                     exit(1);
                 }
             };
-            let stats = bal.run(&stop);
+            let stats = run_balancer(&bal, &stop, trace_out.as_deref());
             let status = child.wait().ok();
             eprintln!(
                 "speedbalancer: child exited ({:?}) — activations={} migrations={} threads={}",

@@ -32,3 +32,10 @@ pub use config::SchedConfig;
 pub use program::{Directive, FnProgram, Program, ProgramCtx, ScriptProgram};
 pub use system::{GroupId, MigrationRecord, SpawnSpec, System};
 pub use task::{TaskId, TaskState};
+
+// Re-exported so balancers and apps can name trace types without adding a
+// direct `speedbal-trace` dependency.
+pub use speedbal_trace as trace;
+pub use speedbal_trace::{
+    ActivationOutcome, MigrationReason, TraceBuffer, TraceConfig, TraceEvent,
+};

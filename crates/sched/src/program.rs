@@ -9,7 +9,9 @@
 
 use crate::cond::{CondId, CondTable};
 use crate::task::TaskId;
+use speedbal_machine::CoreId;
 use speedbal_sim::{SimDuration, SimRng, SimTime};
+use speedbal_trace::{TraceBuffer, TraceEvent};
 
 /// What a thread asks the scheduler to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,15 +44,19 @@ pub struct ProgramCtx<'a> {
     pub now: SimTime,
     /// The task being resumed.
     pub task: TaskId,
+    /// The core the task occupies while making this decision.
+    pub core: CoreId,
     pub(crate) conds: &'a mut CondTable,
     /// Per-task deterministic RNG stream.
     pub rng: &'a mut SimRng,
+    /// Event sink (None while tracing is off or in standalone unit tests).
+    pub(crate) trace: Option<&'a mut TraceBuffer>,
 }
 
 impl<'a> ProgramCtx<'a> {
-    /// Builds a context over a caller-owned condition table — used by the
-    /// system internally and by unit tests of program building blocks
-    /// (barriers, locks) outside a full simulation.
+    /// Builds a context over a caller-owned condition table — used by unit
+    /// tests of program building blocks (barriers, locks) outside a full
+    /// simulation. Tracing is off and the core reads as 0.
     pub fn new(
         now: SimTime,
         task: TaskId,
@@ -60,8 +66,19 @@ impl<'a> ProgramCtx<'a> {
         ProgramCtx {
             now,
             task,
+            core: CoreId(0),
             conds,
             rng,
+            trace: None,
+        }
+    }
+
+    /// Records a trace event stamped with the current time and core; no-op
+    /// when tracing is off. Lets apps contribute domain-level events
+    /// (barrier arrivals/releases) to the system trace.
+    pub fn trace_event(&mut self, event: TraceEvent) {
+        if let Some(buf) = self.trace.as_deref_mut() {
+            buf.record(self.now, self.core, event);
         }
     }
 
@@ -134,12 +151,7 @@ mod tests {
     fn script_program_replays_then_exits() {
         let mut conds = CondTable::new();
         let mut rng = SimRng::new(0);
-        let mut ctx = ProgramCtx {
-            now: SimTime::ZERO,
-            task: TaskId(0),
-            conds: &mut conds,
-            rng: &mut rng,
-        };
+        let mut ctx = ProgramCtx::new(SimTime::ZERO, TaskId(0), &mut conds, &mut rng);
         let mut p = ScriptProgram::new(vec![
             Directive::Compute(SimDuration::from_millis(1)),
             Directive::SleepFor(SimDuration::from_millis(2)),
@@ -160,12 +172,7 @@ mod tests {
     fn ctx_cond_roundtrip() {
         let mut conds = CondTable::new();
         let mut rng = SimRng::new(0);
-        let mut ctx = ProgramCtx {
-            now: SimTime::ZERO,
-            task: TaskId(3),
-            conds: &mut conds,
-            rng: &mut rng,
-        };
+        let mut ctx = ProgramCtx::new(SimTime::ZERO, TaskId(3), &mut conds, &mut rng);
         let c = ctx.alloc_cond();
         assert!(!ctx.cond_is_set(c));
         ctx.set_cond(c);
@@ -176,12 +183,7 @@ mod tests {
     fn fn_program_wraps_closures() {
         let mut conds = CondTable::new();
         let mut rng = SimRng::new(0);
-        let mut ctx = ProgramCtx {
-            now: SimTime::ZERO,
-            task: TaskId(0),
-            conds: &mut conds,
-            rng: &mut rng,
-        };
+        let mut ctx = ProgramCtx::new(SimTime::ZERO, TaskId(0), &mut conds, &mut rng);
         let calls = std::cell::Cell::new(0);
         let mut p = FnProgram(|_ctx: &mut ProgramCtx<'_>| {
             calls.set(calls.get() + 1);

@@ -34,6 +34,7 @@ use crate::rq::RunQueue;
 use crate::task::{Activity, Task, TaskId, TaskState};
 use speedbal_machine::{CoreId, CostModel, Topology};
 use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use speedbal_trace::{MigrationReason, TraceBuffer, TraceConfig, TraceEvent};
 
 /// Handle to a task group (one application / competing workload).
 #[derive(
@@ -122,9 +123,20 @@ pub struct MigrationRecord {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    Core { core: usize, seq: u64 },
-    Wake { task: TaskId, gen: u64 },
-    BalancerTimer { key: u64 },
+    Core {
+        core: usize,
+        seq: u64,
+    },
+    Wake {
+        task: TaskId,
+        gen: u64,
+    },
+    BalancerTimer {
+        key: u64,
+    },
+    /// Tracing-only periodic speed sampler. Its handler reads scheduler
+    /// state but never mutates it, so arming it cannot perturb a run.
+    TraceSample,
 }
 
 struct Core {
@@ -187,8 +199,17 @@ pub struct System {
     /// detached during system mutation, drained after each event).
     pending_desched: Vec<(TaskId, CoreId, SimDuration)>,
     pending_exits: Vec<TaskId>,
-    /// Optional migration trace (diagnostics/verification).
-    migration_log: Option<Vec<MigrationRecord>>,
+    /// Structured event trace (None = tracing disabled; every hook is a
+    /// single branch on this option).
+    trace: Option<Box<TraceBuffer>>,
+    /// Attribution scratch: set by `*_with_reason` around a migration call
+    /// so `migrate_task` can stamp the `Migrate` record.
+    migration_reason: MigrationReason,
+    /// Speed-sampler bookkeeping (tracing only).
+    sampler_armed: bool,
+    sampler_last: SimTime,
+    sampler_exec: Vec<SimDuration>,
+    sampler_busy: Vec<SimDuration>,
 }
 
 /// Bound on chained zero-time program transitions, to turn a program that
@@ -222,7 +243,12 @@ impl System {
             events_processed: 0,
             pending_desched: Vec::new(),
             pending_exits: Vec::new(),
-            migration_log: None,
+            trace: None,
+            migration_reason: MigrationReason::Unspecified,
+            sampler_armed: false,
+            sampler_last: SimTime::ZERO,
+            sampler_exec: Vec::new(),
+            sampler_busy: Vec::new(),
         };
         let mut bal = balancer;
         bal.on_start(&mut sys);
@@ -383,16 +409,91 @@ impl System {
         self.total_migrations
     }
 
-    /// Starts recording every migration (time, task, source, destination).
-    pub fn enable_migration_log(&mut self) {
-        if self.migration_log.is_none() {
-            self.migration_log = Some(Vec::new());
+    /// Starts structured event tracing with default settings. Idempotent.
+    /// Recording is strictly read-only with respect to scheduling: a traced
+    /// run produces the same schedule as an untraced one.
+    pub fn enable_tracing(&mut self) {
+        self.enable_tracing_with(TraceConfig::default());
+    }
+
+    /// Starts structured event tracing with explicit settings. Idempotent
+    /// (a second call keeps the existing buffer).
+    pub fn enable_tracing_with(&mut self, cfg: TraceConfig) {
+        if self.trace.is_some() {
+            return;
+        }
+        let interval = cfg.sample_interval;
+        let mut buf = Box::new(TraceBuffer::with_config(cfg));
+        buf.set_n_cores(self.cores.len());
+        let now = self.now();
+        for t in &self.tasks {
+            if t.state != TaskState::Exited {
+                buf.task_spawned(t.id.0, &t.name, now);
+            }
+        }
+        self.trace = Some(buf);
+        self.sampler_last = now;
+        self.sync_sampler_baseline(now);
+        if self.tasks.iter().any(|t| t.state != TaskState::Exited) {
+            self.arm_sampler(now + interval);
         }
     }
 
-    /// The migrations recorded so far (empty unless enabled).
-    pub fn migration_log(&self) -> &[MigrationRecord] {
-        self.migration_log.as_deref().unwrap_or(&[])
+    /// True iff tracing is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace collected so far (None unless tracing is enabled).
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_deref()
+    }
+
+    /// Detaches and returns the trace buffer, turning tracing off.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.sampler_armed = false;
+        self.trace.take().map(|b| *b)
+    }
+
+    /// Records a trace event stamped with the current time (no-op when
+    /// tracing is off). Public so apps and balancers can contribute
+    /// domain-level events (barrier episodes, balancer activations).
+    pub fn trace_event(&mut self, core: CoreId, event: TraceEvent) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.record(self.events.now(), core, event);
+        }
+    }
+
+    /// Backwards-compatible alias: migration recording is now part of the
+    /// structured trace.
+    pub fn enable_migration_log(&mut self) {
+        self.enable_tracing();
+    }
+
+    /// The migrations recorded so far (empty unless tracing is enabled),
+    /// reconstructed from `Migrate` trace records. Wake placements are
+    /// excluded, matching `total_migrations` accounting.
+    pub fn migration_log(&self) -> Vec<MigrationRecord> {
+        let Some(buf) = self.trace.as_deref() else {
+            return Vec::new();
+        };
+        buf.records()
+            .filter_map(|rec| match rec.event {
+                TraceEvent::Migrate {
+                    task,
+                    from,
+                    to,
+                    reason,
+                    ..
+                } if reason != MigrationReason::WakePlacement => Some(MigrationRecord {
+                    time: rec.time,
+                    task: TaskId(task),
+                    from,
+                    to,
+                }),
+                _ => None,
+            })
+            .collect()
     }
 
     pub fn events_processed(&self) -> u64 {
@@ -496,6 +597,16 @@ impl System {
         // First-touch memory placement: the task's pages land on the node
         // of the core it starts on.
         self.tasks[id.0].home_node = Some(self.topo.node_of(core));
+        if let Some(buf) = self.trace.as_mut() {
+            let name = self.tasks[id.0].name.clone();
+            buf.task_spawned(id.0, &name, now);
+            if !self.sampler_armed {
+                let interval = buf.config().sample_interval;
+                self.sampler_last = now;
+                self.sync_sampler_baseline(now);
+                self.arm_sampler(now + interval);
+            }
+        }
         self.enqueue_task(id, core, false);
         self.drain_conds();
         id
@@ -524,13 +635,19 @@ impl System {
         if self.tasks[t.0].state == TaskState::Exited || from == to || to.0 >= self.cores.len() {
             return false;
         }
-        if let Some(log) = self.migration_log.as_mut() {
-            log.push(MigrationRecord {
-                time: now,
-                task: t,
-                from,
+        if self.trace.is_some() {
+            let tier = self.topo.common_level(from, to);
+            let reason = self.migration_reason;
+            self.trace_event(
                 to,
-            });
+                TraceEvent::Migrate {
+                    task: t.0,
+                    from,
+                    to,
+                    tier,
+                    reason,
+                },
+            );
         }
         let stall = self
             .cost
@@ -583,6 +700,28 @@ impl System {
         }
         self.drain_conds();
         true
+    }
+
+    /// [`System::migrate_task`] with the policy decision that caused the
+    /// move attributed in the trace.
+    pub fn migrate_task_with_reason(
+        &mut self,
+        t: TaskId,
+        to: CoreId,
+        reason: MigrationReason,
+    ) -> bool {
+        self.migration_reason = reason;
+        let moved = self.migrate_task(t, to);
+        self.migration_reason = MigrationReason::Unspecified;
+        moved
+    }
+
+    /// [`System::pin_task`] with the policy decision attributed in the
+    /// trace (the speed balancer migrates by hard-pinning).
+    pub fn pin_task_with_reason(&mut self, t: TaskId, to: Option<CoreId>, reason: MigrationReason) {
+        self.migration_reason = reason;
+        self.pin_task(t, to);
+        self.migration_reason = MigrationReason::Unspecified;
     }
 
     /// Arms (or re-arms) a balancer timer with the given key.
@@ -683,6 +822,7 @@ impl System {
             Ev::BalancerTimer { key } => {
                 self.with_balancer(|bal, sys| bal.on_timer(sys, key));
             }
+            Ev::TraceSample => self.handle_trace_sample(ev.time),
         }
         self.drain_conds();
         self.flush_balancer_notifications();
@@ -870,6 +1010,9 @@ impl System {
             }
             task.state = TaskState::Runnable;
             self.pending_desched.push((tid, core, ran));
+            if let Some(buf) = self.trace.as_mut() {
+                buf.record(now, core, TraceEvent::Desched { task: tid.0, ran });
+            }
         }
         // A `sched_yield` completes: the yielder parks at the right edge of
         // the queue so everyone else runs first (CFS yield_task).
@@ -906,6 +1049,10 @@ impl System {
                         let t = &mut self.tasks[tid.0];
                         t.activity = Activity::Blocked { cond };
                         t.state = TaskState::Blocked;
+                        let core = t.core;
+                        if let Some(buf) = self.trace.as_mut() {
+                            buf.record(now, core, TraceEvent::Sleep { task: tid.0 });
+                        }
                         self.detach_vruntime(tid);
                         // Waiter was registered at spin entry; keep it.
                         return;
@@ -941,8 +1088,10 @@ impl System {
             let mut ctx = ProgramCtx {
                 now,
                 task: tid,
+                core: self.tasks[tid.0].core,
                 conds: &mut self.conds,
                 rng: &mut rng,
+                trace: self.trace.as_deref_mut(),
             };
             program.next(&mut ctx)
         };
@@ -996,6 +1145,10 @@ impl System {
                     let t = &mut self.tasks[tid.0];
                     t.activity = Activity::Blocked { cond };
                     t.state = TaskState::Blocked;
+                    let core = t.core;
+                    if let Some(buf) = self.trace.as_mut() {
+                        buf.record(now, core, TraceEvent::Sleep { task: tid.0 });
+                    }
                     self.conds.add_waiter(cond, tid);
                     self.detach_vruntime(tid);
                     true
@@ -1009,6 +1162,10 @@ impl System {
                 let gen = t.sleep_gen;
                 t.activity = Activity::Sleeping { until, gen };
                 t.state = TaskState::Blocked;
+                let core = t.core;
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.record(now, core, TraceEvent::Sleep { task: tid.0 });
+                }
                 self.detach_vruntime(tid);
                 self.events.schedule(until, Ev::Wake { task: tid, gen });
                 true
@@ -1018,6 +1175,11 @@ impl System {
                 t.activity = Activity::Exited;
                 t.state = TaskState::Exited;
                 t.exited_at = Some(now);
+                let core = t.core;
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.record(now, core, TraceEvent::Exit { task: tid.0 });
+                }
+                let t = &mut self.tasks[tid.0];
                 let g = t.group;
                 let group = &mut self.groups[g.0];
                 group.live -= 1;
@@ -1076,6 +1238,25 @@ impl System {
         } else {
             self.first_allowed_core(tid)
         };
+        if self.trace.is_some() {
+            let prev = self.tasks[tid.0].core;
+            self.trace_event(core, TraceEvent::Wake { task: tid.0 });
+            if prev != core {
+                // Trace-only: wake placements do not count as migrations in
+                // `total_migrations`, but they are real cross-core moves.
+                let tier = self.topo.common_level(prev, core);
+                self.trace_event(
+                    core,
+                    TraceEvent::Migrate {
+                        task: tid.0,
+                        from: prev,
+                        to: core,
+                        tier,
+                        reason: MigrationReason::WakePlacement,
+                    },
+                );
+            }
+        }
         self.tasks[tid.0].state = TaskState::Runnable;
         self.attach_and_enqueue(tid, core, true, now);
     }
@@ -1106,6 +1287,16 @@ impl System {
             Some(cur) => {
                 let gran = self.cfg.wakeup_granularity.as_nanos();
                 if v.saturating_add(gran) < self.tasks[cur.0].vruntime {
+                    if let Some(buf) = self.trace.as_mut() {
+                        buf.record(
+                            now,
+                            core,
+                            TraceEvent::Preempt {
+                                task: cur.0,
+                                by: tid.0,
+                            },
+                        );
+                    }
                     self.reschedule(core, now);
                 } else {
                     // The running task's slice shrank with the longer queue;
@@ -1182,6 +1373,9 @@ impl System {
         self.tasks[tid.0].state = TaskState::Running;
         self.tasks[tid.0].last_dispatched = now;
         self.tasks[tid.0].core = core;
+        if let Some(buf) = self.trace.as_mut() {
+            buf.record(now, core, TraceEvent::Dispatch { task: tid.0 });
+        }
         self.cores[c].current = Some(tid);
         self.cores[c].nr_switches += 1;
         self.cores[c].current_rate = self.compute_rate(core, tid);
@@ -1292,6 +1486,94 @@ impl System {
             // programs settled during subsequent dispatches post new events
             // rather than recursing here. One extra loop iteration catches
             // conditions set by exit-notification side effects.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing speed sampler (read-only w.r.t. scheduling state)
+    // ------------------------------------------------------------------
+
+    fn arm_sampler(&mut self, at: SimTime) {
+        self.sampler_armed = true;
+        self.events.schedule(at, Ev::TraceSample);
+    }
+
+    /// Resets the sampler's exec/busy baselines to "as of `now`" so the
+    /// first window after (re-)arming measures only fresh progress.
+    fn sync_sampler_baseline(&mut self, now: SimTime) {
+        self.sampler_exec.clear();
+        self.sampler_exec
+            .extend(self.tasks.iter().map(|t| t.exec_total_at(now)));
+        self.sampler_busy.clear();
+        for c in 0..self.cores.len() {
+            self.sampler_busy.push(self.core_busy_at(c, now));
+        }
+    }
+
+    /// Core busy time including the in-flight stretch of the current task.
+    fn core_busy_at(&self, c: usize, now: SimTime) -> SimDuration {
+        let core = &self.cores[c];
+        let mut busy = core.busy_total;
+        if let Some(cur) = core.current {
+            busy += now.saturating_since(self.tasks[cur.0].last_dispatched);
+        }
+        busy
+    }
+
+    /// Emits one round of per-task speed samples and per-core utilization
+    /// samples, then re-arms while any task is still live. Reads scheduler
+    /// state but never mutates it, so sampling cannot perturb the run.
+    fn handle_trace_sample(&mut self, now: SimTime) {
+        self.sampler_armed = false;
+        let Some(interval) = self.trace.as_ref().map(|b| b.config().sample_interval) else {
+            return; // tracing turned off with a sample still in flight
+        };
+        let window = now.saturating_since(self.sampler_last);
+        if !window.is_zero() {
+            self.sampler_exec
+                .resize(self.tasks.len(), SimDuration::ZERO);
+            for i in 0..self.tasks.len() {
+                let exec_now = self.tasks[i].exec_total_at(now);
+                let delta = exec_now.saturating_sub(self.sampler_exec[i]);
+                self.sampler_exec[i] = exec_now;
+                if self.tasks[i].state == TaskState::Exited && delta.is_zero() {
+                    continue; // dead the whole window: no sample
+                }
+                let speed = delta / window;
+                let core = self.tasks[i].core;
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.record(
+                        now,
+                        core,
+                        TraceEvent::SpeedSample {
+                            task: Some(i),
+                            speed,
+                        },
+                    );
+                }
+            }
+            for c in 0..self.cores.len() {
+                let busy_now = self.core_busy_at(c, now);
+                let delta = busy_now.saturating_sub(self.sampler_busy[c]);
+                self.sampler_busy[c] = busy_now;
+                let util = delta / window;
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.record(
+                        now,
+                        CoreId(c),
+                        TraceEvent::SpeedSample {
+                            task: None,
+                            speed: util,
+                        },
+                    );
+                }
+            }
+            self.sampler_last = now;
+        }
+        // Re-arm only while something is alive, so tracing never keeps an
+        // otherwise-finished simulation from quiescing.
+        if self.tasks.iter().any(|t| t.state != TaskState::Exited) {
+            self.arm_sampler(now + interval);
         }
     }
 

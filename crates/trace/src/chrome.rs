@@ -1,0 +1,390 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the `{"traceEvents": [...]}` object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev). Layout:
+//!
+//! - pid 1 ("cores"): one thread track per core (`cpu0`, `cpu1`, ...)
+//!   carrying `X` complete events for every task occupancy interval,
+//!   `i` instant events for wakes/sleeps/preemptions/migrations and
+//!   balancer activations, and `C` counter tracks for core-level speed
+//!   samples.
+//! - pid 2 ("tasks"): `C` counter tracks for per-task speed samples.
+//! - async nestable `b`/`e` spans (pid 1) for barrier episodes, one id
+//!   per episode condition, so barrier wait epochs render as horizontal
+//!   bars above the core tracks.
+//!
+//! Timestamps are microseconds with nanosecond precision (three decimal
+//! places), matching the trace-event spec's `ts` unit.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceBuffer;
+use speedbal_sim::SimTime;
+use std::fmt::Write as _;
+
+const CORES_PID: u64 = 1;
+const TASKS_PID: u64 = 2;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a SimTime as trace-event microseconds.
+fn ts(t: SimTime) -> String {
+    format!("{:.3}", t.as_nanos() as f64 / 1_000.0)
+}
+
+/// Formats an f64 as JSON (finite values only; NaN/inf clamp to 0).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+struct Events {
+    out: Vec<String>,
+}
+
+impl Events {
+    fn push(&mut self, json_object_body: String) {
+        self.out.push(format!("{{{json_object_body}}}"));
+    }
+
+    fn meta(&mut self, pid: u64, tid: Option<u64>, name: &str, value: &str) {
+        let tid_part = tid.map(|t| format!(",\"tid\":{t}")).unwrap_or_default();
+        self.push(format!(
+            "\"ph\":\"M\",\"pid\":{pid}{tid_part},\"name\":\"{name}\",\
+             \"args\":{{\"name\":\"{}\"}}",
+            esc(value)
+        ));
+    }
+}
+
+/// Renders the whole buffer as a Chrome trace-event JSON document.
+pub fn export_chrome(buf: &TraceBuffer) -> String {
+    let mut ev = Events { out: Vec::new() };
+
+    ev.meta(CORES_PID, None, "process_name", "cores");
+    ev.meta(TASKS_PID, None, "process_name", "tasks");
+    for c in 0..buf.n_cores() {
+        ev.meta(CORES_PID, Some(c as u64), "thread_name", &format!("cpu{c}"));
+    }
+
+    // Open occupancy interval per core: (task, dispatch time).
+    let mut open: Vec<Option<(usize, SimTime)>> = vec![None; buf.n_cores()];
+    let mut named_task_tracks: Vec<bool> = Vec::new();
+
+    for rec in buf.records() {
+        let core = rec.core.0 as u64;
+        match &rec.event {
+            TraceEvent::Dispatch { task } => {
+                if rec.core.0 < open.len() {
+                    open[rec.core.0] = Some((*task, rec.time));
+                }
+            }
+            TraceEvent::Desched { task, .. } => {
+                if let Some(Some((t, since))) = open.get(rec.core.0).copied() {
+                    if t == *task {
+                        open[rec.core.0] = None;
+                        let dur = rec.time.saturating_since(since);
+                        ev.push(format!(
+                            "\"ph\":\"X\",\"pid\":{CORES_PID},\"tid\":{core},\
+                             \"ts\":{},\"dur\":{:.3},\"name\":\"{}\",\"cat\":\"run\"",
+                            ts(since),
+                            dur.as_nanos() as f64 / 1_000.0,
+                            esc(&buf.task_name(*task)),
+                        ));
+                    }
+                }
+            }
+            TraceEvent::Preempt { task, by } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"preempt {} by {}\",\"cat\":\"sched\"",
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                    esc(&buf.task_name(*by)),
+                ));
+            }
+            TraceEvent::Wake { task } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"wake {}\",\"cat\":\"sched\"",
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                ));
+            }
+            TraceEvent::Sleep { task } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"sleep {}\",\"cat\":\"sched\"",
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                ));
+            }
+            TraceEvent::Exit { task } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"exit {}\",\"cat\":\"sched\"",
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                ));
+            }
+            TraceEvent::Migrate {
+                task,
+                from,
+                to,
+                tier,
+                reason,
+            } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{},\"ts\":{},\
+                     \"s\":\"p\",\"name\":\"migrate {}\",\"cat\":\"migration\",\
+                     \"args\":{{\"from\":\"cpu{}\",\"to\":\"cpu{}\",\
+                     \"tier\":\"{:?}\",\"reason\":\"{}\"}}",
+                    to.0,
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                    from.0,
+                    to.0,
+                    tier,
+                    reason.label(),
+                ));
+            }
+            TraceEvent::SpeedSample { task, speed } => match task {
+                Some(t) => {
+                    if named_task_tracks.len() <= *t {
+                        named_task_tracks.resize(*t + 1, false);
+                    }
+                    if !named_task_tracks[*t] {
+                        named_task_tracks[*t] = true;
+                        ev.meta(
+                            TASKS_PID,
+                            Some(*t as u64),
+                            "thread_name",
+                            &buf.task_name(*t),
+                        );
+                    }
+                    ev.push(format!(
+                        "\"ph\":\"C\",\"pid\":{TASKS_PID},\"tid\":{t},\"ts\":{},\
+                         \"name\":\"speed {}\",\"args\":{{\"speed\":{}}}",
+                        ts(rec.time),
+                        esc(&buf.task_name(*t)),
+                        num(*speed),
+                    ));
+                }
+                None => {
+                    ev.push(format!(
+                        "\"ph\":\"C\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                         \"name\":\"speed cpu{core}\",\"args\":{{\"speed\":{}}}",
+                        ts(rec.time),
+                        num(*speed),
+                    ));
+                }
+            },
+            TraceEvent::BalancerActivation {
+                policy,
+                local,
+                global,
+                outcome,
+                jitter,
+            } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"{policy} {}\",\"cat\":\"balancer\",\
+                     \"args\":{{\"local\":{},\"global\":{},\"jitter_ms\":{}}}",
+                    ts(rec.time),
+                    outcome.label(),
+                    num(*local),
+                    num(*global),
+                    num(jitter.as_millis_f64()),
+                ));
+            }
+            TraceEvent::BarrierArrive {
+                task,
+                cond,
+                episode,
+                arrived,
+                parties,
+            } => {
+                // The first arriver opens the episode span.
+                if *arrived == 1 {
+                    ev.push(format!(
+                        "\"ph\":\"b\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                         \"id\":{cond},\"name\":\"barrier ep {episode}\",\
+                         \"cat\":\"barrier\"",
+                        ts(rec.time),
+                    ));
+                }
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"arrive {} ({arrived}/{parties})\",\
+                     \"cat\":\"barrier\"",
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                ));
+            }
+            TraceEvent::BarrierRelease { cond, episode, .. } => {
+                ev.push(format!(
+                    "\"ph\":\"e\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"id\":{cond},\"name\":\"barrier ep {episode}\",\
+                     \"cat\":\"barrier\"",
+                    ts(rec.time),
+                ));
+            }
+        }
+    }
+
+    // Close any occupancy interval still open at the end of the trace.
+    let end = buf.end_time();
+    for (c, slot) in open.iter().enumerate() {
+        if let Some((task, since)) = slot {
+            let dur = end.saturating_since(*since);
+            ev.push(format!(
+                "\"ph\":\"X\",\"pid\":{CORES_PID},\"tid\":{c},\"ts\":{},\
+                 \"dur\":{:.3},\"name\":\"{}\",\"cat\":\"run\"",
+                ts(*since),
+                dur.as_nanos() as f64 / 1_000.0,
+                esc(&buf.task_name(*task)),
+            ));
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in ev.out.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < ev.out.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MigrationReason;
+    use speedbal_machine::{CoreId, DomainLevel};
+    use speedbal_sim::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn emits_complete_events_for_occupancy() {
+        let mut buf = TraceBuffer::new();
+        buf.task_spawned(0, "w0", SimTime::ZERO);
+        buf.record(t(10), CoreId(0), TraceEvent::Dispatch { task: 0 });
+        buf.record(
+            t(35),
+            CoreId(0),
+            TraceEvent::Desched {
+                task: 0,
+                ran: SimDuration::from_micros(25),
+            },
+        );
+        let json = export_chrome(&buf);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":10.000"));
+        assert!(json.contains("\"dur\":25.000"));
+        assert!(json.contains("\"name\":\"w0\""));
+    }
+
+    #[test]
+    fn closes_trailing_open_interval() {
+        let mut buf = TraceBuffer::new();
+        buf.task_spawned(0, "w0", SimTime::ZERO);
+        buf.record(t(5), CoreId(0), TraceEvent::Dispatch { task: 0 });
+        buf.record(t(50), CoreId(1), TraceEvent::Wake { task: 1 });
+        let json = export_chrome(&buf);
+        assert!(
+            json.contains("\"dur\":45.000"),
+            "open interval closed at end"
+        );
+    }
+
+    #[test]
+    fn migration_event_carries_reason() {
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            t(7),
+            CoreId(1),
+            TraceEvent::Migrate {
+                task: 3,
+                from: CoreId(0),
+                to: CoreId(1),
+                tier: DomainLevel::Cache,
+                reason: MigrationReason::SpeedPull {
+                    local_speed: 1.0,
+                    remote_speed: 0.5,
+                    global_speed: 0.7,
+                },
+            },
+        );
+        let json = export_chrome(&buf);
+        assert!(json.contains("\"cat\":\"migration\""));
+        assert!(json.contains("\"reason\":\"speed-pull\""));
+    }
+
+    #[test]
+    fn barrier_spans_pair_up() {
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            t(1),
+            CoreId(0),
+            TraceEvent::BarrierArrive {
+                task: 0,
+                cond: 9,
+                episode: 0,
+                arrived: 1,
+                parties: 2,
+            },
+        );
+        buf.record(
+            t(4),
+            CoreId(1),
+            TraceEvent::BarrierRelease {
+                task: 1,
+                cond: 9,
+                episode: 0,
+            },
+        );
+        let json = export_chrome(&buf);
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"e\""));
+        assert!(json.contains("\"id\":9"));
+    }
+
+    #[test]
+    fn document_shape_is_wellformed() {
+        let buf = TraceBuffer::new();
+        let json = export_chrome(&buf);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

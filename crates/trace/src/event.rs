@@ -1,0 +1,181 @@
+//! Typed trace events.
+//!
+//! Every record carries a [`SimTime`] stamp and the [`CoreId`] it happened
+//! on; the task is a raw `usize` index (this crate sits below the scheduler
+//! in the dependency graph, so it cannot name `TaskId`). Events cover the
+//! whole scheduling life cycle — dispatches, deschedules, preemptions,
+//! sleeps/wakes, migrations, balancer decisions, speed samples and barrier
+//! episodes — so one trace answers both "what did the schedule look like"
+//! and "why did the balancer do that".
+
+use speedbal_machine::{CoreId, DomainLevel};
+use speedbal_sim::{SimDuration, SimTime};
+
+/// Why a task moved between cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationReason {
+    /// The speed balancer pulled it: the local core was faster than the
+    /// global average and the remote core below threshold (paper §5.1).
+    SpeedPull {
+        /// Measured speed of the pulling core.
+        local_speed: f64,
+        /// Published speed of the core the task was pulled from.
+        remote_speed: f64,
+        /// Global (all-core average) speed at decision time.
+        global_speed: f64,
+    },
+    /// Linux queue-length balancing at the given domain level.
+    LoadBalance { level: DomainLevel },
+    /// Linux newidle pull into a core that just ran dry.
+    NewIdle,
+    /// DWRR round balancing (stealing round-eligible threads).
+    DwrrRound { round: u64 },
+    /// ULE's twice-a-second push sweep.
+    UlePush,
+    /// ULE idle stealing.
+    UleSteal,
+    /// A wakeup landed the task on a different core than it slept on
+    /// (`select_idle_sibling`-style placement). Does not count against
+    /// `System::total_migrations`, mirroring how the affinity mask is not
+    /// involved — but it is a real cross-core move.
+    WakePlacement,
+    /// Explicit affinity change (`pin_task`/`migrate_task` without an
+    /// attributed policy decision).
+    Unspecified,
+}
+
+impl MigrationReason {
+    /// Short stable label (used by exporters and counters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationReason::SpeedPull { .. } => "speed-pull",
+            MigrationReason::LoadBalance { .. } => "load-balance",
+            MigrationReason::NewIdle => "newidle",
+            MigrationReason::DwrrRound { .. } => "dwrr-round",
+            MigrationReason::UlePush => "ule-push",
+            MigrationReason::UleSteal => "ule-steal",
+            MigrationReason::WakePlacement => "wake-placement",
+            MigrationReason::Unspecified => "unspecified",
+        }
+    }
+
+    /// Index into per-reason counter arrays; keep in sync with
+    /// [`MigrationReason::ALL_LABELS`].
+    pub fn index(&self) -> usize {
+        match self {
+            MigrationReason::SpeedPull { .. } => 0,
+            MigrationReason::LoadBalance { .. } => 1,
+            MigrationReason::NewIdle => 2,
+            MigrationReason::DwrrRound { .. } => 3,
+            MigrationReason::UlePush => 4,
+            MigrationReason::UleSteal => 5,
+            MigrationReason::WakePlacement => 6,
+            MigrationReason::Unspecified => 7,
+        }
+    }
+
+    /// Labels in [`MigrationReason::index`] order.
+    pub const ALL_LABELS: [&'static str; 8] = [
+        "speed-pull",
+        "load-balance",
+        "newidle",
+        "dwrr-round",
+        "ule-push",
+        "ule-steal",
+        "wake-placement",
+        "unspecified",
+    ];
+}
+
+/// What one balancer activation decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationOutcome {
+    /// Local metric not above the global one: no pull attempted.
+    BelowAverage,
+    /// A post-migration block interval suppressed the pull.
+    Blocked,
+    /// Wanted to pull but found no eligible victim.
+    NoCandidate,
+    /// Pulled (or pushed) at least one task.
+    Pulled,
+    /// Kernel balancer: examined the domain and found it balanced.
+    Balanced,
+}
+
+impl ActivationOutcome {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ActivationOutcome::BelowAverage => "below-average",
+            ActivationOutcome::Blocked => "blocked",
+            ActivationOutcome::NoCandidate => "no-candidate",
+            ActivationOutcome::Pulled => "pulled",
+            ActivationOutcome::Balanced => "balanced",
+        }
+    }
+}
+
+/// One structured trace event. See [`crate::TraceBuffer::record`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A task was put on the CPU (context switch in).
+    Dispatch { task: usize },
+    /// The running task came off the CPU after occupying it for `ran`.
+    Desched { task: usize, ran: SimDuration },
+    /// A wakeup's vruntime beat the running task: forced reschedule.
+    Preempt { task: usize, by: usize },
+    /// A blocked task became runnable.
+    Wake { task: usize },
+    /// A task left the runnable set (blocked on a condition or timed sleep).
+    Sleep { task: usize },
+    /// A task exited.
+    Exit { task: usize },
+    /// A task moved between run queues.
+    Migrate {
+        task: usize,
+        from: CoreId,
+        to: CoreId,
+        /// Topological distance of the move (cache/NUMA tier histogramming).
+        tier: DomainLevel,
+        reason: MigrationReason,
+    },
+    /// A per-interval speed sample: `task = Some(t)` is one thread's
+    /// measured speed (CPU-time share), `task = None` is the core-level
+    /// utilization over the sampling window.
+    SpeedSample { task: Option<usize>, speed: f64 },
+    /// One balancer-thread activation and its decision. `local`/`global`
+    /// are the policy's metric (core speeds for SPEED, queue lengths for
+    /// the kernel balancers); `jitter` is the randomized part of the delay
+    /// to the next activation (zero when the policy does not jitter).
+    BalancerActivation {
+        policy: &'static str,
+        local: f64,
+        global: f64,
+        outcome: ActivationOutcome,
+        jitter: SimDuration,
+    },
+    /// A thread arrived at a barrier. `cond` identifies the episode (each
+    /// barrier episode allocates a fresh condition), so it doubles as the
+    /// async-span id in the Chrome exporter.
+    BarrierArrive {
+        task: usize,
+        cond: usize,
+        episode: u64,
+        /// Arrival rank within the episode (1-based).
+        arrived: usize,
+        parties: usize,
+    },
+    /// The last arriver released a barrier episode.
+    BarrierRelease {
+        task: usize,
+        cond: usize,
+        episode: u64,
+    },
+}
+
+/// A stamped event: when, where, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    pub core: CoreId,
+    pub event: TraceEvent,
+}

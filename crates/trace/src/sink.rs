@@ -1,0 +1,429 @@
+//! The trace sink: a bounded ring of [`TraceRecord`]s plus aggregates
+//! (counters, migration histograms, per-task time-in-state, per-core and
+//! per-task speed statistics) maintained incrementally at record time, so
+//! summaries survive even when the ring has wrapped.
+
+use crate::event::{MigrationReason, TraceEvent, TraceRecord};
+use speedbal_machine::{CoreId, DomainLevel};
+use speedbal_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Sink tunables.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Maximum records retained; older records are dropped (and counted)
+    /// once the ring is full. Aggregates keep covering dropped records.
+    pub capacity: usize,
+    /// Period of the built-in per-task / per-core speed sampler the
+    /// simulator arms while tracing (the paper samples /proc every 100 ms).
+    pub sample_interval: SimDuration,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 1 << 20,
+            sample_interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Counts maintained for every recorded event (never dropped).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceCounters {
+    pub dispatches: u64,
+    pub descheds: u64,
+    pub preemptions: u64,
+    pub wakes: u64,
+    pub sleeps: u64,
+    pub exits: u64,
+    pub migrations: u64,
+    /// Histogram over [`DomainLevel::ALL`] (SMT, cache, socket, NUMA,
+    /// system) of the topological distance of each migration.
+    pub migrations_by_tier: [u64; DomainLevel::ALL.len()],
+    /// Histogram over [`MigrationReason::ALL_LABELS`].
+    pub migrations_by_reason: [u64; MigrationReason::ALL_LABELS.len()],
+    pub speed_samples: u64,
+    pub balancer_activations: u64,
+    pub barrier_arrivals: u64,
+    pub barrier_releases: u64,
+}
+
+/// Cumulative time a task spent in each scheduler state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateTimes {
+    pub running: SimDuration,
+    pub runnable: SimDuration,
+    pub blocked: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LifeState {
+    Running,
+    Runnable,
+    Blocked,
+    Exited,
+}
+
+/// Streaming min/max/mean/variance (Welford) over a series of samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeriesStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SeriesStats {
+    pub fn push(&mut self, x: f64) {
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+fn tier_index(level: DomainLevel) -> usize {
+    DomainLevel::ALL
+        .iter()
+        .position(|l| *l == level)
+        .expect("DomainLevel::ALL is exhaustive")
+}
+
+/// The event sink. Cheap to record into (one branch, one ring push, a few
+/// counter bumps); everything analytical is derived at export time.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    cfg: TraceConfig,
+    ring: VecDeque<TraceRecord>,
+    dropped: u64,
+    counters: TraceCounters,
+    n_cores: usize,
+    task_names: Vec<String>,
+    /// Per-task (state, since) for time-in-state accounting.
+    life: Vec<Option<(LifeState, SimTime)>>,
+    time_in_state: Vec<StateTimes>,
+    /// Core-level speed/utilization samples (`SpeedSample { task: None }`).
+    core_speed: Vec<SeriesStats>,
+    /// Task-level speed samples (`SpeedSample { task: Some(_) }`).
+    task_speed: Vec<SeriesStats>,
+    first_time: Option<SimTime>,
+    last_time: SimTime,
+}
+
+impl TraceBuffer {
+    pub fn new() -> TraceBuffer {
+        Self::with_config(TraceConfig::default())
+    }
+
+    pub fn with_config(cfg: TraceConfig) -> TraceBuffer {
+        TraceBuffer {
+            cfg,
+            ..TraceBuffer::default()
+        }
+    }
+
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Tells the sink how many cores the machine has (drives exporter
+    /// track metadata).
+    pub fn set_n_cores(&mut self, n: usize) {
+        self.n_cores = self.n_cores.max(n);
+        if self.core_speed.len() < n {
+            self.core_speed.resize_with(n, SeriesStats::default);
+        }
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Registers a task's name and starts its time-in-state clock (new
+    /// tasks are runnable).
+    pub fn task_spawned(&mut self, task: usize, name: &str, now: SimTime) {
+        self.ensure_task(task);
+        self.task_names[task] = name.to_string();
+        self.life[task] = Some((LifeState::Runnable, now));
+    }
+
+    /// The registered name, or a synthetic `t<N>` fallback.
+    pub fn task_name(&self, task: usize) -> String {
+        match self.task_names.get(task) {
+            Some(n) if !n.is_empty() => n.clone(),
+            _ => format!("t{task}"),
+        }
+    }
+
+    fn ensure_task(&mut self, task: usize) {
+        if self.task_names.len() <= task {
+            self.task_names.resize(task + 1, String::new());
+            self.life.resize(task + 1, None);
+            self.time_in_state
+                .resize_with(task + 1, StateTimes::default);
+            self.task_speed.resize_with(task + 1, SeriesStats::default);
+        }
+    }
+
+    fn transition(&mut self, task: usize, to: LifeState, now: SimTime) {
+        self.ensure_task(task);
+        let prev = self.life[task];
+        if let Some((state, since)) = prev {
+            let spent = now.saturating_since(since);
+            let bucket = &mut self.time_in_state[task];
+            match state {
+                LifeState::Running => bucket.running += spent,
+                LifeState::Runnable => bucket.runnable += spent,
+                LifeState::Blocked => bucket.blocked += spent,
+                LifeState::Exited => {}
+            }
+        }
+        self.life[task] = Some((to, now));
+    }
+
+    /// Records one event, updating aggregates and the ring.
+    pub fn record(&mut self, time: SimTime, core: CoreId, event: TraceEvent) {
+        self.first_time.get_or_insert(time);
+        self.last_time = self.last_time.max(time);
+        self.set_n_cores(core.0 + 1);
+        match &event {
+            TraceEvent::Dispatch { task } => {
+                self.counters.dispatches += 1;
+                self.transition(*task, LifeState::Running, time);
+            }
+            TraceEvent::Desched { task, .. } => {
+                self.counters.descheds += 1;
+                self.transition(*task, LifeState::Runnable, time);
+            }
+            TraceEvent::Preempt { .. } => self.counters.preemptions += 1,
+            TraceEvent::Wake { task } => {
+                self.counters.wakes += 1;
+                self.transition(*task, LifeState::Runnable, time);
+            }
+            TraceEvent::Sleep { task } => {
+                self.counters.sleeps += 1;
+                self.transition(*task, LifeState::Blocked, time);
+            }
+            TraceEvent::Exit { task } => {
+                self.counters.exits += 1;
+                self.transition(*task, LifeState::Exited, time);
+            }
+            TraceEvent::Migrate { tier, reason, .. } => {
+                self.counters.migrations += 1;
+                self.counters.migrations_by_tier[tier_index(*tier)] += 1;
+                self.counters.migrations_by_reason[reason.index()] += 1;
+            }
+            TraceEvent::SpeedSample { task, speed } => {
+                self.counters.speed_samples += 1;
+                match task {
+                    Some(t) => {
+                        self.ensure_task(*t);
+                        self.task_speed[*t].push(*speed);
+                    }
+                    None => {
+                        self.core_speed[core.0].push(*speed);
+                    }
+                }
+            }
+            TraceEvent::BalancerActivation { .. } => self.counters.balancer_activations += 1,
+            TraceEvent::BarrierArrive { .. } => self.counters.barrier_arrivals += 1,
+            TraceEvent::BarrierRelease { .. } => self.counters.barrier_releases += 1,
+        }
+        if self.ring.len() >= self.cfg.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceRecord { time, core, event });
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records evicted from the ring (aggregates still cover them).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn counters(&self) -> &TraceCounters {
+        &self.counters
+    }
+
+    /// Time-in-state aggregate for a task (zeroes if never seen).
+    pub fn time_in_state(&self, task: usize) -> StateTimes {
+        self.time_in_state.get(task).copied().unwrap_or_default()
+    }
+
+    /// Number of tasks ever seen by the sink.
+    pub fn n_tasks(&self) -> usize {
+        self.task_names.len()
+    }
+
+    /// Speed/utilization series statistics for a core.
+    pub fn core_speed_stats(&self, core: CoreId) -> SeriesStats {
+        self.core_speed.get(core.0).copied().unwrap_or_default()
+    }
+
+    /// Speed series statistics for a task.
+    pub fn task_speed_stats(&self, task: usize) -> SeriesStats {
+        self.task_speed.get(task).copied().unwrap_or_default()
+    }
+
+    /// First recorded timestamp, if any event was recorded.
+    pub fn start_time(&self) -> Option<SimTime> {
+        self.first_time
+    }
+
+    /// Latest recorded timestamp.
+    pub fn end_time(&self) -> SimTime {
+        self.last_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        let mut buf = TraceBuffer::with_config(TraceConfig {
+            capacity: 4,
+            ..TraceConfig::default()
+        });
+        for i in 0..10 {
+            buf.record(t(i), CoreId(0), TraceEvent::Wake { task: 0 });
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 6);
+        assert_eq!(buf.counters().wakes, 10, "aggregates cover drops");
+        let first_retained = buf.records().next().unwrap().time;
+        assert_eq!(first_retained, t(6));
+    }
+
+    #[test]
+    fn time_in_state_accumulates() {
+        let mut buf = TraceBuffer::new();
+        buf.task_spawned(0, "a", t(0));
+        buf.record(t(2), CoreId(0), TraceEvent::Dispatch { task: 0 });
+        buf.record(
+            t(7),
+            CoreId(0),
+            TraceEvent::Desched {
+                task: 0,
+                ran: SimDuration::from_millis(5),
+            },
+        );
+        buf.record(t(7), CoreId(0), TraceEvent::Sleep { task: 0 });
+        buf.record(t(10), CoreId(0), TraceEvent::Wake { task: 0 });
+        buf.record(t(10), CoreId(0), TraceEvent::Dispatch { task: 0 });
+        buf.record(t(11), CoreId(0), TraceEvent::Exit { task: 0 });
+        let s = buf.time_in_state(0);
+        assert_eq!(s.running, SimDuration::from_millis(6));
+        assert_eq!(s.runnable, SimDuration::from_millis(2));
+        assert_eq!(s.blocked, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn histograms_fill() {
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            t(1),
+            CoreId(1),
+            TraceEvent::Migrate {
+                task: 0,
+                from: CoreId(0),
+                to: CoreId(1),
+                tier: DomainLevel::Cache,
+                reason: MigrationReason::NewIdle,
+            },
+        );
+        buf.record(
+            t(2),
+            CoreId(2),
+            TraceEvent::Migrate {
+                task: 1,
+                from: CoreId(0),
+                to: CoreId(2),
+                tier: DomainLevel::Numa,
+                reason: MigrationReason::SpeedPull {
+                    local_speed: 1.0,
+                    remote_speed: 0.5,
+                    global_speed: 0.75,
+                },
+            },
+        );
+        let c = buf.counters();
+        assert_eq!(c.migrations, 2);
+        assert_eq!(c.migrations_by_tier[tier_index(DomainLevel::Cache)], 1);
+        assert_eq!(c.migrations_by_tier[tier_index(DomainLevel::Numa)], 1);
+        assert_eq!(c.migrations_by_reason[MigrationReason::NewIdle.index()], 1);
+        assert_eq!(c.migrations_by_reason[0], 1, "speed-pull is index 0");
+    }
+
+    #[test]
+    fn series_stats_are_sane() {
+        let mut s = SeriesStats::default();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.stddev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_names_fall_back() {
+        let mut buf = TraceBuffer::new();
+        buf.task_spawned(1, "worker", t(0));
+        assert_eq!(buf.task_name(1), "worker");
+        assert_eq!(buf.task_name(7), "t7");
+    }
+}

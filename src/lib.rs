@@ -67,6 +67,7 @@ pub use speedbal_metrics as metrics;
 pub use speedbal_native as native;
 pub use speedbal_sched as sched;
 pub use speedbal_sim as sim;
+pub use speedbal_trace as trace;
 pub use speedbal_workloads as workloads;
 
 /// The most commonly used types, in one import.
@@ -79,7 +80,9 @@ pub mod prelude {
     pub use speedbal_balancers::{CompositeBalancer, Dwrr, LinuxLoadBalancer, Pinned, UleBalancer};
     pub use speedbal_core::{SpeedBalancer, SpeedBalancerConfig, SpeedStats};
     pub use speedbal_harness::experiments::{self, Profile};
-    pub use speedbal_harness::{run_scenario, Competitor, Machine, Policy, Scenario};
+    pub use speedbal_harness::{
+        run_repeat, run_scenario, run_scenario_with_traces, Competitor, Machine, Policy, Scenario,
+    };
     pub use speedbal_machine::{
         barcelona, nehalem, tigerton, uniform, CoreId, CostModel, Topology,
     };
@@ -89,5 +92,6 @@ pub mod prelude {
         System, TaskId, TaskState,
     };
     pub use speedbal_sim::{SimDuration, SimRng, SimTime};
+    pub use speedbal_trace::{export_chrome, render_summary, TraceBuffer, TraceConfig, TraceEvent};
     pub use speedbal_workloads::{ep, ep_modified, npb, npb_suite, NpbSpec};
 }

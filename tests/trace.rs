@@ -1,0 +1,112 @@
+//! The tracing subsystem's two external guarantees:
+//!
+//! 1. **Observation does not perturb**: a traced run is bit-identical to
+//!    the same run untraced — completion times and migration counts must
+//!    match exactly (property test over random small scenarios).
+//! 2. **Stable export**: the Chrome trace-event JSON emitted for the
+//!    paper's 3-threads/2-cores running example matches a checked-in
+//!    golden file byte for byte. Regenerate with
+//!    `UPDATE_GOLDEN=1 cargo test --test trace` after intentional schema
+//!    changes, and review the diff.
+
+use proptest::prelude::*;
+use speedbal::prelude::*;
+
+fn wait_strategy() -> impl Strategy<Value = WaitMode> {
+    prop_oneof![
+        Just(WaitMode::Spin),
+        Just(WaitMode::Yield),
+        Just(WaitMode::Block),
+        Just(WaitMode::SpinThenBlock(SimDuration::from_millis(5))),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Pinned),
+        Just(Policy::Load),
+        Just(Policy::Speed),
+        Just(Policy::Dwrr),
+        Just(Policy::Ule),
+    ]
+}
+
+/// The paper's running example at a deterministic, test-sized scale:
+/// EP-like (compute, one barrier per phase), 3 threads on 2 uniform cores.
+fn three_on_two(policy: Policy) -> Scenario {
+    let mut app = SpmdConfig::new(3, 6, SimDuration::from_millis(100));
+    app.wait = WaitMode::Block;
+    app.imbalance = 0.05;
+    Scenario::new(Machine::Uniform(2), 0, policy, app).repeats(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, ..ProptestConfig::default()
+    })]
+
+    /// Tracing is strictly observational: for any small scenario, the
+    /// traced repeat produces exactly the numbers of the untraced one.
+    #[test]
+    fn traced_run_is_identical_to_untraced(
+        cores in 2usize..5,
+        threads in 2usize..7,
+        phases in 2u64..6,
+        work_ms in 5u64..40,
+        wait in wait_strategy(),
+        policy in policy_strategy(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut app = SpmdConfig::new(threads, phases, SimDuration::from_millis(work_ms));
+        app.wait = wait;
+        app.imbalance = 0.03;
+        let s = Scenario::new(Machine::Uniform(cores), 0, policy, app)
+            .repeats(1)
+            .seed(seed);
+        let plain = run_repeat(&s, 0, false);
+        let traced = run_repeat(&s, 0, true);
+        prop_assert_eq!(plain.completion_secs, traced.completion_secs);
+        prop_assert_eq!(plain.migrations, traced.migrations);
+        prop_assert_eq!(plain.timed_out, traced.timed_out);
+        prop_assert!(plain.trace.is_none());
+        let buf = traced.trace.expect("traced repeat returns a buffer");
+        prop_assert!(buf.counters().dispatches > 0);
+    }
+}
+
+#[test]
+fn chrome_export_matches_golden_file() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_3x2.json");
+    let out = run_repeat(&three_on_two(Policy::Speed), 0, true);
+    let json = export_chrome(&out.trace.expect("traced"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file present; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, golden,
+        "Chrome export changed; if intentional, UPDATE_GOLDEN=1 cargo test --test trace"
+    );
+}
+
+/// The acceptance shape of the tentpole: both SPEED and LOAD traces of the
+/// 3-on-2 example contain migration, speed-sample and barrier events.
+#[test]
+fn three_on_two_traces_cover_the_schema() {
+    for policy in [Policy::Speed, Policy::Load] {
+        let label = policy.label();
+        let out = run_repeat(&three_on_two(policy), 0, true);
+        let buf = out.trace.expect("traced");
+        let c = buf.counters();
+        assert!(c.migrations > 0, "{label}: expected migrations");
+        assert!(c.speed_samples > 0, "{label}: expected speed samples");
+        assert!(c.barrier_arrivals > 0, "{label}: expected barrier arrivals");
+        assert!(c.barrier_releases > 0, "{label}: expected barrier releases");
+        let json = export_chrome(&buf);
+        for needle in ["\"migration\"", "\"speed ", "\"barrier\""] {
+            assert!(json.contains(needle), "{label}: export misses {needle}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stub for `libc`: hand-written bindings for exactly the Linux
+//! glibc symbols the `speedbal-native` crate uses. Layouts and constants
+//! match glibc on x86-64/aarch64 Linux (the only supported targets of the
+//! native balancer).
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type pid_t = i32;
+pub type size_t = usize;
+
+/// `CPU_SETSIZE` bits in a `cpu_set_t` (glibc: 1024).
+pub const CPU_SETSIZE: c_int = 1024;
+
+/// `_SC_CLK_TCK` for `sysconf` (Linux: 2).
+pub const _SC_CLK_TCK: c_int = 2;
+
+/// `SIGKILL`.
+pub const SIGKILL: c_int = 9;
+
+const ULONG_BITS: usize = usize::BITS as usize;
+
+/// glibc's `cpu_set_t`: a 1024-bit mask of `unsigned long`s.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [usize; CPU_SETSIZE as usize / ULONG_BITS],
+}
+
+/// `CPU_SET(3)`.
+///
+/// # Safety
+/// Safe in practice; marked unsafe to mirror the real crate's signature.
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / ULONG_BITS] |= 1 << (cpu % ULONG_BITS);
+    }
+}
+
+/// `CPU_ISSET(3)`.
+///
+/// # Safety
+/// Safe in practice; marked unsafe to mirror the real crate's signature.
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / ULONG_BITS] & (1 << (cpu % ULONG_BITS)) != 0
+}
+
+extern "C" {
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, mask: *mut cpu_set_t) -> c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, mask: *const cpu_set_t) -> c_int;
+    pub fn sched_getcpu() -> c_int;
+    pub fn gettid() -> pid_t;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+}

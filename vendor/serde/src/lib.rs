@@ -1,0 +1,16 @@
+//! Offline stub for `serde`.
+//!
+//! The container image has no network access and no crates.io cache, so the
+//! workspace vendors a minimal `serde` facade: the `Serialize` /
+//! `Deserialize` derive macros expand to nothing and the traits are empty
+//! markers. All `#[derive(Serialize, Deserialize)]` annotations in the
+//! workspace stay exactly as they would be against the real crate, so
+//! swapping the real `serde` back in is a one-line workspace change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

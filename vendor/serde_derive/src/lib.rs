@@ -1,0 +1,18 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as an
+//! annotation (nothing serializes at runtime in the offline build), so the
+//! derives expand to nothing. Swap in the real `serde` to restore full
+//! serialization support — no call sites need to change.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
