@@ -1,0 +1,335 @@
+//! Named fault-injection scenarios for the *native* balancer.
+//!
+//! Each scenario scripts a [`MockProc`] — thread churn, permission
+//! failures, torn stat reads, flaky thread listings, or all of them at
+//! once — attaches a real [`NativeSpeedBalancer`] to it, and runs the
+//! balancing loop to the scripted process exit on the mock's virtual
+//! clock. The whole suite completes in milliseconds of wall time and
+//! exercises exactly the failure modes a user-level balancer meets in the
+//! wild (threads exiting between `readdir` and `open`, `EPERM` from
+//! `sched_setaffinity` on threads owned by another user, truncated
+//! `/proc/.../stat` lines).
+//!
+//! The scenarios double as an executable specification of the hardening
+//! contract: *the balancer never panics, never spins on a sick thread,
+//! and keeps balancing the healthy remainder*. `cargo test -p
+//! speedbal-harness` re-checks the contract; [`run_all`] produces a
+//! [`FaultReport`] per scenario for display or regression tracking.
+
+use speedbal_native::{
+    Fault, GlobalFault, MockProc, NativeConfig, NativeSpeedBalancer, NativeStats,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A named, scripted failure-mode scenario for the native balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScenario {
+    /// Threads spawn and exit throughout the run (the paper's dynamic
+    /// parallelism case, plus exits racing the balancer's scans).
+    ThreadChurn,
+    /// Some threads permanently refuse `sched_setaffinity` with `EPERM`;
+    /// the rest must still be balanced.
+    EpermAffinity,
+    /// One thread's stat reads are torn/truncated in bursts (transient),
+    /// another's fail persistently until quarantined.
+    MalformedStat,
+    /// `/proc/<pid>/task` listings fail transiently mid-run.
+    FlakyListing,
+    /// Everything at once: churn + `EPERM` pins + malformed reads +
+    /// flaky listings. The survival bar for the hardening work.
+    KitchenSink,
+}
+
+impl FaultScenario {
+    /// Every scenario, in display order.
+    pub const ALL: [FaultScenario; 5] = [
+        FaultScenario::ThreadChurn,
+        FaultScenario::EpermAffinity,
+        FaultScenario::MalformedStat,
+        FaultScenario::FlakyListing,
+        FaultScenario::KitchenSink,
+    ];
+
+    /// Stable kebab-case name (report keys, CLI arguments).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultScenario::ThreadChurn => "thread-churn",
+            FaultScenario::EpermAffinity => "eperm-affinity",
+            FaultScenario::MalformedStat => "malformed-stat",
+            FaultScenario::FlakyListing => "flaky-listing",
+            FaultScenario::KitchenSink => "kitchen-sink",
+        }
+    }
+
+    /// One-line description of the injected failure mode.
+    pub fn description(&self) -> &'static str {
+        match self {
+            FaultScenario::ThreadChurn => {
+                "threads spawn and exit mid-run; exits race the balancer's scans"
+            }
+            FaultScenario::EpermAffinity => {
+                "some threads permanently fail sched_setaffinity with EPERM"
+            }
+            FaultScenario::MalformedStat => {
+                "stat reads torn in bursts on one thread, persistently on another"
+            }
+            FaultScenario::FlakyListing => "thread listings fail transiently mid-run",
+            FaultScenario::KitchenSink => {
+                "churn + EPERM pins + malformed reads + flaky listings together"
+            }
+        }
+    }
+
+    /// Builds the scripted mock for this scenario. Split from [`run`]
+    /// (public) so tests can attach their own balancer configuration or
+    /// drive extra runtime churn against the same script.
+    ///
+    /// [`run`]: FaultScenario::run
+    pub fn build_mock(&self) -> Arc<MockProc> {
+        let ms = Duration::from_millis;
+        match self {
+            FaultScenario::ThreadChurn => {
+                // Three long-lived workers; three more cycle in and out on
+                // staggered lifetimes, one of them twice-generation.
+                let mock = MockProc::builder(40_001, 4)
+                    .thread(1)
+                    .thread(2)
+                    .thread(3)
+                    .thread_spanning(4, ms(0), Some(ms(700)))
+                    .thread_spanning(5, ms(300), Some(ms(1_600)))
+                    .thread_spanning(6, ms(900), None)
+                    .process_exits_at(ms(2_500))
+                    .build();
+                // And one thread that "vanishes" from reads twice while
+                // still listed — the readdir/open race.
+                mock.inject(2, Fault::VanishReads(2));
+                Arc::new(mock)
+            }
+            FaultScenario::EpermAffinity => {
+                let mock = MockProc::builder(40_002, 2)
+                    .thread(1)
+                    .thread(2)
+                    .thread(3)
+                    .thread(4)
+                    .process_exits_at(ms(2_500))
+                    .build();
+                mock.inject(3, Fault::EpermPinsForever);
+                mock.inject(4, Fault::EpermPins(2));
+                Arc::new(mock)
+            }
+            FaultScenario::MalformedStat => {
+                let mock = MockProc::builder(40_003, 2)
+                    .thread(1)
+                    .thread(2)
+                    .thread(3)
+                    .process_exits_at(ms(2_500))
+                    .build();
+                // Bursty but transient: survives with retries.
+                mock.inject(2, Fault::MalformedReads(2));
+                // Persistent: must end up quarantined, not retried forever.
+                mock.inject(3, Fault::MalformedReads(1_000));
+                Arc::new(mock)
+            }
+            FaultScenario::FlakyListing => {
+                let mock = MockProc::builder(40_004, 2)
+                    .thread(1)
+                    .thread(2)
+                    .process_exits_at(ms(2_500))
+                    .build();
+                mock.inject_global(GlobalFault::ListIoErrors(3));
+                Arc::new(mock)
+            }
+            FaultScenario::KitchenSink => {
+                let mock = MockProc::builder(40_005, 4)
+                    .thread(1)
+                    .thread(2)
+                    .thread(3)
+                    .thread_spanning(4, ms(0), Some(ms(600)))
+                    .thread_spanning(5, ms(400), Some(ms(1_800)))
+                    .thread_spanning(6, ms(1_000), None)
+                    .process_exits_at(ms(3_000))
+                    .build();
+                mock.inject(1, Fault::MalformedReads(2));
+                mock.inject(2, Fault::EpermPinsForever);
+                mock.inject(3, Fault::VanishReads(2));
+                mock.inject(5, Fault::IoReads(1_000));
+                mock.inject_global(GlobalFault::ListIoErrors(2));
+                mock.inject_global(GlobalFault::EpermAllPins(1));
+                Arc::new(mock)
+            }
+        }
+    }
+
+    /// The balancer configuration the scenarios run under: the paper's
+    /// defaults shrunk to a 50 ms interval so a 2.5–3 s virtual run packs
+    /// in ~50 balance intervals, and a 300 ms quarantine cooldown so
+    /// re-adoption of quarantined threads is exercised too.
+    pub fn config(&self) -> NativeConfig {
+        NativeConfig {
+            interval: Duration::from_millis(50),
+            startup_delay: Duration::from_millis(10),
+            quarantine_cooldown: Duration::from_millis(300),
+            ..NativeConfig::default()
+        }
+    }
+
+    /// Runs the scenario to its scripted process exit and reports what
+    /// the balancer did. Panics only if the balancer itself panics —
+    /// which is exactly what the suite exists to rule out.
+    pub fn run(&self) -> FaultReport {
+        let mock = self.build_mock();
+        let topo = mock.topology();
+        let bal =
+            NativeSpeedBalancer::attach_with_source(mock.pid(), self.config(), mock.clone(), topo)
+                .expect("scenario mocks start alive");
+        let stop = AtomicBool::new(false);
+        let stats = bal.run(&stop);
+        FaultReport::new(*self, &stats, mock.virtual_now())
+    }
+}
+
+/// What one [`FaultScenario`] run did — the balancer's own counters plus
+/// how much virtual time the run covered.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Which scenario produced this report.
+    pub scenario: FaultScenario,
+    /// Balancer activations across all per-core loops.
+    pub activations: u64,
+    /// Speed-triggered migrations performed.
+    pub migrations: u64,
+    /// Distinct threads ever adopted.
+    pub threads_seen: u64,
+    /// Failed OS-facing operations observed (every attempt counts).
+    pub proc_faults: u64,
+    /// Transient failures that were retried with backoff.
+    pub retries: u64,
+    /// Threads quarantined after repeated failures.
+    pub quarantines: u64,
+    /// Virtual time the run covered before the target exited.
+    pub virtual_runtime: Duration,
+}
+
+impl FaultReport {
+    fn new(scenario: FaultScenario, stats: &NativeStats, virtual_runtime: Duration) -> FaultReport {
+        FaultReport {
+            scenario,
+            activations: stats.activations.load(Ordering::Relaxed),
+            migrations: stats.migrations.load(Ordering::Relaxed),
+            threads_seen: stats.threads_seen.load(Ordering::Relaxed),
+            proc_faults: stats.proc_faults.load(Ordering::Relaxed),
+            retries: stats.retries.load(Ordering::Relaxed),
+            quarantines: stats.quarantines.load(Ordering::Relaxed),
+            virtual_runtime,
+        }
+    }
+
+    /// One-line plain-text rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<16} {:>6.2}s virtual  activations {:>4}  migrations {:>3}  \
+             threads {:>2}  faults {:>4}  retries {:>3}  quarantines {:>2}",
+            self.scenario.label(),
+            self.virtual_runtime.as_secs_f64(),
+            self.activations,
+            self.migrations,
+            self.threads_seen,
+            self.proc_faults,
+            self.retries,
+            self.quarantines,
+        )
+    }
+}
+
+/// Runs every scenario in [`FaultScenario::ALL`] and collects the reports.
+pub fn run_all() -> Vec<FaultReport> {
+    FaultScenario::ALL.iter().map(|s| s.run()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_survives_to_process_exit() {
+        for scenario in FaultScenario::ALL {
+            let report = scenario.run();
+            // The run only returns when the scripted process exits; if the
+            // balancer had wedged or panicked we would never get here.
+            assert!(
+                report.virtual_runtime >= Duration::from_millis(2_400),
+                "{}: run ended early at {:?}",
+                scenario.label(),
+                report.virtual_runtime
+            );
+            assert!(
+                report.activations > 0,
+                "{}: balancer never activated",
+                scenario.label()
+            );
+            assert!(!report.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn churn_adopts_every_generation() {
+        let report = FaultScenario::ThreadChurn.run();
+        // 3 permanent + 3 scripted-lifetime threads; thread 6 spawns at
+        // 900ms, well before the 2.5s exit, so all six must be seen. The
+        // vanish-race on thread 2 may make the balancer forget and
+        // re-adopt it (indistinguishable from a recycled tid), so the
+        // count is a floor, not an exact value.
+        assert!(
+            report.threads_seen >= 6,
+            "saw {} threads, expected all 6 generations",
+            report.threads_seen
+        );
+        assert!(report.proc_faults > 0, "vanish faults must be recorded");
+    }
+
+    #[test]
+    fn eperm_threads_quarantine_but_the_rest_balance() {
+        let report = FaultScenario::EpermAffinity.run();
+        assert!(
+            report.quarantines > 0,
+            "EPERM-forever thread must quarantine"
+        );
+        // The healthy threads are adopted and balanced.
+        assert!(report.threads_seen >= 3);
+        assert!(report.proc_faults > 0);
+    }
+
+    #[test]
+    fn transient_reads_retry_persistent_reads_quarantine() {
+        let report = FaultScenario::MalformedStat.run();
+        assert!(report.retries > 0, "bursty malformed reads must be retried");
+        assert!(
+            report.quarantines > 0,
+            "persistently malformed thread must be quarantined"
+        );
+    }
+
+    #[test]
+    fn flaky_listings_retry_and_recover() {
+        let report = FaultScenario::FlakyListing.run();
+        assert!(report.retries > 0);
+        assert_eq!(
+            report.threads_seen, 2,
+            "both threads adopted despite flaky lists"
+        );
+    }
+
+    #[test]
+    fn kitchen_sink_is_survivable() {
+        let report = FaultScenario::KitchenSink.run();
+        assert!(report.proc_faults > 0);
+        assert!(report.retries > 0);
+        assert!(report.quarantines > 0);
+        // Healthy threads still get adopted and the loop keeps running
+        // for the whole scripted 3 s.
+        assert!(report.threads_seen >= 4);
+        assert!(report.virtual_runtime >= Duration::from_millis(2_900));
+    }
+}

@@ -10,8 +10,20 @@
 //!   -t, --threshold <f>     pull threshold T_s (default 0.9)
 //!   --allow-numa            allow cross-NUMA-node migrations
 //!   --cores <cpulist>       manage only these CPUs (e.g. "0-3,8")
+//!   --startup-delay <ms>    delay before the first /proc scan (default 20)
+//!   --max-retries <n>       bounded retries for transient read failures
+//!                           (default 2; vanished/EPERM never retry)
+//!   --quarantine-after <n>  consecutive failures before a thread is
+//!                           quarantined (default 3)
+//!   --quarantine-cooldown <ms>
+//!                           how long a quarantined thread is ignored
+//!                           before re-adoption (default 1000)
 //!   --trace-out <file>      record a Chrome trace (speed samples,
-//!                           activations, migrations; load in Perfetto)
+//!                           activations, migrations, faults, quarantines;
+//!                           load in Perfetto)
+//!
+//! exit codes: 0 = clean (or the child's own exit code in `--` mode),
+//!             1 = cannot attach/launch, 2 = usage error.
 //! ```
 //!
 //! "speedbalancer takes as input the parallel application to balance and
@@ -29,7 +41,9 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: speedbalancer [-i ms] [-t f] [--allow-numa] [--cores list] \
-         [--trace-out file] (--pid P | -- cmd args... | --demo-worker N SECS)"
+         [--startup-delay ms] [--max-retries n] [--quarantine-after n] \
+         [--quarantine-cooldown ms] [--trace-out file] \
+         (--pid P | -- cmd args... | --demo-worker N SECS)"
     );
     exit(2);
 }
@@ -51,6 +65,18 @@ fn run_balancer(
             stats
         }
     }
+}
+
+fn summarize(stats: &NativeStats) -> String {
+    format!(
+        "activations={} migrations={} threads={} faults={} retries={} quarantines={}",
+        stats.activations.load(Ordering::Relaxed),
+        stats.migrations.load(Ordering::Relaxed),
+        stats.threads_seen.load(Ordering::Relaxed),
+        stats.proc_faults.load(Ordering::Relaxed),
+        stats.retries.load(Ordering::Relaxed),
+        stats.quarantines.load(Ordering::Relaxed)
+    )
 }
 
 fn demo_worker(threads: usize, seconds: f64) {
@@ -98,6 +124,37 @@ fn main() {
                 cfg.speed_threshold = t;
             }
             "--allow-numa" => cfg.block_numa = false,
+            "--startup-delay" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.startup_delay = Duration::from_millis(ms);
+            }
+            "--max-retries" => {
+                i += 1;
+                cfg.max_read_retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--quarantine-after" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.quarantine_after = n.max(1);
+            }
+            "--quarantine-cooldown" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.quarantine_cooldown = Duration::from_millis(ms);
+            }
             "--trace-out" => {
                 i += 1;
                 trace_out = Some(args.get(i).unwrap_or_else(|| usage()).clone());
@@ -152,12 +209,7 @@ fn main() {
             };
             eprintln!("speedbalancer: attached to pid {pid}");
             let stats = run_balancer(&bal, &stop, trace_out.as_deref());
-            eprintln!(
-                "speedbalancer: done — activations={} migrations={} threads={}",
-                stats.activations.load(Ordering::Relaxed),
-                stats.migrations.load(Ordering::Relaxed),
-                stats.threads_seen.load(Ordering::Relaxed)
-            );
+            eprintln!("speedbalancer: done — {}", summarize(&stats));
         }
         (None, Some(cmd)) if !cmd.is_empty() => {
             let mut child = match Command::new(&cmd[0]).args(&cmd[1..]).spawn() {
@@ -180,11 +232,9 @@ fn main() {
             let stats = run_balancer(&bal, &stop, trace_out.as_deref());
             let status = child.wait().ok();
             eprintln!(
-                "speedbalancer: child exited ({:?}) — activations={} migrations={} threads={}",
+                "speedbalancer: child exited ({:?}) — {}",
                 status.map(|s| s.code()),
-                stats.activations.load(Ordering::Relaxed),
-                stats.migrations.load(Ordering::Relaxed),
-                stats.threads_seen.load(Ordering::Relaxed)
+                summarize(&stats)
             );
             if let Some(code) = status.and_then(|s| s.code()) {
                 exit(code);

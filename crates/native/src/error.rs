@@ -1,0 +1,132 @@
+//! Typed errors for `/proc` and affinity operations.
+//!
+//! The paper's balancer lives entirely in user space and observes the
+//! target through `/proc`, a surface that is *allowed* to lie to it:
+//! threads exit between `readdir` and `read` ("threads that exit mid-scan
+//! are simply absent — callers must tolerate churn"), affinity calls fail
+//! with `EPERM` on hardened targets, and a stat read can race a process
+//! teardown. Every fallible operation in this crate therefore returns a
+//! [`ProcError`] that classifies the failure by *what the balancer should
+//! do about it* rather than by raw errno.
+
+use std::fmt;
+use std::io;
+
+/// What went wrong with a `/proc` read or an affinity call, classified by
+/// the recovery action it calls for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcError {
+    /// The thread (or whole process) no longer exists — `ENOENT`/`ESRCH`.
+    /// Permanent for this tid: forget it, do not retry.
+    Vanished,
+    /// The kernel refused the operation (`EPERM`/`EACCES`), e.g.
+    /// `sched_setaffinity` on a target owned by another user. Not
+    /// transient, but the tid may still be measurable — callers count it
+    /// toward quarantine instead of retrying.
+    PermissionDenied,
+    /// A `stat` line (or other procfs content) did not parse. Usually a
+    /// torn or truncated read; worth one bounded retry.
+    Malformed(String),
+    /// Any other I/O error (`EAGAIN`, interrupted reads, ...). Transient:
+    /// retry with backoff.
+    Io(io::ErrorKind),
+}
+
+impl ProcError {
+    /// True for failures where an immediate bounded retry can help
+    /// (torn reads, transient I/O). `Vanished` and `PermissionDenied`
+    /// never benefit from retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProcError::Malformed(_) | ProcError::Io(_))
+    }
+
+    /// Classifies a raw [`io::Error`] from a procfs read or affinity
+    /// syscall.
+    pub fn from_io(e: &io::Error) -> ProcError {
+        match e.raw_os_error() {
+            Some(libc::ESRCH) | Some(libc::ENOENT) => return ProcError::Vanished,
+            Some(libc::EPERM) | Some(libc::EACCES) => return ProcError::PermissionDenied,
+            _ => {}
+        }
+        match e.kind() {
+            io::ErrorKind::NotFound => ProcError::Vanished,
+            io::ErrorKind::PermissionDenied => ProcError::PermissionDenied,
+            io::ErrorKind::InvalidData => ProcError::Malformed(e.to_string()),
+            kind => ProcError::Io(kind),
+        }
+    }
+
+    /// Short stable label (mirrors the trace crate's fault-kind labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcError::Vanished => "vanished",
+            ProcError::PermissionDenied => "eperm",
+            ProcError::Malformed(_) => "malformed",
+            ProcError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for ProcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcError::Vanished => write!(f, "thread or process vanished"),
+            ProcError::PermissionDenied => write!(f, "operation not permitted"),
+            ProcError::Malformed(why) => write!(f, "malformed procfs content: {why}"),
+            ProcError::Io(kind) => write!(f, "procfs I/O error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+impl From<io::Error> for ProcError {
+    fn from(e: io::Error) -> ProcError {
+        ProcError::from_io(&e)
+    }
+}
+
+impl From<ProcError> for io::Error {
+    fn from(e: ProcError) -> io::Error {
+        let kind = match &e {
+            ProcError::Vanished => io::ErrorKind::NotFound,
+            ProcError::PermissionDenied => io::ErrorKind::PermissionDenied,
+            ProcError::Malformed(_) => io::ErrorKind::InvalidData,
+            ProcError::Io(kind) => *kind,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_classification() {
+        let esrch = io::Error::from_raw_os_error(libc::ESRCH);
+        assert_eq!(ProcError::from_io(&esrch), ProcError::Vanished);
+        let enoent = io::Error::from_raw_os_error(libc::ENOENT);
+        assert_eq!(ProcError::from_io(&enoent), ProcError::Vanished);
+        let eperm = io::Error::from_raw_os_error(libc::EPERM);
+        assert_eq!(ProcError::from_io(&eperm), ProcError::PermissionDenied);
+        let eacces = io::Error::from_raw_os_error(libc::EACCES);
+        assert_eq!(ProcError::from_io(&eacces), ProcError::PermissionDenied);
+    }
+
+    #[test]
+    fn transience() {
+        assert!(!ProcError::Vanished.is_transient());
+        assert!(!ProcError::PermissionDenied.is_transient());
+        assert!(ProcError::Malformed("x".into()).is_transient());
+        assert!(ProcError::Io(io::ErrorKind::Interrupted).is_transient());
+    }
+
+    #[test]
+    fn io_roundtrip_keeps_kind() {
+        let e: io::Error = ProcError::Vanished.into();
+        assert_eq!(e.kind(), io::ErrorKind::NotFound);
+        let e: io::Error = ProcError::PermissionDenied.into();
+        assert_eq!(e.kind(), io::ErrorKind::PermissionDenied);
+    }
+}

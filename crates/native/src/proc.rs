@@ -6,10 +6,14 @@
 //! thread being monitored". We take both from procfs: thread ids from
 //! `/proc/<pid>/task/`, utime+stime from field 14+15 of
 //! `/proc/<pid>/task/<tid>/stat`.
+//!
+//! Everything here returns a typed [`ProcError`] — procfs is a surface
+//! that races the balancer by design (threads exit between `readdir` and
+//! `open`), so callers need to distinguish "gone for good" from "try
+//! again" without string-matching errno text.
 
+use crate::error::ProcError;
 use std::fs;
-use std::io;
-use std::path::Path;
 use std::time::Duration;
 
 /// CPU time consumed by one thread.
@@ -23,6 +27,19 @@ pub struct ThreadTimes {
 
 impl ThreadTimes {
     /// Total CPU time (`t_exec` in the speed definition).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use speedbal_native::proc::ThreadTimes;
+    /// use std::time::Duration;
+    ///
+    /// let t = ThreadTimes {
+    ///     utime: Duration::from_millis(250),
+    ///     stime: Duration::from_millis(50),
+    /// };
+    /// assert_eq!(t.total(), Duration::from_millis(300));
+    /// ```
     pub fn total(&self) -> Duration {
         self.utime + self.stime
     }
@@ -43,11 +60,11 @@ pub fn clock_ticks_per_sec() -> u64 {
 /// that exit mid-scan are simply absent — callers must tolerate churn, as
 /// the paper notes ("due to delays in updating the system logs" it polls
 /// with a start-up delay).
-pub fn list_tids(pid: i32) -> io::Result<Vec<i32>> {
+pub fn list_tids(pid: i32) -> Result<Vec<i32>, ProcError> {
     let dir = format!("/proc/{pid}/task");
     let mut tids = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
+    for entry in fs::read_dir(dir).map_err(|e| ProcError::from_io(&e))? {
+        let entry = entry.map_err(|e| ProcError::from_io(&e))?;
         if let Some(name) = entry.file_name().to_str() {
             if let Ok(tid) = name.parse::<i32>() {
                 tids.push(tid);
@@ -59,30 +76,88 @@ pub fn list_tids(pid: i32) -> io::Result<Vec<i32>> {
 }
 
 /// Parses the utime (14th) and stime (15th) fields out of a
-/// `/proc/.../stat` line. The command name (field 2) may contain spaces
-/// and parentheses, so fields are counted after the **last** `)`.
-pub fn parse_stat_times(stat: &str, ticks_per_sec: u64) -> Option<ThreadTimes> {
-    let after = &stat[stat.rfind(')')? + 1..];
+/// `/proc/.../stat` line. The command name (field 2) may itself contain
+/// spaces and parentheses — even a trailing `)` — so fields are counted
+/// after the **last** `)`; a line with no `)` at all, or one truncated
+/// before the time fields, is reported as [`ProcError::Malformed`] rather
+/// than panicking or silently misparsing.
+///
+/// # Examples
+///
+/// A well-formed line (fields 14/15 are `250` and `50` ticks, at 100 Hz):
+///
+/// ```
+/// use speedbal_native::proc::parse_stat_times;
+/// use std::time::Duration;
+///
+/// let stat = "1234 (worker) R 1 1 1 0 -1 4194304 103 0 0 0 250 50 0 0 20 0 1 0 5 27 3 1";
+/// let t = parse_stat_times(stat, 100).unwrap();
+/// assert_eq!(t.utime, Duration::from_millis(2500));
+/// assert_eq!(t.stime, Duration::from_millis(500));
+/// ```
+///
+/// Comm fields containing `)` do not shift the field count:
+///
+/// ```
+/// use speedbal_native::proc::parse_stat_times;
+/// use std::time::Duration;
+///
+/// let stat = "99 (a (evil) name) S 1 1 1 0 -1 0 0 0 0 0 100 200 0 0 20 0 1 0 0 0 0 0";
+/// let t = parse_stat_times(stat, 100).unwrap();
+/// assert_eq!(t.utime, Duration::from_secs(1));
+/// assert_eq!(t.stime, Duration::from_secs(2));
+/// ```
+///
+/// Truncated or garbage lines come back as a typed error:
+///
+/// ```
+/// use speedbal_native::{proc::parse_stat_times, ProcError};
+///
+/// assert!(matches!(
+///     parse_stat_times("1 (x) R 1 2", 100),
+///     Err(ProcError::Malformed(_))
+/// ));
+/// assert!(matches!(
+///     parse_stat_times("no parens at all", 100),
+///     Err(ProcError::Malformed(_))
+/// ));
+/// ```
+pub fn parse_stat_times(stat: &str, ticks_per_sec: u64) -> Result<ThreadTimes, ProcError> {
+    let close = stat
+        .rfind(')')
+        .ok_or_else(|| ProcError::Malformed("stat line has no ')' after comm".into()))?;
+    let after = &stat[close + 1..];
     let fields: Vec<&str> = after.split_whitespace().collect();
     // `after` starts at field 3 ("state"), so utime/stime (fields 14/15)
     // are at indices 11 and 12.
-    let utime_ticks: u64 = fields.get(11)?.parse().ok()?;
-    let stime_ticks: u64 = fields.get(12)?.parse().ok()?;
+    let field = |i: usize| -> Result<u64, ProcError> {
+        let raw = fields.get(i).ok_or_else(|| {
+            ProcError::Malformed(format!(
+                "stat line truncated: {} fields after comm, need {}",
+                fields.len(),
+                i + 1
+            ))
+        })?;
+        raw.parse().map_err(|_| {
+            ProcError::Malformed(format!("stat field {} is not a number: {raw:?}", i + 3))
+        })
+    };
+    let utime_ticks = field(11)?;
+    let stime_ticks = field(12)?;
     let to_dur = |ticks: u64| {
         Duration::from_nanos(ticks.saturating_mul(1_000_000_000 / ticks_per_sec.max(1)))
     };
-    Some(ThreadTimes {
+    Ok(ThreadTimes {
         utime: to_dur(utime_ticks),
         stime: to_dur(stime_ticks),
     })
 }
 
 /// Reads the cumulative CPU time of one thread of one process.
-pub fn read_thread_cpu_time(pid: i32, tid: i32) -> io::Result<ThreadTimes> {
+pub fn read_thread_cpu_time(pid: i32, tid: i32) -> Result<ThreadTimes, ProcError> {
     let path = format!("/proc/{pid}/task/{tid}/stat");
-    let stat = fs::read_to_string(Path::new(&path))?;
+    let stat = fs::read_to_string(&path).map_err(|e| ProcError::from_io(&e))?;
     parse_stat_times(&stat, clock_ticks_per_sec())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed stat line"))
 }
 
 /// True iff the process is still alive **and running** — a zombie (exited
@@ -125,9 +200,41 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_garbage() {
-        assert!(parse_stat_times("not a stat line", 100).is_none());
-        assert!(parse_stat_times("1 (x) R 1 2", 100).is_none());
+    fn parse_rejects_garbage_with_typed_errors() {
+        assert!(matches!(
+            parse_stat_times("not a stat line", 100),
+            Err(ProcError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_stat_times("1 (x) R 1 2", 100),
+            Err(ProcError::Malformed(_))
+        ));
+        // Non-numeric where a counter should be.
+        assert!(matches!(
+            parse_stat_times(
+                "9 (x) R 1 1 1 0 -1 0 0 0 0 0 abc 200 0 0 20 0 1 0 0 0 0 0",
+                100
+            ),
+            Err(ProcError::Malformed(_))
+        ));
+        // A comm ending in ')' with nothing after it.
+        assert!(matches!(
+            parse_stat_times("9 (x))", 100),
+            Err(ProcError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_stat_times("", 100),
+            Err(ProcError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn missing_process_is_vanished() {
+        assert_eq!(list_tids(-1).unwrap_err(), ProcError::Vanished);
+        assert_eq!(
+            read_thread_cpu_time(-1, -1).unwrap_err(),
+            ProcError::Vanished
+        );
     }
 
     #[test]

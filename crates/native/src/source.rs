@@ -1,0 +1,164 @@
+//! The [`ProcSource`] abstraction: everything the balancer needs from the
+//! operating system, behind one trait.
+//!
+//! The paper's `speedbalancer` touches the OS in exactly four ways: it
+//! lists a process's threads (`/proc/<pid>/task`), reads per-thread CPU
+//! time (`/proc/.../stat`), re-pins threads (`sched_setaffinity`) and
+//! sleeps between balance intervals. [`ProcSource`] captures that surface
+//! — including the clock, so that a mock backend can run balance
+//! intervals in *virtual* time — which lets the whole balancing loop run
+//! deterministically against the in-memory [`MockProc`](crate::MockProc)
+//! with scripted fault injection, while production uses [`RealProc`].
+
+use crate::affinity;
+use crate::error::ProcError;
+use crate::proc::{self, ThreadTimes};
+use std::time::{Duration, Instant};
+
+/// The balancer's view of the operating system: thread discovery, CPU-time
+/// accounting, affinity control, liveness, and time.
+///
+/// All methods take `&self` and implementations must be thread-safe: the
+/// balancer runs one loop per managed core and they share one source.
+///
+/// # Failure contract
+///
+/// Implementations classify failures via [`ProcError`]:
+/// [`ProcError::Vanished`] means the tid/pid is gone for good (callers
+/// forget it), [`ProcError::PermissionDenied`] means the call will keep
+/// failing until privileges change (callers quarantine), and transient
+/// kinds ([`ProcError::Malformed`], [`ProcError::Io`]) are worth a bounded
+/// retry.
+pub trait ProcSource: Send + Sync {
+    /// Thread ids of `pid`, sorted ascending, main thread included.
+    /// Threads that exit mid-scan are simply absent — callers must
+    /// tolerate churn.
+    fn list_tids(&self, pid: i32) -> Result<Vec<i32>, ProcError>;
+
+    /// Cumulative CPU time (utime+stime) of one thread.
+    fn thread_cpu_time(&self, pid: i32, tid: i32) -> Result<ThreadTimes, ProcError>;
+
+    /// Restricts `tid` to a single CPU — the paper's placement *and*
+    /// migration primitive.
+    fn pin_to_cpu(&self, tid: i32, cpu: usize) -> Result<(), ProcError>;
+
+    /// True iff `pid` exists and is not a zombie.
+    fn process_alive(&self, pid: i32) -> bool;
+
+    /// Monotonic time since the source was created. Real sources report
+    /// wall-clock time; mocks report a virtual clock advanced by
+    /// [`sleep`](ProcSource::sleep).
+    fn now(&self) -> Duration;
+
+    /// Blocks the calling balancer thread for `d` (of this source's
+    /// clock). Mock sources advance virtual time instead of blocking, so
+    /// fault-injection tests run in microseconds of wall time.
+    ///
+    /// **Lock discipline**: balancer code must never call `sleep` while
+    /// holding a lock another balancer thread needs before *its* next
+    /// `sleep` — virtual-time sources run sleepers in lockstep (see
+    /// [`worker_started`](ProcSource::worker_started)), so a sleeping
+    /// lock-holder would stall the clock for everyone.
+    fn sleep(&self, d: Duration);
+
+    /// Registers one balancer worker thread with the source's clock.
+    ///
+    /// Called once per worker *before* the workers start. Virtual-time
+    /// sources use the registration count to run [`sleep`](ProcSource::sleep)
+    /// as a rendezvous: the clock only advances (to the earliest pending
+    /// deadline) once every registered worker is asleep, so no worker can
+    /// race ahead and starve the others of virtual time — interleavings
+    /// that cannot happen on a real clock cannot happen on the mock one
+    /// either. Real sources ignore this (the OS scheduler provides
+    /// fairness).
+    fn worker_started(&self) {}
+
+    /// Deregisters one balancer worker (the worker itself calls this on
+    /// exit, including early exits). See
+    /// [`worker_started`](ProcSource::worker_started).
+    fn worker_stopped(&self) {}
+}
+
+/// The production backend: real `/proc`, real `sched_setaffinity`, the
+/// real monotonic clock.
+#[derive(Debug)]
+pub struct RealProc {
+    epoch: Instant,
+}
+
+impl RealProc {
+    /// A real-procfs source whose clock starts now.
+    pub fn new() -> RealProc {
+        RealProc {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealProc {
+    fn default() -> Self {
+        RealProc::new()
+    }
+}
+
+impl ProcSource for RealProc {
+    fn list_tids(&self, pid: i32) -> Result<Vec<i32>, ProcError> {
+        proc::list_tids(pid)
+    }
+
+    fn thread_cpu_time(&self, pid: i32, tid: i32) -> Result<ThreadTimes, ProcError> {
+        proc::read_thread_cpu_time(pid, tid)
+    }
+
+    fn pin_to_cpu(&self, tid: i32, cpu: usize) -> Result<(), ProcError> {
+        affinity::pin_to_cpu(tid, cpu).map_err(|e| ProcError::from_io(&e))
+    }
+
+    fn process_alive(&self, pid: i32) -> bool {
+        proc::process_alive(pid)
+    }
+
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_proc_sees_own_process() {
+        let src = RealProc::new();
+        let pid = std::process::id() as i32;
+        assert!(src.process_alive(pid));
+        assert!(!src.process_alive(-1));
+        let tids = src.list_tids(pid).expect("own tids");
+        assert!(tids.contains(&pid));
+        let t = src.thread_cpu_time(pid, pid).expect("own stat");
+        assert!(t.total() < Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn real_proc_classifies_vanished() {
+        let src = RealProc::new();
+        // No pid -1 ever exists.
+        assert_eq!(src.list_tids(-1).unwrap_err(), ProcError::Vanished);
+        assert_eq!(
+            src.thread_cpu_time(-1, -1).unwrap_err(),
+            ProcError::Vanished
+        );
+    }
+
+    #[test]
+    fn real_clock_advances_with_sleep() {
+        let src = RealProc::new();
+        let a = src.now();
+        src.sleep(Duration::from_millis(2));
+        assert!(src.now() >= a + Duration::from_millis(1));
+    }
+}

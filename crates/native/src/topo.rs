@@ -10,6 +10,17 @@ use std::io;
 use std::path::Path;
 
 /// Parses a Linux cpulist string ("0-3,8,10-11") into CPU indices.
+///
+/// Malformed parts are skipped rather than failing the whole list, the
+/// result is sorted, and duplicates collapse:
+///
+/// ```
+/// use speedbal_native::topo::parse_cpulist;
+///
+/// assert_eq!(parse_cpulist("0-2,8"), vec![0, 1, 2, 8]);
+/// assert_eq!(parse_cpulist(" 3 , 1 - 2 "), vec![1, 2, 3]);
+/// assert_eq!(parse_cpulist("junk"), Vec::<usize>::new());
+/// ```
 pub fn parse_cpulist(s: &str) -> Vec<usize> {
     let mut cpus = Vec::new();
     for part in s.trim().split(',') {
@@ -43,6 +54,7 @@ pub fn online_cpus() -> io::Result<Vec<usize>> {
 /// Machine layout as discovered from sysfs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NativeTopology {
+    /// Online CPU numbers, sorted.
     pub cpus: Vec<usize>,
     /// Package (socket) id per CPU, aligned with `cpus`.
     pub package: Vec<usize>,
@@ -51,6 +63,18 @@ pub struct NativeTopology {
 }
 
 impl NativeTopology {
+    /// A synthetic uniform machine: CPUs `0..n`, one package, one NUMA
+    /// node. Pairs with [`MockProc`](crate::MockProc) so balancer tests
+    /// never need sysfs.
+    pub fn synthetic(n: usize) -> NativeTopology {
+        let n = n.max(1);
+        NativeTopology {
+            cpus: (0..n).collect(),
+            package: vec![0; n],
+            node: vec![0; n],
+        }
+    }
+
     /// Discovers the current machine.
     pub fn discover() -> io::Result<NativeTopology> {
         let cpus = online_cpus()?;
@@ -91,6 +115,7 @@ impl NativeTopology {
         })
     }
 
+    /// Number of online CPUs.
     pub fn n_cpus(&self) -> usize {
         self.cpus.len()
     }

@@ -248,6 +248,38 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                     ts(rec.time),
                 ));
             }
+            TraceEvent::ProcFault {
+                task,
+                op,
+                kind,
+                attempt,
+                retrying,
+            } => {
+                let who = match task {
+                    Some(t) => buf.task_name(*t),
+                    None => "process".to_string(),
+                };
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"fault {} {}\",\"cat\":\"fault\",\
+                     \"args\":{{\"target\":\"{}\",\"kind\":\"{}\",\
+                     \"attempt\":{attempt},\"retrying\":{retrying}}}",
+                    ts(rec.time),
+                    op.label(),
+                    kind.label(),
+                    esc(&who),
+                    kind.label(),
+                ));
+            }
+            TraceEvent::Quarantined { task, failures } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"p\",\"name\":\"quarantine {}\",\"cat\":\"fault\",\
+                     \"args\":{{\"failures\":{failures}}}",
+                    ts(rec.time),
+                    esc(&buf.task_name(*task)),
+                ));
+            }
         }
     }
 
@@ -378,6 +410,37 @@ mod tests {
         assert!(json.contains("\"ph\":\"b\""));
         assert!(json.contains("\"ph\":\"e\""));
         assert!(json.contains("\"id\":9"));
+    }
+
+    #[test]
+    fn fault_events_export() {
+        use crate::event::{ProcFaultKind, ProcOp};
+        let mut buf = TraceBuffer::new();
+        buf.task_spawned(3, "tid103", SimTime::ZERO);
+        buf.record(
+            t(5),
+            CoreId(1),
+            TraceEvent::ProcFault {
+                task: Some(3),
+                op: ProcOp::SetAffinity,
+                kind: ProcFaultKind::PermissionDenied,
+                attempt: 2,
+                retrying: false,
+            },
+        );
+        buf.record(
+            t(9),
+            CoreId(1),
+            TraceEvent::Quarantined {
+                task: 3,
+                failures: 3,
+            },
+        );
+        let json = export_chrome(&buf);
+        assert!(json.contains("\"cat\":\"fault\""));
+        assert!(json.contains("fault set-affinity eperm"));
+        assert!(json.contains("\"attempt\":2"));
+        assert!(json.contains("quarantine tid103"));
     }
 
     #[test]

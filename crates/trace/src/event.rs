@@ -25,11 +25,17 @@ pub enum MigrationReason {
         global_speed: f64,
     },
     /// Linux queue-length balancing at the given domain level.
-    LoadBalance { level: DomainLevel },
+    LoadBalance {
+        /// Scheduling-domain level the balancing pass ran at.
+        level: DomainLevel,
+    },
     /// Linux newidle pull into a core that just ran dry.
     NewIdle,
     /// DWRR round balancing (stealing round-eligible threads).
-    DwrrRound { round: u64 },
+    DwrrRound {
+        /// The DWRR round number during which the steal happened.
+        round: u64,
+    },
     /// ULE's twice-a-second push sweep.
     UlePush,
     /// ULE idle stealing.
@@ -87,6 +93,68 @@ impl MigrationReason {
     ];
 }
 
+/// Which OS-facing operation a [`TraceEvent::ProcFault`] failed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcOp {
+    /// Thread discovery (`/proc/<pid>/task` readdir).
+    ListThreads,
+    /// Per-thread CPU-time read (`/proc/.../stat`).
+    ReadCpuTime,
+    /// `sched_setaffinity` placement or migration.
+    SetAffinity,
+}
+
+impl ProcOp {
+    /// Short stable label (used by exporters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcOp::ListThreads => "list-threads",
+            ProcOp::ReadCpuTime => "read-cputime",
+            ProcOp::SetAffinity => "set-affinity",
+        }
+    }
+}
+
+/// Why an OS-facing operation failed (the native balancer's typed error
+/// classes, mirrored here so traces can histogram them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcFaultKind {
+    /// Thread/process gone (`ENOENT`/`ESRCH`) — churn, not an error.
+    Vanished,
+    /// `EPERM`/`EACCES` — the kernel refused the call.
+    PermissionDenied,
+    /// Torn or truncated procfs content that did not parse.
+    Malformed,
+    /// Any other (transient) I/O failure.
+    Io,
+}
+
+impl ProcFaultKind {
+    /// Short stable label (used by exporters and counters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcFaultKind::Vanished => "vanished",
+            ProcFaultKind::PermissionDenied => "eperm",
+            ProcFaultKind::Malformed => "malformed",
+            ProcFaultKind::Io => "io",
+        }
+    }
+
+    /// Index into per-kind counter arrays; keep in sync with
+    /// [`ProcFaultKind::ALL_LABELS`].
+    pub fn index(&self) -> usize {
+        match self {
+            ProcFaultKind::Vanished => 0,
+            ProcFaultKind::PermissionDenied => 1,
+            ProcFaultKind::Malformed => 2,
+            ProcFaultKind::Io => 3,
+        }
+    }
+
+    /// Labels in [`ProcFaultKind::index`] order.
+    pub const ALL_LABELS: [&'static str; 4] = ["vanished", "eperm", "malformed", "io"];
+}
+
 /// What one balancer activation decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActivationOutcome {
@@ -103,6 +171,7 @@ pub enum ActivationOutcome {
 }
 
 impl ActivationOutcome {
+    /// Short stable label (used by exporters and counters).
     pub fn label(&self) -> &'static str {
         match self {
             ActivationOutcome::BelowAverage => "below-average",
@@ -118,64 +187,136 @@ impl ActivationOutcome {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// A task was put on the CPU (context switch in).
-    Dispatch { task: usize },
+    Dispatch {
+        /// The dispatched task.
+        task: usize,
+    },
     /// The running task came off the CPU after occupying it for `ran`.
-    Desched { task: usize, ran: SimDuration },
+    Desched {
+        /// The descheduled task.
+        task: usize,
+        /// How long it occupied the CPU.
+        ran: SimDuration,
+    },
     /// A wakeup's vruntime beat the running task: forced reschedule.
-    Preempt { task: usize, by: usize },
+    Preempt {
+        /// The preempted (running) task.
+        task: usize,
+        /// The waking task that forced it off.
+        by: usize,
+    },
     /// A blocked task became runnable.
-    Wake { task: usize },
+    Wake {
+        /// The newly runnable task.
+        task: usize,
+    },
     /// A task left the runnable set (blocked on a condition or timed sleep).
-    Sleep { task: usize },
+    Sleep {
+        /// The task leaving the runnable set.
+        task: usize,
+    },
     /// A task exited.
-    Exit { task: usize },
+    Exit {
+        /// The exiting task.
+        task: usize,
+    },
     /// A task moved between run queues.
     Migrate {
+        /// The migrated task.
         task: usize,
+        /// Core it left.
         from: CoreId,
+        /// Core it arrived on.
         to: CoreId,
         /// Topological distance of the move (cache/NUMA tier histogramming).
         tier: DomainLevel,
+        /// Which policy decision moved it, with its inputs.
         reason: MigrationReason,
     },
     /// A per-interval speed sample: `task = Some(t)` is one thread's
     /// measured speed (CPU-time share), `task = None` is the core-level
     /// utilization over the sampling window.
-    SpeedSample { task: Option<usize>, speed: f64 },
+    SpeedSample {
+        /// `Some(tid)` for a thread sample, `None` for the core level.
+        task: Option<usize>,
+        /// The measured speed (`t_exec / t_real` over the window).
+        speed: f64,
+    },
     /// One balancer-thread activation and its decision. `local`/`global`
     /// are the policy's metric (core speeds for SPEED, queue lengths for
     /// the kernel balancers); `jitter` is the randomized part of the delay
     /// to the next activation (zero when the policy does not jitter).
     BalancerActivation {
+        /// Policy label ("SPEED", "LOAD", ...).
         policy: &'static str,
+        /// The local core's metric at decision time.
         local: f64,
+        /// The global (average) metric at decision time.
         global: f64,
+        /// What the activation decided.
         outcome: ActivationOutcome,
+        /// Randomized part of the delay to the next activation.
         jitter: SimDuration,
     },
     /// A thread arrived at a barrier. `cond` identifies the episode (each
     /// barrier episode allocates a fresh condition), so it doubles as the
     /// async-span id in the Chrome exporter.
     BarrierArrive {
+        /// The arriving task.
         task: usize,
+        /// Condition id of the episode (doubles as the async-span id).
         cond: usize,
+        /// Episode number of the barrier.
         episode: u64,
         /// Arrival rank within the episode (1-based).
         arrived: usize,
+        /// Total threads the barrier waits for.
         parties: usize,
     },
     /// The last arriver released a barrier episode.
     BarrierRelease {
+        /// The releasing (last-arriving) task.
         task: usize,
+        /// Condition id of the episode (matches the arrive events).
         cond: usize,
+        /// Episode number of the barrier.
         episode: u64,
+    },
+    /// An OS-facing operation of the native balancer failed. `task` is the
+    /// tid involved (`None` for process-wide operations like thread
+    /// discovery), `attempt` counts from 1 within one logical operation,
+    /// and `retrying` says whether a bounded backoff retry follows (so
+    /// `retrying: false` records where the balancer gave up or moved on).
+    ProcFault {
+        /// The tid involved, if the operation targeted one thread.
+        task: Option<usize>,
+        /// Which OS-facing operation failed.
+        op: ProcOp,
+        /// The typed failure class.
+        kind: ProcFaultKind,
+        /// Attempt number within one logical operation (from 1).
+        attempt: u32,
+        /// Whether a bounded backoff retry follows.
+        retrying: bool,
+    },
+    /// The native balancer quarantined a thread after `failures`
+    /// consecutive failed reads: the tid is dropped from speed accounting
+    /// and re-adopted only after a cooldown (or never, if it stays sick).
+    Quarantined {
+        /// The quarantined tid.
+        task: usize,
+        /// Length of the failure streak that triggered it.
+        failures: u32,
     },
 }
 
 /// A stamped event: when, where, what.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
+    /// When it happened.
     pub time: SimTime,
+    /// The core it happened on.
     pub core: CoreId,
+    /// What happened.
     pub event: TraceEvent,
 }

@@ -24,12 +24,16 @@
 //!    spans for barrier epochs, counter tracks for speeds);
 //!    [`render_summary`] renders a plain-text report.
 
+#![warn(missing_docs)]
+
 pub mod chrome;
 pub mod event;
 pub mod sink;
 pub mod summary;
 
 pub use chrome::export_chrome;
-pub use event::{ActivationOutcome, MigrationReason, TraceEvent, TraceRecord};
+pub use event::{
+    ActivationOutcome, MigrationReason, ProcFaultKind, ProcOp, TraceEvent, TraceRecord,
+};
 pub use sink::{SeriesStats, StateTimes, TraceBuffer, TraceConfig, TraceCounters};
 pub use summary::render_summary;

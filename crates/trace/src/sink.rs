@@ -3,7 +3,7 @@
 //! per-task speed statistics) maintained incrementally at record time, so
 //! summaries survive even when the ring has wrapped.
 
-use crate::event::{MigrationReason, TraceEvent, TraceRecord};
+use crate::event::{MigrationReason, ProcFaultKind, TraceEvent, TraceRecord};
 use speedbal_machine::{CoreId, DomainLevel};
 use speedbal_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -31,29 +31,52 @@ impl Default for TraceConfig {
 /// Counts maintained for every recorded event (never dropped).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceCounters {
+    /// Context switches in.
     pub dispatches: u64,
+    /// Context switches out.
     pub descheds: u64,
+    /// Forced reschedules by a higher-priority wakeup.
     pub preemptions: u64,
+    /// Blocked tasks becoming runnable.
     pub wakes: u64,
+    /// Tasks leaving the runnable set.
     pub sleeps: u64,
+    /// Task exits.
     pub exits: u64,
+    /// Cross-core moves (all reasons).
     pub migrations: u64,
     /// Histogram over [`DomainLevel::ALL`] (SMT, cache, socket, NUMA,
     /// system) of the topological distance of each migration.
     pub migrations_by_tier: [u64; DomainLevel::ALL.len()],
     /// Histogram over [`MigrationReason::ALL_LABELS`].
     pub migrations_by_reason: [u64; MigrationReason::ALL_LABELS.len()],
+    /// Per-thread and per-core speed samples.
     pub speed_samples: u64,
+    /// Balancer decision points (all outcomes).
     pub balancer_activations: u64,
+    /// Threads reaching a barrier.
     pub barrier_arrivals: u64,
+    /// Barrier episodes released.
     pub barrier_releases: u64,
+    /// Failed OS-facing operations of the native balancer (every attempt
+    /// counts, including ones that were retried).
+    pub proc_faults: u64,
+    /// Histogram over [`ProcFaultKind::ALL_LABELS`].
+    pub proc_faults_by_kind: [u64; ProcFaultKind::ALL_LABELS.len()],
+    /// Faults that were followed by a bounded backoff retry.
+    pub proc_retries: u64,
+    /// Threads quarantined after repeated read failures.
+    pub quarantines: u64,
 }
 
 /// Cumulative time a task spent in each scheduler state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StateTimes {
+    /// Time on a CPU.
     pub running: SimDuration,
+    /// Time waiting on a run queue.
     pub runnable: SimDuration,
+    /// Time blocked on a condition or timed sleep.
     pub blocked: SimDuration,
 }
 
@@ -76,6 +99,7 @@ pub struct SeriesStats {
 }
 
 impl SeriesStats {
+    /// Folds one sample into the running statistics.
     pub fn push(&mut self, x: f64) {
         if self.n == 0 {
             self.min = x;
@@ -90,22 +114,27 @@ impl SeriesStats {
         self.m2 += d * (x - self.mean);
     }
 
+    /// Number of samples seen.
     pub fn count(&self) -> u64 {
         self.n
     }
 
+    /// Arithmetic mean of the samples.
     pub fn mean(&self) -> f64 {
         self.mean
     }
 
+    /// Smallest sample (0 if none).
     pub fn min(&self) -> f64 {
         self.min
     }
 
+    /// Largest sample (0 if none).
     pub fn max(&self) -> f64 {
         self.max
     }
 
+    /// Sample standard deviation (0 with fewer than two samples).
     pub fn stddev(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -144,10 +173,12 @@ pub struct TraceBuffer {
 }
 
 impl TraceBuffer {
+    /// An empty buffer with the default configuration.
     pub fn new() -> TraceBuffer {
         Self::with_config(TraceConfig::default())
     }
 
+    /// An empty buffer with explicit tunables.
     pub fn with_config(cfg: TraceConfig) -> TraceBuffer {
         TraceBuffer {
             cfg,
@@ -155,6 +186,7 @@ impl TraceBuffer {
         }
     }
 
+    /// The sink's tunables.
     pub fn config(&self) -> &TraceConfig {
         &self.cfg
     }
@@ -168,6 +200,7 @@ impl TraceBuffer {
         }
     }
 
+    /// Highest core count this sink knows about.
     pub fn n_cores(&self) -> usize {
         self.n_cores
     }
@@ -261,6 +294,14 @@ impl TraceBuffer {
             TraceEvent::BalancerActivation { .. } => self.counters.balancer_activations += 1,
             TraceEvent::BarrierArrive { .. } => self.counters.barrier_arrivals += 1,
             TraceEvent::BarrierRelease { .. } => self.counters.barrier_releases += 1,
+            TraceEvent::ProcFault { kind, retrying, .. } => {
+                self.counters.proc_faults += 1;
+                self.counters.proc_faults_by_kind[kind.index()] += 1;
+                if *retrying {
+                    self.counters.proc_retries += 1;
+                }
+            }
+            TraceEvent::Quarantined { .. } => self.counters.quarantines += 1,
         }
         if self.ring.len() >= self.cfg.capacity {
             self.ring.pop_front();
@@ -274,10 +315,12 @@ impl TraceBuffer {
         self.ring.iter()
     }
 
+    /// Number of retained records.
     pub fn len(&self) -> usize {
         self.ring.len()
     }
 
+    /// True iff no records are retained.
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()
     }
@@ -287,6 +330,7 @@ impl TraceBuffer {
         self.dropped
     }
 
+    /// Aggregate counters (cover dropped records too).
     pub fn counters(&self) -> &TraceCounters {
         &self.counters
     }
@@ -417,6 +461,51 @@ mod tests {
         assert_eq!(s.min(), 1.0);
         assert_eq!(s.max(), 4.0);
         assert!((s.stddev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        use crate::event::{ProcFaultKind, ProcOp};
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            t(1),
+            CoreId(0),
+            TraceEvent::ProcFault {
+                task: Some(42),
+                op: ProcOp::ReadCpuTime,
+                kind: ProcFaultKind::Malformed,
+                attempt: 1,
+                retrying: true,
+            },
+        );
+        buf.record(
+            t(2),
+            CoreId(0),
+            TraceEvent::ProcFault {
+                task: Some(42),
+                op: ProcOp::SetAffinity,
+                kind: ProcFaultKind::PermissionDenied,
+                attempt: 1,
+                retrying: false,
+            },
+        );
+        buf.record(
+            t(3),
+            CoreId(0),
+            TraceEvent::Quarantined {
+                task: 42,
+                failures: 3,
+            },
+        );
+        let c = buf.counters();
+        assert_eq!(c.proc_faults, 2);
+        assert_eq!(c.proc_retries, 1);
+        assert_eq!(c.quarantines, 1);
+        assert_eq!(c.proc_faults_by_kind[ProcFaultKind::Malformed.index()], 1);
+        assert_eq!(
+            c.proc_faults_by_kind[ProcFaultKind::PermissionDenied.index()],
+            1
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! histograms, per-core speed statistics, per-task time-in-state) rendered
 //! as a human-readable report.
 
-use crate::event::MigrationReason;
+use crate::event::{MigrationReason, ProcFaultKind};
 use crate::sink::TraceBuffer;
 use speedbal_machine::{CoreId, DomainLevel};
 use std::fmt::Write as _;
@@ -43,6 +43,20 @@ pub fn render_summary(buf: &TraceBuffer) -> String {
         "  barrier arrivals {}  releases {}",
         c.barrier_arrivals, c.barrier_releases
     );
+
+    if c.proc_faults > 0 || c.quarantines > 0 {
+        let _ = write!(
+            out,
+            "  proc faults {} (retried {})",
+            c.proc_faults, c.proc_retries
+        );
+        for (i, label) in ProcFaultKind::ALL_LABELS.iter().enumerate() {
+            if c.proc_faults_by_kind[i] > 0 {
+                let _ = write!(out, " {}={}", label, c.proc_faults_by_kind[i]);
+            }
+        }
+        let _ = writeln!(out, "  quarantines {}", c.quarantines);
+    }
 
     let _ = writeln!(out, "migrations: {}", c.migrations);
     if c.migrations > 0 {
@@ -152,6 +166,37 @@ mod tests {
         assert!(text.contains("dispatches 1"));
         assert!(text.contains("cpu0:"));
         assert!(text.contains("w0: run 4.000ms"));
+    }
+
+    #[test]
+    fn faults_render_when_present() {
+        use crate::event::{ProcFaultKind, ProcOp};
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            SimTime::from_millis(1),
+            CoreId(0),
+            TraceEvent::ProcFault {
+                task: Some(5),
+                op: ProcOp::ReadCpuTime,
+                kind: ProcFaultKind::Vanished,
+                attempt: 1,
+                retrying: false,
+            },
+        );
+        buf.record(
+            SimTime::from_millis(2),
+            CoreId(0),
+            TraceEvent::Quarantined {
+                task: 5,
+                failures: 3,
+            },
+        );
+        let text = render_summary(&buf);
+        assert!(text.contains("proc faults 1"));
+        assert!(text.contains("vanished=1"));
+        assert!(text.contains("quarantines 1"));
+        // And the section is absent on clean traces.
+        assert!(!render_summary(&TraceBuffer::new()).contains("proc faults"));
     }
 
     #[test]

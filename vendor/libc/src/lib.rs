@@ -19,6 +19,18 @@ pub const _SC_CLK_TCK: c_int = 2;
 /// `SIGKILL`.
 pub const SIGKILL: c_int = 9;
 
+/// `EPERM`: operation not permitted.
+pub const EPERM: c_int = 1;
+
+/// `ENOENT`: no such file or directory.
+pub const ENOENT: c_int = 2;
+
+/// `ESRCH`: no such process.
+pub const ESRCH: c_int = 3;
+
+/// `EACCES`: permission denied.
+pub const EACCES: c_int = 13;
+
 const ULONG_BITS: usize = usize::BITS as usize;
 
 /// glibc's `cpu_set_t`: a 1024-bit mask of `unsigned long`s.
