@@ -98,14 +98,14 @@ impl Dwrr {
     }
 
     /// Expired (suspended) tasks parked on `core` that are eligible to run
-    /// in round ≤ `round`.
+    /// in round ≤ `round`. Reads the per-core member list (non-exited, in
+    /// `TaskId` order) instead of scanning every task.
     fn eligible_expired_on(&self, sys: &System, core: CoreId, round: u64) -> Vec<TaskId> {
-        sys.all_tasks()
+        sys.tasks_assigned_to(core)
+            .iter()
+            .copied()
             .filter(|t| {
-                sys.task_suspended(*t)
-                    && sys.task_core(*t) == core
-                    && sys.task_exited_at(*t).is_none()
-                    && self.tasks.get(t.0).map_or(0, |r| r.round) <= round
+                sys.task_suspended(*t) && self.tasks.get(t.0).map_or(0, |r| r.round) <= round
             })
             .collect()
     }
@@ -124,15 +124,14 @@ impl Dwrr {
             if c == core {
                 continue;
             }
-            let on_core = sys.tasks_on_core(c);
-            let unpinned = on_core
-                .iter()
-                .filter(|t| sys.task_pinned(**t).is_none())
+            let unpinned = sys
+                .tasks_on_core_iter(c)
+                .filter(|t| sys.task_pinned(*t).is_none())
                 .count();
-            let queued = on_core
-                .iter()
+            let queued = sys
+                .tasks_on_core_iter(c)
                 .filter(|t| {
-                    sys.task_state(**t) == TaskState::Runnable && sys.task_pinned(**t).is_none()
+                    sys.task_state(*t) == TaskState::Runnable && sys.task_pinned(*t).is_none()
                 })
                 .count();
             let expired = self.eligible_expired_on(sys, c, my_round).len();
@@ -167,8 +166,7 @@ impl Dwrr {
             }
         }
         let runnable: Vec<TaskId> = sys
-            .tasks_on_core(donor)
-            .into_iter()
+            .tasks_on_core_iter(donor)
             .filter(|t| sys.task_state(*t) == TaskState::Runnable && sys.task_pinned(*t).is_none())
             .collect();
         for t in runnable {
@@ -209,8 +207,7 @@ impl Dwrr {
         let cur_round = self.round[core.0];
         let slice = self.cfg.round_slice;
         let on_core: Vec<TaskId> = sys
-            .tasks_on_core(core)
-            .into_iter()
+            .tasks_on_core_iter(core)
             .filter(|t| sys.task_pinned(*t).is_none() && sys.task_exited_at(*t).is_none())
             .collect();
         for t in on_core {

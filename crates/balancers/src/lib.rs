@@ -25,6 +25,9 @@
 //!   reproducing the paper's deployment of the user-level `speedbalancer`
 //!   alongside the kernel balancer.
 
+// Hot-path crate: performance-relevant clippy lints are hard errors.
+#![deny(clippy::perf)]
+
 pub mod composite;
 pub mod dwrr;
 pub mod linux;

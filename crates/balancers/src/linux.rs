@@ -138,8 +138,7 @@ impl LinuxLoadBalancer {
         ignore_cache_hot: bool,
     ) -> Option<TaskId> {
         let smt_pair = sys.topology().common_level(from, to) == DomainLevel::Smt;
-        sys.tasks_on_core(from)
-            .into_iter()
+        sys.tasks_on_core_iter(from)
             .filter(|t| sys.task_state(*t) == TaskState::Runnable)
             .filter(|t| sys.task_pinned(*t).is_none())
             .filter(|t| sys.task_may_run_on(*t, to))

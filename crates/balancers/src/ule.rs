@@ -65,8 +65,7 @@ impl UleBalancer {
     }
 
     fn movable(&self, sys: &System, from: CoreId, to: CoreId) -> Option<TaskId> {
-        sys.tasks_on_core(from)
-            .into_iter()
+        sys.tasks_on_core_iter(from)
             .filter(|t| sys.task_state(*t) == TaskState::Runnable)
             .filter(|t| sys.task_pinned(*t).is_none())
             .find(|t| sys.task_may_run_on(*t, to))

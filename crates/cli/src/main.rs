@@ -20,6 +20,8 @@
 //!   trace <scenario>  record an event trace of a named scenario
 //!                     (ep-3x2, ep-16x8, ep-hog, cg-barrier) under the
 //!                     SPEED and LOAD policies and print a summary
+//!   bench       time the event-loop hot path on the 16-core × 64-thread
+//!               cg.B scenario and write BENCH_sim.json (see EXPERIMENTS.md)
 //!
 //! options:
 //!   --full           paper-scale runs (scale 0.5, 10 repeats) [default: quick]
@@ -31,9 +33,14 @@
 //!   --trace-out <f>  write Chrome trace JSON (load in Perfetto). With
 //!                    `trace` the files derive from <f>; with any other
 //!                    artifact every scenario dumps one file per repeat.
+//!   --quick          bench: quarter-scale workload, best of 3 (CI-sized)
+//!   --out <f>        bench: output path [default: BENCH_sim.json]
+//!   --check <f>      bench: compare against a committed report instead of
+//!                    writing; fail if ns/step exceeds 2x the committed value
 //! ```
 
 use speedbal_harness::experiments::{self, Profile};
+use speedbal_harness::perf;
 use speedbal_harness::{
     run_scenario_with_traces, set_trace_output, trace_file_path, Machine, Policy,
 };
@@ -49,6 +56,9 @@ struct Options {
     machine: Option<Machine>,
     policy: Option<Policy>,
     trace_out: Option<PathBuf>,
+    bench_quick: bool,
+    bench_out: Option<PathBuf>,
+    bench_check: Option<PathBuf>,
     artifacts: Vec<String>,
 }
 
@@ -70,6 +80,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut machine = None;
     let mut policy = None;
     let mut trace_out = None;
+    let mut bench_quick = false;
+    let mut bench_out = None;
+    let mut bench_check = None;
     let mut artifacts = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -102,6 +115,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--trace-out needs a path")?;
                 trace_out = Some(PathBuf::from(v));
             }
+            "--quick" => bench_quick = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                bench_out = Some(PathBuf::from(v));
+            }
+            "--check" => {
+                let v = it.next().ok_or("--check needs a path")?;
+                bench_check = Some(PathBuf::from(v));
+            }
             "--machine" => {
                 let v = it.next().ok_or("--machine needs a value")?;
                 machine = Some(match v.as_str() {
@@ -131,6 +153,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         machine,
         policy,
         trace_out,
+        bench_quick,
+        bench_out,
+        bench_check,
         artifacts,
     })
 }
@@ -176,12 +201,67 @@ fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `speedbal-cli bench [--quick] [--out f] [--check f]`: time the hot
+/// path, then either write `BENCH_sim.json` (preserving any `before`
+/// baseline block the existing file carries) or, with `--check`, compare
+/// ns/step against a committed report with 2x tolerance and exit non-zero
+/// on regression.
+fn run_bench_cmd(opts: &Options) -> Result<(), String> {
+    let cfg = if opts.bench_quick {
+        perf::BenchConfig::quick()
+    } else {
+        perf::BenchConfig::full()
+    };
+    eprintln!(
+        "== bench: {} (scale {}, best of {}) ==",
+        perf::BENCH_SCENARIO,
+        cfg.scale,
+        cfg.repeats
+    );
+    let report = perf::run_bench(&cfg, |line| eprintln!("  {line}"));
+    println!(
+        "{} steps in {:.3} sim secs: {:.1} ns/step ({:.0} steps/sec), \
+         dead_ratio {:.4}, {} cancellations, {} compactions, peak RSS {} kB",
+        report.steps,
+        report.sim_secs,
+        report.ns_per_step,
+        report.steps_per_sec,
+        report.dead_ratio,
+        report.cancellations,
+        report.compactions,
+        report.peak_rss_kb
+    );
+    if let Some(check) = &opts.bench_check {
+        let text = std::fs::read_to_string(check)
+            .map_err(|e| format!("reading {}: {e}", check.display()))?;
+        let doc = perf::parse_bench_doc(&text).map_err(|e| format!("{}: {e}", check.display()))?;
+        let verdict = perf::check_against(&report, &doc, 2.0)?;
+        println!("{verdict}");
+        return Ok(());
+    }
+    let out = opts
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_sim.json"));
+    // Keep the pre-optimization baseline block across regenerations.
+    let before = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|t| perf::parse_bench_doc(&t).ok())
+        .and_then(|d| d.before)
+        .unwrap_or_else(perf::recorded_baseline);
+    std::fs::write(&out, report.to_json(Some(&before)))
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
 fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
     let p = opts.profile;
     if let Some(scenario) = name.strip_prefix("trace:") {
         return run_trace(scenario, opts);
     }
     match name {
+        "bench" => return run_bench_cmd(opts),
         "fig1" => {
             println!("== fig1: minimum profitable granularity (Lemma 1, B = 1) ==");
             println!("{}", experiments::fig1().render());
@@ -261,7 +341,8 @@ fn main() -> ExitCode {
                 "usage: speedbal-cli [--full] [--scale f] [--repeats n] [--machine m]\n\
                  \x20                   [--policy p] [--trace-out file.json] <artifact>...\n\
                  artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa all\n\
-                 \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier)"
+                 \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier)\n\
+                 \x20          bench [--quick] [--out f] [--check f]"
             );
             return if e == "help" {
                 ExitCode::SUCCESS
@@ -270,10 +351,14 @@ fn main() -> ExitCode {
             };
         }
     };
-    eprintln!(
-        "# profile: scale={} repeats={}",
-        opts.profile.scale, opts.profile.repeats
-    );
+    // bench has its own scale/repeats knobs; the profile line only
+    // describes figure/table/trace artifacts.
+    if opts.artifacts.iter().any(|a| a != "bench") {
+        eprintln!(
+            "# profile: scale={} repeats={}",
+            opts.profile.scale, opts.profile.repeats
+        );
+    }
     // For figure/table artifacts, --trace-out turns on the module-level
     // trace dump: every scenario writes one Chrome trace file per repeat.
     if opts.trace_out.is_some() && opts.artifacts.iter().any(|a| !a.starts_with("trace:")) {
@@ -325,6 +410,26 @@ mod tests {
         assert!(o.repeats_explicit);
         assert!(parse(&["trace"]).is_err(), "trace needs a scenario");
         assert!(parse(&["--policy", "mars", "fig1"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_subcommand_and_options() {
+        let o = parse(&["bench"]).unwrap();
+        assert_eq!(o.artifacts, vec!["bench"]);
+        assert!(!o.bench_quick);
+        assert!(o.bench_out.is_none() && o.bench_check.is_none());
+
+        let o = parse(&["bench", "--quick", "--out", "/tmp/b.json"]).unwrap();
+        assert!(o.bench_quick);
+        assert_eq!(o.bench_out, Some(PathBuf::from("/tmp/b.json")));
+
+        let o = parse(&["bench", "--check", "BENCH_sim.json"]).unwrap();
+        assert_eq!(o.bench_check, Some(PathBuf::from("BENCH_sim.json")));
+        assert!(parse(&["bench", "--out"]).is_err(), "--out needs a path");
+        assert!(
+            parse(&["bench", "--check"]).is_err(),
+            "--check needs a path"
+        );
     }
 
     #[test]

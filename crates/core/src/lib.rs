@@ -26,6 +26,9 @@
 //!   `speedbal-balancers`' `CompositeBalancer`), as in the paper's shared
 //!   workload experiments.
 
+// Hot-path crate: performance-relevant clippy lints are hard errors.
+#![deny(clippy::perf)]
+
 pub mod config;
 pub mod speed;
 pub mod stats;

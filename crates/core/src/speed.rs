@@ -102,14 +102,14 @@ impl SpeedBalancer {
         }
     }
 
-    /// Managed, non-exited tasks whose run queue is `core`.
+    /// Managed, non-exited tasks whose run queue is `core`. Reads the
+    /// system's incrementally-maintained per-core member list (already
+    /// non-exited, in `TaskId` order) instead of scanning every task.
     fn managed_tasks_on(&self, sys: &System, core: CoreId) -> Vec<TaskId> {
-        sys.all_tasks()
-            .filter(|t| {
-                sys.task_core(*t) == core
-                    && sys.task_exited_at(*t).is_none()
-                    && self.is_managed(sys, *t)
-            })
+        sys.tasks_assigned_to(core)
+            .iter()
+            .copied()
+            .filter(|t| self.is_managed(sys, *t))
             .collect()
     }
 

@@ -4,6 +4,7 @@
 
 pub mod experiments;
 pub mod faults;
+pub mod perf;
 pub mod scenario;
 
 pub use faults::{run_all as run_fault_scenarios, FaultReport, FaultScenario};

@@ -8,6 +8,7 @@
 
 use crate::task::TaskId;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Handle to a one-shot condition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -23,8 +24,8 @@ struct Cond {
 #[derive(Debug, Default)]
 pub struct CondTable {
     conds: Vec<Cond>,
-    /// Conditions set since the system last drained wakeups.
-    pending: Vec<CondId>,
+    /// Conditions set since the system last drained wakeups, oldest first.
+    pending: VecDeque<CondId>,
 }
 
 impl CondTable {
@@ -50,7 +51,7 @@ impl CondTable {
         let c = &mut self.conds[id.0];
         if !c.set {
             c.set = true;
-            self.pending.push(id);
+            self.pending.push_back(id);
         }
     }
 
@@ -66,14 +67,16 @@ impl CondTable {
         self.conds[id.0].waiters.retain(|t| *t != task);
     }
 
-    /// Drains the set-since-last-drain conditions, returning each condition
-    /// with its registered waiters (which are cleared).
-    pub fn drain_pending(&mut self) -> Vec<(CondId, Vec<TaskId>)> {
-        let pending = std::mem::take(&mut self.pending);
-        pending
-            .into_iter()
-            .map(|id| (id, std::mem::take(&mut self.conds[id.0].waiters)))
-            .collect()
+    /// Pops the oldest set-but-undrained condition, if any.
+    pub fn pop_pending(&mut self) -> Option<CondId> {
+        self.pending.pop_front()
+    }
+
+    /// Moves the condition's registered waiters into `out` (clearing them),
+    /// appending after whatever `out` already holds. Lets the caller reuse
+    /// one buffer across drains instead of allocating per condition.
+    pub fn take_waiters_into(&mut self, id: CondId, out: &mut Vec<TaskId>) {
+        out.append(&mut self.conds[id.0].waiters);
     }
 
     /// Number of allocated conditions (diagnostics).
@@ -105,8 +108,8 @@ mod tests {
         t.set(c);
         t.set(c);
         assert!(t.is_set(c));
-        assert_eq!(t.drain_pending().len(), 1);
-        assert!(t.drain_pending().is_empty());
+        assert_eq!(t.pop_pending(), Some(c));
+        assert_eq!(t.pop_pending(), None);
     }
 
     #[test]
@@ -116,12 +119,25 @@ mod tests {
         t.add_waiter(c, TaskId(1));
         t.add_waiter(c, TaskId(2));
         t.set(c);
-        let drained = t.drain_pending();
-        assert_eq!(drained.len(), 1);
-        assert_eq!(drained[0].0, c);
-        assert_eq!(drained[0].1, vec![TaskId(1), TaskId(2)]);
+        assert_eq!(t.pop_pending(), Some(c));
+        let mut waiters = Vec::new();
+        t.take_waiters_into(c, &mut waiters);
+        assert_eq!(waiters, vec![TaskId(1), TaskId(2)]);
         // Waiters were consumed.
-        assert!(t.drain_pending().is_empty());
+        waiters.clear();
+        t.take_waiters_into(c, &mut waiters);
+        assert!(waiters.is_empty());
+        assert_eq!(t.pop_pending(), None);
+    }
+
+    #[test]
+    fn take_waiters_appends_to_existing_buffer() {
+        let mut t = CondTable::new();
+        let c = t.alloc();
+        t.add_waiter(c, TaskId(2));
+        let mut waiters = vec![TaskId(1)];
+        t.take_waiters_into(c, &mut waiters);
+        assert_eq!(waiters, vec![TaskId(1), TaskId(2)]);
     }
 
     #[test]
@@ -132,7 +148,9 @@ mod tests {
         t.add_waiter(c, TaskId(2));
         t.remove_waiter(c, TaskId(1));
         t.set(c);
-        assert_eq!(t.drain_pending()[0].1, vec![TaskId(2)]);
+        let mut waiters = Vec::new();
+        t.take_waiters_into(c, &mut waiters);
+        assert_eq!(waiters, vec![TaskId(2)]);
     }
 
     #[test]
@@ -142,7 +160,8 @@ mod tests {
         let b = t.alloc();
         t.set(b);
         t.set(a);
-        let order: Vec<CondId> = t.drain_pending().into_iter().map(|(c, _)| c).collect();
-        assert_eq!(order, vec![b, a]);
+        assert_eq!(t.pop_pending(), Some(b));
+        assert_eq!(t.pop_pending(), Some(a));
+        assert_eq!(t.pop_pending(), None);
     }
 }

@@ -18,6 +18,9 @@
 //! The whole machine is advanced by a deterministic discrete-event loop in
 //! [`System`]; identical seeds produce identical schedules.
 
+// Hot-path crate: performance-relevant clippy lints are hard errors.
+#![deny(clippy::perf)]
+
 pub mod balancer;
 pub mod cond;
 pub mod config;

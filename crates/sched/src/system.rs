@@ -13,10 +13,14 @@
 //! * **wake events** — a timed sleep expires;
 //! * **balancer timers** — a [`Balancer`] asked to be called back.
 //!
-//! Anything that changes a core's situation out-of-band (a wakeup, a
-//! migration, a condition being set, an SMT sibling changing state) simply
-//! *reschedules* the core: bumps its sequence number and posts a zero-delay
-//! core event, which re-accounts the in-flight task and re-dispatches.
+//! Each core owns an event-queue *slot* holding its at-most-one pending
+//! core event (see [`speedbal_sim::EventQueue::alloc_slot`]). Anything that
+//! changes a core's situation out-of-band (a wakeup, a migration, a
+//! condition being set, an SMT sibling changing state) simply *reschedules*
+//! the core: re-arms the slot with a zero-delay core event — cancelling any
+//! armed boundary event in place — which re-accounts the in-flight task and
+//! re-dispatches. Popped core events are therefore always live; stale
+//! entries never reach the handler.
 //!
 //! # Accounting fidelity
 //!
@@ -33,7 +37,7 @@ use crate::program::{Directive, Program, ProgramCtx};
 use crate::rq::RunQueue;
 use crate::task::{Activity, Task, TaskId, TaskState};
 use speedbal_machine::{CoreId, CostModel, Topology};
-use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SlotId};
 use speedbal_trace::{MigrationReason, TraceBuffer, TraceConfig, TraceEvent};
 
 /// Handle to a task group (one application / competing workload).
@@ -123,9 +127,10 @@ pub struct MigrationRecord {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
+    /// The running task on `core` reached a boundary. Armed through the
+    /// core's event-queue slot, so a popped core event is always live.
     Core {
         core: usize,
-        seq: u64,
     },
     Wake {
         task: TaskId,
@@ -142,8 +147,9 @@ enum Ev {
 struct Core {
     queue: RunQueue,
     current: Option<TaskId>,
-    /// Staleness guard for core events.
-    seq: u64,
+    /// The core's armed-event slot: at most one pending core event, with
+    /// in-place cancellation instead of post-and-invalidate.
+    slot: SlotId,
     /// Compute rate sampled at dispatch (speed × SMT × NUMA factors).
     current_rate: f64,
     busy_total: SimDuration,
@@ -154,11 +160,11 @@ struct Core {
 }
 
 impl Core {
-    fn new() -> Self {
+    fn new(slot: SlotId) -> Self {
         Core {
             queue: RunQueue::new(),
             current: None,
-            seq: 0,
+            slot,
             current_rate: 1.0,
             busy_total: SimDuration::ZERO,
             nr_switches: 0,
@@ -199,6 +205,28 @@ pub struct System {
     /// detached during system mutation, drained after each event).
     pending_desched: Vec<(TaskId, CoreId, SimDuration)>,
     pending_exits: Vec<TaskId>,
+    /// Scratch buffers swapped with the pending queues on every flush so
+    /// the steady-state event loop never reallocates them.
+    scratch_desched: Vec<(TaskId, CoreId, SimDuration)>,
+    scratch_exits: Vec<TaskId>,
+    /// Reusable buffer for a drained condition's waiters.
+    scratch_waiters: Vec<TaskId>,
+    /// Per-core member lists: every non-exited task whose `core` field
+    /// points at the core (running, queued, blocked or suspended), kept in
+    /// `TaskId` order. Incrementally maintained so balancers read
+    /// O(members) per core instead of scanning the whole task table.
+    members: Vec<Vec<TaskId>>,
+    /// `mem_intensity` of the task currently on each CPU (0.0 when idle).
+    /// Dense, so the bandwidth-demand scan is a contiguous sum — and
+    /// bit-identical to walking only the occupied cores, since adding an
+    /// exact 0.0 never changes a finite sum.
+    current_mi: Vec<f64>,
+    /// Cached topology lists (the `Topology` getters allocate per call).
+    bw_domain_cores: Vec<Vec<CoreId>>,
+    smt_sibs: Vec<Vec<CoreId>>,
+    /// Memoized [`SchedConfig::slice_for`] by `nr_running` (one u64
+    /// division per boundary arm otherwise; the config is immutable).
+    slice_cache: Vec<SimDuration>,
     /// Structured event trace (None = tracing disabled; every hook is a
     /// single branch on this option).
     trace: Option<Box<TraceBuffer>>,
@@ -227,14 +255,22 @@ impl System {
         seed: u64,
     ) -> System {
         let n = topo.n_cores();
+        let mut events = EventQueue::new();
+        let cores: Vec<Core> = (0..n).map(|_| Core::new(events.alloc_slot())).collect();
+        let n_domains = (0..n)
+            .map(|c| topo.bw_domain_of(CoreId(c)))
+            .max()
+            .map_or(0, |d| d + 1);
+        let bw_domain_cores = (0..n_domains).map(|d| topo.cores_in_bw_domain(d)).collect();
+        let smt_sibs = (0..n).map(|c| topo.smt_siblings(CoreId(c))).collect();
         let mut sys = System {
             topo,
             cfg,
             cost,
             tasks: Vec::new(),
-            cores: (0..n).map(|_| Core::new()).collect(),
+            cores,
             conds: CondTable::new(),
-            events: EventQueue::new(),
+            events,
             balancer: None,
             rng: SimRng::new(seed),
             task_rngs: Vec::new(),
@@ -243,6 +279,14 @@ impl System {
             events_processed: 0,
             pending_desched: Vec::new(),
             pending_exits: Vec::new(),
+            scratch_desched: Vec::new(),
+            scratch_exits: Vec::new(),
+            scratch_waiters: Vec::new(),
+            members: vec![Vec::new(); n],
+            current_mi: vec![0.0; n],
+            bw_domain_cores,
+            smt_sibs,
+            slice_cache: Vec::new(),
             trace: None,
             migration_reason: MigrationReason::Unspecified,
             sampler_armed: false,
@@ -295,8 +339,21 @@ impl System {
     /// Tasks occupying the core's run queue (current first, then queued in
     /// vruntime order).
     pub fn tasks_on_core(&self, core: CoreId) -> Vec<TaskId> {
+        self.tasks_on_core_iter(core).collect()
+    }
+
+    /// Allocation-free variant of [`System::tasks_on_core`].
+    pub fn tasks_on_core_iter(&self, core: CoreId) -> impl Iterator<Item = TaskId> + '_ {
         let c = &self.cores[core.0];
-        c.current.into_iter().chain(c.queue.iter()).collect()
+        c.current.into_iter().chain(c.queue.iter())
+    }
+
+    /// Non-exited tasks assigned to `core` — running, queued, blocked or
+    /// suspended, everything whose [`System::task_core`] is `core` — in
+    /// `TaskId` order. Incrementally maintained, so reading a core's
+    /// members is O(members) instead of a scan of the whole task table.
+    pub fn tasks_assigned_to(&self, core: CoreId) -> &[TaskId] {
+        &self.members[core.0]
     }
 
     /// The task currently on the CPU of `core`.
@@ -500,6 +557,27 @@ impl System {
         self.events_processed
     }
 
+    /// Fraction of pending heap entries that are cancelled-but-unpurged
+    /// (see [`EventQueue::dead_ratio`]); bench/diagnostic introspection.
+    pub fn event_dead_ratio(&self) -> f64 {
+        self.events.dead_ratio()
+    }
+
+    /// Slot cancellations performed by the event queue so far.
+    pub fn event_cancellations(&self) -> u64 {
+        self.events.cancellations()
+    }
+
+    /// Dead-entry compaction passes performed by the event queue so far.
+    pub fn event_compactions(&self) -> u64 {
+        self.events.compactions()
+    }
+
+    /// Live (undelivered, uncancelled) events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.events.len()
+    }
+
     /// Total CPU-busy time accumulated by a core (excludes the in-flight
     /// stretch).
     pub fn core_busy_time(&self, core: CoreId) -> SimDuration {
@@ -573,6 +651,9 @@ impl System {
             sleep_gen: 0,
         };
         self.tasks.push(task);
+        // Newest TaskId: pushing keeps the member list sorted. Placement
+        // below relocates it via `move_member`.
+        self.members[0].push(id);
         self.task_rng_store(id, rng);
         self.groups[group.0].total += 1;
         self.groups[group.0].live += 1;
@@ -657,11 +738,12 @@ impl System {
                 // Rip it off the CPU: account the partial stretch, then move.
                 debug_assert_eq!(self.cores[from.0].current, Some(t));
                 self.cores[from.0].current = None;
-                // Invalidate the armed boundary event for the interrupted
-                // stretch: re-dispatching below arms a fresh one, and a
-                // stale live event would otherwise keep interrupting the
+                self.current_mi[from.0] = 0.0;
+                // Cancel the armed boundary event for the interrupted
+                // stretch: re-dispatching below arms a fresh one, and the
+                // stale boundary would otherwise keep interrupting the
                 // next task at nanosecond granularity.
-                self.cores[from.0].seq += 1;
+                self.events.cancel_slot(self.cores[from.0].slot);
                 self.account_and_settle(t, from, now);
                 if self.tasks[t.0].state == TaskState::Exited {
                     // The interrupted stretch completed its program.
@@ -691,6 +773,7 @@ impl System {
             }
             TaskState::Blocked => {
                 // Off-queue: just retarget; it will enqueue there on wake.
+                self.move_member(t, to);
                 self.tasks[t.0].core = to;
                 self.tasks[t.0].migrations += 1;
                 self.tasks[t.0].pending_stall += stall;
@@ -744,9 +827,10 @@ impl System {
                 let core = self.tasks[t.0].core;
                 debug_assert_eq!(self.cores[core.0].current, Some(t));
                 self.cores[core.0].current = None;
-                // Invalidate the interrupted stretch's boundary event (see
+                self.current_mi[core.0] = 0.0;
+                // Cancel the interrupted stretch's boundary event (see
                 // migrate_task).
-                self.cores[core.0].seq += 1;
+                self.events.cancel_slot(self.cores[core.0].slot);
                 self.account_and_settle(t, core, now);
                 // account_and_settle leaves a still-runnable task unqueued;
                 // `suspended` keeps it that way (with detached vruntime,
@@ -806,11 +890,8 @@ impl System {
             self.now()
         );
         match ev.event {
-            Ev::Core { core, seq } => {
-                if self.cores[core].seq == seq {
-                    self.advance_core(core, ev.time);
-                }
-            }
+            // Slot-armed, so a popped core event is always live.
+            Ev::Core { core } => self.advance_core(core, ev.time),
             Ev::Wake { task, gen } => {
                 let t = &self.tasks[task.0];
                 if let Activity::Sleeping { gen: g, .. } = t.activity {
@@ -880,16 +961,29 @@ impl System {
 
     fn flush_balancer_notifications(&mut self) {
         while !self.pending_desched.is_empty() || !self.pending_exits.is_empty() {
-            let desched = std::mem::take(&mut self.pending_desched);
-            let exits = std::mem::take(&mut self.pending_exits);
+            // Swap with scratch buffers instead of `mem::take` so the Vec
+            // capacity survives the round-trip and steady-state flushing
+            // never reallocates.
+            let mut desched = std::mem::replace(
+                &mut self.pending_desched,
+                std::mem::take(&mut self.scratch_desched),
+            );
+            let mut exits = std::mem::replace(
+                &mut self.pending_exits,
+                std::mem::take(&mut self.scratch_exits),
+            );
             self.with_balancer(|bal, sys| {
-                for (t, c, ran) in desched {
+                for &(t, c, ran) in desched.iter() {
                     bal.on_task_descheduled(sys, t, c, ran);
                 }
-                for t in exits {
+                for &t in exits.iter() {
                     bal.on_task_exit(sys, t);
                 }
             });
+            desched.clear();
+            exits.clear();
+            self.scratch_desched = desched;
+            self.scratch_exits = exits;
         }
     }
 
@@ -900,9 +994,7 @@ impl System {
         let mut rate = self.topo.speed_of(core);
         let sf = self.topo.smt_busy_factor();
         if sf < 1.0 {
-            let sibling_busy = self
-                .topo
-                .smt_siblings(core)
+            let sibling_busy = self.smt_sibs[core.0]
                 .iter()
                 .any(|s| self.cores[s.0].current.is_some());
             if sibling_busy {
@@ -927,13 +1019,11 @@ impl System {
         }
         let domain = self.topo.bw_domain_of(core);
         let mut demand = mi; // self counts even while being dispatched
-        for c in self.topo.cores_in_bw_domain(domain) {
+        for &c in &self.bw_domain_cores[domain] {
             if c == core {
                 continue;
             }
-            if let Some(cur) = self.cores[c.0].current {
-                demand += self.tasks[cur.0].mem_intensity;
-            }
+            demand += self.current_mi[c.0];
         }
         let streams = self.topo.bw_streams();
         if demand <= streams {
@@ -943,18 +1033,19 @@ impl System {
         }
     }
 
-    /// Bumps the core's sequence number and posts an immediate core event.
+    /// Re-arms the core's slot with an immediate core event, cancelling any
+    /// armed boundary event in place.
     fn reschedule(&mut self, core: CoreId, now: SimTime) {
-        let c = &mut self.cores[core.0];
-        c.seq += 1;
-        let seq = c.seq;
-        self.events.schedule(now, Ev::Core { core: core.0, seq });
+        let slot = self.cores[core.0].slot;
+        self.events
+            .schedule_in_slot(slot, now, Ev::Core { core: core.0 });
     }
 
     /// Core event fired: pull the current task off the CPU, account it,
     /// settle it, then dispatch the next one.
     fn advance_core(&mut self, c: usize, now: SimTime) {
         if let Some(tid) = self.cores[c].current.take() {
+            self.current_mi[c] = 0.0;
             self.account_and_settle(tid, CoreId(c), now);
             // Requeue if the task remains runnable (and not suspended).
             let task = &mut self.tasks[tid.0];
@@ -982,7 +1073,13 @@ impl System {
             let ran = now.saturating_since(task.last_dispatched);
             task.exec_total += ran;
             task.last_ran_at = now;
-            task.vruntime += ran.as_nanos() * 1024 / task.weight as u64;
+            // Nice-0 weight (1024) is the overwhelmingly common case; skip
+            // the division (x * 1024 / 1024 == x exactly).
+            task.vruntime += if task.weight == 1024 {
+                ran.as_nanos()
+            } else {
+                ran.as_nanos() * 1024 / task.weight as u64
+            };
             self.cores[core.0].busy_total += ran;
             // Advance the queue's vruntime floor.
             let floor = match self.cores[core.0].queue.peek_min() {
@@ -1186,10 +1283,37 @@ impl System {
                 if group.live == 0 {
                     group.finished_at = Some(now);
                 }
+                self.remove_member(tid);
                 self.pending_exits.push(tid);
                 true
             }
         }
+    }
+
+    /// Relocates `tid`'s membership record to `to`'s list, keyed off the
+    /// task's current `core` field — call *before* reassigning `task.core`.
+    /// Lists stay sorted by `TaskId` so readers see a deterministic order.
+    fn move_member(&mut self, tid: TaskId, to: CoreId) {
+        let from = self.tasks[tid.0].core;
+        if from == to {
+            return;
+        }
+        let v = &mut self.members[from.0];
+        let pos = v.partition_point(|&t| t < tid);
+        debug_assert_eq!(v.get(pos), Some(&tid), "member list out of sync");
+        v.remove(pos);
+        let v = &mut self.members[to.0];
+        let pos = v.partition_point(|&t| t < tid);
+        v.insert(pos, tid);
+    }
+
+    /// Drops `tid` from its core's member list (task exit).
+    fn remove_member(&mut self, tid: TaskId) {
+        let from = self.tasks[tid.0].core;
+        let v = &mut self.members[from.0];
+        let pos = v.partition_point(|&t| t < tid);
+        debug_assert_eq!(v.get(pos), Some(&tid), "member list out of sync");
+        v.remove(pos);
     }
 
     /// CFS-style vruntime normalization when a task leaves a queue.
@@ -1267,9 +1391,11 @@ impl System {
         if self.tasks[tid.0].suspended {
             // Stays logically runnable but parked (DWRR expired) with its
             // vruntime detached; `resume` attaches and enqueues it.
+            self.move_member(tid, core);
             self.tasks[tid.0].core = core;
             return;
         }
+        self.move_member(tid, core);
         let min = self.cores[core.0].queue.min_vruntime();
         {
             let t = &mut self.tasks[tid.0];
@@ -1372,16 +1498,31 @@ impl System {
         let core = CoreId(c);
         self.tasks[tid.0].state = TaskState::Running;
         self.tasks[tid.0].last_dispatched = now;
+        // Popped off this core's queue, so membership is already right.
+        debug_assert_eq!(self.tasks[tid.0].core, core);
         self.tasks[tid.0].core = core;
         if let Some(buf) = self.trace.as_mut() {
             buf.record(now, core, TraceEvent::Dispatch { task: tid.0 });
         }
         self.cores[c].current = Some(tid);
+        self.current_mi[c] = self.tasks[tid.0].mem_intensity;
         self.cores[c].nr_switches += 1;
         self.cores[c].current_rate = self.compute_rate(core, tid);
         self.update_busy_flag(c, now);
         self.arm_boundary(c, now);
         true
+    }
+
+    /// [`SchedConfig::slice_for`], memoized (the config never changes after
+    /// construction, and `nr_running` stays small).
+    fn slice_for_cached(&mut self, nr: usize) -> SimDuration {
+        if self.slice_cache.len() <= nr {
+            let cfg = &self.cfg;
+            let start = self.slice_cache.len();
+            self.slice_cache
+                .extend((start..=nr).map(|n| cfg.slice_for(n)));
+        }
+        self.slice_cache[nr]
     }
 
     /// Computes and schedules the running task's next boundary event.
@@ -1412,7 +1553,7 @@ impl System {
             | Activity::Exited => unreachable!("dispatched unsettled task"),
         };
         let slice_wall: Option<SimDuration> = if nr > 1 {
-            Some(self.cfg.slice_for(nr))
+            Some(self.slice_for_cached(nr))
         } else {
             None
         };
@@ -1433,8 +1574,9 @@ impl System {
             // Never arm a zero-delay boundary: settle() guarantees pending
             // work, but a fully-stalled zero slice could otherwise loop.
             let b = b.max(SimDuration::from_nanos(1));
-            let seq = self.cores[c].seq;
-            self.events.schedule(now + b, Ev::Core { core: c, seq });
+            let slot = self.cores[c].slot;
+            self.events
+                .schedule_in_slot(slot, now + b, Ev::Core { core: c });
         }
     }
 
@@ -1444,7 +1586,8 @@ impl System {
         if self.topo.smt_busy_factor() >= 1.0 {
             return;
         }
-        for sib in self.topo.smt_siblings(core) {
+        for i in 0..self.smt_sibs[core.0].len() {
+            let sib = self.smt_sibs[core.0][i];
             if self.cores[sib.0].current.is_some() {
                 self.reschedule(sib, now);
             }
@@ -1454,38 +1597,36 @@ impl System {
     /// Delivers set conditions: wakes blocked waiters and reschedules cores
     /// whose running task was spin/yield-waiting on a now-set condition.
     fn drain_conds(&mut self) {
-        loop {
-            let drained = self.conds.drain_pending();
-            if drained.is_empty() {
-                return;
-            }
-            for (cond, waiters) in drained {
-                for tid in waiters {
-                    match self.tasks[tid.0].activity {
-                        Activity::Blocked { cond: c2 } if c2 == cond => {
-                            self.wake_task(tid);
-                        }
-                        Activity::Spin { cond: c2 }
-                        | Activity::YieldLoop { cond: c2 }
-                        | Activity::SpinThenBlock { cond: c2, .. }
-                            // A running waiter advances right now. A queued
-                            // waiter normally advances at its next dispatch,
-                            // but its core may have parked its boundary (a
-                            // degenerate all-yielders queue), so reschedule
-                            // the core in both cases.
-                            if c2 == cond && self.tasks[tid.0].on_queue() =>
-                        {
-                            let core = self.tasks[tid.0].core;
-                            self.reschedule(core, self.now());
-                        }
-                        _ => {}
+        // Conditions drain strictly in set order; ones set while processing
+        // (exit-notification side effects) append to the pending queue and
+        // are picked up by the same loop. Waiters move through a reusable
+        // scratch buffer so draining never allocates in steady state.
+        while let Some(cond) = self.conds.pop_pending() {
+            let mut waiters = std::mem::take(&mut self.scratch_waiters);
+            self.conds.take_waiters_into(cond, &mut waiters);
+            for &tid in waiters.iter() {
+                match self.tasks[tid.0].activity {
+                    Activity::Blocked { cond: c2 } if c2 == cond => {
+                        self.wake_task(tid);
                     }
+                    Activity::Spin { cond: c2 }
+                    | Activity::YieldLoop { cond: c2 }
+                    | Activity::SpinThenBlock { cond: c2, .. }
+                        // A running waiter advances right now. A queued
+                        // waiter normally advances at its next dispatch,
+                        // but its core may have parked its boundary (a
+                        // degenerate all-yielders queue), so reschedule
+                        // the core in both cases.
+                        if c2 == cond && self.tasks[tid.0].on_queue() =>
+                    {
+                        let core = self.tasks[tid.0].core;
+                        self.reschedule(core, self.now());
+                    }
+                    _ => {}
                 }
             }
-            // wake_task may run balancer hooks but cannot set conditions;
-            // programs settled during subsequent dispatches post new events
-            // rather than recursing here. One extra loop iteration catches
-            // conditions set by exit-notification side effects.
+            waiters.clear();
+            self.scratch_waiters = waiters;
         }
     }
 

@@ -1,0 +1,74 @@
+//! Steady-state allocation test: once warm, the event loop's hot path —
+//! pop event, account, requeue, dispatch, arm boundary, flush balancer
+//! notifications — must not touch the heap at all (tracing disabled).
+//!
+//! A counting global allocator wraps the system allocator; the test runs a
+//! warm-up phase (heap, run-queue and scratch-buffer capacities stabilize),
+//! snapshots the allocation counter, then steps the simulation and asserts
+//! the counter did not move. This file intentionally holds a single test:
+//! the counter is process-global, and a concurrently running test in the
+//! same binary would pollute it.
+
+use speedbal_machine::{uniform, CostModel};
+use speedbal_sched::{Directive, FnProgram, NullBalancer, SchedConfig, SpawnSpec, System};
+use speedbal_sim::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to the system allocator; only adds counting.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_step_does_not_allocate() {
+    // Multiple tasks per core so every step exercises the full cycle:
+    // slice expiry, vruntime accounting, requeue, dispatch, boundary arm,
+    // and the deferred balancer-notification flush.
+    let mut sys = System::new(
+        uniform(4),
+        SchedConfig::default(),
+        CostModel::free(),
+        Box::new(NullBalancer::new()),
+        7,
+    );
+    let g = sys.new_group();
+    for i in 0..8 {
+        let program = FnProgram(|_ctx: &mut _| Directive::Compute(SimDuration::from_micros(100)));
+        sys.spawn(SpawnSpec::new(Box::new(program), format!("spin{i}"), g));
+    }
+
+    // Warm-up: let every internal buffer reach its steady-state capacity.
+    for _ in 0..20_000 {
+        assert!(sys.step(), "compute loops must keep the queue busy");
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..20_000 {
+        assert!(sys.step());
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state step() performed {delta} heap allocations"
+    );
+}

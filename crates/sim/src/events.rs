@@ -2,12 +2,32 @@
 //!
 //! A thin wrapper over a binary heap keyed by `(time, sequence)`. The
 //! sequence number is assigned at insertion, so two events scheduled for the
-//! same instant pop in insertion order — the property that makes whole-system
-//! replays bit-identical.
+//! same instant pop in insertion order — the property that makes
+//! whole-system replays bit-identical.
+//!
+//! # Slots and lazy cancellation
+//!
+//! A recurring discrete-event pattern is "at most one pending event per
+//! entity" (e.g. one armed boundary event per simulated core). Posting a
+//! replacement and invalidating the old entry with an external sequence
+//! check leaves dead entries rotting in the heap, where every one of them
+//! costs a pop and a branch. [`EventQueue::alloc_slot`] gives an entity a
+//! *slot*: [`EventQueue::schedule_in_slot`] cancels the slot's previously
+//! armed entry (lazily — the entry stays in the heap but is skipped when it
+//! surfaces) and arms a new one; [`EventQueue::cancel_slot`] disarms
+//! without a replacement. When dead entries outnumber half the live ones
+//! the heap is compacted in place, preserving the sequence numbers — and
+//! therefore the FIFO order — of the survivors.
+//!
+//! Sequence numbers are consumed by every insertion, slot-armed or not, so
+//! a slot-armed schedule produces the exact pop order of the equivalent
+//! post-and-invalidate schedule: replays stay bit-identical across the two
+//! idioms.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt::Debug;
 
 /// An event plus its scheduled time, as returned by [`EventQueue::pop`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,10 +36,19 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
+/// Handle to an at-most-one-pending-event slot (see [`EventQueue::alloc_slot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotId(u32);
+
+/// Marker for entries not owned by any slot.
+const NO_SLOT: u32 = u32::MAX;
+
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
+    /// Owning slot index, or `NO_SLOT`.
+    slot: u32,
     event: E,
 }
 
@@ -56,8 +85,15 @@ impl<E> PartialOrd for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Sequence number of each slot's armed entry (`None` = slot disarmed;
+    /// its old entry, if still heap-resident, is dead).
+    slots: Vec<Option<u64>>,
+    /// Number of dead (cancelled/superseded) entries still in the heap.
+    dead: usize,
     next_seq: u64,
     now: SimTime,
+    cancellations: u64,
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -66,13 +102,21 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Compaction is worth the O(n) rebuild only past a minimum carcass count;
+/// below it, lazy pops are cheaper.
+const COMPACT_MIN_DEAD: usize = 32;
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at time zero.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            dead: 0,
             next_seq: 0,
             now: SimTime::ZERO,
+            cancellations: 0,
+            compactions: 0,
         }
     }
 
@@ -81,42 +125,161 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending *live* events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.dead
     }
 
-    /// True iff no events are pending.
+    /// True iff no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of dead (cancelled) entries still occupying the heap.
+    pub fn dead_len(&self) -> usize {
+        self.dead
+    }
+
+    /// Dead entries per live entry — the heap-rot introspection hook. Zero
+    /// on an empty or fully live heap.
+    pub fn dead_ratio(&self) -> f64 {
+        if self.dead == 0 {
+            0.0
+        } else {
+            self.dead as f64 / self.len().max(1) as f64
+        }
+    }
+
+    /// Total slot entries cancelled (superseded or disarmed) so far.
+    pub fn cancellations(&self) -> u64 {
+        self.cancellations
+    }
+
+    /// Number of heap compaction passes performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Allocates a slot: a handle under which at most one event is pending
+    /// at a time.
+    pub fn alloc_slot(&mut self) -> SlotId {
+        let id = self.slots.len();
+        assert!(id < NO_SLOT as usize, "slot namespace exhausted");
+        self.slots.push(None);
+        SlotId(id as u32)
+    }
+
+    /// True iff the slot currently has a live pending event.
+    pub fn slot_armed(&self, slot: SlotId) -> bool {
+        self.slots[slot.0 as usize].is_some()
+    }
+
+    fn assert_future(&self, at: SimTime, event: &E)
+    where
+        E: Debug,
+    {
+        assert!(
+            at >= self.now,
+            "scheduled an event in the past: {at} < now {} (event {event:?}, {} dead entries pending)",
+            self.now,
+            self.dead,
+        );
     }
 
     /// Schedules `event` at absolute time `at`. Panics if `at` is in the
     /// past.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "scheduled an event in the past: {at} < now {}",
-            self.now
-        );
+    pub fn schedule(&mut self, at: SimTime, event: E)
+    where
+        E: Debug,
+    {
+        self.assert_future(at, &event);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
             time: at,
             seq,
+            slot: NO_SLOT,
             event,
         });
     }
 
-    /// Time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    /// Schedules `event` at `at` under `slot`, cancelling the slot's
+    /// previously armed event (if any). Panics if `at` is in the past.
+    pub fn schedule_in_slot(&mut self, slot: SlotId, at: SimTime, event: E)
+    where
+        E: Debug,
+    {
+        self.assert_future(at, &event);
+        self.disarm(slot);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots[slot.0 as usize] = Some(seq);
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            slot: slot.0,
+            event,
+        });
+        self.maybe_compact();
+    }
+
+    /// Cancels the slot's armed event, if any. The heap entry dies in place
+    /// and is skipped (or compacted away) later.
+    pub fn cancel_slot(&mut self, slot: SlotId) {
+        self.disarm(slot);
+        self.maybe_compact();
+    }
+
+    fn disarm(&mut self, slot: SlotId) {
+        if self.slots[slot.0 as usize].take().is_some() {
+            self.dead += 1;
+            self.cancellations += 1;
+        }
+    }
+
+    fn entry_is_live(slots: &[Option<u64>], e: &Entry<E>) -> bool {
+        e.slot == NO_SLOT || slots[e.slot as usize] == Some(e.seq)
+    }
+
+    /// Rebuilds the heap without its dead entries once they outnumber half
+    /// the live ones. Sequence numbers are untouched, so FIFO order within
+    /// an instant survives compaction.
+    fn maybe_compact(&mut self) {
+        if self.dead >= COMPACT_MIN_DEAD && self.dead * 2 > self.len() {
+            let slots = &self.slots;
+            self.heap.retain(|e| Self::entry_is_live(slots, e));
+            self.dead = 0;
+            self.compactions += 1;
+        }
+    }
+
+    /// Drops dead entries sitting on top of the heap so the next peek/pop
+    /// sees a live event (or a truly empty heap).
+    fn purge_dead_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if Self::entry_is_live(&self.slots, top) {
+                return;
+            }
+            self.heap.pop();
+            self.dead -= 1;
+        }
+    }
+
+    /// Time of the earliest pending live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_dead_top();
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Pops the earliest event and advances the clock to its time.
+    /// Pops the earliest live event and advances the clock to its time.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.purge_dead_top();
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now, "heap order violated");
+        if entry.slot != NO_SLOT {
+            // The armed event fired; the slot is free again.
+            self.slots[entry.slot as usize] = None;
+        }
         self.now = entry.time;
         Some(ScheduledEvent {
             time: entry.time,
@@ -128,12 +291,14 @@ impl<E> EventQueue<E> {
     /// early).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.dead = 0;
     }
 
-    /// Advances the clock to `t` without processing events. Panics if an
-    /// event earlier than `t` is still pending (that event must be popped
-    /// first). Used to settle the clock at a run deadline when the next
-    /// event lies beyond it.
+    /// Advances the clock to `t` without processing events. Panics if a
+    /// live event earlier than `t` is still pending (that event must be
+    /// popped first). Used to settle the clock at a run deadline when the
+    /// next event lies beyond it.
     pub fn advance_to(&mut self, t: SimTime) {
         if let Some(p) = self.peek_time() {
             assert!(p >= t, "advance_to({t}) would skip a pending event at {p}");
@@ -192,6 +357,23 @@ mod tests {
     }
 
     #[test]
+    fn past_panic_names_the_event_and_dead_count() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule_in_slot(s, SimTime::from_millis(1), "boundary");
+        q.cancel_slot(s); // one dead entry
+        q.schedule(SimTime::from_millis(10), "later");
+        q.pop(); // clock at 10 ms (the dead entry was purged)
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(SimTime::from_millis(9), "timewarp");
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("\"timewarp\""), "event repr in panic: {msg}");
+        assert!(msg.contains("dead entries pending"), "dead count: {msg}");
+    }
+
+    #[test]
     fn scheduling_at_now_is_allowed() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(10), 1);
@@ -229,6 +411,106 @@ mod tests {
         assert_eq!(e.event, "first");
         q.schedule(e.time + SimDuration::from_millis(1), "second");
         assert_eq!(q.pop().unwrap().event, "second");
+    }
+
+    #[test]
+    fn slot_rearm_supersedes_previous_event() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule_in_slot(s, SimTime::from_millis(5), "old");
+        q.schedule_in_slot(s, SimTime::from_millis(2), "new");
+        assert_eq!(q.len(), 1, "superseded entry is dead");
+        assert_eq!(q.dead_len(), 1);
+        assert_eq!(q.pop().unwrap().event, "new");
+        assert_eq!(q.pop(), None, "the dead entry never fires");
+        assert!(!q.slot_armed(s));
+    }
+
+    #[test]
+    fn cancel_slot_kills_pending_event() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule(SimTime::from_millis(1), "live");
+        q.schedule_in_slot(s, SimTime::from_millis(2), "doomed");
+        assert!(q.slot_armed(s));
+        q.cancel_slot(s);
+        assert!(!q.slot_armed(s));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, vec!["live"]);
+        q.cancel_slot(s); // idempotent
+        assert_eq!(q.cancellations(), 1);
+    }
+
+    #[test]
+    fn slot_disarms_when_its_event_fires() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule_in_slot(s, SimTime::from_millis(1), "bang");
+        assert_eq!(q.pop().unwrap().event, "bang");
+        assert!(!q.slot_armed(s));
+        // Cancelling after the fire is a no-op, not a phantom death.
+        q.cancel_slot(s);
+        assert_eq!(q.dead_len(), 0);
+    }
+
+    #[test]
+    fn dead_ratio_reflects_cancellations_and_compaction_resets_it() {
+        let mut q = EventQueue::new();
+        let slots: Vec<SlotId> = (0..COMPACT_MIN_DEAD + 1).map(|_| q.alloc_slot()).collect();
+        for (i, s) in slots.iter().enumerate() {
+            q.schedule_in_slot(*s, SimTime::from_millis(i as u64 + 1), i);
+        }
+        assert_eq!(q.dead_ratio(), 0.0);
+        // Kill all but one; the final cancellation crosses the 50% + minimum
+        // thresholds and compacts.
+        for s in &slots[1..] {
+            q.cancel_slot(*s);
+        }
+        assert!(q.compactions() >= 1, "compaction triggered");
+        assert_eq!(q.dead_len(), 0);
+        assert_eq!(q.dead_ratio(), 0.0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, 0);
+    }
+
+    #[test]
+    fn same_instant_fifo_survives_compaction() {
+        // Schedule interleaved live plain events and slot events at one
+        // instant, cancel enough slot entries to force a compaction, and
+        // check the survivors still pop in insertion order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(3);
+        let mut doomed = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..(3 * COMPACT_MIN_DEAD as u32) {
+            if i % 2 == 0 {
+                let s = q.alloc_slot();
+                q.schedule_in_slot(s, t, i);
+                doomed.push(s);
+            } else {
+                q.schedule(t, i);
+                expect.push(i);
+            }
+        }
+        for s in doomed {
+            q.cancel_slot(s);
+        }
+        assert!(q.compactions() >= 1, "cancellations must compact the heap");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, expect, "FIFO within the instant, dead entries gone");
+    }
+
+    #[test]
+    fn peek_time_skips_dead_entries() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule_in_slot(s, SimTime::from_millis(1), "dead");
+        q.schedule(SimTime::from_millis(4), "live");
+        q.cancel_slot(s);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+        // advance_to must likewise see through the carcass.
+        q.advance_to(SimTime::from_millis(3));
+        assert_eq!(q.now(), SimTime::from_millis(3));
     }
 }
 
@@ -278,6 +560,97 @@ mod proptests {
                     prop_assert_eq!(q.now(), e.time);
                 }
             }
+        }
+
+        /// Slot-armed scheduling pops the same live-event sequence as the
+        /// post-and-invalidate idiom it replaces: a reference queue posts
+        /// every event plainly, remembers each slot's latest sequence
+        /// number, and filters stale pops by hand. The optimised queue must
+        /// produce exactly the reference's surviving pop order.
+        #[test]
+        fn slot_arming_matches_heap_posting(
+            ops in proptest::collection::vec((0u8..4, 0u8..4, 0u64..50), 1..300)
+        ) {
+            const N_SLOTS: usize = 4;
+            let mut slotted = EventQueue::new();
+            let mut posted = EventQueue::new();
+            let slots: Vec<SlotId> = (0..N_SLOTS).map(|_| slotted.alloc_slot()).collect();
+            // The reference's staleness guard: latest armed seq per slot.
+            let mut armed: [Option<u64>; N_SLOTS] = [None; N_SLOTS];
+            let mut ref_seq = 0u64;
+            // Live events in the reference queue, tracked independently so
+            // an all-dead pop is skipped in both queues (popping through a
+            // dead tail would advance only the reference's clock).
+            let mut ref_live = 0usize;
+            let mut fired = Vec::new();
+            let mut ref_fired = Vec::new();
+            for (op, slot, dt) in ops {
+                let at = slotted.now() + crate::time::SimDuration::from_nanos(dt);
+                let s = slot as usize;
+                match op {
+                    0 => {
+                        // Plain one-shot event (a wakeup).
+                        slotted.schedule(at, (255u8, ref_seq));
+                        posted.schedule(at, (255u8, ref_seq));
+                        ref_seq += 1;
+                        ref_live += 1;
+                    }
+                    1 => {
+                        // (Re-)arm the slot's boundary event.
+                        slotted.schedule_in_slot(slots[s], at, (slot, ref_seq));
+                        posted.schedule(at, (slot, ref_seq));
+                        if armed[s].is_none() {
+                            ref_live += 1;
+                        }
+                        armed[s] = Some(ref_seq);
+                        ref_seq += 1;
+                    }
+                    2 => {
+                        // Cancel the slot.
+                        slotted.cancel_slot(slots[s]);
+                        if armed[s].take().is_some() {
+                            ref_live -= 1;
+                        }
+                    }
+                    _ => {
+                        if ref_live == 0 {
+                            prop_assert!(slotted.pop().is_none());
+                            continue;
+                        }
+                        // Pop one live event from each queue.
+                        let e = slotted.pop().unwrap();
+                        fired.push((e.time, e.event));
+                        loop {
+                            let e = posted.pop().unwrap();
+                            let (tag, seq) = e.event;
+                            let live = tag == 255 || armed[tag as usize] == Some(seq);
+                            if live {
+                                if tag != 255 {
+                                    armed[tag as usize] = None;
+                                }
+                                ref_live -= 1;
+                                ref_fired.push((e.time, e.event));
+                                break;
+                            }
+                        }
+                        prop_assert_eq!(&fired, &ref_fired);
+                    }
+                }
+            }
+            // Drain both queues completely and compare the tails.
+            while let Some(e) = slotted.pop() {
+                fired.push((e.time, e.event));
+            }
+            while let Some(e) = posted.pop() {
+                let (tag, seq) = e.event;
+                if tag == 255 || armed[tag as usize] == Some(seq) {
+                    if tag != 255 {
+                        armed[tag as usize] = None;
+                    }
+                    ref_fired.push((e.time, e.event));
+                }
+            }
+            prop_assert_eq!(fired, ref_fired);
         }
     }
 }

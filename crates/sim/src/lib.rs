@@ -16,10 +16,13 @@
 //! funneled through [`SimRng`] and every same-time event race is broken by
 //! insertion order.
 
+// Hot-path crate: performance-relevant clippy lints are hard errors.
+#![deny(clippy::perf)]
+
 pub mod events;
 pub mod rng;
 pub mod time;
 
-pub use events::{EventQueue, ScheduledEvent};
+pub use events::{EventQueue, ScheduledEvent, SlotId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
