@@ -1,0 +1,168 @@
+//! Differential scenario replay: the same seeded scenario, run along
+//! independently-implemented paths that must not change a single bit of
+//! the outcome.
+//!
+//! Paths diffed against the plain baseline:
+//!
+//! * **traced** — the structured event trace is documented as strictly
+//!   observational;
+//! * **checked** — the runtime invariant checker reads state, never
+//!   writes it;
+//! * **reference scan** (SPEED policies only) — the balancer re-derives
+//!   each core's managed-task set with an O(n) scan of the whole task
+//!   table instead of the incrementally-maintained per-core member lists
+//!   (see `SpeedBalancerConfig::reference_scan`).
+//!
+//! A fingerprint is bit-for-bit: completion times compare as raw `f64`
+//! bits, per-task execution totals as exact nanosecond counts, and the
+//! two traced variants additionally compare their full migration logs.
+
+use speedbal_harness::{run_repeat_detailed, Policy, RepeatOutcome, Scenario};
+use speedbal_sched::System;
+use speedbal_trace::{MigrationReason, TraceBuffer, TraceEvent};
+
+/// Everything observable about one repeat, in exactly-comparable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `completion_secs` as raw bits: "close enough" is a diff bug.
+    pub completion_bits: u64,
+    pub migrations: u64,
+    pub timed_out: bool,
+    /// `(task, exec nanos, final core)` for every task ever spawned.
+    pub tasks: Vec<(usize, u64, usize)>,
+}
+
+impl Fingerprint {
+    fn of(outcome: &RepeatOutcome, sys: &System) -> Fingerprint {
+        let mut tasks: Vec<(usize, u64, usize)> = sys
+            .all_tasks()
+            .map(|t| (t.0, sys.task_exec_total(t).as_nanos(), sys.task_core(t).0))
+            .collect();
+        tasks.sort_unstable();
+        Fingerprint {
+            completion_bits: outcome.completion_secs.to_bits(),
+            migrations: outcome.migrations as u64,
+            timed_out: outcome.timed_out,
+            tasks,
+        }
+    }
+}
+
+/// The migration log reconstructed from a trace buffer: `(time ns, task,
+/// from, to)`, wake placements excluded (matching
+/// `System::migration_log`).
+pub fn migration_log(buf: &TraceBuffer) -> Vec<(u64, usize, usize, usize)> {
+    buf.records()
+        .filter_map(|rec| match rec.event {
+            TraceEvent::Migrate {
+                task,
+                from,
+                to,
+                reason,
+                ..
+            } if reason != MigrationReason::WakePlacement => {
+                Some((rec.time.as_nanos(), task, from.0, to.0))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// One scenario × repeat differential: returns the divergences found
+/// (empty = conforming).
+pub fn diff_repeat(s: &Scenario, r: usize) -> Vec<String> {
+    let label = format!("{} r{r}", s.label());
+    let mut failures = Vec::new();
+
+    let (base_out, base_sys) = run_repeat_detailed(s, r, false);
+    let base = Fingerprint::of(&base_out, &base_sys);
+
+    let (traced_out, traced_sys) = run_repeat_detailed(s, r, true);
+    let traced = Fingerprint::of(&traced_out, &traced_sys);
+    if traced != base {
+        failures.push(format!("{label}: traced run diverged from baseline"));
+    }
+
+    let checked_s = s.clone().checked(true);
+    let (checked_out, checked_sys) = run_repeat_detailed(&checked_s, r, false);
+    if !checked_sys.invariant_checks_enabled() || checked_sys.invariant_checks_run() == 0 {
+        failures.push(format!("{label}: checked run did not actually check"));
+    }
+    if Fingerprint::of(&checked_out, &checked_sys) != base {
+        failures.push(format!("{label}: checked run diverged from baseline"));
+    }
+
+    // The reference-scan path only exists inside the speed balancer.
+    let ref_policy = match &s.policy {
+        Policy::Speed => Some(Policy::SpeedWith(speedbal_core::SpeedBalancerConfig {
+            reference_scan: true,
+            ..Default::default()
+        })),
+        Policy::SpeedWith(cfg) => Some(Policy::SpeedWith(speedbal_core::SpeedBalancerConfig {
+            reference_scan: true,
+            ..cfg.clone()
+        })),
+        _ => None,
+    };
+    if let Some(ref_policy) = ref_policy {
+        let mut ref_s = s.clone();
+        ref_s.policy = ref_policy;
+        let (ref_out, ref_sys) = run_repeat_detailed(&ref_s, r, true);
+        if Fingerprint::of(&ref_out, &ref_sys) != base {
+            failures.push(format!(
+                "{label}: reference-scan run diverged from incremental baseline"
+            ));
+        }
+        // The two traced variants must agree on every single migration.
+        match (&traced_out.trace, &ref_out.trace) {
+            (Some(a), Some(b)) => {
+                if migration_log(a) != migration_log(b) {
+                    failures.push(format!(
+                        "{label}: migration logs diverged between incremental and \
+                         reference-scan runs"
+                    ));
+                }
+            }
+            _ => failures.push(format!("{label}: traced run returned no trace buffer")),
+        }
+    }
+    failures
+}
+
+/// Runs [`diff_repeat`] over every repeat of every scenario; returns
+/// `(cases run, failures)`.
+pub fn diff_scenarios(scenarios: &[Scenario]) -> (usize, Vec<String>) {
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for s in scenarios {
+        for r in 0..s.repeats {
+            cases += 1;
+            failures.extend(diff_repeat(s, r));
+        }
+    }
+    (cases, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_apps::WaitMode;
+    use speedbal_harness::Machine;
+    use speedbal_workloads::ep;
+
+    #[test]
+    fn speed_scenario_conforms_on_all_paths() {
+        let app = ep().spmd(3, WaitMode::Block, 0.05);
+        let s = Scenario::new(Machine::Uniform(2), 0, Policy::Speed, app).repeats(1);
+        let failures = diff_repeat(&s, 0);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn non_speed_policy_still_diffs_observational_paths() {
+        let app = ep().spmd(4, WaitMode::Yield, 0.05);
+        let s = Scenario::new(Machine::Uniform(2), 0, Policy::Load, app).repeats(1);
+        let failures = diff_repeat(&s, 0);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+}

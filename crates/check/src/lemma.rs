@@ -1,0 +1,225 @@
+//! Lemma 1 conformance: drive the *actual* speed balancer over an
+//! (N threads, M cores) grid and check it against the analytic model.
+//!
+//! Setup per cell: `N` identical long-running compute threads on `M`
+//! uniform cores, free migration costs, measurement noise off. The
+//! balance interval keeps the paper's randomization: each activation
+//! sleeps `interval + U(0, interval)`. That randomization is load-bearing
+//! for Lemma 1, not an accident of deployment — in exact lockstep every
+//! slow queue publishes the identical speed, the deterministic
+//! lowest-index tie-break pins every pull to the same victim core, and
+//! the highest-indexed slow queue starves forever (the "migration cycle"
+//! §5 says the varied intervals exist to break; the sweep reproduces that
+//! starvation if you flip `randomize_interval` off with `SQ > FQ`).
+//!
+//! Checked, sampling every half interval:
+//!
+//! 1. **Balance is never broken.** From the round-robin start the per-core
+//!    thread counts form the `⌊N/M⌋`/`⌈N/M⌉` multiset; every later sample
+//!    must show exactly that multiset again. A speed pull only ever moves
+//!    a thread from a `⌈N/M⌉` queue to a `⌊N/M⌋` queue — a migration that
+//!    left a queue two short or two long would be a real bug.
+//! 2. **Rotation completes within the Lemma 1 budget.** Lemma 1: every
+//!    thread runs on a fast queue within `2·⌈SQ/FQ⌉` balancing steps.
+//!    One step consumes at most `1 + post_migration_block` activations of
+//!    the core that performs it, and a jittered activation gap is at most
+//!    `2 × interval` of wall clock; add a little warm-up slack. Within
+//!    that wall-clock budget every thread must have been observed on a
+//!    fast (`⌊N/M⌋`-thread) queue.
+//! 3. **Balanced cells migrate nothing.** When `M | N` there are no slow
+//!    queues, and the pull threshold must suppress every migration.
+
+use speedbal_analytic::balancing_steps;
+use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
+use speedbal_machine::{uniform, CostModel};
+use speedbal_sched::{Directive, SchedConfig, ScriptProgram, SpawnSpec, System, TaskId};
+use speedbal_sim::{SimDuration, SimTime};
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct LemmaCell {
+    pub n: u32,
+    pub m: u32,
+    /// The Lemma 1 step bound `2·⌈SQ/FQ⌉` (0 when balanced).
+    pub steps: u32,
+    /// Wall rounds (multiples of the nominal interval) until every thread
+    /// had been on a fast queue; `None` for balanced cells, where
+    /// rotation is vacuous.
+    pub rounds_to_rotate: Option<u32>,
+    pub migrations: u64,
+}
+
+/// The wall-round budget for a cell (see the module docs, point 2):
+/// `steps` steps × `(1 + block)` activations each × 2 nominal intervals
+/// per jittered activation, plus warm-up slack. Balanced cells get a
+/// fixed observation window instead.
+fn round_budget(steps: u32, cfg: &SpeedBalancerConfig) -> u32 {
+    if steps == 0 {
+        6
+    } else {
+        2 * steps * (1 + cfg.post_migration_block) + 4
+    }
+}
+
+/// Runs one (n, m) cell; `Err` describes the first conformance violation.
+pub fn conformance_cell(n: u32, m: u32) -> Result<LemmaCell, String> {
+    let cfg = SpeedBalancerConfig {
+        interval: SimDuration::from_millis(50),
+        measurement_noise: 0.0,
+        ..Default::default()
+    };
+    let interval = cfg.interval;
+    let steps = balancing_steps(n, m);
+    let rounds = round_budget(steps, &cfg);
+
+    let bal = SpeedBalancer::with_config(cfg, 0x4c454d41 ^ u64::from(n * 251 + m));
+    let stats = bal.stats_handle();
+    let mut sys = System::new(
+        uniform(m as usize),
+        SchedConfig::default(),
+        CostModel::free(),
+        Box::new(bal),
+        (u64::from(n) << 8) | u64::from(m),
+    );
+    let g = sys.new_group();
+    let tasks: Vec<TaskId> = (0..n)
+        .map(|i| {
+            sys.spawn(SpawnSpec::new(
+                Box::new(ScriptProgram::new(vec![Directive::Compute(
+                    SimDuration::from_secs(3600),
+                )])),
+                format!("t{i}"),
+                g,
+            ))
+        })
+        .collect();
+
+    let t = n / m; // fast-queue length ⌊N/M⌋
+    let mut expected: Vec<u32> = Vec::with_capacity(m as usize);
+    expected.extend(std::iter::repeat_n(t, (m - n % m) as usize));
+    expected.extend(std::iter::repeat_n(t + 1, (n % m) as usize));
+
+    let mut fast_seen = vec![false; tasks.len()];
+    let mut rounds_to_rotate = None;
+    // Two samples per nominal interval: migrations only happen at
+    // activation instants, so this is fine-grained enough to observe
+    // every intermediate placement under jittered activations.
+    for sample in 0..=2 * rounds {
+        sys.run_until(SimTime::ZERO + interval * u64::from(sample) / 2);
+        let mut counts = vec![0u32; m as usize];
+        for &task in &tasks {
+            counts[sys.task_core(task).0] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        if sorted != expected {
+            return Err(format!(
+                "n={n} m={m}: balance broken by sample {sample}: per-core \
+                 counts {counts:?}, expected multiset {expected:?}"
+            ));
+        }
+        for (i, &task) in tasks.iter().enumerate() {
+            if counts[sys.task_core(task).0] == t {
+                fast_seen[i] = true;
+            }
+        }
+        if rounds_to_rotate.is_none() && fast_seen.iter().all(|&f| f) {
+            rounds_to_rotate = Some(sample.div_ceil(2));
+        }
+    }
+
+    let migrations = stats.borrow().migrations;
+    if n.is_multiple_of(m) {
+        if migrations != 0 {
+            return Err(format!(
+                "n={n} m={m}: balanced cell performed {migrations} migrations; \
+                 the pull threshold must suppress them all"
+            ));
+        }
+        return Ok(LemmaCell {
+            n,
+            m,
+            steps,
+            rounds_to_rotate: None,
+            migrations,
+        });
+    }
+    match rounds_to_rotate {
+        Some(r) => Ok(LemmaCell {
+            n,
+            m,
+            steps,
+            rounds_to_rotate: Some(r),
+            migrations,
+        }),
+        None => {
+            let unrotated: Vec<usize> = fast_seen
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| !f)
+                .map(|(i, _)| i)
+                .collect();
+            Err(format!(
+                "n={n} m={m}: threads {unrotated:?} never reached a fast queue \
+                 within {rounds} rounds (Lemma 1 budget for {steps} steps)"
+            ))
+        }
+    }
+}
+
+/// Sweeps the (n, m) grid: `m ∈ 2..=4` (quick) or `2..=8` (full), and for
+/// each m every `n ∈ m..=2m+1` — covering balanced cells, the classic
+/// `N = M+1`, `FQ ≥ SQ`, `SQ > FQ`, and the `SQ = M−1` worst case.
+/// Returns the per-cell outcomes and any violations.
+pub fn conformance_sweep(quick: bool) -> (Vec<LemmaCell>, Vec<String>) {
+    let max_m = if quick { 4 } else { 8 };
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for m in 2..=max_m {
+        for n in m..=2 * m + 1 {
+            match conformance_cell(n, m) {
+                Ok(cell) => cells.push(cell),
+                Err(e) => failures.push(e),
+            }
+        }
+    }
+    (cells, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_three_on_two_rotates_within_budget() {
+        let cell = conformance_cell(3, 2).expect("3-on-2 must conform");
+        assert_eq!(cell.steps, 2);
+        assert!(cell.migrations > 0, "rotation requires migrations");
+        let budget = round_budget(cell.steps, &SpeedBalancerConfig::default());
+        assert!(cell.rounds_to_rotate.unwrap() <= budget);
+    }
+
+    #[test]
+    fn balanced_cell_is_quiescent() {
+        let cell = conformance_cell(4, 2).expect("4-on-2 must conform");
+        assert_eq!(cell.migrations, 0);
+        assert!(cell.rounds_to_rotate.is_none());
+    }
+
+    #[test]
+    fn worst_case_slow_queue_majority_still_rotates() {
+        // SQ = M−1, FQ = 1: the cell that starves under exact lockstep
+        // (see the module docs) and that the jittered interval rescues.
+        let cell = conformance_cell(7, 4).expect("7-on-4 must conform");
+        assert_eq!(cell.steps, 6);
+        assert!(cell.rounds_to_rotate.is_some());
+    }
+
+    #[test]
+    fn quick_sweep_is_clean() {
+        let (cells, failures) = conformance_sweep(true);
+        assert!(failures.is_empty(), "{failures:?}");
+        // 2..=4 with n ∈ m..=2m+1: 4 + 5 + 6 cells.
+        assert_eq!(cells.len(), 15);
+    }
+}

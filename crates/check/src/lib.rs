@@ -1,0 +1,170 @@
+//! # speedbal-check — the correctness subsystem
+//!
+//! Three independent layers of defence against "plausible but wrong"
+//! simulation results, complementing the always-available runtime
+//! invariant checker in `speedbal-sched` (see
+//! `System::enable_invariant_checks`, the `SPEEDBAL_CHECK` environment
+//! variable, and the `strict-invariants` cargo feature):
+//!
+//! 1. [`refqueue`] — a naive reference event queue differentially fuzzed
+//!    against the production slot-armed [`speedbal_sim::EventQueue`];
+//! 2. [`diff`] — seeded scenario replays along independently-implemented
+//!    paths (traced / invariant-checked / reference-scan balancer state),
+//!    diffed bit-for-bit;
+//! 3. [`lemma`] — a conformance sweep checking the real speed balancer
+//!    against Lemma 1's analytic bound over an (N threads, M cores) grid.
+//!
+//! [`run_full_check`] runs all three and is wired to `speedbal-cli check`
+//! and into CI.
+
+pub mod diff;
+pub mod lemma;
+pub mod refqueue;
+
+pub use diff::{diff_repeat, diff_scenarios, migration_log, Fingerprint};
+pub use lemma::{conformance_cell, conformance_sweep, LemmaCell};
+pub use refqueue::{differential_queue_case, PostedQueue, QueueCaseStats};
+
+use speedbal_apps::WaitMode;
+use speedbal_harness::{Machine, Policy, Scenario};
+use speedbal_workloads::ep;
+
+/// Combined outcome of the full check run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Differential event-queue cases run (seeds × op sequences).
+    pub queue_cases: usize,
+    /// Scenario differential cases run (scenarios × repeats).
+    pub diff_cases: usize,
+    /// Lemma 1 grid cells checked.
+    pub lemma_cells: Vec<LemmaCell>,
+    /// Every violation found, human-readable. Empty = green.
+    pub failures: Vec<String>,
+}
+
+impl CheckReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A text summary for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "event-queue differential : {} cases\n\
+             scenario differential    : {} cases\n\
+             Lemma 1 conformance      : {} cells\n",
+            self.queue_cases,
+            self.diff_cases,
+            self.lemma_cells.len()
+        ));
+        for c in &self.lemma_cells {
+            match c.rounds_to_rotate {
+                Some(r) => out.push_str(&format!(
+                    "  n={:2} m={}: rotated in {:2} rounds (step bound {:2}), \
+                     {} migrations\n",
+                    c.n, c.m, r, c.steps, c.migrations
+                )),
+                None => out.push_str(&format!(
+                    "  n={:2} m={}: balanced, quiescent ({} migrations)\n",
+                    c.n, c.m, c.migrations
+                )),
+            }
+        }
+        if self.ok() {
+            out.push_str("all checks passed\n");
+        } else {
+            out.push_str(&format!("{} FAILURE(S):\n", self.failures.len()));
+            for f in &self.failures {
+                out.push_str(&format!("  {f}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// The scenario battery the differential harness replays: the paper's
+/// running example, an oversubscribed many-thread cell, and a LOAD-policy
+/// cell so the observational paths are diffed under a second balancer.
+fn diff_battery(quick: bool) -> Vec<Scenario> {
+    let repeats = if quick { 1 } else { 3 };
+    let mut v = vec![
+        Scenario::new(
+            Machine::Uniform(2),
+            0,
+            Policy::Speed,
+            ep().spmd(3, WaitMode::Block, 0.05),
+        )
+        .repeats(repeats),
+        Scenario::new(
+            Machine::Tigerton,
+            4,
+            Policy::Speed,
+            ep().spmd(9, WaitMode::Yield, 0.05),
+        )
+        .repeats(repeats),
+        Scenario::new(
+            Machine::Uniform(3),
+            0,
+            Policy::Load,
+            ep().spmd(6, WaitMode::Yield, 0.05),
+        )
+        .repeats(repeats),
+    ];
+    if !quick {
+        v.push(
+            Scenario::new(
+                Machine::Barcelona,
+                6,
+                Policy::Speed,
+                ep().spmd(13, WaitMode::Spin, 0.05),
+            )
+            .repeats(repeats),
+        );
+    }
+    v
+}
+
+/// Runs every layer: the event-queue differential fuzz, the scenario
+/// differential battery, and the Lemma 1 conformance sweep.
+pub fn run_full_check(quick: bool) -> CheckReport {
+    let mut failures = Vec::new();
+
+    let seeds: u64 = if quick { 8 } else { 32 };
+    let ops = if quick { 1_500 } else { 4_000 };
+    let mut queue_cases = 0;
+    for seed in 0..seeds {
+        queue_cases += 1;
+        if let Err(e) = differential_queue_case(seed, ops) {
+            failures.push(format!("queue differential seed {seed}: {e}"));
+        }
+    }
+
+    let (diff_cases, diff_failures) = diff_scenarios(&diff_battery(quick));
+    failures.extend(diff_failures);
+
+    let (lemma_cells, lemma_failures) = conformance_sweep(quick);
+    failures.extend(lemma_failures);
+
+    CheckReport {
+        queue_cases,
+        diff_cases,
+        lemma_cells,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_full_check_is_green() {
+        let report = run_full_check(true);
+        assert!(report.ok(), "{}", report.render());
+        assert_eq!(report.queue_cases, 8);
+        assert!(report.diff_cases >= 3);
+        assert_eq!(report.lemma_cells.len(), 15);
+        assert!(report.render().contains("all checks passed"));
+    }
+}

@@ -1,0 +1,284 @@
+//! A naive reference event queue, plus the differential fuzzer that pits
+//! it against the production [`EventQueue`].
+//!
+//! [`PostedQueue`] re-implements the event queue's observable contract —
+//! earliest-first, FIFO within an instant, at-most-one-armed-entry slots —
+//! with none of its machinery: no binary heap, no lazy cancellation, no
+//! compaction. Entries live in a plain `Vec`; `pop` linearly scans for the
+//! minimum `(time, seq)` and removes it eagerly. Slow and obviously
+//! correct, which is the point: any divergence between the two
+//! implementations over the same operation sequence is a bug in the fast
+//! one (or, once, in the contract's wording).
+
+use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SlotId};
+
+/// One pending entry of the reference queue.
+#[derive(Debug, Clone)]
+struct RefEntry<E> {
+    time: SimTime,
+    seq: u64,
+    /// Owning slot, if any.
+    slot: Option<usize>,
+    event: E,
+}
+
+/// The reference implementation: eager removal, linear-scan pop.
+#[derive(Debug, Default)]
+pub struct PostedQueue<E> {
+    entries: Vec<RefEntry<E>>,
+    /// `armed[s]` is the sequence number of slot `s`'s pending entry.
+    armed: Vec<Option<u64>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> PostedQueue<E> {
+    pub fn new() -> Self {
+        PostedQueue {
+            entries: Vec::new(),
+            armed: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Live entries pending.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn alloc_slot(&mut self) -> usize {
+        self.armed.push(None);
+        self.armed.len() - 1
+    }
+
+    pub fn slot_armed(&self, slot: usize) -> bool {
+        self.armed[slot].is_some()
+    }
+
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(RefEntry {
+            time: at,
+            seq,
+            slot: None,
+            event,
+        });
+    }
+
+    /// Replaces whatever the slot had armed with a new entry.
+    pub fn schedule_in_slot(&mut self, slot: usize, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past");
+        self.cancel_slot(slot);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.armed[slot] = Some(seq);
+        self.entries.push(RefEntry {
+            time: at,
+            seq,
+            slot: Some(slot),
+            event,
+        });
+    }
+
+    pub fn cancel_slot(&mut self, slot: usize) {
+        if let Some(seq) = self.armed[slot].take() {
+            // Eager removal — the whole implementation difference.
+            self.entries.retain(|e| e.seq != seq);
+        }
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.entries.iter().map(|e| e.time).min()
+    }
+
+    /// Removes and returns the earliest entry (FIFO within an instant).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.time, e.seq))
+            .map(|(i, _)| i)?;
+        let e = self.entries.remove(idx);
+        self.now = e.time;
+        if let Some(s) = e.slot {
+            debug_assert_eq!(self.armed[s], Some(e.seq));
+            self.armed[s] = None;
+        }
+        Some((e.time, e.event))
+    }
+}
+
+/// How one differential case went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCaseStats {
+    pub ops: usize,
+    pub pops: usize,
+    pub schedules: usize,
+    pub cancellations: usize,
+}
+
+/// Drives the production [`EventQueue`] and the reference [`PostedQueue`]
+/// through the same seeded operation sequence, comparing every observable
+/// after every operation: pop results, peek times, live lengths, slot
+/// armed-ness. Ends by draining both queues and validating the production
+/// queue's internal bookkeeping. Returns the case's op mix, or a
+/// description of the first divergence.
+pub fn differential_queue_case(seed: u64, n_ops: usize) -> Result<QueueCaseStats, String> {
+    let mut rng = SimRng::new(seed ^ 0x5245_4651); // "REFQ"
+    let mut fast: EventQueue<u64> = EventQueue::new();
+    let mut slow: PostedQueue<u64> = PostedQueue::new();
+    let mut fast_slots: Vec<SlotId> = Vec::new();
+    let mut slow_slots: Vec<usize> = Vec::new();
+    let mut payload = 0u64;
+    let mut stats = QueueCaseStats {
+        ops: n_ops,
+        ..Default::default()
+    };
+
+    let check_pops = |fast: &mut EventQueue<u64>,
+                      slow: &mut PostedQueue<u64>,
+                      op: usize|
+     -> Result<(), String> {
+        let f = fast.pop().map(|e| (e.time, e.event));
+        let s = slow.pop();
+        if f != s {
+            return Err(format!(
+                "op {op}: pop diverged — production {f:?} vs reference {s:?}"
+            ));
+        }
+        Ok(())
+    };
+
+    for op in 0..n_ops {
+        let delta = SimDuration::from_micros(rng.next_below(2_000));
+        let at = slow.now() + delta;
+        match rng.next_below(100) {
+            // Grow the slot population early, rarely later.
+            0..=4 => {
+                fast_slots.push(fast.alloc_slot());
+                slow_slots.push(slow.alloc_slot());
+            }
+            5..=29 => {
+                payload += 1;
+                fast.schedule(at, payload);
+                slow.schedule(at, payload);
+                stats.schedules += 1;
+            }
+            30..=64 if !fast_slots.is_empty() => {
+                let k = rng.next_below(fast_slots.len() as u64) as usize;
+                payload += 1;
+                fast.schedule_in_slot(fast_slots[k], at, payload);
+                slow.schedule_in_slot(slow_slots[k], at, payload);
+                stats.schedules += 1;
+            }
+            65..=74 if !fast_slots.is_empty() => {
+                let k = rng.next_below(fast_slots.len() as u64) as usize;
+                fast.cancel_slot(fast_slots[k]);
+                slow.cancel_slot(slow_slots[k]);
+                stats.cancellations += 1;
+            }
+            _ => {
+                check_pops(&mut fast, &mut slow, op)?;
+                stats.pops += 1;
+            }
+        }
+        if fast.len() != slow.len() {
+            return Err(format!(
+                "op {op}: live length diverged — production {} vs reference {}",
+                fast.len(),
+                slow.len()
+            ));
+        }
+        if fast.peek_time() != slow.peek_time() {
+            return Err(format!(
+                "op {op}: peek diverged — production {:?} vs reference {:?}",
+                fast.peek_time(),
+                slow.peek_time()
+            ));
+        }
+        for (k, (&fs, &ss)) in fast_slots.iter().zip(&slow_slots).enumerate() {
+            if fast.slot_armed(fs) != slow.slot_armed(ss) {
+                return Err(format!(
+                    "op {op}: slot {k} armed-ness diverged — production {} vs reference {}",
+                    fast.slot_armed(fs),
+                    slow.slot_armed(ss)
+                ));
+            }
+        }
+    }
+
+    // Drain both to the end: the full pop stream must match.
+    while !fast.is_empty() || !slow.is_empty() {
+        check_pops(&mut fast, &mut slow, n_ops)?;
+        stats.pops += 1;
+    }
+    let violations = fast.validate();
+    if !violations.is_empty() {
+        return Err(format!(
+            "production queue failed self-validation after drain: {}",
+            violations.join("; ")
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_queue_orders_fifo_within_instant() {
+        let mut q = PostedQueue::new();
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        q.schedule(t, 1u64);
+        q.schedule(t, 2u64);
+        q.schedule(SimTime::ZERO + SimDuration::from_millis(1), 3u64);
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::ZERO + SimDuration::from_millis(1), 3))
+        );
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reference_queue_slot_supersedes_and_cancels() {
+        let mut q = PostedQueue::new();
+        let s = q.alloc_slot();
+        q.schedule_in_slot(s, SimTime::ZERO + SimDuration::from_millis(10), 1u64);
+        q.schedule_in_slot(s, SimTime::ZERO + SimDuration::from_millis(2), 2u64);
+        assert!(q.slot_armed(s));
+        assert_eq!(q.len(), 1, "superseded entry must be gone");
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::ZERO + SimDuration::from_millis(2), 2))
+        );
+        assert!(!q.slot_armed(s));
+        q.schedule_in_slot(s, SimTime::ZERO + SimDuration::from_millis(9), 3u64);
+        q.cancel_slot(s);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn differential_cases_pass_across_seeds() {
+        for seed in 0..8 {
+            let stats =
+                differential_queue_case(seed, 1_500).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(stats.pops > 0 && stats.schedules > 0 && stats.cancellations > 0);
+        }
+    }
+}

@@ -22,6 +22,9 @@
 //!                     SPEED and LOAD policies and print a summary
 //!   bench       time the event-loop hot path on the 16-core × 64-thread
 //!               cg.B scenario and write BENCH_sim.json (see EXPERIMENTS.md)
+//!   check       run the correctness subsystem: event-queue differential
+//!               fuzz, scenario differential replays, and the Lemma 1
+//!               conformance sweep; non-zero exit on any violation
 //!
 //! options:
 //!   --full           paper-scale runs (scale 0.5, 10 repeats) [default: quick]
@@ -34,6 +37,7 @@
 //!                    `trace` the files derive from <f>; with any other
 //!                    artifact every scenario dumps one file per repeat.
 //!   --quick          bench: quarter-scale workload, best of 3 (CI-sized)
+//!                    check: fewer fuzz seeds, smaller grid (CI-sized)
 //!   --out <f>        bench: output path [default: BENCH_sim.json]
 //!   --check <f>      bench: compare against a committed report instead of
 //!                    writing; fail if ns/step exceeds 2x the committed value
@@ -255,6 +259,25 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `speedbal-cli check [--quick]`: run all three layers of the
+/// `speedbal-check` correctness subsystem and fail on any violation.
+fn run_check_cmd(opts: &Options) -> Result<(), String> {
+    eprintln!(
+        "== check: invariants / differential / Lemma 1 conformance ({}) ==",
+        if opts.bench_quick { "quick" } else { "full" }
+    );
+    let report = speedbal_check::run_full_check(opts.bench_quick);
+    print!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} correctness violation(s)",
+            report.failures.len()
+        ))
+    }
+}
+
 fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
     let p = opts.profile;
     if let Some(scenario) = name.strip_prefix("trace:") {
@@ -262,6 +285,7 @@ fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
     }
     match name {
         "bench" => return run_bench_cmd(opts),
+        "check" => return run_check_cmd(opts),
         "fig1" => {
             println!("== fig1: minimum profitable granularity (Lemma 1, B = 1) ==");
             println!("{}", experiments::fig1().render());
@@ -342,7 +366,8 @@ fn main() -> ExitCode {
                  \x20                   [--policy p] [--trace-out file.json] <artifact>...\n\
                  artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa all\n\
                  \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier)\n\
-                 \x20          bench [--quick] [--out f] [--check f]"
+                 \x20          bench [--quick] [--out f] [--check f]\n\
+                 \x20          check [--quick]"
             );
             return if e == "help" {
                 ExitCode::SUCCESS
@@ -351,9 +376,9 @@ fn main() -> ExitCode {
             };
         }
     };
-    // bench has its own scale/repeats knobs; the profile line only
+    // bench and check have their own knobs; the profile line only
     // describes figure/table/trace artifacts.
-    if opts.artifacts.iter().any(|a| a != "bench") {
+    if opts.artifacts.iter().any(|a| a != "bench" && a != "check") {
         eprintln!(
             "# profile: scale={} repeats={}",
             opts.profile.scale, opts.profile.repeats
@@ -430,6 +455,16 @@ mod tests {
             parse(&["bench", "--check"]).is_err(),
             "--check needs a path"
         );
+    }
+
+    #[test]
+    fn parses_check_subcommand() {
+        let o = parse(&["check"]).unwrap();
+        assert_eq!(o.artifacts, vec!["check"]);
+        assert!(!o.bench_quick);
+
+        let o = parse(&["check", "--quick"]).unwrap();
+        assert!(o.bench_quick);
     }
 
     #[test]

@@ -27,6 +27,14 @@ struct PerCore {
     /// Last time this core was the source or destination of a migration;
     /// drives the ≥ 2-interval post-migration block.
     last_migration: Option<SimTime>,
+    /// Activations of *this core's* balancer thread that must still complete
+    /// before the post-migration block lifts. With `randomize_interval` the
+    /// gap between activations stretches up to `2 × interval`, so a purely
+    /// nominal-time block can expire before the core has observed
+    /// `post_migration_block` fresh measurement windows; counting the core's
+    /// own activations restores the paper's "blocked for at least 2 balance
+    /// intervals" under jitter.
+    blocked_activations: u32,
 }
 
 /// The user-level speed balancer as a pluggable [`Balancer`].
@@ -105,7 +113,21 @@ impl SpeedBalancer {
     /// Managed, non-exited tasks whose run queue is `core`. Reads the
     /// system's incrementally-maintained per-core member list (already
     /// non-exited, in `TaskId` order) instead of scanning every task.
+    /// With [`SpeedBalancerConfig::reference_scan`] set, independently
+    /// re-derives the same set by scanning the whole task table — same
+    /// `TaskId` order, so a run along either path must be bit-identical
+    /// (the differential harness in `speedbal-check` diffs them).
     fn managed_tasks_on(&self, sys: &System, core: CoreId) -> Vec<TaskId> {
+        if self.cfg.reference_scan {
+            return sys
+                .all_tasks()
+                .filter(|&t| {
+                    sys.task_state(t) != speedbal_sched::TaskState::Exited
+                        && sys.task_core(t) == core
+                        && self.is_managed(sys, t)
+                })
+                .collect();
+        }
         sys.tasks_assigned_to(core)
             .iter()
             .copied()
@@ -123,7 +145,10 @@ impl SpeedBalancer {
     /// Measures the speed of each managed thread on `core` over the window
     /// since its last snapshot, with multiplicative measurement noise, and
     /// returns the local core speed (their average). An empty core
-    /// publishes 1.0: it offers a full-speed slot.
+    /// publishes 1.0: it offers a full-speed slot. A *loaded* core whose
+    /// threads all have fresh zero-width windows (e.g. right after a
+    /// migration reset both cores' snapshots) holds its previously
+    /// published speed instead of masquerading as idle.
     fn measure_core(&mut self, sys: &mut System, core: CoreId) -> f64 {
         if self.cfg.metric == SpeedMetric::InverseQueueLength {
             return self.measure_core_by_queue(sys, core);
@@ -138,6 +163,7 @@ impl SpeedBalancer {
         } else {
             1.0
         };
+        let had_tasks = !tasks.is_empty();
         let mut speeds = Vec::with_capacity(tasks.len());
         for t in tasks {
             let exec = sys.task_exec_total(t);
@@ -168,8 +194,18 @@ impl SpeedBalancer {
             }
         }
         if speeds.is_empty() {
-            // An idle core offers its full (weighted) capability.
-            core_weight
+            if had_tasks {
+                // Loaded core, but every thread's window is zero-width (all
+                // snapshots were just reset). Publishing the idle value here
+                // would inflate the global average for a whole interval, so
+                // hold the last published speed until a real window opens.
+                self.per_core[core.0]
+                    .as_ref()
+                    .map_or(core_weight, |p| p.published)
+            } else {
+                // An idle core offers its full (weighted) capability.
+                core_weight
+            }
         } else {
             speeds.iter().sum::<f64>() / speeds.len() as f64
         }
@@ -205,14 +241,34 @@ impl SpeedBalancer {
         }
     }
 
+    /// Whether `core` is still inside its post-migration block. The paper
+    /// requires a core touched by a migration to sit out "at least 2 balance
+    /// intervals"; with `randomize_interval` a balance interval is jittered
+    /// up to `2 × interval`, so the nominal-time test alone under-enforces
+    /// the block. A core stays blocked until **both** hold:
+    /// `post_migration_block` nominal intervals have elapsed *and* the
+    /// core's own balancer thread has completed that many (jittered)
+    /// activations since the migration.
     fn in_migration_block(&self, core: CoreId, now: SimTime) -> bool {
+        let Some(p) = self.per_core[core.0].as_ref() else {
+            return false;
+        };
+        if p.blocked_activations > 0 {
+            return true;
+        }
         let block = self.cfg.interval * u64::from(self.cfg.post_migration_block);
-        match self.per_core[core.0]
-            .as_ref()
-            .and_then(|p| p.last_migration)
-        {
+        match p.last_migration {
             Some(t) => now.saturating_since(t) < block,
             None => false,
+        }
+    }
+
+    /// Records that `core`'s balancer thread completed one activation,
+    /// ticking down its post-migration block. Called at the top of
+    /// [`Self::balance`], before the block is consulted.
+    fn note_activation(&mut self, core: CoreId) {
+        if let Some(p) = self.per_core[core.0].as_mut() {
+            p.blocked_activations = p.blocked_activations.saturating_sub(1);
         }
     }
 
@@ -223,6 +279,7 @@ impl SpeedBalancer {
         let now = sys.now();
         self.stats.borrow_mut().activations += 1;
         self.activations[local.0] += 1;
+        self.note_activation(local);
         // Per-domain interval tiers (§5): cross-cache pulls only on every
         // `cross_cache_interval_mult`-th activation, so within-cache
         // migrations happen proportionally more often.
@@ -249,10 +306,20 @@ impl SpeedBalancer {
 
         // Find the slowest suitable remote core: speed below threshold, not
         // recently involved in a migration, NUMA-compatible, and actually
-        // hosting a managed thread to pull.
+        // hosting a managed thread to pull. Candidates are scanned in ring
+        // order starting just past the local core: with measurement noise
+        // off, equally-loaded cores publish *exactly* equal speeds, and a
+        // fixed scan order would resolve every tie toward the lowest core
+        // index, starving the highest-indexed slow queue forever (the
+        // Lemma 1 conformance sweep in `speedbal-check` caught precisely
+        // that). Starting each core's scan at its own successor makes the
+        // tie-break depend on the puller, so rotation covers every core.
+        let cores = self.cores.clone();
+        let start = cores.iter().position(|&c| c == local).map_or(0, |i| i + 1);
         let mut best: Option<(f64, CoreId)> = None;
         let mut saw_blocked = false;
-        for &k in &self.cores.clone() {
+        for off in 0..cores.len() {
+            let k = cores[(start + off) % cores.len()];
             if k == local {
                 continue;
             }
@@ -328,6 +395,7 @@ impl SpeedBalancer {
         for c in [local, victim_core] {
             if let Some(p) = self.per_core[c.0].as_mut() {
                 p.last_migration = Some(now);
+                p.blocked_activations = self.cfg.post_migration_block;
             }
         }
         // Post-migration, both cores' thread sets changed: restart their
@@ -370,6 +438,7 @@ impl Balancer for SpeedBalancer {
             self.per_core[c.0] = Some(PerCore {
                 published: 1.0,
                 last_migration: None,
+                blocked_activations: 0,
             });
         }
         // Stagger the first activations like independent threads starting.
@@ -700,7 +769,7 @@ mod tests {
         // 0.5 and churns far more.
         assert!(
             queue_m > 2 * exec_m && queue_m > 0,
-            "queue-length ({queue_m} migrations) must churn far more than              exec-time ({exec_m})"
+            "queue-length ({queue_m} migrations) must churn far more than exec-time ({exec_m})"
         );
         assert!(
             exec_t <= queue_t * 1.03,
@@ -766,6 +835,134 @@ mod tests {
         assert!(
             stats.borrow().migrations_cross_cache > 0,
             "uniform intervals should cross cache groups"
+        );
+    }
+
+    #[test]
+    fn zero_window_holds_previous_published_speed() {
+        // After a migration resets both cores' snapshots, an activation can
+        // see every window at zero width. Publishing the idle 1.0 there
+        // would inflate the global average; the measurement must hold the
+        // previously published value instead.
+        let bal = SpeedBalancer::with_config(SpeedBalancerConfig::exact(), 29);
+        let mut bal = bal;
+        let mut sys = System::new(
+            uniform(2),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(speedbal_sched::NullBalancer::new()),
+            29,
+        );
+        let g = sys.new_group();
+        let tasks: Vec<TaskId> = (0..2)
+            .map(|i| {
+                sys.spawn(
+                    SpawnSpec::new(spmd_compute(SimDuration::from_secs(10)), format!("t{i}"), g)
+                        .pin(CoreId(0)),
+                )
+            })
+            .collect();
+        bal.on_start(&mut sys);
+        sys.run_until(SimTime::from_millis(100));
+        bal.balance(&mut sys, CoreId(0));
+        sys.run_until(SimTime::from_millis(200));
+        bal.balance(&mut sys, CoreId(0));
+        let published = bal.per_core[0].as_ref().unwrap().published;
+        // Two tasks sharing the core: each gets ~half the window.
+        assert!(
+            (published - 0.5).abs() < 0.05,
+            "expected ~0.5, got {published}"
+        );
+        // Reset every snapshot to a zero-width window at `now`, as the
+        // post-migration path does, and measure again: the loaded core must
+        // hold its published speed, not jump to the idle 1.0.
+        let now = sys.now();
+        for &t in &tasks {
+            let exec = sys.task_exec_total(t);
+            *bal.snapshot_mut(t) = Some(Snapshot { exec, time: now });
+        }
+        let held = bal.measure_core(&mut sys, CoreId(0));
+        assert!(
+            (held - published).abs() < 1e-12,
+            "zero-width windows must hold the published {published}, got {held}"
+        );
+    }
+
+    #[test]
+    fn migration_block_spans_jittered_activations() {
+        // The post-migration block must last until BOTH the nominal
+        // 2-interval wall time has passed AND the core's balancer thread
+        // has completed 2 activations — jitter can stretch the activation
+        // gap to 2 intervals, so either test alone under-enforces.
+        let cfg = SpeedBalancerConfig::exact(); // interval 100 ms, block 2
+        let mut bal = SpeedBalancer::with_config(cfg, 31);
+        bal.per_core = vec![
+            Some(PerCore {
+                published: 1.0,
+                last_migration: Some(SimTime::ZERO),
+                blocked_activations: bal.cfg.post_migration_block,
+            }),
+            Some(PerCore {
+                published: 1.0,
+                last_migration: Some(SimTime::ZERO),
+                blocked_activations: 0,
+            }),
+        ];
+        // Core 0: past the nominal wall-clock block, but its own thread has
+        // not completed 2 activations yet — still blocked.
+        let after_wall = SimTime::ZERO + SimDuration::from_millis(201);
+        assert!(bal.in_migration_block(CoreId(0), after_wall));
+        bal.note_activation(CoreId(0));
+        assert!(
+            bal.in_migration_block(CoreId(0), after_wall),
+            "one jittered activation must not lift a 2-activation block"
+        );
+        bal.note_activation(CoreId(0));
+        assert!(!bal.in_migration_block(CoreId(0), after_wall));
+        // Core 1: activations already elapsed, but the nominal wall time
+        // has not — still blocked, then clear.
+        let mid_wall = SimTime::ZERO + SimDuration::from_millis(150);
+        assert!(bal.in_migration_block(CoreId(1), mid_wall));
+        assert!(!bal.in_migration_block(CoreId(1), after_wall));
+    }
+
+    #[test]
+    fn tie_break_does_not_starve_high_cores() {
+        // 7 threads on 4 cores, noise-free: every 2-task core publishes
+        // *exactly* 0.5, so victim-core selection comes down to the
+        // tie-break. The old fixed low-index-first scan resolved every tie
+        // toward core 0, so the tasks round-robined onto the last slow
+        // core never saw a fast queue (interval jitter cannot break an
+        // exact tie). The ring-order scan must rotate every task through
+        // a fast (1-task) queue.
+        let (mut sys, stats) = build(4, 5);
+        let g = sys.new_group();
+        let tasks: Vec<speedbal_sched::TaskId> = (0..7)
+            .map(|i| {
+                sys.spawn(SpawnSpec::new(
+                    spmd_compute(SimDuration::from_secs(3600)),
+                    format!("t{i}"),
+                    g,
+                ))
+            })
+            .collect();
+        let mut fast_seen = [false; 7];
+        for sample in 0..=160u64 {
+            sys.run_until(SimTime::ZERO + SimDuration::from_millis(25) * sample);
+            let mut counts = [0u32; 4];
+            for &t in &tasks {
+                counts[sys.task_core(t).0] += 1;
+            }
+            for (i, &t) in tasks.iter().enumerate() {
+                if counts[sys.task_core(t).0] == 1 {
+                    fast_seen[i] = true;
+                }
+            }
+        }
+        assert!(stats.borrow().migrations > 0);
+        assert!(
+            fast_seen.iter().all(|&f| f),
+            "tasks starved off fast queues: {fast_seen:?}"
         );
     }
 

@@ -9,6 +9,6 @@ pub mod scenario;
 
 pub use faults::{run_all as run_fault_scenarios, FaultReport, FaultScenario};
 pub use scenario::{
-    run_repeat, run_scenario, run_scenario_with_traces, set_trace_output, trace_file_path,
-    Competitor, Machine, Policy, RepeatOutcome, Scenario, ScenarioResult,
+    run_repeat, run_repeat_detailed, run_scenario, run_scenario_with_traces, set_trace_output,
+    trace_file_path, Competitor, Machine, Policy, RepeatOutcome, Scenario, ScenarioResult,
 };

@@ -120,6 +120,12 @@ pub struct Scenario {
     /// `speedbal-trace`). Tracing never changes scheduling decisions, only
     /// run time and memory.
     pub trace: bool,
+    /// Run every repeat with the scheduler's runtime invariant checker
+    /// enabled (see `System::enable_invariant_checks`). Like tracing this
+    /// is strictly observational — a violation panics, a clean run is
+    /// bit-identical to an unchecked one — but it costs O(tasks) per event,
+    /// so it defaults to off.
+    pub check: bool,
 }
 
 impl Scenario {
@@ -136,6 +142,7 @@ impl Scenario {
             seed: 0xB0A710AD,
             deadline: SimDuration::from_secs(600),
             trace: false,
+            check: false,
         }
     }
 
@@ -161,6 +168,11 @@ impl Scenario {
 
     pub fn traced(mut self, on: bool) -> Scenario {
         self.trace = on;
+        self
+    }
+
+    pub fn checked(mut self, on: bool) -> Scenario {
+        self.check = on;
         self
     }
 
@@ -246,6 +258,15 @@ pub struct RepeatOutcome {
 /// tracing is strictly observational, so the outcome is identical with
 /// `traced` on or off.
 pub fn run_repeat(s: &Scenario, r: usize, traced: bool) -> RepeatOutcome {
+    run_repeat_detailed(s, r, traced).0
+}
+
+/// Like [`run_repeat`], but also hands back the finished [`System`] so
+/// callers (the differential harness in `speedbal-check`, post-mortem
+/// tools) can inspect per-task execution totals, per-core busy time and
+/// the migration log after the run. The trace buffer has already been
+/// detached into the outcome.
+pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutcome, System) {
     let seed = s.seed.wrapping_add(r as u64);
     let topo = {
         let full = s.machine.topology();
@@ -260,6 +281,9 @@ pub fn run_repeat(s: &Scenario, r: usize, traced: bool) -> RepeatOutcome {
     let mut sys = System::new(topo, SchedConfig::default(), s.cost.clone(), balancer, seed);
     if traced {
         sys.enable_tracing();
+    }
+    if s.check {
+        sys.enable_invariant_checks();
     }
     let g = sys.new_group();
     debug_assert_eq!(g, app_group);
@@ -294,12 +318,13 @@ pub fn run_repeat(s: &Scenario, r: usize, traced: bool) -> RepeatOutcome {
         Some(done) => (done.as_secs_f64(), false),
         None => (s.deadline.as_secs_f64(), true),
     };
-    RepeatOutcome {
+    let outcome = RepeatOutcome {
         completion_secs,
         migrations: sys.total_migrations() as f64,
         timed_out,
         trace: sys.take_trace(),
-    }
+    };
+    (outcome, sys)
 }
 
 /// Runs every repeat of a scenario, spread across worker threads.
@@ -515,6 +540,36 @@ mod tests {
         // Tracing is observational: the numbers must not move.
         assert_eq!(pr.completion.values, tr.completion.values);
         assert_eq!(pr.migrations.values, tr.migrations.values);
+    }
+
+    #[test]
+    fn checked_scenario_is_observational_and_actually_checks() {
+        let app = ep().spmd(5, WaitMode::Block, 0.05);
+        let plain = Scenario::new(Machine::Uniform(2), 0, Policy::Speed, app).repeats(2);
+        let checked = plain.clone().checked(true);
+        let a = run_scenario(&plain);
+        let b = run_scenario(&checked);
+        // The checker must never perturb scheduling decisions.
+        assert_eq!(a.completion.values, b.completion.values);
+        assert_eq!(a.migrations.values, b.migrations.values);
+        // ... and it must really have run.
+        let (_, sys) = run_repeat_detailed(&checked, 0, false);
+        assert!(sys.invariant_checks_enabled());
+        assert!(sys.invariant_checks_run() > 0);
+    }
+
+    #[test]
+    fn detailed_repeat_exposes_final_system_state() {
+        let app = ep().spmd(4, WaitMode::Yield, 0.05);
+        let s = Scenario::new(Machine::Uniform(2), 0, Policy::Pinned, app).repeats(1);
+        let (outcome, sys) = run_repeat_detailed(&s, 0, false);
+        assert!(!outcome.timed_out);
+        let exec: f64 = sys
+            .all_tasks()
+            .map(|t| sys.task_exec_total(t).as_secs_f64())
+            .sum();
+        assert!(exec > 0.0, "finished system must retain exec accounting");
+        assert_eq!(sys.total_migrations() as f64, outcome.migrations);
     }
 
     #[test]

@@ -94,6 +94,13 @@ impl RunQueue {
         self.v.iter().rev().map(|(_, t)| *t)
     }
 
+    /// Iterates over queued `(vruntime, task)` keys in ascending order
+    /// (the queue's pop order). Used by the invariant checker to diff the
+    /// queue against a fresh scan of the task table.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, TaskId)> + '_ {
+        self.v.iter().rev().copied()
+    }
+
     /// True iff the given task is queued with the given key.
     pub fn contains(&self, vruntime: u64, task: TaskId) -> bool {
         let key = (vruntime, task);

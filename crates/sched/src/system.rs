@@ -30,6 +30,8 @@
 //! balancer measures. Blocked time does not count, which is how sleeping at
 //! a barrier "is reflected by increases in the speed of the co-runners".
 
+mod invariants;
+
 use crate::balancer::Balancer;
 use crate::cond::{CondId, CondTable};
 use crate::config::SchedConfig;
@@ -238,6 +240,9 @@ pub struct System {
     sampler_last: SimTime,
     sampler_exec: Vec<SimDuration>,
     sampler_busy: Vec<SimDuration>,
+    /// Invariant-checker state (`None` = checks off; every hook is a single
+    /// branch on this option, like tracing). See [`System::check_invariants`].
+    check: Option<Box<invariants::CheckState>>,
 }
 
 /// Bound on chained zero-time program transitions, to turn a program that
@@ -293,7 +298,11 @@ impl System {
             sampler_last: SimTime::ZERO,
             sampler_exec: Vec::new(),
             sampler_busy: Vec::new(),
+            check: None,
         };
+        if cfg!(feature = "strict-invariants") || invariants::env_enabled() {
+            sys.enable_invariant_checks();
+        }
         let mut bal = balancer;
         bal.on_start(&mut sys);
         sys.balancer = Some(bal);
@@ -690,6 +699,9 @@ impl System {
         }
         self.enqueue_task(id, core, false);
         self.drain_conds();
+        if self.check.is_some() {
+            self.invariant_tick("post-spawn");
+        }
         id
     }
 
@@ -782,6 +794,9 @@ impl System {
             TaskState::Exited => unreachable!(),
         }
         self.drain_conds();
+        if self.check.is_some() {
+            self.invariant_tick("post-migration");
+        }
         true
     }
 
@@ -907,6 +922,13 @@ impl System {
         }
         self.drain_conds();
         self.flush_balancer_notifications();
+        if self.check.is_some() {
+            let point = match ev.event {
+                Ev::BalancerTimer { .. } => "post-balance-tick",
+                _ => "post-step",
+            };
+            self.invariant_tick(point);
+        }
         true
     }
 

@@ -1,0 +1,387 @@
+//! The cfg-gated invariant checker: cross-checks the system's incremental
+//! mirrors against fresh reference scans at well-defined points.
+//!
+//! PR 3 replaced reference-style code on the event-loop hot path with
+//! incremental mirrors (per-core member lists, the dense `current_mi`
+//! vector, the slot-armed event queue) — exactly the class of optimization
+//! that silently drifts from the semantics it mirrors. This module re-derives
+//! each mirrored quantity the slow way and diffs it against the fast path:
+//!
+//! * **Conservation** — Σ task exec time == Σ core busy time, to the
+//!   nanosecond, in-flight stretches included.
+//! * **Mirror consistency** — `members` and `current_mi` vs an O(n) scan of
+//!   the task table.
+//! * **Run-queue / affinity coherence** — every queued task is Runnable and
+//!   unsuspended with its stored vruntime key; every Running task is its
+//!   core's `current`; every non-exited task sits on a core its pin/mask
+//!   allows.
+//! * **Event-queue structure** — each armed slot owns exactly one live
+//!   entry, dead-entry accounting is exact, no live event predates the clock
+//!   (see [`speedbal_sim::EventQueue::validate`]).
+//! * **Vruntime monotonicity** — each queue's `min_vruntime` floor never
+//!   regresses between checks (the fig6 incident class). Note queued
+//!   vruntimes may legitimately sit *below* the floor (sleeper credit), so
+//!   only the floor itself is constrained.
+//!
+//! Checks run at three hook points — post-step, post-migration and
+//! post-balance-tick — and cost a single branch when disabled. Enable them
+//! programmatically with [`System::enable_invariant_checks`], for a whole
+//! process with the `SPEEDBAL_CHECK=1` environment variable, or at compile
+//! time with the `strict-invariants` cargo feature.
+
+use super::*;
+use std::sync::OnceLock;
+
+/// Stateful side of the checker: quantities that must evolve monotonically
+/// *between* checks, plus bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct CheckState {
+    /// Last observed `min_vruntime` floor per core.
+    floors: Vec<u64>,
+    /// Number of hook invocations so far.
+    checks_run: u64,
+}
+
+/// True iff `SPEEDBAL_CHECK` is set to anything but `0` (cached: the env
+/// cannot meaningfully change mid-process, and `System::new` is on some
+/// benchmark paths).
+pub(crate) fn env_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("SPEEDBAL_CHECK").is_some_and(|v| v != "0"))
+}
+
+impl System {
+    /// Turns on invariant checking for this system: every post-step,
+    /// post-migration and post-balance-tick hook re-verifies the invariants
+    /// above and panics with the full violation list on the first breach.
+    /// Idempotent.
+    pub fn enable_invariant_checks(&mut self) {
+        if self.check.is_none() {
+            self.check = Some(Box::new(CheckState {
+                floors: vec![0; self.cores.len()],
+                checks_run: 0,
+            }));
+        }
+    }
+
+    /// True iff invariant checking is on.
+    pub fn invariant_checks_enabled(&self) -> bool {
+        self.check.is_some()
+    }
+
+    /// Number of invariant-check hook invocations so far (0 when disabled).
+    /// Lets harnesses assert the checks actually ran.
+    pub fn invariant_checks_run(&self) -> u64 {
+        self.check.as_ref().map_or(0, |s| s.checks_run)
+    }
+
+    /// Runs every *stateless* invariant check and returns the violations
+    /// found (empty = consistent). Safe to call at any time, enabled or not;
+    /// O(tasks + events), allocates freely — diagnostics, not hot path.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let now = self.now();
+
+        // Conservation: every nanosecond a task has executed was spent on
+        // exactly one core, and `account_and_settle` adds the same stretch
+        // to both sides — so the totals must match exactly, in-flight
+        // stretches included.
+        let task_ns: u64 = self
+            .tasks
+            .iter()
+            .map(|t| t.exec_total_at(now).as_nanos())
+            .sum();
+        let core_ns: u64 = (0..self.cores.len())
+            .map(|c| self.core_busy_at(c, now).as_nanos())
+            .sum();
+        if task_ns != core_ns {
+            violations.push(format!(
+                "conservation: Σ task exec {task_ns} ns != Σ core busy {core_ns} ns \
+                 (drift {})",
+                task_ns.abs_diff(core_ns)
+            ));
+        }
+
+        // Mirror: per-core member lists vs a fresh scan of the task table.
+        // Scanning in TaskId order reproduces the lists' sort key.
+        let mut expected_members: Vec<Vec<TaskId>> = vec![Vec::new(); self.cores.len()];
+        for t in &self.tasks {
+            if t.state != TaskState::Exited {
+                expected_members[t.core.0].push(t.id);
+            }
+        }
+        for (c, expected) in expected_members.iter().enumerate() {
+            if &self.members[c] != expected {
+                violations.push(format!(
+                    "mirror: members[{c}] = {:?} but task-table scan says {:?}",
+                    self.members[c], expected
+                ));
+            }
+        }
+
+        for (c, core) in self.cores.iter().enumerate() {
+            // `current` / `current_mi` coherence.
+            match core.current {
+                Some(t) => {
+                    let task = &self.tasks[t.0];
+                    if task.state != TaskState::Running {
+                        violations.push(format!(
+                            "coherence: current of core {c} is {t} in state {:?}",
+                            task.state
+                        ));
+                    }
+                    if task.core.0 != c {
+                        violations.push(format!(
+                            "coherence: current of core {c} is {t} whose core field is {:?}",
+                            task.core
+                        ));
+                    }
+                    if task.suspended {
+                        violations.push(format!("coherence: current {t} of core {c} is suspended"));
+                    }
+                    if self.current_mi[c].to_bits() != task.mem_intensity.to_bits() {
+                        violations.push(format!(
+                            "mirror: current_mi[{c}] = {} but {t} has mem_intensity {}",
+                            self.current_mi[c], task.mem_intensity
+                        ));
+                    }
+                }
+                None => {
+                    if self.current_mi[c] != 0.0 {
+                        violations.push(format!(
+                            "mirror: current_mi[{c}] = {} on an idle core",
+                            self.current_mi[c]
+                        ));
+                    }
+                }
+            }
+            // Run-queue contents and order vs a fresh scan: exactly the
+            // Runnable, unsuspended tasks assigned to this core, keyed by
+            // their stored vruntime.
+            let actual: Vec<(u64, TaskId)> = core.queue.entries().collect();
+            let mut expected: Vec<(u64, TaskId)> = self
+                .tasks
+                .iter()
+                .filter(|t| t.state == TaskState::Runnable && !t.suspended && t.core.0 == c)
+                .map(|t| (t.vruntime, t.id))
+                .collect();
+            expected.sort_unstable();
+            if actual != expected {
+                violations.push(format!(
+                    "queue[{c}]: holds {actual:?} but task-table scan says {expected:?}"
+                ));
+            }
+        }
+
+        for t in &self.tasks {
+            // Every Running task is its core's current.
+            if t.state == TaskState::Running && self.cores[t.core.0].current != Some(t.id) {
+                violations.push(format!(
+                    "coherence: {} is Running but core {:?} runs {:?}",
+                    t.id, t.core, self.cores[t.core.0].current
+                ));
+            }
+            // Affinity: a task never sits on a core its pin/mask disallows.
+            if t.state != TaskState::Exited && !t.may_run_on(t.core) {
+                violations.push(format!(
+                    "affinity: {} assigned to {:?}, which its mask (pin {:?}) disallows",
+                    t.id, t.core, t.pinned
+                ));
+            }
+        }
+
+        // Event-queue structure: slot/dead-count/clock consistency,
+        // including "each armed core slot owns exactly one live event".
+        for msg in self.events.validate() {
+            violations.push(format!("events: {msg}"));
+        }
+
+        violations
+    }
+
+    /// One invariant-checker hook invocation: stateless checks plus the
+    /// stateful floor-monotonicity check. Panics with the violation list on
+    /// any breach. Caller has already verified `self.check.is_some()`.
+    pub(crate) fn invariant_tick(&mut self, point: &str) {
+        let mut violations = self.check_invariants();
+        let mut state = self.check.take().expect("invariant_tick without state");
+        state.floors.resize(self.cores.len(), 0);
+        for (c, core) in self.cores.iter().enumerate() {
+            let floor = core.queue.min_vruntime();
+            if floor < state.floors[c] {
+                violations.push(format!(
+                    "vruntime: min_vruntime floor of core {c} regressed {} -> {floor}",
+                    state.floors[c]
+                ));
+            }
+            state.floors[c] = floor;
+        }
+        state.checks_run += 1;
+        self.check = Some(state);
+        if !violations.is_empty() {
+            panic!(
+                "invariant violation at {point} (t = {}):\n  {}",
+                self.now(),
+                violations.join("\n  ")
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::NullBalancer;
+    use crate::config::SchedConfig;
+    use crate::program::{Directive, ScriptProgram};
+    use crate::system::SpawnSpec;
+    use speedbal_machine::{uniform, CostModel};
+
+    fn compute(ms: u64) -> Box<dyn crate::program::Program> {
+        Box::new(ScriptProgram::new(vec![Directive::Compute(
+            SimDuration::from_millis(ms),
+        )]))
+    }
+
+    fn checked_system(n_cores: usize) -> System {
+        let mut sys = System::new(
+            uniform(n_cores),
+            SchedConfig::default(),
+            CostModel::free(),
+            Box::new(NullBalancer::new()),
+            42,
+        );
+        sys.enable_invariant_checks();
+        sys
+    }
+
+    #[test]
+    fn clean_run_passes_every_hook() {
+        let mut sys = checked_system(2);
+        let g = sys.new_group();
+        for i in 0..5 {
+            sys.spawn(SpawnSpec::new(compute(10), format!("t{i}"), g));
+        }
+        // Exercise post-migration too.
+        sys.migrate_task(TaskId(0), CoreId(1));
+        sys.run_to_quiescence();
+        assert!(sys.invariant_checks_enabled());
+        assert!(
+            sys.invariant_checks_run() > 10,
+            "hooks must actually fire: {}",
+            sys.invariant_checks_run()
+        );
+        assert!(sys.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn detects_member_list_desync() {
+        let mut sys = checked_system(2);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(10), "a", g));
+        sys.spawn(SpawnSpec::new(compute(10), "b", g));
+        // Corrupt the incremental mirror the way a missed move_member would.
+        let t = sys.members[0].pop().unwrap();
+        sys.members[1].push(t);
+        sys.members[1].sort_unstable();
+        let v = sys.check_invariants();
+        assert!(
+            v.iter().any(|m| m.contains("mirror: members")),
+            "member desync not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_conservation_drift() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(10), "a", g));
+        sys.run_to_quiescence();
+        sys.tasks[0].exec_total += SimDuration::from_nanos(1);
+        let v = sys.check_invariants();
+        assert!(
+            v.iter().any(|m| m.contains("conservation")),
+            "1 ns drift not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_stale_current_mi() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(10), "a", g).mem(0.7));
+        // The zero-delay dispatch event fires on the next step.
+        sys.step();
+        assert!(sys.cores[0].current.is_some());
+        sys.current_mi[0] = 0.0;
+        let v = sys.check_invariants();
+        assert!(
+            v.iter().any(|m| m.contains("current_mi")),
+            "stale current_mi not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_queue_key_mismatch() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(10), "a", g));
+        sys.spawn(SpawnSpec::new(compute(10), "b", g));
+        // Task 1 is queued behind the running task 0; bump its task-table
+        // vruntime without touching its queue key.
+        assert_eq!(sys.tasks[1].state, TaskState::Runnable);
+        sys.tasks[1].vruntime += 17;
+        let v = sys.check_invariants();
+        assert!(
+            v.iter().any(|m| m.contains("queue[0]")),
+            "queue key mismatch not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_affinity_breach() {
+        let mut sys = checked_system(2);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(10), "a", g).pin(CoreId(1)));
+        // Repin behind the system's back, leaving the task on core 1.
+        sys.tasks[0].pinned = Some(CoreId(0));
+        let v = sys.check_invariants();
+        assert!(
+            v.iter().any(|m| m.contains("affinity")),
+            "affinity breach not caught: {v:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation at post-step")]
+    fn hook_panics_on_violation() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(10), "a", g));
+        sys.tasks[0].exec_total += SimDuration::from_nanos(1);
+        sys.run_to_quiescence();
+    }
+
+    #[test]
+    fn floor_regression_is_flagged() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(500), "a", g));
+        sys.spawn(SpawnSpec::new(compute(500), "b", g));
+        sys.run_until(SimTime::from_millis(400));
+        assert!(
+            sys.cores[0].queue.min_vruntime() > 0,
+            "floor must have advanced for the regression to be observable"
+        );
+        let state = sys.check.as_ref().unwrap();
+        assert!(state.floors[0] > 0);
+        // Force the queue's floor back below the recorded high-water mark.
+        let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.cores[0].queue = crate::rq::RunQueue::new();
+            sys.invariant_tick("post-step");
+        }))
+        .unwrap_err();
+        let msg = msg.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("min_vruntime floor"), "got: {msg}");
+    }
+}

@@ -295,6 +295,51 @@ impl<E> EventQueue<E> {
         self.dead = 0;
     }
 
+    /// Exhaustively checks the queue's internal invariants, returning every
+    /// violation found (empty = consistent). O(heap + slots); meant for the
+    /// invariant-checking harness, not the hot path.
+    ///
+    /// Checked: the dead-entry counter matches the number of actually-dead
+    /// heap entries; every armed slot owns **exactly one** live heap entry
+    /// (and a disarmed slot owns none, by the definition of liveness); no
+    /// live entry is scheduled before the queue clock.
+    pub fn validate(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut live_per_slot = vec![0usize; self.slots.len()];
+        let mut dead = 0usize;
+        for e in self.heap.iter() {
+            if Self::entry_is_live(&self.slots, e) {
+                if e.slot != NO_SLOT {
+                    live_per_slot[e.slot as usize] += 1;
+                }
+                if e.time < self.now {
+                    violations.push(format!(
+                        "live entry (seq {}) at {} is before the clock {}",
+                        e.seq, e.time, self.now
+                    ));
+                }
+            } else {
+                dead += 1;
+            }
+        }
+        if dead != self.dead {
+            violations.push(format!(
+                "dead counter {} != {} actually-dead heap entries",
+                self.dead, dead
+            ));
+        }
+        for (i, armed) in self.slots.iter().enumerate() {
+            let live = live_per_slot[i];
+            if armed.is_some() && live != 1 {
+                violations.push(format!(
+                    "slot {i} armed (seq {:?}) but owns {live} live entries",
+                    armed
+                ));
+            }
+        }
+        violations
+    }
+
     /// Advances the clock to `t` without processing events. Panics if a
     /// live event earlier than `t` is still pending (that event must be
     /// popped first). Used to settle the clock at a run deadline when the
@@ -498,6 +543,42 @@ mod tests {
         assert!(q.compactions() >= 1, "cancellations must compact the heap");
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
         assert_eq!(order, expect, "FIFO within the instant, dead entries gone");
+    }
+
+    #[test]
+    fn validate_accepts_consistent_queue() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule(SimTime::from_millis(1), "plain");
+        q.schedule_in_slot(s, SimTime::from_millis(5), "old");
+        q.schedule_in_slot(s, SimTime::from_millis(2), "new"); // one dead entry
+        assert!(q.validate().is_empty(), "{:?}", q.validate());
+        q.pop();
+        q.pop();
+        assert!(q.validate().is_empty(), "{:?}", q.validate());
+    }
+
+    #[test]
+    fn validate_flags_corrupted_dead_counter_and_phantom_arm() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_slot();
+        q.schedule_in_slot(s, SimTime::from_millis(1), ());
+        q.schedule_in_slot(s, SimTime::from_millis(2), ());
+        // Corrupt the dead counter.
+        q.dead = 0;
+        let v = q.validate();
+        assert!(
+            v.iter().any(|m| m.contains("dead counter")),
+            "dead-counter violation not reported: {v:?}"
+        );
+        q.dead = 1;
+        // Arm the slot at a sequence number with no heap entry behind it.
+        q.slots[0] = Some(u64::MAX);
+        let v = q.validate();
+        assert!(
+            v.iter().any(|m| m.contains("owns 0 live entries")),
+            "phantom-arm violation not reported: {v:?}"
+        );
     }
 
     #[test]

@@ -55,11 +55,13 @@
 //! | [`analytic`] | Lemma 1, profitability thresholds, asymptotic speeds |
 //! | [`metrics`] | repeat statistics, variation, text tables |
 //! | [`harness`] | scenario runner + regenerators for every figure/table |
+//! | [`check`] | invariant/differential/conformance correctness subsystem |
 //! | [`native`] | the real Linux `speedbalancer` (procfs + affinity) |
 
 pub use speedbal_analytic as analytic;
 pub use speedbal_apps as apps;
 pub use speedbal_balancers as balancers;
+pub use speedbal_check as check;
 pub use speedbal_core as core;
 pub use speedbal_harness as harness;
 pub use speedbal_machine as machine;

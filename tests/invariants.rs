@@ -154,6 +154,75 @@ proptest! {
             "balanced run {t} strayed from ideal {ideal} ({s:?})"
         );
     }
+
+    /// Front-end to the `speedbal-check` differential harness: replaying
+    /// any small scenario with tracing on, with the runtime invariant
+    /// checker on, and (for SPEED) with the reference whole-table balancer
+    /// scan must be bit-identical to the plain run — the observational
+    /// paths may never perturb the simulation.
+    #[test]
+    fn observational_paths_replay_bit_identically(s in scenario_strategy()) {
+        let app = SpmdConfig {
+            threads: s.threads,
+            phases: s.phases.min(3),
+            work_per_phase: SimDuration::from_micros(s.work_us),
+            imbalance: 0.0,
+            wait: s.wait,
+            rss_per_thread: 1 << 20,
+            mem_intensity: 0.0,
+        };
+        let sc = Scenario::new(Machine::Uniform(s.cores), 0, s.policy.clone(), app)
+            .repeats(1)
+            .seed(s.seed);
+        let failures = speedbal::check::diff_repeat(&sc, 0);
+        prop_assert!(failures.is_empty(), "differential failures: {failures:?}");
+    }
+}
+
+/// The proptest regression that `balanced_runs_stay_optimal` once minimized
+/// to (still replayed from `invariants.proptest-regressions`, and promoted
+/// here so the case is documented and survives regression-file pruning):
+/// 2 spin-waiting threads on 2 cores, a single 1177 µs phase, under LOAD.
+/// Both threads spawn at t=0 and LOAD's placement saw stale idleness data
+/// (paper footnote 1), piling both onto core 0; with one sub-interval phase
+/// there is no balancing tick left to spread them, so the run came in at
+/// ~2× ideal — beyond the bound before it gained the +30 ms start-up slack.
+#[test]
+fn load_startup_pileup_stays_within_slack() {
+    let s = SmallScenario {
+        cores: 2,
+        threads: 2,
+        phases: 1,
+        work_us: 1177,
+        wait: WaitMode::Spin,
+        policy: Policy::Load,
+        seed: 1499061424425350044,
+    };
+    let (res, total_work) = run_small(&s);
+    assert_eq!(res.timeouts, 0);
+    let ideal = total_work / 2.0;
+    let t = res.completion.values[0];
+    assert!(
+        t <= ideal * 1.15 + 0.030,
+        "LOAD start-up pile-up regressed past the slack: {t} vs ideal {ideal}"
+    );
+}
+
+/// The runtime invariant checker must actually run when enabled (the CI
+/// check job and `SPEEDBAL_CHECK=1` rely on it being live, not a no-op).
+#[test]
+fn invariant_checker_is_live() {
+    let app = ep().spmd(3, WaitMode::Yield, 0.05);
+    let sc = Scenario::new(Machine::Uniform(2), 0, Policy::Speed, app)
+        .repeats(1)
+        .checked(true);
+    let (out, sys) = speedbal::harness::run_repeat_detailed(&sc, 0, false);
+    assert!(!out.timed_out);
+    assert!(sys.invariant_checks_enabled());
+    assert!(
+        sys.invariant_checks_run() > 0,
+        "checked scenario must exercise the invariant checker"
+    );
 }
 
 /// The speed balancer's own invariants, on a deterministic stress case.
