@@ -17,7 +17,8 @@
 //! bits, per-task execution totals as exact nanosecond counts, and the
 //! two traced variants additionally compare their full migration logs.
 
-use speedbal_harness::{run_repeat_detailed, Policy, RepeatOutcome, Scenario};
+use speedbal_harness::sweep::scenario_cost;
+use speedbal_harness::{run_repeat_detailed, run_sweep, Policy, RepeatOutcome, Scenario, SweepJob};
 use speedbal_sched::System;
 use speedbal_trace::{MigrationReason, TraceBuffer, TraceEvent};
 
@@ -132,14 +133,21 @@ pub fn diff_repeat(s: &Scenario, r: usize) -> Vec<String> {
 /// Runs [`diff_repeat`] over every repeat of every scenario; returns
 /// `(cases run, failures)`.
 pub fn diff_scenarios(scenarios: &[Scenario]) -> (usize, Vec<String>) {
-    let mut cases = 0;
-    let mut failures = Vec::new();
+    // Every (scenario, repeat) differential is independent — each one
+    // replays the same seed along four paths — so fan them out on the
+    // sweep executor. Results come back in submission order, keeping the
+    // failure list identical to the serial loop's.
+    let mut jobs: Vec<SweepJob<Vec<String>>> = Vec::new();
     for s in scenarios {
+        // diff_repeat runs one repeat ~4 times; cost ≈ one repeat's cost.
+        let cost = (scenario_cost(s) / s.repeats.max(1) as u64).max(1) * 4;
         for r in 0..s.repeats {
-            cases += 1;
-            failures.extend(diff_repeat(s, r));
+            let s = s.clone();
+            jobs.push(SweepJob::new(cost, move || diff_repeat(&s, r)));
         }
     }
+    let cases = jobs.len();
+    let failures = run_sweep(jobs).into_iter().flatten().collect();
     (cases, failures)
 }
 

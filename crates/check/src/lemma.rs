@@ -31,6 +31,7 @@
 
 use speedbal_analytic::balancing_steps;
 use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
+use speedbal_harness::{run_sweep, SweepJob};
 use speedbal_machine::{uniform, CostModel};
 use speedbal_sched::{Directive, SchedConfig, ScriptProgram, SpawnSpec, System, TaskId};
 use speedbal_sim::{SimDuration, SimTime};
@@ -173,14 +174,25 @@ pub fn conformance_cell(n: u32, m: u32) -> Result<LemmaCell, String> {
 /// Returns the per-cell outcomes and any violations.
 pub fn conformance_sweep(quick: bool) -> (Vec<LemmaCell>, Vec<String>) {
     let max_m = if quick { 4 } else { 8 };
-    let mut cells = Vec::new();
-    let mut failures = Vec::new();
+    let mut grid: Vec<(u32, u32)> = Vec::new();
     for m in 2..=max_m {
         for n in m..=2 * m + 1 {
-            match conformance_cell(n, m) {
-                Ok(cell) => cells.push(cell),
-                Err(e) => failures.push(e),
-            }
+            grid.push((n, m));
+        }
+    }
+    // Each cell is an independent seeded simulation; run the grid on the
+    // shared sweep executor. Bigger grids simulate more threads for more
+    // rounds, so n×m is a serviceable cost hint.
+    let jobs = grid
+        .into_iter()
+        .map(|(n, m)| SweepJob::new(u64::from(n) * u64::from(m), move || conformance_cell(n, m)))
+        .collect();
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for outcome in run_sweep(jobs) {
+        match outcome {
+            Ok(cell) => cells.push(cell),
+            Err(e) => failures.push(e),
         }
     }
     (cells, failures)

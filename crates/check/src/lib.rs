@@ -26,7 +26,7 @@ pub use lemma::{conformance_cell, conformance_sweep, LemmaCell};
 pub use refqueue::{differential_queue_case, PostedQueue, QueueCaseStats};
 
 use speedbal_apps::WaitMode;
-use speedbal_harness::{Machine, Policy, Scenario};
+use speedbal_harness::{run_sweep, Competitor, Machine, Policy, Scenario, SweepJob};
 use speedbal_workloads::ep;
 
 /// Combined outcome of the full check run.
@@ -121,6 +121,20 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
             )
             .repeats(repeats),
         );
+        // Multiprogrammed cell: EP sharing the machine with a pinned
+        // cpu-hog (Figure 5's setup), so the traced / checked /
+        // reference-scan paths are replayed bit-for-bit with competitor
+        // tasks churning the run queues.
+        v.push(
+            Scenario::new(
+                Machine::Tigerton,
+                6,
+                Policy::Speed,
+                ep().spmd(8, WaitMode::Yield, 0.05),
+            )
+            .competitors(vec![Competitor::CpuHog { core: 0 }])
+            .repeats(repeats),
+        );
     }
     v
 }
@@ -130,15 +144,21 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
 pub fn run_full_check(quick: bool) -> CheckReport {
     let mut failures = Vec::new();
 
+    // Each fuzz seed is independent; fan them out on the sweep executor
+    // (results return in seed order, so the failure list is stable).
     let seeds: u64 = if quick { 8 } else { 32 };
     let ops = if quick { 1_500 } else { 4_000 };
-    let mut queue_cases = 0;
-    for seed in 0..seeds {
-        queue_cases += 1;
-        if let Err(e) = differential_queue_case(seed, ops) {
-            failures.push(format!("queue differential seed {seed}: {e}"));
-        }
-    }
+    let queue_jobs = (0..seeds)
+        .map(|seed| {
+            SweepJob::new(ops as u64, move || {
+                differential_queue_case(seed, ops)
+                    .err()
+                    .map(|e| format!("queue differential seed {seed}: {e}"))
+            })
+        })
+        .collect();
+    let queue_cases = seeds as usize;
+    failures.extend(run_sweep(queue_jobs).into_iter().flatten());
 
     let (diff_cases, diff_failures) = diff_scenarios(&diff_battery(quick));
     failures.extend(diff_failures);

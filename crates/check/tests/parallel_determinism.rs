@@ -1,0 +1,22 @@
+//! The correctness subsystem rides the same sweep executor as the
+//! experiment suite; its outputs must likewise be independent of the
+//! worker count.
+
+use speedbal_check::conformance_sweep;
+use speedbal_harness::set_jobs;
+
+#[test]
+fn lemma_quick_grid_is_identical_across_job_counts() {
+    set_jobs(Some(1));
+    let (serial_cells, serial_failures) = conformance_sweep(true);
+    set_jobs(Some(4));
+    let (parallel_cells, parallel_failures) = conformance_sweep(true);
+    set_jobs(None);
+
+    assert_eq!(serial_failures, parallel_failures);
+    assert_eq!(
+        format!("{serial_cells:?}"),
+        format!("{parallel_cells:?}"),
+        "Lemma 1 grid must be worker-count-independent"
+    );
+}

@@ -38,6 +38,15 @@
 //!                    artifact every scenario dumps one file per repeat.
 //!   --quick          bench: quarter-scale workload, best of 3 (CI-sized)
 //!                    check: fewer fuzz seeds, smaller grid (CI-sized)
+//!   --jobs <n>       sweep-executor worker budget (also caps the
+//!                    per-scenario repeat pool); default: SPEEDBAL_JOBS or
+//!                    the machine's parallelism. Results are byte-identical
+//!                    at every job count.
+//!   --no-cache       bypass the content-addressed result cache in
+//!                    target/sweep-cache/ (cells always re-run)
+//!   --trace-sample <r>  with trace: keep only fraction r of ctx-switch /
+//!                    speed-sample records (deterministic per seed);
+//!                    aggregates and summaries stay exact
 //!   --out <f>        bench: output path [default: BENCH_sim.json]
 //!   --check <f>      bench: compare against a committed report instead of
 //!                    writing; fail if ns/step exceeds 2x the committed value
@@ -46,7 +55,8 @@
 use speedbal_harness::experiments::{self, Profile};
 use speedbal_harness::perf;
 use speedbal_harness::{
-    run_scenario_with_traces, set_trace_output, trace_file_path, Machine, Policy,
+    effective_jobs, run_scenario_with_traces, set_cache_enabled, set_jobs, set_trace_output,
+    sweep_stats, trace_file_path, Machine, Policy,
 };
 use speedbal_trace::{export_chrome, render_summary};
 use std::path::PathBuf;
@@ -63,6 +73,13 @@ struct Options {
     bench_quick: bool,
     bench_out: Option<PathBuf>,
     bench_check: Option<PathBuf>,
+    /// Sweep-executor worker budget (`--jobs`); falls back to
+    /// `SPEEDBAL_JOBS`, then the machine's parallelism.
+    jobs: Option<usize>,
+    /// Bypass the content-addressed result cache.
+    no_cache: bool,
+    /// Fraction of high-volume trace records retained (`trace` artifact).
+    trace_sample: f64,
     artifacts: Vec<String>,
 }
 
@@ -87,6 +104,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut bench_quick = false;
     let mut bench_out = None;
     let mut bench_check = None;
+    let mut jobs = None;
+    let mut no_cache = false;
+    let mut trace_sample = 1.0f64;
     let mut artifacts = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -120,6 +140,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 trace_out = Some(PathBuf::from(v));
             }
             "--quick" => bench_quick = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --jobs {v}: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
+            }
+            "--no-cache" => no_cache = true,
+            "--trace-sample" => {
+                let v = it.next().ok_or("--trace-sample needs a rate")?;
+                trace_sample = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --trace-sample {v}: {e}"))?;
+                if !(trace_sample > 0.0 && trace_sample <= 1.0) {
+                    return Err("--trace-sample must be in (0, 1]".into());
+                }
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a path")?;
                 bench_out = Some(PathBuf::from(v));
@@ -160,6 +200,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bench_quick,
         bench_out,
         bench_check,
+        jobs,
+        no_cache,
+        trace_sample,
         artifacts,
     })
 }
@@ -182,7 +225,7 @@ fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
     };
     println!("== trace: {name} ==");
     for (seq, policy) in policies.into_iter().enumerate() {
-        let s = experiments::trace_scenario(name, policy, p)?;
+        let s = experiments::trace_scenario(name, policy, p)?.trace_sampled(opts.trace_sample);
         let (result, traces) = run_scenario_with_traces(&s);
         for (r, buf) in traces.iter().enumerate() {
             let buf = buf.as_ref().expect("trace scenarios always record");
@@ -222,7 +265,9 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         cfg.scale,
         cfg.repeats
     );
-    let report = perf::run_bench(&cfg, |line| eprintln!("  {line}"));
+    let mut report = perf::run_bench(&cfg, |line| eprintln!("  {line}"));
+    eprintln!("== sweep bench: 12-cell scenario grid, cold + warm pass ==");
+    report.sweep = Some(perf::run_sweep_bench(&cfg));
     println!(
         "{} steps in {:.3} sim secs: {:.1} ns/step ({:.0} steps/sec), \
          dead_ratio {:.4}, {} cancellations, {} compactions, peak RSS {} kB",
@@ -235,6 +280,13 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         report.compactions,
         report.peak_rss_kb
     );
+    if let Some(sw) = &report.sweep {
+        println!(
+            "sweep: {} cells in {:.3}s ({:.1} cells/sec) on {} worker(s); \
+             warm pass: {} cache hits",
+            sw.cells, sw.wall_secs, sw.cells_per_sec, sw.jobs, sw.cache_hits
+        );
+    }
     if let Some(check) = &opts.bench_check {
         let text = std::fs::read_to_string(check)
             .map_err(|e| format!("reading {}: {e}", check.display()))?;
@@ -376,6 +428,11 @@ fn main() -> ExitCode {
             };
         }
     };
+    set_jobs(opts.jobs);
+    // The content-addressed result cache is a CLI feature: figure/table
+    // cells replay from target/sweep-cache unless --no-cache is passed.
+    // (Library and test use keeps it off so results are always re-run.)
+    set_cache_enabled(!opts.no_cache);
     // bench and check have their own knobs; the profile line only
     // describes figure/table/trace artifacts.
     if opts.artifacts.iter().any(|a| a != "bench" && a != "check") {
@@ -394,6 +451,22 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    // Executor report on stderr: stdout stays byte-identical to a serial,
+    // cacheless run.
+    let st = sweep_stats();
+    if st.cells > 0 {
+        eprintln!(
+            "# sweep: {} cells in {:.2}s ({:.1} cells/sec) on {} worker(s); \
+             cache: {} hits, {} misses{}",
+            st.cells,
+            st.wall_secs,
+            st.cells_per_sec(),
+            effective_jobs(),
+            st.cache_hits,
+            st.cache_misses,
+            if opts.no_cache { " (disabled)" } else { "" }
+        );
     }
     ExitCode::SUCCESS
 }
@@ -465,6 +538,29 @@ mod tests {
 
         let o = parse(&["check", "--quick"]).unwrap();
         assert!(o.bench_quick);
+    }
+
+    #[test]
+    fn parses_sweep_and_sampling_options() {
+        let o = parse(&["--jobs", "4", "--no-cache", "fig2"]).unwrap();
+        assert_eq!(o.jobs, Some(4));
+        assert!(o.no_cache);
+        assert_eq!(o.trace_sample, 1.0);
+
+        let o = parse(&["--trace-sample", "0.25", "trace", "ep-3x2"]).unwrap();
+        assert_eq!(o.trace_sample, 0.25);
+        assert!(o.jobs.is_none() && !o.no_cache);
+
+        assert!(parse(&["--jobs", "0", "fig1"]).is_err(), "zero jobs");
+        assert!(parse(&["--jobs", "x", "fig1"]).is_err(), "bad jobs");
+        assert!(
+            parse(&["--trace-sample", "0", "fig1"]).is_err(),
+            "rate 0 drops every sampled record"
+        );
+        assert!(
+            parse(&["--trace-sample", "1.5", "fig1"]).is_err(),
+            "rate above 1"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! fall — is the reproduction target (see EXPERIMENTS.md for the recorded
 //! comparison).
 
-use crate::scenario::{run_scenario, Competitor, Machine, Policy, Scenario};
+use crate::scenario::{Competitor, Machine, Policy, Scenario};
+use crate::sweep::run_scenarios;
 use serde::{Deserialize, Serialize};
 use speedbal_analytic::{balancing_steps, min_profitable_granularity};
 use speedbal_apps::WaitMode;
@@ -140,43 +141,50 @@ pub fn fig2(profile: Profile) -> Figure {
     let fair_secs = per_thread.as_secs_f64() * 3.0 / 2.0;
     let granularities_us: Vec<u64> = vec![100, 500, 1_000, 5_000, 10_000, 50_000, 100_000];
     let intervals_ms = [20u64, 50, 100, 200];
-    let mut series: Vec<Series> = Vec::new();
+    // Build the full grid up front so the sweep executor can run the cells
+    // in parallel; results come back in submission order.
+    let mut scenarios = Vec::new();
     for b in intervals_ms {
-        let mut s = Series::new(format!("SPEED-B{b}ms"));
         for &g in &granularities_us {
             let spec = ep_modified(SimDuration::from_micros(g), per_thread, 3);
             let app = spec.spmd(3, WaitMode::Yield, 1.0);
             let mut cfg = SpeedBalancerConfig::with_interval(SimDuration::from_millis(b));
             cfg.measurement_noise = 0.01;
-            let res = run_scenario(
-                &Scenario::new(Machine::Uniform(2), 0, Policy::SpeedWith(cfg), app)
+            scenarios.push(
+                Scenario::new(Machine::Uniform(2), 0, Policy::SpeedWith(cfg), app)
                     .repeats(profile.repeats),
             );
-            let slowdowns = res
-                .completion
-                .values
-                .iter()
-                .map(|c| c / fair_secs)
-                .collect();
-            s.push(g as f64, stats_of(slowdowns));
         }
-        series.push(s);
     }
     // LOAD baseline: static 2/1 split => slowdown ≈ 4/3.
-    let mut load = Series::new("LOAD");
     for &g in &granularities_us {
         let spec = ep_modified(SimDuration::from_micros(g), per_thread, 3);
         let app = spec.spmd(3, WaitMode::Yield, 1.0);
-        let res = run_scenario(
-            &Scenario::new(Machine::Uniform(2), 0, Policy::Load, app).repeats(profile.repeats),
+        scenarios.push(
+            Scenario::new(Machine::Uniform(2), 0, Policy::Load, app).repeats(profile.repeats),
         );
-        let slowdowns = res
-            .completion
-            .values
-            .iter()
-            .map(|c| c / fair_secs)
-            .collect();
-        load.push(g as f64, stats_of(slowdowns));
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let slowdowns = |res: crate::scenario::ScenarioResult| {
+        stats_of(
+            res.completion
+                .values
+                .iter()
+                .map(|c| c / fair_secs)
+                .collect(),
+        )
+    };
+    let mut series: Vec<Series> = Vec::new();
+    for b in intervals_ms {
+        let mut s = Series::new(format!("SPEED-B{b}ms"));
+        for &g in &granularities_us {
+            s.push(g as f64, slowdowns(results.next().unwrap()));
+        }
+        series.push(s);
+    }
+    let mut load = Series::new("LOAD");
+    for &g in &granularities_us {
+        load.push(g as f64, slowdowns(results.next().unwrap()));
     }
     series.push(load);
     Figure {
@@ -245,28 +253,36 @@ pub fn fig3(machine: Machine, profile: Profile) -> Figure {
     let spec = ep();
     let serial = spec.serial_time(profile.scale).as_secs_f64();
     let core_counts: Vec<usize> = (1..=16).collect();
-    let mut series = Vec::new();
 
-    let mut one_per_core = Series::new("One-per-core");
+    let mut scenarios = Vec::new();
     for &n in &core_counts {
         let app = spec.spmd(n, WaitMode::Spin, profile.scale);
-        let res = run_scenario(
-            &Scenario::new(machine.clone(), n, Policy::Pinned, app).repeats(profile.repeats),
-        );
-        let speedups = res.completion.values.iter().map(|c| serial / c).collect();
-        one_per_core.push(n as f64, stats_of(speedups));
+        scenarios
+            .push(Scenario::new(machine.clone(), n, Policy::Pinned, app).repeats(profile.repeats));
     }
-    series.push(one_per_core);
-
-    for (label, policy, wait) in fig3_policies() {
-        let mut s = Series::new(label);
+    for (_, policy, wait) in fig3_policies() {
         for &n in &core_counts {
             let app = spec.spmd(16, wait, profile.scale);
-            let res = run_scenario(
-                &Scenario::new(machine.clone(), n, policy.clone(), app).repeats(profile.repeats),
+            scenarios.push(
+                Scenario::new(machine.clone(), n, policy.clone(), app).repeats(profile.repeats),
             );
-            let speedups = res.completion.values.iter().map(|c| serial / c).collect();
-            s.push(n as f64, stats_of(speedups));
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let speedups = |res: crate::scenario::ScenarioResult| {
+        stats_of(res.completion.values.iter().map(|c| serial / c).collect())
+    };
+
+    let mut series = Vec::new();
+    let mut one_per_core = Series::new("One-per-core");
+    for &n in &core_counts {
+        one_per_core.push(n as f64, speedups(results.next().unwrap()));
+    }
+    series.push(one_per_core);
+    for (label, _, _) in fig3_policies() {
+        let mut s = Series::new(label);
+        for &n in &core_counts {
+            s.push(n as f64, speedups(results.next().unwrap()));
         }
         series.push(s);
     }
@@ -297,22 +313,24 @@ pub fn tab2(profile: Profile) -> TextTable {
         "speedup@16 tigerton",
         "speedup@16 barcelona",
     ]);
+    let mut scenarios = Vec::new();
     for spec in npb_suite() {
-        let serial = spec.serial_time(profile.scale).as_secs_f64();
-        let mut speedups = Vec::new();
         for machine in [Machine::Tigerton, Machine::Barcelona] {
             let app = spec.spmd(16, WaitMode::Yield, profile.scale);
-            let res = run_scenario(
-                &Scenario::new(machine, 16, Policy::Speed, app).repeats(profile.repeats),
-            );
-            speedups.push(res.speedup(serial));
+            scenarios.push(Scenario::new(machine, 16, Policy::Speed, app).repeats(profile.repeats));
         }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    for spec in npb_suite() {
+        let serial = spec.serial_time(profile.scale).as_secs_f64();
+        let tigerton = results.next().unwrap().speedup(serial);
+        let barcelona = results.next().unwrap().speedup(serial);
         t.row(vec![
             spec.name.to_string(),
             fmt_f(spec.rss_per_thread_bytes as f64 / (1u64 << 30) as f64),
             fmt_f(spec.inter_barrier.as_millis_f64()),
-            fmt_f(speedups[0]),
-            fmt_f(speedups[1]),
+            fmt_f(tigerton),
+            fmt_f(barcelona),
         ]);
     }
     t
@@ -342,22 +360,27 @@ pub fn suite_core_counts() -> Vec<usize> {
 /// Runs the combined UPC-style workload (yield barriers) under SPEED, LOAD
 /// and PINNED for every benchmark × core count.
 pub fn suite_sweep(machine: Machine, profile: Profile) -> Vec<SuiteCell> {
+    let mut scenarios = Vec::new();
+    for spec in npb_suite() {
+        for &cores in &suite_core_counts() {
+            for policy in [Policy::Speed, Policy::Load, Policy::Pinned] {
+                let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+                scenarios.push(
+                    Scenario::new(machine.clone(), cores, policy, app).repeats(profile.repeats),
+                );
+            }
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
     let mut cells = Vec::new();
     for spec in npb_suite() {
         for &cores in &suite_core_counts() {
-            let run = |policy: Policy| {
-                let app = spec.spmd(16, WaitMode::Yield, profile.scale);
-                run_scenario(
-                    &Scenario::new(machine.clone(), cores, policy, app).repeats(profile.repeats),
-                )
-                .completion
-            };
             cells.push(SuiteCell {
                 benchmark: spec.name.to_string(),
                 cores,
-                speed: run(Policy::Speed),
-                load: run(Policy::Load),
-                pinned: run(Policy::Pinned),
+                speed: results.next().unwrap().completion,
+                load: results.next().unwrap().completion,
+                pinned: results.next().unwrap().completion,
             });
         }
     }
@@ -458,41 +481,48 @@ pub fn fig5(profile: Profile) -> Figure {
     let spec = ep();
     let serial = spec.serial_time(profile.scale).as_secs_f64();
     let core_counts: Vec<usize> = (2..=16).collect();
-    let mut series = Vec::new();
-
-    // One thread per core, pinned: the hog always takes half of core 0.
-    let mut opc = Series::new("One-per-core");
-    for &n in &core_counts {
-        let app = spec.spmd(n, WaitMode::Spin, profile.scale);
-        let res = run_scenario(
-            &Scenario::new(Machine::Tigerton, n, Policy::Pinned, app)
-                .competitors(vec![Competitor::CpuHog { core: 0 }])
-                .repeats(profile.repeats),
-        );
-        opc.push(
-            n as f64,
-            stats_of(res.completion.values.iter().map(|c| serial / c).collect()),
-        );
-    }
-    series.push(opc);
-
-    for (label, policy) in [
+    let policies = [
         ("PINNED-16", Policy::Pinned),
         ("LOAD", Policy::Load),
         ("SPEED", Policy::Speed),
-    ] {
-        let mut s = Series::new(label);
+    ];
+
+    // One thread per core, pinned (the hog always takes half of core 0),
+    // then each 16-thread policy; every cell shares the pinned hog.
+    let mut scenarios = Vec::new();
+    for &n in &core_counts {
+        let app = spec.spmd(n, WaitMode::Spin, profile.scale);
+        scenarios.push(
+            Scenario::new(Machine::Tigerton, n, Policy::Pinned, app)
+                .competitors(vec![Competitor::CpuHog { core: 0 }])
+                .repeats(profile.repeats),
+        );
+    }
+    for (_, policy) in &policies {
         for &n in &core_counts {
             let app = spec.spmd(16, WaitMode::Yield, profile.scale);
-            let res = run_scenario(
-                &Scenario::new(Machine::Tigerton, n, policy.clone(), app)
+            scenarios.push(
+                Scenario::new(Machine::Tigerton, n, policy.clone(), app)
                     .competitors(vec![Competitor::CpuHog { core: 0 }])
                     .repeats(profile.repeats),
             );
-            s.push(
-                n as f64,
-                stats_of(res.completion.values.iter().map(|c| serial / c).collect()),
-            );
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let speedups = |res: crate::scenario::ScenarioResult| {
+        stats_of(res.completion.values.iter().map(|c| serial / c).collect())
+    };
+
+    let mut series = Vec::new();
+    let mut opc = Series::new("One-per-core");
+    for &n in &core_counts {
+        opc.push(n as f64, speedups(results.next().unwrap()));
+    }
+    series.push(opc);
+    for (label, _) in &policies {
+        let mut s = Series::new(*label);
+        for &n in &core_counts {
+            s.push(n as f64, speedups(results.next().unwrap()));
         }
         series.push(s);
     }
@@ -517,21 +547,24 @@ pub fn fig5(profile: Profile) -> Figure {
 /// workload; relative performance of SPEED over LOAD per benchmark.
 pub fn fig6(profile: Profile) -> TextTable {
     let mut t = TextTable::new(&["BM", "SPEED(s)", "LOAD(s)", "LOAD/SPEED"]);
+    let mut scenarios = Vec::new();
     for spec in npb_suite() {
-        let run = |policy: Policy| {
+        for policy in [Policy::Speed, Policy::Load] {
             let app = spec.spmd(16, WaitMode::Yield, profile.scale);
-            run_scenario(
-                &Scenario::new(Machine::Tigerton, 16, policy, app)
+            scenarios.push(
+                Scenario::new(Machine::Tigerton, 16, policy, app)
                     .competitors(vec![Competitor::MakeJ {
                         tasks: 8,
                         jobs_per_task: 40,
                     }])
                     .repeats(profile.repeats),
-            )
-            .completion
-        };
-        let speed = run(Policy::Speed);
-        let load = run(Policy::Load);
+            );
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    for spec in npb_suite() {
+        let speed = results.next().unwrap().completion;
+        let load = results.next().unwrap().completion;
         t.row(vec![
             spec.name.to_string(),
             fmt_f(speed.mean()),
@@ -552,21 +585,24 @@ pub fn fig6(profile: Profile) -> TextTable {
 pub fn barriers(profile: Profile) -> TextTable {
     let spec = speedbal_workloads::npb("cg.B").unwrap();
     let mut t = TextTable::new(&["barrier", "LOAD(s)", "SPEED(s)", "LOAD/SPEED"]);
-    for (label, wait) in [
+    let waits = [
         ("DEF (spin 200ms then sleep)", WaitMode::kmp_default()),
         ("INF (poll)", WaitMode::Spin),
         ("YIELD (sched_yield)", WaitMode::Yield),
         ("SLEEP (block)", WaitMode::Block),
-    ] {
-        let run = |policy: Policy| {
+    ];
+    let mut scenarios = Vec::new();
+    for (_, wait) in waits {
+        for policy in [Policy::Load, Policy::Speed] {
             let app = spec.spmd(16, wait, profile.scale);
-            run_scenario(
-                &Scenario::new(Machine::Tigerton, 12, policy, app).repeats(profile.repeats),
-            )
-            .completion
-        };
-        let load = run(Policy::Load);
-        let speed = run(Policy::Speed);
+            scenarios
+                .push(Scenario::new(Machine::Tigerton, 12, policy, app).repeats(profile.repeats));
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    for (label, _) in waits {
+        let load = results.next().unwrap().completion;
+        let speed = results.next().unwrap().completion;
         t.row(vec![
             label.to_string(),
             fmt_f(load.mean()),
@@ -591,16 +627,20 @@ pub fn numa(profile: Profile) -> TextTable {
         block_numa_migrations: false,
         ..Default::default()
     };
-    for (label, policy) in [
+    let policies = [
         ("PINNED", Policy::Pinned),
         ("LOAD", Policy::Load),
         ("SPEED (NUMA blocked)", Policy::Speed),
         ("SPEED (NUMA allowed)", Policy::SpeedWith(cfg_free.clone())),
-    ] {
-        let app = spec.spmd(16, WaitMode::Yield, profile.scale);
-        let res = run_scenario(
-            &Scenario::new(Machine::Barcelona, 13, policy, app).repeats(profile.repeats),
-        );
+    ];
+    let scenarios = policies
+        .iter()
+        .map(|(_, policy)| {
+            let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+            Scenario::new(Machine::Barcelona, 13, policy.clone(), app).repeats(profile.repeats)
+        })
+        .collect();
+    for ((label, _), res) in policies.iter().zip(run_scenarios(scenarios)) {
         t.row(vec![
             label.to_string(),
             fmt_f(res.completion.mean()),
@@ -673,6 +713,7 @@ pub fn trace_scenario(name: &str, policy: Policy, profile: Profile) -> Result<Sc
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::run_scenario;
 
     fn tiny() -> Profile {
         Profile {

@@ -64,6 +64,23 @@ impl BenchConfig {
     }
 }
 
+/// Throughput of the sweep executor over a deterministic scenario grid:
+/// a cold pass (every cell simulated, results persisted) and a warm pass
+/// (every cell answered from the content-addressed cache).
+#[derive(Debug, Clone)]
+pub struct SweepBenchReport {
+    /// Cells in the grid (identical for the cold and warm pass).
+    pub cells: u64,
+    /// Wall-clock seconds of the cold pass.
+    pub wall_secs: f64,
+    /// Cold-pass throughput.
+    pub cells_per_sec: f64,
+    /// Cache hits observed by the warm pass (must equal `cells`).
+    pub cache_hits: u64,
+    /// Worker budget the executor ran with.
+    pub jobs: usize,
+}
+
 /// One benchmark result (the best repeat, plus run-invariant counters).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -87,6 +104,9 @@ pub struct BenchReport {
     pub compactions: u64,
     /// Process peak RSS (`VmHWM`) in kB, if readable.
     pub peak_rss_kb: u64,
+    /// Sweep-executor throughput section (schema v2); `None` when the
+    /// sweep bench was not run.
+    pub sweep: Option<SweepBenchReport>,
 }
 
 fn build_system() -> (System, GroupId) {
@@ -199,6 +219,78 @@ pub fn run_bench(cfg: &BenchConfig, mut progress: impl FnMut(&str)) -> BenchRepo
         cancellations: best.cancellations,
         compactions: best.compactions,
         peak_rss_kb: peak_rss_kb(),
+        sweep: None,
+    }
+}
+
+/// The deterministic scenario grid behind the sweep throughput bench:
+/// three policies × four thread counts of EP on a 4-core uniform machine,
+/// two repeats each — 12 cells with a spread of costs, so the LPT
+/// scheduler and the cache both get exercised.
+fn sweep_bench_scenarios(scale: f64) -> Vec<crate::scenario::Scenario> {
+    use crate::scenario::{Machine, Policy, Scenario};
+    let mut v = Vec::new();
+    for policy in [Policy::Speed, Policy::Load, Policy::Pinned] {
+        for threads in [3usize, 5, 6, 8] {
+            let app = speedbal_workloads::ep().spmd(threads, WaitMode::Yield, scale);
+            v.push(Scenario::new(Machine::Uniform(4), 0, policy.clone(), app).repeats(2));
+        }
+    }
+    v
+}
+
+/// Benchmarks the sweep executor: a cold pass over a fixed 12-cell scenario grid
+/// (every cell simulated and persisted to a private cache directory) and a
+/// warm pass (every cell answered from the cache). Reports cold-pass
+/// throughput and warm-pass hit count; warm results are asserted
+/// bit-identical to cold ones.
+pub fn run_sweep_bench(cfg: &BenchConfig) -> SweepBenchReport {
+    use crate::sweep;
+    // A private cache directory guarantees a genuinely cold first pass and
+    // a fully-warm second pass, without touching the user's cache.
+    let dir = std::env::temp_dir().join(format!("speedbal-sweep-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let prev_enabled = sweep::cache_enabled();
+    sweep::set_cache_dir(Some(dir.clone()));
+    sweep::set_cache_enabled(true);
+
+    // A fraction of the hot-path bench scale: the grid multiplies the work
+    // by 12 cells × 2 repeats.
+    let scale = (cfg.scale * 0.2).max(0.005);
+    let jobs_of = |scenarios: Vec<crate::scenario::Scenario>| {
+        scenarios
+            .into_iter()
+            .map(|s| {
+                let key = sweep::scenario_cache_key(&s);
+                let cost = sweep::scenario_cost(&s);
+                sweep::SweepJob::cached(cost, key, move || crate::scenario::run_scenario(&s))
+            })
+            .collect::<Vec<_>>()
+    };
+    let (cold, cold_stats) = sweep::run_sweep_with_stats(jobs_of(sweep_bench_scenarios(scale)));
+    let (warm, warm_stats) = sweep::run_sweep_with_stats(jobs_of(sweep_bench_scenarios(scale)));
+
+    sweep::set_cache_enabled(prev_enabled);
+    sweep::set_cache_dir(None);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (c, w) in cold.iter().zip(&warm) {
+        let bits = |s: &crate::scenario::ScenarioResult| {
+            s.completion
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(c), bits(w), "cache replay must be bit-identical");
+    }
+
+    SweepBenchReport {
+        cells: cold_stats.cells,
+        wall_secs: cold_stats.wall_secs,
+        cells_per_sec: cold_stats.cells_per_sec(),
+        cache_hits: warm_stats.cache_hits,
+        jobs: sweep::effective_jobs(),
     }
 }
 
@@ -244,7 +336,7 @@ impl BenchReport {
     pub fn to_json(&self, before: Option<&Baseline>) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"speedbal-bench-v1\",");
+        let _ = writeln!(s, "  \"schema\": \"speedbal-bench-v2\",");
         let _ = writeln!(s, "  \"scenario\": \"{}\",", self.scenario);
         if let Some(b) = before {
             let _ = writeln!(s, "  \"before\": {{");
@@ -266,20 +358,43 @@ impl BenchReport {
         let _ = writeln!(s, "    \"cancellations\": {},", self.cancellations);
         let _ = writeln!(s, "    \"compactions\": {},", self.compactions);
         let _ = writeln!(s, "    \"peak_rss_kb\": {}", self.peak_rss_kb);
-        let _ = writeln!(s, "  }}");
+        match &self.sweep {
+            None => {
+                let _ = writeln!(s, "  }}");
+            }
+            Some(sw) => {
+                let _ = writeln!(s, "  }},");
+                let _ = writeln!(s, "  \"sweep\": {{");
+                let _ = writeln!(s, "    \"cells\": {},", sw.cells);
+                let _ = writeln!(s, "    \"wall_secs\": {},", fmt_f64(sw.wall_secs));
+                let _ = writeln!(s, "    \"cells_per_sec\": {},", fmt_f64(sw.cells_per_sec));
+                let _ = writeln!(s, "    \"cache_hits\": {},", sw.cache_hits);
+                let _ = writeln!(s, "    \"jobs\": {}", sw.jobs);
+                let _ = writeln!(s, "  }}");
+            }
+        }
         s.push_str("}\n");
         s
     }
 }
 
 /// A parsed `BENCH_sim.json` document: the `after` measurements plus the
-/// optional `before` baseline.
+/// optional `before` baseline and (schema v2) sweep-throughput section.
 #[derive(Debug, Clone)]
 pub struct BenchDoc {
     pub before: Option<Baseline>,
     pub after_ns_per_step: f64,
     pub after_steps: u64,
     pub after_scale: f64,
+    pub sweep: Option<SweepDoc>,
+}
+
+/// The committed `sweep` section of a schema-v2 document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDoc {
+    pub cells: u64,
+    pub cells_per_sec: f64,
+    pub cache_hits: u64,
 }
 
 /// Parses the subset of JSON that `BenchReport::to_json` emits (flat
@@ -307,11 +422,20 @@ pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
         }),
         None => None,
     };
+    let sweep = match json::get(obj, "sweep").and_then(|v| v.as_obj()) {
+        Some(sw) => Some(SweepDoc {
+            cells: num(sw, "cells")? as u64,
+            cells_per_sec: num(sw, "cells_per_sec")?,
+            cache_hits: num(sw, "cache_hits")? as u64,
+        }),
+        None => None,
+    };
     Ok(BenchDoc {
         before,
         after_ns_per_step: num(after, "ns_per_step")?,
         after_steps: num(after, "steps")? as u64,
         after_scale: num(after, "scale")?,
+        sweep,
     })
 }
 
@@ -339,14 +463,34 @@ pub fn check_against(
             fresh.ns_per_step, limit, committed.after_ns_per_step
         ));
     }
+    // The sweep section gates only when both sides carry one (v1 documents
+    // and bench runs without the sweep pass stay comparable).
+    if let (Some(fresh_sw), Some(committed_sw)) = (&fresh.sweep, &committed.sweep) {
+        if fresh_sw.cache_hits != fresh_sw.cells {
+            return Err(format!(
+                "sweep cache broken: warm pass hit {} of {} cells",
+                fresh_sw.cache_hits, fresh_sw.cells
+            ));
+        }
+        let floor = committed_sw.cells_per_sec / tolerance;
+        if fresh_sw.cells_per_sec < floor {
+            return Err(format!(
+                "sweep throughput regression: {:.1} cells/sec < {:.1} allowed \
+                 (committed {:.1} ÷ tolerance {tolerance})",
+                fresh_sw.cells_per_sec, floor, committed_sw.cells_per_sec
+            ));
+        }
+    }
     Ok(format!(
         "ok: {:.1} ns/step within {tolerance}x of committed {:.1}",
         fresh.ns_per_step, committed.after_ns_per_step
     ))
 }
 
-/// Minimal recursive-descent JSON reader for the bench document.
-mod json {
+/// Minimal recursive-descent JSON reader for the bench document and the
+/// sweep result cache (the workspace vendors no JSON crate).
+pub mod json {
+    /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
         Num(f64),
@@ -562,6 +706,7 @@ mod tests {
             cancellations: 31_173,
             compactions: 501,
             peak_rss_kb: 2900,
+            sweep: None,
         }
     }
 
@@ -613,6 +758,62 @@ mod tests {
         // Different scale ⇒ different schedule; only perf is compared.
         fresh.scale = 0.25;
         assert!(check_against(&fresh, &doc, 2.0).is_ok());
+    }
+
+    #[test]
+    fn sweep_section_roundtrips_and_gates() {
+        let mut fresh = report();
+        fresh.sweep = Some(SweepBenchReport {
+            cells: 12,
+            wall_secs: 0.5,
+            cells_per_sec: 24.0,
+            cache_hits: 12,
+            jobs: 4,
+        });
+        let text = fresh.to_json(None);
+        assert!(text.contains("speedbal-bench-v2"));
+        let doc = parse_bench_doc(&text).unwrap();
+        let sw = doc.sweep.clone().expect("sweep section must parse");
+        assert_eq!(sw.cells, 12);
+        assert_eq!(sw.cache_hits, 12);
+        assert!((sw.cells_per_sec - 24.0).abs() < 1e-9);
+
+        // Within tolerance: fine.
+        assert!(check_against(&fresh, &doc, 2.0).is_ok());
+
+        // Throughput collapse beyond tolerance: gated.
+        let mut slow = fresh.clone();
+        slow.sweep.as_mut().unwrap().cells_per_sec = 24.0 / 2.5;
+        let err = check_against(&slow, &doc, 2.0).unwrap_err();
+        assert!(err.contains("sweep throughput"), "{err}");
+
+        // A warm pass that misses the cache is a correctness failure.
+        let mut cold = fresh.clone();
+        cold.sweep.as_mut().unwrap().cache_hits = 3;
+        let err = check_against(&cold, &doc, 2.0).unwrap_err();
+        assert!(err.contains("cache broken"), "{err}");
+
+        // v1 documents (no sweep section) still check cleanly.
+        let v1 = parse_bench_doc(&report().to_json(None)).unwrap();
+        assert!(v1.sweep.is_none());
+        assert!(check_against(&fresh, &v1, 2.0).is_ok());
+    }
+
+    #[test]
+    fn sweep_bench_runs_cold_then_fully_warm() {
+        let _g = crate::sweep::tests::global_guard();
+        let sw = run_sweep_bench(&BenchConfig {
+            scale: 0.05,
+            repeats: 1,
+            warmup: 0,
+        });
+        assert_eq!(sw.cells, 12);
+        assert_eq!(
+            sw.cache_hits, sw.cells,
+            "second pass must be answered entirely from the cache"
+        );
+        assert!(sw.wall_secs > 0.0 && sw.cells_per_sec > 0.0);
+        assert!(sw.jobs >= 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use speedbal_machine::{
 use speedbal_metrics::RepeatStats;
 use speedbal_sched::{Balancer, GroupId, SchedConfig, SpawnSpec, System};
 use speedbal_sim::{SimDuration, SimTime};
-use speedbal_trace::{export_chrome, TraceBuffer};
+use speedbal_trace::{export_chrome, TraceBuffer, TraceConfig};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -120,6 +120,12 @@ pub struct Scenario {
     /// `speedbal-trace`). Tracing never changes scheduling decisions, only
     /// run time and memory.
     pub trace: bool,
+    /// Fraction of high-volume trace records (context switches, speed
+    /// samples) retained in the trace ring; `1.0` keeps everything. The
+    /// sampling decision is deterministic per repeat seed, and dropped
+    /// records stay covered by the trace aggregates, so multi-GB sweeps
+    /// can be thinned without losing the summary or determinism.
+    pub trace_sample: f64,
     /// Run every repeat with the scheduler's runtime invariant checker
     /// enabled (see `System::enable_invariant_checks`). Like tracing this
     /// is strictly observational — a violation panics, a clean run is
@@ -142,6 +148,7 @@ impl Scenario {
             seed: 0xB0A710AD,
             deadline: SimDuration::from_secs(600),
             trace: false,
+            trace_sample: 1.0,
             check: false,
         }
     }
@@ -168,6 +175,14 @@ impl Scenario {
 
     pub fn traced(mut self, on: bool) -> Scenario {
         self.trace = on;
+        self
+    }
+
+    /// Sets the trace sampling rate (see [`Scenario::trace_sample`]).
+    /// Clamped to `(0, 1]`-ish sanity by the CLI; the harness accepts any
+    /// rate in `[0, 1]`.
+    pub fn trace_sampled(mut self, rate: f64) -> Scenario {
+        self.trace_sample = rate.clamp(0.0, 1.0);
         self
     }
 
@@ -280,7 +295,11 @@ pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutco
     let balancer = build_balancer(&s.policy, &topo, app_group, seed);
     let mut sys = System::new(topo, SchedConfig::default(), s.cost.clone(), balancer, seed);
     if traced {
-        sys.enable_tracing();
+        sys.enable_tracing_with(TraceConfig {
+            sample_rate: s.trace_sample,
+            sample_seed: seed,
+            ..TraceConfig::default()
+        });
     }
     if s.check {
         sys.enable_invariant_checks();
@@ -333,7 +352,9 @@ pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutco
 /// assembled in repeat order.
 pub fn run_scenario(s: &Scenario) -> ScenarioResult {
     let (result, traces) = run_scenario_with_traces(s);
-    write_trace_files(s, &traces);
+    if trace_output_base().is_some() {
+        write_trace_files_with_seq(s, &traces, next_trace_seq());
+    }
     result
 }
 
@@ -365,11 +386,15 @@ pub fn run_scenario_with_traces(s: &Scenario) -> (ScenarioResult, Vec<Option<Tra
 
 /// The parallel repeat driver. Workers pull repeat indices from a shared
 /// counter and write into per-repeat slots, so output order never depends
-/// on thread scheduling.
+/// on thread scheduling. The pool is capped by the global `--jobs` /
+/// `SPEEDBAL_JOBS` budget, and runs single-threaded inside a sweep worker
+/// (the sweep executor already owns the machine's parallelism; nesting a
+/// per-cell repeat pool underneath it would oversubscribe every core).
 fn run_repeats(s: &Scenario, traced: bool) -> Vec<RepeatOutcome> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+        .min(crate::sweep::repeat_pool_cap())
         .min(s.repeats)
         .max(1);
     if workers == 1 {
@@ -419,8 +444,15 @@ pub fn set_trace_output(base: Option<PathBuf>) {
     TRACE_SEQ.store(0, Ordering::Relaxed);
 }
 
-fn trace_output_base() -> Option<PathBuf> {
+pub(crate) fn trace_output_base() -> Option<PathBuf> {
     TRACE_OUT.lock().unwrap().clone()
+}
+
+/// Claims the next scenario sequence number for trace file naming. The
+/// sweep executor claims numbers at submission time so file names stay
+/// identical to a serial run regardless of completion order.
+pub(crate) fn next_trace_seq() -> u64 {
+    TRACE_SEQ.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The per-repeat trace file path for `base`, scenario sequence number
@@ -430,11 +462,10 @@ pub fn trace_file_path(base: &Path, label: &str, seq: u64, r: usize) -> PathBuf 
     base.with_file_name(format!("{stem}.s{seq:03}-{label}.r{r}.json"))
 }
 
-fn write_trace_files(s: &Scenario, traces: &[Option<TraceBuffer>]) {
+pub(crate) fn write_trace_files_with_seq(s: &Scenario, traces: &[Option<TraceBuffer>], seq: u64) {
     let Some(base) = trace_output_base() else {
         return;
     };
-    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
     for (r, buf) in traces.iter().enumerate() {
         let Some(buf) = buf else { continue };
         let path = trace_file_path(&base, &s.label(), seq, r);
@@ -540,6 +571,27 @@ mod tests {
         // Tracing is observational: the numbers must not move.
         assert_eq!(pr.completion.values, tr.completion.values);
         assert_eq!(pr.migrations.values, tr.migrations.values);
+    }
+
+    #[test]
+    fn trace_sampling_thins_records_but_not_numbers() {
+        let app = ep().spmd(3, WaitMode::Block, 0.05);
+        let full = Scenario::new(Machine::Uniform(2), 0, Policy::Speed, app)
+            .repeats(2)
+            .traced(true);
+        let thin = full.clone().trace_sampled(0.1);
+        let (fr, ft) = run_scenario_with_traces(&full);
+        let (tr, tt) = run_scenario_with_traces(&thin);
+        // Sampling is observational: the simulation numbers must not move.
+        assert_eq!(fr.completion.values, tr.completion.values);
+        assert_eq!(fr.migrations.values, tr.migrations.values);
+        for (f, t) in ft.iter().zip(&tt) {
+            let (f, t) = (f.as_ref().unwrap(), t.as_ref().unwrap());
+            assert!(t.sampled_out() > 0, "10% sampling must withhold records");
+            assert!(t.len() < f.len());
+            // Aggregates cover sampled-out records exactly.
+            assert_eq!(f.counters(), t.counters());
+        }
     }
 
     #[test]

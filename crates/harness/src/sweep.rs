@@ -1,0 +1,677 @@
+//! Deterministic parallel sweep executor with content-addressed result
+//! caching.
+//!
+//! Every figure, table and check the harness produces is a *sweep*:
+//! hundreds of independent (scenario, seed) cells whose results are
+//! assembled into one artifact. This module runs such sweeps on a scoped
+//! worker pool while keeping the one property the rest of the repo leans
+//! on — **bit-identical output regardless of parallelism**:
+//!
+//! * Jobs are submitted as a flat, ordered list; results commit into
+//!   per-job slots and are returned in submission order, so rendered
+//!   artifacts never depend on completion order.
+//! * Each cell is already deterministic in isolation (repeat `r` of a
+//!   scenario always seeds `scenario.seed + r` into a fresh `System`), so
+//!   running cells concurrently cannot change any number.
+//! * Workers pull jobs longest-expected-first (cost hint ≈ `n_threads ×
+//!   steps`), the classic LPT heuristic, so one huge trailing cell does
+//!   not serialize the tail of the sweep. Scheduling order affects wall
+//!   clock only, never results.
+//!
+//! On top sits a **content-addressed result cache**: a job whose inputs
+//! hash to a key already present under `target/sweep-cache/` is skipped
+//! and its result deserialized — bit-for-bit, floats round-trip as raw
+//! bit patterns — from disk. Keys hash the full `Scenario` (every field,
+//! via its `Debug` form) plus [`SWEEP_SCHEMA_VERSION`]; bump the version
+//! whenever simulator semantics change so stale cells can never resurface.
+//! The cache is **off by default in library use** (tests must re-run the
+//! simulator, not replay yesterday's build) and enabled explicitly by
+//! `speedbal-cli` (bypass with `--no-cache`).
+//!
+//! The worker count comes from `--jobs N` / `SPEEDBAL_JOBS` / available
+//! parallelism, in that precedence, and the same budget caps the
+//! per-scenario repeat pool in [`crate::scenario`]: inside a sweep worker
+//! the repeat pool runs single-threaded, so nested parallelism cannot
+//! oversubscribe the machine.
+
+use crate::perf::json;
+use crate::scenario::{
+    next_trace_seq, run_scenario, run_scenario_with_traces, trace_output_base,
+    write_trace_files_with_seq, Competitor, Scenario, ScenarioResult,
+};
+use speedbal_metrics::RepeatStats;
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cache schema version. Bump whenever a change alters simulation results
+/// without altering the `Scenario` type (event ordering, balancer
+/// semantics, metric definitions): every cached cell is invalidated at
+/// once, because the version participates in each content hash.
+pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Global knobs: worker budget, cache switch, cumulative stats
+// ---------------------------------------------------------------------
+
+/// `--jobs` override; 0 = unset (fall back to `SPEEDBAL_JOBS`, then
+/// available parallelism).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static CACHE_ENABLED: AtomicBool = AtomicBool::new(false);
+static CACHE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+static STAT_CELLS: AtomicU64 = AtomicU64::new(0);
+static STAT_HITS: AtomicU64 = AtomicU64::new(0);
+static STAT_MISSES: AtomicU64 = AtomicU64::new(0);
+static STAT_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static IN_SWEEP_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets (or with `None` clears) the global worker budget — the `--jobs N`
+/// knob. Takes precedence over the `SPEEDBAL_JOBS` environment variable.
+pub fn set_jobs(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective worker budget: `set_jobs` override, else `SPEEDBAL_JOBS`,
+/// else the machine's available parallelism. Always at least 1.
+pub fn effective_jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("SPEEDBAL_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// True while the current thread is a sweep worker executing a job.
+pub fn in_sweep_worker() -> bool {
+    IN_SWEEP_WORKER.with(|f| f.get())
+}
+
+/// The repeat-pool budget for `run_scenario`: single-threaded inside a
+/// sweep worker, the global jobs budget otherwise.
+pub(crate) fn repeat_pool_cap() -> usize {
+    if in_sweep_worker() {
+        1
+    } else {
+        effective_jobs()
+    }
+}
+
+/// Turns the result cache on or off (off by default; `speedbal-cli`
+/// enables it for figure/table artifacts unless `--no-cache` is passed).
+pub fn set_cache_enabled(on: bool) {
+    CACHE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether cached jobs may read/write `target/sweep-cache/`.
+pub fn cache_enabled() -> bool {
+    CACHE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Overrides the cache directory (`None` restores the default
+/// `target/sweep-cache`). Tests point this at a temp directory.
+pub fn set_cache_dir(dir: Option<PathBuf>) {
+    *CACHE_DIR.lock().unwrap() = dir;
+}
+
+/// The directory cached results persist to.
+pub fn cache_dir() -> PathBuf {
+    CACHE_DIR
+        .lock()
+        .unwrap()
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/sweep-cache"))
+}
+
+/// Cumulative executor statistics (since process start or the last
+/// [`reset_sweep_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepStats {
+    /// Jobs submitted to the executor.
+    pub cells: u64,
+    /// Cached jobs answered from disk without running.
+    pub cache_hits: u64,
+    /// Cached jobs that had to run (result persisted afterwards).
+    pub cache_misses: u64,
+    /// Wall-clock seconds spent inside `run_sweep` calls.
+    pub wall_secs: f64,
+}
+
+impl SweepStats {
+    /// Executor throughput; 0 when no time was measured.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.cells as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The cumulative statistics across every sweep run so far.
+pub fn sweep_stats() -> SweepStats {
+    SweepStats {
+        cells: STAT_CELLS.load(Ordering::Relaxed),
+        cache_hits: STAT_HITS.load(Ordering::Relaxed),
+        cache_misses: STAT_MISSES.load(Ordering::Relaxed),
+        wall_secs: STAT_WALL_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+    }
+}
+
+/// Zeroes the cumulative statistics.
+pub fn reset_sweep_stats() {
+    STAT_CELLS.store(0, Ordering::Relaxed);
+    STAT_HITS.store(0, Ordering::Relaxed);
+    STAT_MISSES.store(0, Ordering::Relaxed);
+    STAT_WALL_NANOS.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Jobs and the executor
+// ---------------------------------------------------------------------
+
+/// Per-sweep counters threaded into cached jobs at run time.
+#[derive(Default)]
+struct SweepCtx {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+type JobFn<T> = Box<dyn FnOnce(&SweepCtx) -> T + Send>;
+
+/// One unit of sweep work: a cost hint plus a closure producing the cell
+/// result. Build with [`SweepJob::new`] (always runs) or
+/// [`SweepJob::cached`] (skipped on a cache hit).
+pub struct SweepJob<T> {
+    cost: u64,
+    run: JobFn<T>,
+}
+
+impl<T: Send + 'static> SweepJob<T> {
+    /// An uncached job. `cost` is a relative expected-duration hint
+    /// (larger = scheduled earlier); it affects wall clock only.
+    pub fn new(cost: u64, f: impl FnOnce() -> T + Send + 'static) -> SweepJob<T> {
+        SweepJob {
+            cost,
+            run: Box::new(move |_| f()),
+        }
+    }
+}
+
+impl<T: Send + CacheValue + 'static> SweepJob<T> {
+    /// A content-addressed job: when the cache is enabled and `key` is
+    /// present on disk (same [`SWEEP_SCHEMA_VERSION`]), the stored result
+    /// is returned without running `f`; otherwise `f` runs and its result
+    /// is persisted. With the cache disabled this is exactly
+    /// [`SweepJob::new`].
+    pub fn cached(cost: u64, key: CacheKey, f: impl FnOnce() -> T + Send + 'static) -> SweepJob<T> {
+        SweepJob {
+            cost,
+            run: Box::new(move |ctx| {
+                if !cache_enabled() {
+                    return f();
+                }
+                if let Some(v) = cache_load::<T>(key) {
+                    ctx.hits.fetch_add(1, Ordering::Relaxed);
+                    STAT_HITS.fetch_add(1, Ordering::Relaxed);
+                    return v;
+                }
+                ctx.misses.fetch_add(1, Ordering::Relaxed);
+                STAT_MISSES.fetch_add(1, Ordering::Relaxed);
+                let v = f();
+                cache_store(key, &v);
+                v
+            }),
+        }
+    }
+}
+
+/// Runs every job and returns the results in submission order. See
+/// [`run_sweep_with_stats`] for the per-call statistics.
+pub fn run_sweep<T: Send>(jobs: Vec<SweepJob<T>>) -> Vec<T> {
+    run_sweep_with_stats(jobs).0
+}
+
+/// Runs every job on up to [`effective_jobs`] scoped workers —
+/// longest-expected-first, results committed in submission order — and
+/// returns `(results, this call's statistics)`.
+pub fn run_sweep_with_stats<T: Send>(jobs: Vec<SweepJob<T>>) -> (Vec<T>, SweepStats) {
+    let n = jobs.len();
+    if n == 0 {
+        return (Vec::new(), SweepStats::default());
+    }
+    let start = Instant::now();
+    let ctx = SweepCtx::default();
+    let workers = effective_jobs().min(n).max(1);
+
+    let results: Vec<T> = if workers == 1 {
+        // Inline serial execution: submission order, caller's thread (so a
+        // single-cell sweep still gets a parallel repeat pool underneath).
+        jobs.into_iter().map(|j| (j.run)(&ctx)).collect()
+    } else {
+        // Longest-expected-first pull order; ties resolve to submission
+        // order. Only wall clock depends on this.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].cost));
+        let cells: Vec<Mutex<Option<JobFn<T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j.run))).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    IN_SWEEP_WORKER.with(|f| f.set(true));
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            break;
+                        }
+                        let i = order[k];
+                        let run = cells[i]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("each job taken exactly once");
+                        let v = run(&ctx);
+                        *slots[i].lock().unwrap() = Some(v);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap()
+                    .expect("every sweep slot filled by a worker")
+            })
+            .collect()
+    };
+
+    let wall = start.elapsed();
+    STAT_CELLS.fetch_add(n as u64, Ordering::Relaxed);
+    STAT_WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    let stats = SweepStats {
+        cells: n as u64,
+        cache_hits: ctx.hits.load(Ordering::Relaxed),
+        cache_misses: ctx.misses.load(Ordering::Relaxed),
+        wall_secs: wall.as_secs_f64(),
+    };
+    (results, stats)
+}
+
+// ---------------------------------------------------------------------
+// Scenario sweeps
+// ---------------------------------------------------------------------
+
+/// The expected-cost hint for a scenario cell: total tasks × simulation
+/// steps (barrier phases) × repeats. Relative ordering is all that
+/// matters — LPT scheduling only needs "big cells first".
+pub fn scenario_cost(s: &Scenario) -> u64 {
+    let competitor_tasks: u64 = s
+        .competitors
+        .iter()
+        .map(|c| match c {
+            Competitor::CpuHog { .. } => 1,
+            Competitor::MakeJ { tasks, .. } => u64::from(*tasks),
+        })
+        .sum();
+    (s.app.threads as u64 + competitor_tasks)
+        .saturating_mul(s.app.phases.max(1))
+        .saturating_mul(s.repeats as u64)
+        .max(1)
+}
+
+/// Runs a batch of scenarios through the executor, returning one
+/// [`ScenarioResult`] per scenario in submission order — byte-identical
+/// to calling [`run_scenario`] in a serial loop. Cells are cached by
+/// content hash unless they carry side effects (tracing), which must
+/// re-run to produce their trace files.
+pub fn run_scenarios(scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+    let jobs = scenarios.into_iter().map(scenario_job).collect();
+    run_sweep(jobs)
+}
+
+fn scenario_job(s: Scenario) -> SweepJob<ScenarioResult> {
+    let cost = scenario_cost(&s);
+    if s.trace || trace_output_base().is_some() {
+        // Trace files are a side effect the cache cannot replay; claim the
+        // scenario's sequence number now so file names match a serial run.
+        let seq = next_trace_seq();
+        SweepJob::new(cost, move || {
+            let (res, traces) = run_scenario_with_traces(&s);
+            write_trace_files_with_seq(&s, &traces, seq);
+            res
+        })
+    } else {
+        let key = scenario_cache_key(&s);
+        SweepJob::cached(cost, key, move || run_scenario(&s))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed cache
+// ---------------------------------------------------------------------
+
+/// A content hash identifying one cached cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// The key's canonical 16-hex-digit form (file stem and embedded
+    /// `"key"` field of the cache document).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of a scenario cell: every `Scenario` field (machine,
+/// cores, policy + full balancer config, app config, competitors, cost
+/// model, repeats, seed, deadline, trace/check flags) via its `Debug`
+/// rendering, prefixed with [`SWEEP_SCHEMA_VERSION`].
+pub fn scenario_cache_key(s: &Scenario) -> CacheKey {
+    CacheKey(fnv1a64(
+        format!("v{SWEEP_SCHEMA_VERSION}|scenario|{s:?}").as_bytes(),
+    ))
+}
+
+/// A result that can round-trip through the on-disk cache bit-for-bit.
+pub trait CacheValue: Sized {
+    /// Serializes the value as a JSON fragment. Floats must be encoded so
+    /// they round-trip exactly (this crate stores them as hex bit
+    /// patterns).
+    fn to_cache_json(&self) -> String;
+    /// Rebuilds the value from the parsed `"result"` JSON node.
+    fn from_cache_value(v: &json::Value) -> Result<Self, String>;
+}
+
+fn cache_path(key: CacheKey) -> PathBuf {
+    cache_dir().join(format!("{}.json", key.hex()))
+}
+
+fn cache_load<T: CacheValue>(key: CacheKey) -> Option<T> {
+    let text = std::fs::read_to_string(cache_path(key)).ok()?;
+    let root = json::parse(&text).ok()?;
+    let obj = root.as_obj()?;
+    let schema = json::get(obj, "schema")?.as_num()?;
+    if schema != SWEEP_SCHEMA_VERSION as f64 {
+        return None;
+    }
+    if json::get(obj, "key")?.as_str()? != key.hex() {
+        return None;
+    }
+    T::from_cache_value(json::get(obj, "result")?).ok()
+}
+
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn cache_store<T: CacheValue>(key: CacheKey, value: &T) {
+    let dir = cache_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // cache is best-effort; never fail the sweep over it
+    }
+    let doc = format!(
+        "{{\n  \"schema\": {SWEEP_SCHEMA_VERSION},\n  \"key\": \"{}\",\n  \"result\": {}\n}}\n",
+        key.hex(),
+        value.to_cache_json()
+    );
+    // Unique temp name + rename: concurrent workers (or processes) racing
+    // on the same key each land a complete document, never a torn one.
+    let tmp = dir.join(format!(
+        "{}.tmp.{}.{}",
+        key.hex(),
+        std::process::id(),
+        STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if std::fs::write(&tmp, doc).is_ok() && std::fs::rename(&tmp, cache_path(key)).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+fn f64_bits_array(values: &[f64]) -> String {
+    let items: Vec<String> = values
+        .iter()
+        .map(|v| format!("\"{:016x}\"", v.to_bits()))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn parse_f64_bits_array(v: &json::Value, field: &str) -> Result<Vec<f64>, String> {
+    let json::Value::Arr(items) = v else {
+        return Err(format!("\"{field}\" is not an array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let hex = item
+                .as_str()
+                .ok_or_else(|| format!("\"{field}\" entry is not a string"))?;
+            u64::from_str_radix(hex, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("\"{field}\" entry {hex:?}: {e}"))
+        })
+        .collect()
+}
+
+impl CacheValue for ScenarioResult {
+    fn to_cache_json(&self) -> String {
+        format!(
+            "{{\"completion_bits\":{},\"migration_bits\":{},\"timeouts\":{}}}",
+            f64_bits_array(&self.completion.values),
+            f64_bits_array(&self.migrations.values),
+            self.timeouts
+        )
+    }
+
+    fn from_cache_value(v: &json::Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or("cached result is not an object")?;
+        let field = |k: &str| json::get(obj, k).ok_or_else(|| format!("missing \"{k}\""));
+        Ok(ScenarioResult {
+            completion: RepeatStats {
+                values: parse_f64_bits_array(field("completion_bits")?, "completion_bits")?,
+            },
+            migrations: RepeatStats {
+                values: parse_f64_bits_array(field("migration_bits")?, "migration_bits")?,
+            },
+            timeouts: field("timeouts")?
+                .as_num()
+                .ok_or("\"timeouts\" is not a number")? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Serializes tests that mutate the module's global knobs (jobs
+    /// budget, cache switch/dir, cumulative stats).
+    pub(crate) fn global_guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("speedbal-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn results_commit_in_submission_order_despite_cost_scheduling() {
+        let _g = global_guard();
+        set_jobs(Some(4));
+        // Costs deliberately inverted vs. submission order.
+        let jobs: Vec<SweepJob<usize>> = (0..32)
+            .map(|i| SweepJob::new(32 - i as u64, move || i))
+            .collect();
+        let out = run_sweep(jobs);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        set_jobs(None);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let _g = global_guard();
+        let mk = || {
+            (0..10)
+                .map(|i| SweepJob::new(1 + i as u64, move || i * i))
+                .collect::<Vec<SweepJob<usize>>>()
+        };
+        set_jobs(Some(1));
+        let serial = run_sweep(mk());
+        set_jobs(Some(3));
+        let parallel = run_sweep(mk());
+        set_jobs(None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn workers_see_the_in_sweep_flag_and_repeat_cap() {
+        let _g = global_guard();
+        assert!(!in_sweep_worker(), "caller thread is not a worker");
+        set_jobs(Some(4));
+        let jobs: Vec<SweepJob<(bool, usize)>> = (0..8)
+            .map(|_| SweepJob::new(1, || (in_sweep_worker(), repeat_pool_cap())))
+            .collect();
+        let out = run_sweep(jobs);
+        assert!(out.iter().all(|&(flag, cap)| flag && cap == 1));
+        // Outside a worker the cap is the jobs budget.
+        assert_eq!(repeat_pool_cap(), 4);
+        set_jobs(None);
+    }
+
+    #[test]
+    fn effective_jobs_prefers_override() {
+        let _g = global_guard();
+        set_jobs(Some(7));
+        assert_eq!(effective_jobs(), 7);
+        set_jobs(None);
+        assert!(effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn scenario_result_cache_json_roundtrips_bit_for_bit() {
+        // Values chosen to break decimal round-tripping if bits weren't
+        // stored raw.
+        let res = ScenarioResult {
+            completion: RepeatStats {
+                values: vec![0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 27.25],
+            },
+            migrations: RepeatStats {
+                values: vec![0.0, 1e300],
+            },
+            timeouts: 3,
+        };
+        let text = res.to_cache_json();
+        let parsed = json::parse(&text).unwrap();
+        let back = ScenarioResult::from_cache_value(&parsed).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.completion.values), bits(&res.completion.values));
+        assert_eq!(bits(&back.migrations.values), bits(&res.migrations.values));
+        assert_eq!(back.timeouts, 3);
+    }
+
+    #[test]
+    fn cache_store_load_respects_schema_and_key() {
+        let _g = global_guard();
+        let dir = temp_cache_dir("unit");
+        set_cache_dir(Some(dir.clone()));
+        set_cache_enabled(true);
+        let key = CacheKey(0xDEAD_BEEF_0000_0001);
+        let res = ScenarioResult {
+            completion: RepeatStats { values: vec![1.5] },
+            migrations: RepeatStats { values: vec![2.0] },
+            timeouts: 0,
+        };
+        cache_store(key, &res);
+        let loaded: ScenarioResult = cache_load(key).expect("fresh store must load");
+        assert_eq!(loaded.completion.values, vec![1.5]);
+
+        // A different key never matches this file.
+        assert!(cache_load::<ScenarioResult>(CacheKey(key.0 ^ 1)).is_none());
+
+        // A stale schema version invalidates the entry.
+        let path = cache_path(key);
+        let stale = std::fs::read_to_string(&path).unwrap().replace(
+            &format!("\"schema\": {SWEEP_SCHEMA_VERSION}"),
+            "\"schema\": 999999",
+        );
+        std::fs::write(&path, stale).unwrap();
+        assert!(cache_load::<ScenarioResult>(key).is_none());
+
+        set_cache_enabled(false);
+        set_cache_dir(None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn scenario_cache_key_separates_scenarios_and_tracks_fields() {
+        use crate::scenario::{Machine, Policy, Scenario};
+        use speedbal_apps::WaitMode;
+        use speedbal_workloads::ep;
+        let a = Scenario::new(
+            Machine::Uniform(2),
+            0,
+            Policy::Speed,
+            ep().spmd(3, WaitMode::Yield, 0.05),
+        );
+        let b = a.clone().seed(1);
+        let c = a.clone().repeats(7);
+        assert_eq!(scenario_cache_key(&a), scenario_cache_key(&a.clone()));
+        assert_ne!(scenario_cache_key(&a), scenario_cache_key(&b));
+        assert_ne!(scenario_cache_key(&a), scenario_cache_key(&c));
+    }
+
+    #[test]
+    fn scenario_cost_orders_big_cells_first() {
+        use crate::scenario::{Machine, Policy, Scenario};
+        use speedbal_apps::WaitMode;
+        use speedbal_workloads::ep;
+        let small = Scenario::new(
+            Machine::Uniform(2),
+            0,
+            Policy::Speed,
+            ep().spmd(3, WaitMode::Yield, 0.02),
+        )
+        .repeats(1);
+        let big = Scenario::new(
+            Machine::Tigerton,
+            0,
+            Policy::Speed,
+            ep().spmd(16, WaitMode::Yield, 0.5),
+        )
+        .repeats(10)
+        .competitors(vec![Competitor::MakeJ {
+            tasks: 8,
+            jobs_per_task: 40,
+        }]);
+        assert!(scenario_cost(&big) > scenario_cost(&small));
+    }
+}

@@ -17,6 +17,16 @@ pub struct TraceConfig {
     /// Period of the built-in per-task / per-core speed sampler the
     /// simulator arms while tracing (the paper samples /proc every 100 ms).
     pub sample_interval: SimDuration,
+    /// Fraction of *high-volume* records (context switches and speed
+    /// samples — `Dispatch`, `Desched`, `SpeedSample`) retained in the
+    /// ring. Everything else (migrations, barriers, faults, ...) is always
+    /// kept, and aggregates always cover sampled-out records, so summaries
+    /// stay exact. `1.0` (the default) disables sampling. The decision is
+    /// a deterministic function of `sample_seed` and the record sequence,
+    /// so two identical runs sample identically.
+    pub sample_rate: f64,
+    /// Seed for the deterministic sampling decision stream.
+    pub sample_seed: u64,
 }
 
 impl Default for TraceConfig {
@@ -24,6 +34,8 @@ impl Default for TraceConfig {
         TraceConfig {
             capacity: 1 << 20,
             sample_interval: SimDuration::from_millis(100),
+            sample_rate: 1.0,
+            sample_seed: 0,
         }
     }
 }
@@ -158,6 +170,10 @@ pub struct TraceBuffer {
     cfg: TraceConfig,
     ring: VecDeque<TraceRecord>,
     dropped: u64,
+    /// High-volume records withheld from the ring by `sample_rate`.
+    sampled_out: u64,
+    /// xorshift64 state behind the sampling decision stream.
+    sample_state: u64,
     counters: TraceCounters,
     n_cores: usize,
     task_names: Vec<String>,
@@ -180,8 +196,15 @@ impl TraceBuffer {
 
     /// An empty buffer with explicit tunables.
     pub fn with_config(cfg: TraceConfig) -> TraceBuffer {
+        // SplitMix64 scramble so nearby seeds give unrelated streams; the
+        // state must be non-zero for xorshift.
+        let mut z = cfg.sample_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let sample_state = (z ^ (z >> 31)) | 1;
         TraceBuffer {
             cfg,
+            sample_state,
             ..TraceBuffer::default()
         }
     }
@@ -303,11 +326,36 @@ impl TraceBuffer {
             }
             TraceEvent::Quarantined { .. } => self.counters.quarantines += 1,
         }
+        if self.cfg.sample_rate < 1.0
+            && matches!(
+                event,
+                TraceEvent::Dispatch { .. }
+                    | TraceEvent::Desched { .. }
+                    | TraceEvent::SpeedSample { .. }
+            )
+            && !self.sample_keep()
+        {
+            self.sampled_out += 1;
+            return;
+        }
         if self.ring.len() >= self.cfg.capacity {
             self.ring.pop_front();
             self.dropped += 1;
         }
         self.ring.push_back(TraceRecord { time, core, event });
+    }
+
+    /// One draw of the deterministic sampling stream: keep with
+    /// probability `sample_rate`.
+    fn sample_keep(&mut self) -> bool {
+        let mut x = self.sample_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.sample_state = x;
+        // 53 uniform mantissa bits → [0, 1).
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.cfg.sample_rate
     }
 
     /// Retained records, oldest first.
@@ -328,6 +376,12 @@ impl TraceBuffer {
     /// Records evicted from the ring (aggregates still cover them).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// High-volume records withheld from the ring by
+    /// [`TraceConfig::sample_rate`] (aggregates still cover them).
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
     }
 
     /// Aggregate counters (cover dropped records too).
@@ -506,6 +560,80 @@ mod tests {
             c.proc_faults_by_kind[ProcFaultKind::PermissionDenied.index()],
             1
         );
+    }
+
+    fn sampled_buffer(rate: f64, seed: u64) -> TraceBuffer {
+        let mut buf = TraceBuffer::with_config(TraceConfig {
+            sample_rate: rate,
+            sample_seed: seed,
+            ..TraceConfig::default()
+        });
+        for i in 0..200 {
+            buf.record(t(i), CoreId(0), TraceEvent::Dispatch { task: 0 });
+            buf.record(
+                t(i),
+                CoreId(0),
+                TraceEvent::SpeedSample {
+                    task: None,
+                    speed: 0.5,
+                },
+            );
+            // Never sampled: migrations and the like are always retained.
+            buf.record(
+                t(i),
+                CoreId(0),
+                TraceEvent::Migrate {
+                    task: 0,
+                    from: CoreId(0),
+                    to: CoreId(1),
+                    tier: DomainLevel::Cache,
+                    reason: MigrationReason::NewIdle,
+                },
+            );
+        }
+        buf
+    }
+
+    #[test]
+    fn sampling_drops_only_high_volume_records_and_keeps_aggregates() {
+        let full = sampled_buffer(1.0, 7);
+        let half = sampled_buffer(0.5, 7);
+        assert_eq!(full.sampled_out(), 0);
+        assert!(half.sampled_out() > 50, "~200 of 400 eligible should drop");
+        assert!(half.len() < full.len());
+        // Aggregates are exact either way.
+        assert_eq!(full.counters(), half.counters());
+        assert_eq!(half.counters().dispatches, 200);
+        assert_eq!(half.counters().speed_samples, 200);
+        // Low-volume records are all retained.
+        let migrates = half
+            .records()
+            .filter(|r| matches!(r.event, TraceEvent::Migrate { .. }))
+            .count();
+        assert_eq!(migrates, 200);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sampled_buffer(0.3, 42);
+        let b = sampled_buffer(0.3, 42);
+        let times = |buf: &TraceBuffer| -> Vec<(SimTime, bool)> {
+            buf.records()
+                .map(|r| (r.time, matches!(r.event, TraceEvent::Dispatch { .. })))
+                .collect()
+        };
+        assert_eq!(times(&a), times(&b));
+        let c = sampled_buffer(0.3, 43);
+        assert_ne!(times(&a), times(&c), "different seed, different sample");
+    }
+
+    #[test]
+    fn sampling_rate_zero_keeps_no_eligible_records() {
+        let buf = sampled_buffer(0.0, 1);
+        assert_eq!(buf.sampled_out(), 400);
+        assert!(buf
+            .records()
+            .all(|r| matches!(r.event, TraceEvent::Migrate { .. })));
     }
 
     #[test]

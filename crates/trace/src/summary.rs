@@ -23,6 +23,14 @@ pub fn render_summary(buf: &TraceBuffer) -> String {
         buf.len(),
         buf.dropped()
     );
+    if buf.sampled_out() > 0 {
+        let _ = writeln!(
+            out,
+            "  sampled out {} (ctx-switch/speed-sample records withheld by \
+             the sampling rate; aggregates above still cover them)",
+            buf.sampled_out()
+        );
+    }
     let _ = writeln!(
         out,
         "  dispatches {}  descheds {}  preemptions {}",
