@@ -19,13 +19,24 @@
 //! Competing workloads: [`CpuHog`] (the compute-intensive pinned
 //! antagonist of Figure 5) and [`BatchJob`] (the `make -j`-like mix of
 //! CPU bursts and short I/O sleeps of Figure 6).
+//!
+//! Beyond SPMD, [`server`] models open-loop request serving — a
+//! worker-pool of threads pulling Poisson/bursty request streams from a
+//! shared queue, with per-request service-time distributions, optional
+//! fan-out, bounded queues and load shedding — the workload family
+//! behind the `serve` artifact's tail-latency experiments.
 
 pub mod barrier;
 pub mod competitors;
 pub mod lock;
+pub mod server;
 pub mod spmd;
 
 pub use barrier::{Barrier, WaitMode};
 pub use competitors::{BatchJob, CpuHog};
 pub use lock::{Lock, LockWorker};
+pub use server::{
+    generate_requests, ArrivalProcess, Request, ServerApp, ServerConfig, ServerMetrics,
+    ServerWorker, ServiceDist,
+};
 pub use spmd::{SpmdApp, SpmdConfig, SpmdThread};

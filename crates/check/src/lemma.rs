@@ -12,6 +12,15 @@
 //! §5 says the varied intervals exist to break; the sweep reproduces that
 //! starvation if you flip `randomize_interval` off with `SQ > FQ`).
 //!
+//! **Stance:** `randomize_interval = false` is therefore *unsupported*
+//! on oversubscribed cells (`SQ > FQ`) — no conformance guarantee is
+//! claimed, and the sweep deliberately does not cover it. The fix the
+//! lockstep mode would need (a rotating or randomized victim tie-break)
+//! would perturb every committed result for a configuration the paper
+//! never deploys, so the limitation is documented here and in
+//! EXPERIMENTS.md rather than patched in the balancer. The switch stays
+//! available for reproducing the §5 starvation demonstration itself.
+//!
 //! Checked, sampling every half interval:
 //!
 //! 1. **Balance is never broken.** From the round-robin start the per-core

@@ -27,6 +27,7 @@ pub use refqueue::{differential_queue_case, PostedQueue, QueueCaseStats};
 
 use speedbal_apps::WaitMode;
 use speedbal_harness::{run_sweep, Competitor, Machine, Policy, Scenario, SweepJob};
+use speedbal_sim::SimDuration;
 use speedbal_workloads::ep;
 
 /// Combined outcome of the full check run.
@@ -84,8 +85,9 @@ impl CheckReport {
 }
 
 /// The scenario battery the differential harness replays: the paper's
-/// running example, an oversubscribed many-thread cell, and a LOAD-policy
-/// cell so the observational paths are diffed under a second balancer.
+/// running example, an oversubscribed many-thread cell, a LOAD-policy
+/// cell so the observational paths are diffed under a second balancer,
+/// and an open-loop server cell exercising the request/queue machinery.
 fn diff_battery(quick: bool) -> Vec<Scenario> {
     let repeats = if quick { 1 } else { 3 };
     let mut v = vec![
@@ -108,6 +110,16 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
             0,
             Policy::Load,
             ep().spmd(6, WaitMode::Yield, 0.05),
+        )
+        .repeats(repeats),
+        // Server cell: Poisson arrivals, lognormal service, 6 workers on
+        // 4 cores — the traced / checked / reference-scan paths must
+        // replay the request queue and sleep/wake machinery bit-for-bit.
+        Scenario::server_only(
+            Machine::Uniform(4),
+            0,
+            Policy::Speed,
+            speedbal_workloads::web(6, 4, 0.6, SimDuration::from_millis(150)),
         )
         .repeats(repeats),
     ];
@@ -133,6 +145,23 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
                 ep().spmd(8, WaitMode::Yield, 0.05),
             )
             .competitors(vec![Competitor::CpuHog { core: 0 }])
+            .repeats(repeats),
+        );
+        // Mixed tenancy: SPMD primary plus a co-located server drained
+        // after the app completes.
+        v.push(
+            Scenario::new(
+                Machine::Uniform(4),
+                0,
+                Policy::Speed,
+                ep().spmd(5, WaitMode::Yield, 0.05),
+            )
+            .server(speedbal_workloads::web(
+                4,
+                4,
+                0.3,
+                SimDuration::from_millis(150),
+            ))
             .repeats(repeats),
         );
     }
@@ -183,7 +212,10 @@ mod tests {
         let report = run_full_check(true);
         assert!(report.ok(), "{}", report.render());
         assert_eq!(report.queue_cases, 8);
-        assert!(report.diff_cases >= 3);
+        assert!(
+            report.diff_cases >= 4,
+            "quick battery includes a server cell"
+        );
         assert_eq!(report.lemma_cells.len(), 15);
         assert!(report.render().contains("all checks passed"));
     }

@@ -16,10 +16,16 @@
 //!   fig6        NPB sharing with make -j
 //!   barriers    §6.2 barrier-implementation interaction
 //!   numa        §6.4 NUMA behaviour on Barcelona
+//!   serve       open-loop server traffic: tail latency (p50/p99/p999)
+//!               under SPEED vs LOAD vs FreeBSD vs DWRR across an
+//!               offered-load sweep, arrival shapes (Poisson, bursty,
+//!               bounded-queue, fan-out, diurnal replay) and a mixed
+//!               SPMD + server tenancy cell
 //!   all         everything above
 //!   trace <scenario>  record an event trace of a named scenario
-//!                     (ep-3x2, ep-16x8, ep-hog, cg-barrier) under the
-//!                     SPEED and LOAD policies and print a summary
+//!                     (ep-3x2, ep-16x8, ep-hog, cg-barrier, web-serve)
+//!                     under the SPEED and LOAD policies and print a
+//!                     summary
 //!   bench       time the event-loop hot path on the 16-core × 64-thread
 //!               cg.B scenario and write BENCH_sim.json (see EXPERIMENTS.md)
 //!   check       run the correctness subsystem: event-queue differential
@@ -58,7 +64,7 @@ use speedbal_harness::{
     effective_jobs, run_scenario_with_traces, set_cache_enabled, set_jobs, set_trace_output,
     sweep_stats, trace_file_path, Machine, Policy,
 };
-use speedbal_trace::{export_chrome, render_summary};
+use speedbal_trace::{export_chrome_to, render_summary};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -230,7 +236,8 @@ fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
         for (r, buf) in traces.iter().enumerate() {
             let buf = buf.as_ref().expect("trace scenarios always record");
             let path = trace_file_path(&base, &s.label(), seq as u64, r);
-            std::fs::write(&path, export_chrome(buf))
+            std::fs::File::create(&path)
+                .and_then(|f| export_chrome_to(buf, f))
                 .map_err(|e| format!("writing {}: {e}", path.display()))?;
             println!("wrote {}", path.display());
         }
@@ -383,6 +390,16 @@ fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
             println!("== §6.4: NUMA behaviour (ft.B, 16 threads / 13 Barcelona cores) ==");
             println!("{}", experiments::numa(p).render());
         }
+        "serve" => {
+            println!("== serve/1: offered-load sweep (web profile, 24 workers / 16 cores) ==");
+            println!("{}", experiments::serve_offered_load(p).render());
+            println!();
+            println!("== serve/2: arrival/service shapes at rho 0.85 ==");
+            println!("{}", experiments::serve_shapes(p).render());
+            println!();
+            println!("== serve/3: mixed tenancy — EP (16 threads) + web server (rho 0.4) ==");
+            println!("{}", experiments::serve_mixed(p).render());
+        }
         "all" => {
             for a in ["fig1", "fig2", "tab1", "fig3", "tab2"] {
                 run_artifact(a, opts)?;
@@ -395,7 +412,7 @@ fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
             println!();
             println!("{}", experiments::fig4(&cells).render());
             println!();
-            for a in ["fig5", "fig6", "barriers", "numa"] {
+            for a in ["fig5", "fig6", "barriers", "numa", "serve"] {
                 run_artifact(a, opts)?;
                 println!();
             }
@@ -416,8 +433,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: speedbal-cli [--full] [--scale f] [--repeats n] [--machine m]\n\
                  \x20                   [--policy p] [--trace-out file.json] <artifact>...\n\
-                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa all\n\
-                 \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier)\n\
+                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa serve all\n\
+                 \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier web-serve)\n\
                  \x20          bench [--quick] [--out f] [--check f]\n\
                  \x20          check [--quick]"
             );
@@ -458,13 +475,14 @@ fn main() -> ExitCode {
     if st.cells > 0 {
         eprintln!(
             "# sweep: {} cells in {:.2}s ({:.1} cells/sec) on {} worker(s); \
-             cache: {} hits, {} misses{}",
+             cache: {} hits, {} misses, {} evicted{}",
             st.cells,
             st.wall_secs,
             st.cells_per_sec(),
             effective_jobs(),
             st.cache_hits,
             st.cache_misses,
+            st.evictions,
             if opts.no_cache { " (disabled)" } else { "" }
         );
     }

@@ -6,7 +6,7 @@
 //! fall — is the reproduction target (see EXPERIMENTS.md for the recorded
 //! comparison).
 
-use crate::scenario::{Competitor, Machine, Policy, Scenario};
+use crate::scenario::{Competitor, Machine, Policy, Scenario, ServerStats};
 use crate::sweep::run_scenarios;
 use serde::{Deserialize, Serialize};
 use speedbal_analytic::{balancing_steps, min_profitable_granularity};
@@ -652,6 +652,186 @@ pub fn numa(profile: Profile) -> TextTable {
 }
 
 // ---------------------------------------------------------------------
+// serve — open-loop server traffic: tail latency under each policy
+// ---------------------------------------------------------------------
+
+/// The policy line-up of the `serve` artifact.
+fn serve_policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("SPEED", Policy::Speed),
+        ("LOAD", Policy::Load),
+        ("FreeBSD", Policy::Ule),
+        ("DWRR", Policy::Dwrr),
+    ]
+}
+
+/// Cores used by the serve experiments (all of Tigerton).
+const SERVE_CORES: usize = 16;
+/// Worker-pool size: 1.5× oversubscribed, so balancing decisions matter.
+const SERVE_WORKERS: usize = 24;
+
+/// The request-generation window: 2 simulated seconds at full scale.
+fn serve_window(profile: Profile) -> SimDuration {
+    SimDuration::from_secs(2).mul_f64(profile.scale)
+}
+
+/// One rendered row of a serve table: latency percentiles, mean queueing
+/// delay and the drop rate for a policy's [`ServerStats`].
+fn serve_row(first: String, policy: &str, st: &ServerStats) -> Vec<String> {
+    let total = st.completed.mean() + st.dropped.mean();
+    let drop_pct = if total > 0.0 {
+        100.0 * st.dropped.mean() / total
+    } else {
+        0.0
+    };
+    vec![
+        first,
+        policy.to_string(),
+        fmt_f(st.p50_ms.mean()),
+        fmt_f(st.p99_ms.mean()),
+        fmt_f(st.p999_ms.mean()),
+        fmt_f(st.queue_mean_ms.mean()),
+        fmt_f(drop_pct),
+    ]
+}
+
+/// serve/1 — offered-load sweep: the web profile (Poisson arrivals,
+/// lognormal service) at increasing offered load `ρ`, 24 workers on all
+/// 16 Tigerton cores, per policy. Every policy serves the *identical*
+/// pre-generated request schedule, so differences are pure scheduling.
+pub fn serve_offered_load(profile: Profile) -> TextTable {
+    let window = serve_window(profile);
+    let rhos = [0.5, 0.7, 0.85, 0.95];
+    let mut scenarios = Vec::new();
+    for &rho in &rhos {
+        for (_, policy) in serve_policies() {
+            let cfg = speedbal_workloads::web(SERVE_WORKERS, SERVE_CORES, rho, window);
+            scenarios.push(
+                Scenario::server_only(Machine::Tigerton, SERVE_CORES, policy, cfg)
+                    .repeats(profile.repeats),
+            );
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let mut t = TextTable::new(&[
+        "rho",
+        "policy",
+        "p50(ms)",
+        "p99(ms)",
+        "p999(ms)",
+        "qwait(ms)",
+        "drop%",
+    ]);
+    for &rho in &rhos {
+        for (label, _) in serve_policies() {
+            let st = results.next().unwrap().server.expect("server cell");
+            t.row(serve_row(fmt_f(rho), label, &st));
+        }
+    }
+    t
+}
+
+/// serve/2 — arrival/service shapes at a fixed load: Poisson vs bursty
+/// (MMPP) vs a capacity-bounded bursty variant (exercising queue-full
+/// drops) vs scatter-gather fan-out (request completes at the max of
+/// K = 4 subtasks) vs the diurnal replay preset.
+pub fn serve_shapes(profile: Profile) -> TextTable {
+    let window = serve_window(profile);
+    let shapes: Vec<(&str, speedbal_apps::ServerConfig)> = vec![
+        (
+            "poisson",
+            speedbal_workloads::web(SERVE_WORKERS, SERVE_CORES, 0.85, window),
+        ),
+        (
+            "bursty",
+            speedbal_workloads::web_bursty(SERVE_WORKERS, SERVE_CORES, 0.85, window),
+        ),
+        (
+            "bursty-cap256",
+            speedbal_workloads::web_bursty(SERVE_WORKERS, SERVE_CORES, 0.85, window)
+                .queue_capacity(256),
+        ),
+        (
+            "rpc-K4",
+            speedbal_workloads::rpc_fanout(SERVE_WORKERS, SERVE_CORES, 0.85, 4, window),
+        ),
+        (
+            "diurnal",
+            speedbal_workloads::diurnal(SERVE_WORKERS, SERVE_CORES, 0.95, window),
+        ),
+    ];
+    let mut scenarios = Vec::new();
+    for (_, cfg) in &shapes {
+        for (_, policy) in serve_policies() {
+            scenarios.push(
+                Scenario::server_only(Machine::Tigerton, SERVE_CORES, policy, cfg.clone())
+                    .repeats(profile.repeats),
+            );
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let mut t = TextTable::new(&[
+        "arrivals",
+        "policy",
+        "p50(ms)",
+        "p99(ms)",
+        "p999(ms)",
+        "qwait(ms)",
+        "drop%",
+    ]);
+    for (name, _) in &shapes {
+        for (label, _) in serve_policies() {
+            let st = results.next().unwrap().server.expect("server cell");
+            t.row(serve_row(name.to_string(), label, &st));
+        }
+    }
+    t
+}
+
+/// serve/3 — mixed tenancy: EP (16 yield-barrier threads) sharing all of
+/// Tigerton with a moderate web server (8 workers, ρ = 0.4). The SPMD
+/// completion time stays the headline number; the server's tail shows
+/// what the same policy does to latency-sensitive co-tenants.
+pub fn serve_mixed(profile: Profile) -> TextTable {
+    let window = serve_window(profile);
+    let spec = ep();
+    let serial = spec.serial_time(profile.scale).as_secs_f64();
+    let mut scenarios = Vec::new();
+    for (_, policy) in serve_policies() {
+        let app = spec.spmd(16, WaitMode::Yield, profile.scale);
+        let srv = speedbal_workloads::web(8, SERVE_CORES, 0.4, window);
+        scenarios.push(
+            Scenario::new(Machine::Tigerton, 0, policy, app)
+                .server(srv)
+                .repeats(profile.repeats),
+        );
+    }
+    let mut t = TextTable::new(&[
+        "policy",
+        "spmd(s)",
+        "speedup",
+        "p50(ms)",
+        "p99(ms)",
+        "qwait(ms)",
+    ]);
+    for ((label, _), res) in serve_policies().iter().zip(run_scenarios(scenarios)) {
+        let st = res
+            .server
+            .as_ref()
+            .expect("mixed cell carries server stats");
+        t.row(vec![
+            label.to_string(),
+            fmt_f(res.completion.mean()),
+            fmt_f(res.speedup(serial)),
+            fmt_f(st.p50_ms.mean()),
+            fmt_f(st.p99_ms.mean()),
+            fmt_f(st.queue_mean_ms.mean()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Named trace scenarios
 // ---------------------------------------------------------------------
 
@@ -672,6 +852,10 @@ pub const TRACE_SCENARIOS: &[(&str, &str)] = &[
     (
         "cg-barrier",
         "cg.B, 16 threads / 12 cores, blocking barriers",
+    ),
+    (
+        "web-serve",
+        "web server, 24 workers at rho 0.85 on 16 Tigerton cores",
     ),
 ];
 
@@ -698,6 +882,11 @@ pub fn trace_scenario(name: &str, policy: Policy, profile: Profile) -> Result<Sc
                 .ok_or_else(|| "cg.B missing from the NPB catalogue".to_string())?;
             let app = spec.spmd(16, WaitMode::Block, p.scale);
             Scenario::new(Machine::Tigerton, 12, policy, app)
+        }
+        "web-serve" => {
+            let cfg =
+                speedbal_workloads::web(SERVE_WORKERS, SERVE_CORES, 0.85, serve_window(profile));
+            Scenario::server_only(Machine::Tigerton, SERVE_CORES, policy, cfg)
         }
         other => {
             let known: Vec<&str> = TRACE_SCENARIOS.iter().map(|(n, _)| *n).collect();
@@ -810,6 +999,23 @@ mod tests {
         assert_eq!(fig6(p).n_rows(), 5);
         assert_eq!(barriers(p).n_rows(), 4);
         assert_eq!(numa(p).n_rows(), 4);
+    }
+
+    #[test]
+    fn serve_tables_have_expected_shape() {
+        let p = Profile {
+            scale: 0.02,
+            repeats: 1,
+        };
+        let sweep = serve_offered_load(p);
+        assert_eq!(sweep.n_rows(), 4 * 4, "4 rhos x 4 policies");
+        let shapes = serve_shapes(p);
+        assert_eq!(shapes.n_rows(), 5 * 4, "5 shapes x 4 policies");
+        let mixed = serve_mixed(p);
+        assert_eq!(mixed.n_rows(), 4);
+        // Every latency cell renders a positive number.
+        let rendered = sweep.render();
+        assert!(rendered.contains("SPEED") && rendered.contains("DWRR"));
     }
 
     #[test]

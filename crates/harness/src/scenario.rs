@@ -2,7 +2,9 @@
 //! repeated with distinct seeds.
 
 use serde::{Deserialize, Serialize};
-use speedbal_apps::{BatchJob, CpuHog, SpmdApp, SpmdConfig};
+use speedbal_apps::{
+    BatchJob, CpuHog, ServerApp, ServerConfig, ServerMetrics, SpmdApp, SpmdConfig,
+};
 use speedbal_balancers::{
     CompositeBalancer, Dwrr, LinuxLoadBalancer, Pinned, UleBalancer, UleConfig,
 };
@@ -13,7 +15,7 @@ use speedbal_machine::{
 use speedbal_metrics::RepeatStats;
 use speedbal_sched::{Balancer, GroupId, SchedConfig, SpawnSpec, System};
 use speedbal_sim::{SimDuration, SimTime};
-use speedbal_trace::{export_chrome, TraceBuffer, TraceConfig};
+use speedbal_trace::{export_chrome_to, TraceBuffer, TraceConfig};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -110,6 +112,15 @@ pub struct Scenario {
     pub cores: usize,
     pub policy: Policy,
     pub app: SpmdConfig,
+    /// Optional open-loop server workload (see `speedbal_apps::server`).
+    /// With `app.threads == 0` the server *is* the application: its
+    /// workers join the primary group (the one SPEED manages) and the
+    /// cell completes when the last admitted request has been served.
+    /// With SPMD threads present this is a mixed-tenancy cell: the SPMD
+    /// app stays primary (its completion time is the reported number)
+    /// and the server runs alongside in its own group, drained to
+    /// completion afterwards so its latency metrics cover every request.
+    pub server: Option<ServerConfig>,
     pub competitors: Vec<Competitor>,
     pub cost: CostModel,
     pub repeats: usize,
@@ -142,6 +153,7 @@ impl Scenario {
             cores,
             policy,
             app,
+            server: None,
             competitors: Vec::new(),
             cost: CostModel::default(),
             repeats: 10,
@@ -151,6 +163,30 @@ impl Scenario {
             trace_sample: 1.0,
             check: false,
         }
+    }
+
+    /// A pure server cell: no SPMD threads, the server workers are the
+    /// primary (policy-managed) group and completion means "last admitted
+    /// request served".
+    pub fn server_only(
+        machine: Machine,
+        cores: usize,
+        policy: Policy,
+        server: ServerConfig,
+    ) -> Scenario {
+        Scenario::new(
+            machine,
+            cores,
+            policy,
+            SpmdConfig::new(0, 0, SimDuration::ZERO),
+        )
+        .server(server)
+    }
+
+    /// Attaches an open-loop server workload (see [`Scenario::server`]).
+    pub fn server(mut self, cfg: ServerConfig) -> Scenario {
+        self.server = Some(cfg);
+        self
     }
 
     pub fn competitors(mut self, c: Vec<Competitor>) -> Scenario {
@@ -211,12 +247,50 @@ pub struct ScenarioResult {
     pub migrations: RepeatStats,
     /// Repeats that hit the deadline without finishing.
     pub timeouts: usize,
+    /// Tail-latency statistics, present when the scenario carried a
+    /// server workload. Each field holds one value per repeat.
+    pub server: Option<ServerStats>,
 }
 
 impl ScenarioResult {
     /// Speedup of `serial` seconds of work against the mean completion.
     pub fn speedup(&self, serial: f64) -> f64 {
         self.completion.speedup(serial)
+    }
+}
+
+/// Per-repeat server latency statistics, aggregated across repeats the
+/// same way `completion`/`migrations` are. Percentiles are computed per
+/// repeat from that repeat's log-scaled latency histogram (deterministic
+/// to the bit, ≤ ~3% relative bucket error — see `speedbal-metrics`),
+/// then summarized over repeats.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Median end-to-end request latency, milliseconds.
+    pub p50_ms: RepeatStats,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: RepeatStats,
+    /// 99.9th-percentile request latency, milliseconds.
+    pub p999_ms: RepeatStats,
+    /// Mean queueing delay (arrival → dispatch), milliseconds.
+    pub queue_mean_ms: RepeatStats,
+    /// Mean wall-clock service time per subtask, milliseconds.
+    pub service_mean_ms: RepeatStats,
+    /// Requests fully completed within the run.
+    pub completed: RepeatStats,
+    /// Requests dropped (queue-full + shed-timeout).
+    pub dropped: RepeatStats,
+}
+
+impl ServerStats {
+    fn push(&mut self, m: &ServerMetrics) {
+        self.p50_ms.push(m.latency.p50() as f64 / 1e6);
+        self.p99_ms.push(m.latency.p99() as f64 / 1e6);
+        self.p999_ms.push(m.latency.p999() as f64 / 1e6);
+        self.queue_mean_ms.push(m.queue_delay.mean_ns() / 1e6);
+        self.service_mean_ms.push(m.service_wall.mean_ns() / 1e6);
+        self.completed.push(m.completed as f64);
+        self.dropped.push(m.dropped() as f64);
     }
 }
 
@@ -264,6 +338,8 @@ pub struct RepeatOutcome {
     pub migrations: f64,
     /// Did the repeat hit the deadline without finishing?
     pub timed_out: bool,
+    /// Server latency metrics, when the scenario carried a server workload.
+    pub server: Option<ServerMetrics>,
     /// The event trace, when tracing was requested.
     pub trace: Option<TraceBuffer>,
 }
@@ -331,16 +407,38 @@ pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutco
             }
         }
     }
-    SpmdApp::spawn(&mut sys, app_group, &s.app, None);
+    // The server joins the primary group when it *is* the application
+    // (no SPMD threads); in mixed tenancy it gets its own group so it can
+    // be drained to completion independently of never-exiting competitors.
+    let server_app = s.server.as_ref().map(|cfg| {
+        let group = if s.app.threads == 0 {
+            app_group
+        } else {
+            sys.new_group()
+        };
+        let (app, _) = ServerApp::spawn(&mut sys, group, cfg, seed);
+        (app, group)
+    });
+    if s.app.threads > 0 {
+        SpmdApp::spawn(&mut sys, app_group, &s.app, None);
+    }
     let deadline = SimTime::ZERO + s.deadline;
-    let (completion_secs, timed_out) = match sys.run_until_group_done(app_group, deadline) {
+    let (completion_secs, mut timed_out) = match sys.run_until_group_done(app_group, deadline) {
         Some(done) => (done.as_secs_f64(), false),
         None => (s.deadline.as_secs_f64(), true),
     };
+    // Drain a mixed-tenancy server so its latency metrics cover every
+    // generated request (no-op when the server was the primary group).
+    if let Some((_, srv_group)) = &server_app {
+        if *srv_group != app_group && sys.run_until_group_done(*srv_group, deadline).is_none() {
+            timed_out = true;
+        }
+    }
     let outcome = RepeatOutcome {
         completion_secs,
         migrations: sys.total_migrations() as f64,
         timed_out,
+        server: server_app.map(|(app, _)| app.metrics()),
         trace: sys.take_trace(),
     };
     (outcome, sys)
@@ -367,11 +465,15 @@ pub fn run_scenario_with_traces(s: &Scenario) -> (ScenarioResult, Vec<Option<Tra
     let mut completion = RepeatStats::default();
     let mut migrations = RepeatStats::default();
     let mut timeouts = 0usize;
+    let mut server = s.server.as_ref().map(|_| ServerStats::default());
     let mut traces = Vec::with_capacity(outcomes.len());
     for o in outcomes {
         completion.push(o.completion_secs);
         migrations.push(o.migrations);
         timeouts += o.timed_out as usize;
+        if let (Some(stats), Some(m)) = (server.as_mut(), o.server.as_ref()) {
+            stats.push(m);
+        }
         traces.push(o.trace);
     }
     (
@@ -379,6 +481,7 @@ pub fn run_scenario_with_traces(s: &Scenario) -> (ScenarioResult, Vec<Option<Tra
             completion,
             migrations,
             timeouts,
+            server,
         },
         traces,
     )
@@ -469,7 +572,10 @@ pub(crate) fn write_trace_files_with_seq(s: &Scenario, traces: &[Option<TraceBuf
     for (r, buf) in traces.iter().enumerate() {
         let Some(buf) = buf else { continue };
         let path = trace_file_path(&base, &s.label(), seq, r);
-        if let Err(e) = std::fs::write(&path, export_chrome(buf)) {
+        // Stream the document straight to disk — large traces never
+        // materialize as one in-memory string.
+        let written = std::fs::File::create(&path).and_then(|f| export_chrome_to(buf, f));
+        if let Err(e) = written {
             eprintln!("warning: could not write trace {}: {e}", path.display());
         }
     }
@@ -633,6 +739,58 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert!(a.to_str().unwrap().ends_with(".json"));
+    }
+
+    #[test]
+    fn server_only_scenario_reports_latency_stats() {
+        let cfg = speedbal_workloads::web(8, 4, 0.6, SimDuration::from_millis(300));
+        let s = Scenario::server_only(Machine::Uniform(4), 0, Policy::Speed, cfg).repeats(2);
+        let r = run_scenario(&s);
+        assert_eq!(r.timeouts, 0);
+        assert!(r.completion.mean() > 0.0);
+        let st = r.server.expect("server scenario must yield latency stats");
+        assert_eq!(st.p50_ms.len(), 2);
+        assert!(st.p50_ms.mean() > 0.0);
+        assert!(st.p99_ms.mean() >= st.p50_ms.mean());
+        assert!(st.p999_ms.mean() >= st.p99_ms.mean());
+        assert!(st.completed.mean() > 0.0);
+        assert_eq!(st.dropped.mean(), 0.0, "unbounded queue never drops");
+    }
+
+    #[test]
+    fn mixed_tenancy_keeps_spmd_primary_and_drains_server() {
+        let app = ep().spmd(4, WaitMode::Yield, 0.05);
+        let cfg = speedbal_workloads::web(4, 4, 0.4, SimDuration::from_millis(200));
+        let alone = Scenario::new(Machine::Uniform(4), 0, Policy::Speed, app).repeats(2);
+        let shared = alone.clone().server(cfg.clone());
+        let a = run_scenario(&alone);
+        let b = run_scenario(&shared);
+        assert_eq!(b.timeouts, 0);
+        let st = b.server.expect("mixed cell must yield server stats");
+        // The server is drained past SPMD completion: every generated
+        // request of repeat r is eventually served (unbounded queue).
+        for (r, completed) in st.completed.values.iter().enumerate() {
+            let expected =
+                speedbal_apps::generate_requests(&cfg, shared.seed.wrapping_add(r as u64));
+            assert_eq!(*completed as usize, expected.len());
+        }
+        // ... and it contends with the SPMD app, which stays the number
+        // that `completion` reports.
+        assert!(a.server.is_none());
+        assert!(b.completion.mean() >= a.completion.mean());
+    }
+
+    #[test]
+    fn server_scenarios_are_deterministic() {
+        let cfg = speedbal_workloads::web_bursty(6, 4, 0.7, SimDuration::from_millis(200));
+        let s = Scenario::server_only(Machine::Uniform(4), 0, Policy::Load, cfg).repeats(2);
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        let (sa, sb) = (a.server.unwrap(), b.server.unwrap());
+        assert_eq!(sa.p99_ms.values, sb.p99_ms.values);
+        assert_eq!(sa.queue_mean_ms.values, sb.queue_mean_ms.values);
+        assert_eq!(sa.completed.values, sb.completed.values);
+        assert_eq!(a.completion.values, b.completion.values);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 use crate::perf::json;
 use crate::scenario::{
     next_trace_seq, run_scenario, run_scenario_with_traces, trace_output_base,
-    write_trace_files_with_seq, Competitor, Scenario, ScenarioResult,
+    write_trace_files_with_seq, Competitor, Scenario, ScenarioResult, ServerStats,
 };
 use speedbal_metrics::RepeatStats;
 use std::cell::Cell;
@@ -50,7 +50,11 @@ use std::time::Instant;
 /// without altering the `Scenario` type (event ordering, balancer
 /// semantics, metric definitions): every cached cell is invalidated at
 /// once, because the version participates in each content hash.
-pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `Scenario` grew the optional server workload and `ScenarioResult`
+/// the server latency block, changing both the key material and the
+/// cached document shape.
+pub const SWEEP_SCHEMA_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------
 // Global knobs: worker budget, cache switch, cumulative stats
@@ -65,7 +69,17 @@ static CACHE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static STAT_CELLS: AtomicU64 = AtomicU64::new(0);
 static STAT_HITS: AtomicU64 = AtomicU64::new(0);
 static STAT_MISSES: AtomicU64 = AtomicU64::new(0);
+static STAT_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static STAT_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// `set_cache_cap_bytes` override; 0 = unset (fall back to
+/// `SPEEDBAL_CACHE_CAP_BYTES`, then [`DEFAULT_CACHE_CAP_BYTES`]).
+static CACHE_CAP_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// Default size cap for `target/sweep-cache/`: 256 MiB. Full-profile
+/// sweeps write a few KiB per cell, so this is years of headroom for
+/// normal use while still bounding a cache that is never cleaned by hand.
+pub const DEFAULT_CACHE_CAP_BYTES: u64 = 256 << 20;
 
 thread_local! {
     static IN_SWEEP_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -128,6 +142,30 @@ pub fn set_cache_dir(dir: Option<PathBuf>) {
     *CACHE_DIR.lock().unwrap() = dir;
 }
 
+/// Sets (or with `None` clears) the cache size cap in bytes. Takes
+/// precedence over `SPEEDBAL_CACHE_CAP_BYTES`; the default is
+/// [`DEFAULT_CACHE_CAP_BYTES`]. A cap of `Some(0)` evicts everything.
+pub fn set_cache_cap_bytes(cap: Option<u64>) {
+    // 0 is a meaningful cap, so the sentinel for "unset" is u64::MAX - 1
+    // shifted: store cap+1, 0 = unset.
+    CACHE_CAP_OVERRIDE.store(cap.map_or(0, |c| c.saturating_add(1)), Ordering::Relaxed);
+}
+
+/// The effective cache size cap (see [`set_cache_cap_bytes`]).
+pub fn cache_cap_bytes() -> u64 {
+    let explicit = CACHE_CAP_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit - 1;
+    }
+    if let Some(cap) = std::env::var("SPEEDBAL_CACHE_CAP_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        return cap;
+    }
+    DEFAULT_CACHE_CAP_BYTES
+}
+
 /// The directory cached results persist to.
 pub fn cache_dir() -> PathBuf {
     CACHE_DIR
@@ -147,6 +185,8 @@ pub struct SweepStats {
     pub cache_hits: u64,
     /// Cached jobs that had to run (result persisted afterwards).
     pub cache_misses: u64,
+    /// Cache files deleted (oldest first) to honour the size cap.
+    pub evictions: u64,
     /// Wall-clock seconds spent inside `run_sweep` calls.
     pub wall_secs: f64,
 }
@@ -168,6 +208,7 @@ pub fn sweep_stats() -> SweepStats {
         cells: STAT_CELLS.load(Ordering::Relaxed),
         cache_hits: STAT_HITS.load(Ordering::Relaxed),
         cache_misses: STAT_MISSES.load(Ordering::Relaxed),
+        evictions: STAT_EVICTIONS.load(Ordering::Relaxed),
         wall_secs: STAT_WALL_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
     }
 }
@@ -177,6 +218,7 @@ pub fn reset_sweep_stats() {
     STAT_CELLS.store(0, Ordering::Relaxed);
     STAT_HITS.store(0, Ordering::Relaxed);
     STAT_MISSES.store(0, Ordering::Relaxed);
+    STAT_EVICTIONS.store(0, Ordering::Relaxed);
     STAT_WALL_NANOS.store(0, Ordering::Relaxed);
 }
 
@@ -302,6 +344,14 @@ pub fn run_sweep_with_stats<T: Send>(jobs: Vec<SweepJob<T>>) -> (Vec<T>, SweepSt
             .collect()
     };
 
+    // Enforce the cache size cap once per sweep, after all stores: the
+    // working set of the sweep itself is never evicted mid-run.
+    let evicted = if cache_enabled() {
+        evict_cache_to_cap()
+    } else {
+        0
+    };
+
     let wall = start.elapsed();
     STAT_CELLS.fetch_add(n as u64, Ordering::Relaxed);
     STAT_WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
@@ -309,9 +359,50 @@ pub fn run_sweep_with_stats<T: Send>(jobs: Vec<SweepJob<T>>) -> (Vec<T>, SweepSt
         cells: n as u64,
         cache_hits: ctx.hits.load(Ordering::Relaxed),
         cache_misses: ctx.misses.load(Ordering::Relaxed),
+        evictions: evicted,
         wall_secs: wall.as_secs_f64(),
     };
     (results, stats)
+}
+
+/// Shrinks the cache directory to [`cache_cap_bytes`] by deleting the
+/// oldest entries first (modification time, ties broken by file name so
+/// the order is deterministic), returning how many files were removed.
+/// Best-effort like the rest of the cache: I/O errors skip the file.
+pub fn evict_cache_to_cap() -> u64 {
+    let cap = cache_cap_bytes();
+    let Ok(entries) = std::fs::read_dir(cache_dir()) else {
+        return 0;
+    };
+    let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let path = e.path();
+            if path.extension().and_then(|x| x.to_str()) != Some("json") {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            let mtime = meta.modified().ok()?;
+            Some((mtime, path, meta.len()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+    if total <= cap {
+        return 0;
+    }
+    files.sort();
+    let mut evicted = 0;
+    for (_, path, len) in files {
+        if total <= cap {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+            evicted += 1;
+        }
+    }
+    STAT_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    evicted
 }
 
 // ---------------------------------------------------------------------
@@ -330,8 +421,16 @@ pub fn scenario_cost(s: &Scenario) -> u64 {
             Competitor::MakeJ { tasks, .. } => u64::from(*tasks),
         })
         .sum();
+    // Server cells scale with total subtask count rather than barrier
+    // phases; both contributions are rough relative hints only.
+    let server_steps: u64 = s
+        .server
+        .as_ref()
+        .map(|c| c.expected_requests().saturating_mul(c.fanout as u64))
+        .unwrap_or(0);
     (s.app.threads as u64 + competitor_tasks)
         .saturating_mul(s.app.phases.max(1))
+        .saturating_add(server_steps)
         .saturating_mul(s.repeats as u64)
         .max(1)
 }
@@ -477,10 +576,55 @@ fn parse_f64_bits_array(v: &json::Value, field: &str) -> Result<Vec<f64>, String
         .collect()
 }
 
+type ServerFieldGet = fn(&ServerStats) -> &RepeatStats;
+type ServerFieldGetMut = fn(&mut ServerStats) -> &mut RepeatStats;
+
+/// The `(json key, accessor)` table for the per-repeat [`ServerStats`]
+/// arrays: one place to keep the serializer and parser aligned.
+const SERVER_FIELDS: [(&str, ServerFieldGet, ServerFieldGetMut); 7] = [
+    ("p50_ms_bits", |s| &s.p50_ms, |s| &mut s.p50_ms),
+    ("p99_ms_bits", |s| &s.p99_ms, |s| &mut s.p99_ms),
+    ("p999_ms_bits", |s| &s.p999_ms, |s| &mut s.p999_ms),
+    (
+        "queue_mean_ms_bits",
+        |s| &s.queue_mean_ms,
+        |s| &mut s.queue_mean_ms,
+    ),
+    (
+        "service_mean_ms_bits",
+        |s| &s.service_mean_ms,
+        |s| &mut s.service_mean_ms,
+    ),
+    ("completed_bits", |s| &s.completed, |s| &mut s.completed),
+    ("dropped_bits", |s| &s.dropped, |s| &mut s.dropped),
+];
+
+fn server_stats_to_json(s: &ServerStats) -> String {
+    let fields: Vec<String> = SERVER_FIELDS
+        .iter()
+        .map(|(key, get, _)| format!("\"{key}\":{}", f64_bits_array(&get(s).values)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+fn server_stats_from_json(v: &json::Value) -> Result<ServerStats, String> {
+    let obj = v.as_obj().ok_or("cached \"server\" is not an object")?;
+    let mut out = ServerStats::default();
+    for (key, _, get_mut) in &SERVER_FIELDS {
+        let node = json::get(obj, key).ok_or_else(|| format!("missing \"{key}\""))?;
+        get_mut(&mut out).values = parse_f64_bits_array(node, key)?;
+    }
+    Ok(out)
+}
+
 impl CacheValue for ScenarioResult {
     fn to_cache_json(&self) -> String {
+        let server = match &self.server {
+            Some(s) => server_stats_to_json(s),
+            None => "null".into(),
+        };
         format!(
-            "{{\"completion_bits\":{},\"migration_bits\":{},\"timeouts\":{}}}",
+            "{{\"completion_bits\":{},\"migration_bits\":{},\"timeouts\":{},\"server\":{server}}}",
             f64_bits_array(&self.completion.values),
             f64_bits_array(&self.migrations.values),
             self.timeouts
@@ -490,6 +634,10 @@ impl CacheValue for ScenarioResult {
     fn from_cache_value(v: &json::Value) -> Result<Self, String> {
         let obj = v.as_obj().ok_or("cached result is not an object")?;
         let field = |k: &str| json::get(obj, k).ok_or_else(|| format!("missing \"{k}\""));
+        let server = match field("server")? {
+            json::Value::Null => None,
+            node => Some(server_stats_from_json(node)?),
+        };
         Ok(ScenarioResult {
             completion: RepeatStats {
                 values: parse_f64_bits_array(field("completion_bits")?, "completion_bits")?,
@@ -500,6 +648,7 @@ impl CacheValue for ScenarioResult {
             timeouts: field("timeouts")?
                 .as_num()
                 .ok_or("\"timeouts\" is not a number")? as usize,
+            server,
         })
     }
 }
@@ -588,6 +737,7 @@ pub(crate) mod tests {
                 values: vec![0.0, 1e300],
             },
             timeouts: 3,
+            server: None,
         };
         let text = res.to_cache_json();
         let parsed = json::parse(&text).unwrap();
@@ -596,6 +746,78 @@ pub(crate) mod tests {
         assert_eq!(bits(&back.completion.values), bits(&res.completion.values));
         assert_eq!(bits(&back.migrations.values), bits(&res.migrations.values));
         assert_eq!(back.timeouts, 3);
+        assert!(back.server.is_none());
+    }
+
+    #[test]
+    fn server_stats_cache_json_roundtrips_bit_for_bit() {
+        let mut server = ServerStats::default();
+        server.p50_ms.values = vec![0.1 + 0.2, 1.0 / 3.0];
+        server.p99_ms.values = vec![2.5, 3.75];
+        server.p999_ms.values = vec![9.0, f64::MIN_POSITIVE];
+        server.queue_mean_ms.values = vec![0.25, 0.5];
+        server.service_mean_ms.values = vec![1.0, 1.0];
+        server.completed.values = vec![100.0, 101.0];
+        server.dropped.values = vec![0.0, 3.0];
+        let res = ScenarioResult {
+            completion: RepeatStats { values: vec![1.0] },
+            migrations: RepeatStats { values: vec![2.0] },
+            timeouts: 0,
+            server: Some(server.clone()),
+        };
+        let parsed = json::parse(&res.to_cache_json()).unwrap();
+        let back = ScenarioResult::from_cache_value(&parsed).unwrap();
+        let got = back.server.expect("server block survives the roundtrip");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (key, get, _) in &SERVER_FIELDS {
+            assert_eq!(
+                bits(&get(&got).values),
+                bits(&get(&server).values),
+                "field {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_evicts_oldest_files_to_cap() {
+        let _g = global_guard();
+        let dir = temp_cache_dir("evict");
+        set_cache_dir(Some(dir.clone()));
+        // Four ~100-byte files with strictly increasing mtimes.
+        let body = "x".repeat(100);
+        for i in 0..4 {
+            let path = dir.join(format!("{i:016x}.json"));
+            std::fs::write(&path, &body).unwrap();
+            let t = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000 + i);
+            let f = std::fs::File::open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        // Non-json files are never touched.
+        std::fs::write(dir.join("README"), "not a cache entry").unwrap();
+
+        set_cache_cap_bytes(Some(250));
+        assert_eq!(evict_cache_to_cap(), 2, "two oldest must go");
+        let mut left: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        left.sort();
+        assert_eq!(
+            left,
+            vec![
+                format!("{:016x}.json", 2),
+                format!("{:016x}.json", 3),
+                "README".to_string()
+            ]
+        );
+        // Under the cap: nothing more to do.
+        assert_eq!(evict_cache_to_cap(), 0);
+        // Cap of zero clears the cache but leaves foreign files alone.
+        set_cache_cap_bytes(Some(0));
+        assert_eq!(evict_cache_to_cap(), 2);
+        set_cache_cap_bytes(None);
+        set_cache_dir(None);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -609,6 +831,7 @@ pub(crate) mod tests {
             completion: RepeatStats { values: vec![1.5] },
             migrations: RepeatStats { values: vec![2.0] },
             timeouts: 0,
+            server: None,
         };
         cache_store(key, &res);
         let loaded: ScenarioResult = cache_load(key).expect("fresh store must load");

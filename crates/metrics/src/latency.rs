@@ -1,0 +1,299 @@
+//! Streaming latency recorder: a fixed-bucket, log-scaled histogram with
+//! deterministic percentile extraction.
+//!
+//! Server scenarios complete up to hundreds of thousands of requests per
+//! repeat; keeping every sample for an exact percentile sort would dwarf
+//! the rest of the run state. Instead we fold each sample into a
+//! fixed-size histogram whose buckets are spaced logarithmically —
+//! [`SUB_BUCKETS`] linear sub-buckets per power of two, HdrHistogram
+//! style — so the relative quantization error is bounded by
+//! `1/SUB_BUCKETS` (~3%) at every magnitude from nanoseconds to hours.
+//!
+//! Percentiles are *deterministic by construction*: bucket indices and
+//! cumulative counts are pure integer arithmetic, so the same sample
+//! stream yields bit-identical p50/p99/p999 on every platform, at every
+//! `--jobs` setting, and across cache round-trips. A quantile reports the
+//! lower edge of the bucket holding the rank-`ceil(q·n)` sample (a ≤3%
+//! undershoot, never an overshoot past the true value's bucket).
+
+use speedbal_sim::SimDuration;
+
+/// Linear sub-buckets per power-of-two octave. 32 sub-buckets bound the
+/// relative quantization error at 1/32 ≈ 3.1%.
+pub const SUB_BUCKETS: usize = 32;
+
+/// log2(SUB_BUCKETS), the number of mantissa bits a bucket keeps.
+const SUB_BITS: u32 = 5;
+
+/// Total bucket count: values below `SUB_BUCKETS` are exact (one bucket
+/// each, major index 0), then majors 1..=59 each hold `SUB_BUCKETS`
+/// log-spaced buckets covering the rest of `u64`.
+const N_BUCKETS: usize = (65 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket index of a nanosecond value (pure integer arithmetic).
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros(); // >= SUB_BITS
+    let major = (msb - SUB_BITS) as usize + 1;
+    let sub = ((ns >> (msb - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+    major * SUB_BUCKETS + sub
+}
+
+/// Lower edge (smallest nanosecond value) of a bucket.
+fn bucket_floor(b: usize) -> u64 {
+    if b < SUB_BUCKETS {
+        return b as u64;
+    }
+    let major = (b / SUB_BUCKETS) as u32; // >= 1
+    let sub = (b % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << (major - 1)
+}
+
+/// A streaming log-scaled latency histogram over nanosecond samples.
+///
+/// Records in O(1), merges in O(buckets), and extracts deterministic
+/// quantiles in O(buckets). See the module docs for the error bound.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Folds one nanosecond sample into the histogram.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds one [`SimDuration`] sample into the histogram.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean in nanoseconds (0 if empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The `q`-quantile in nanoseconds: the lower edge of the bucket
+    /// holding the rank-`ceil(q·count)` smallest sample (so at most one
+    /// bucket width ≈ 3% below the true sample value). `q` is clamped to
+    /// `[0, 1]`; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_floor(b).max(self.min_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median (see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (see [`LatencyHistogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (see [`LatencyHistogram::quantile`]).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of() {
+        // The floor of a value's bucket never exceeds the value, and the
+        // relative gap is bounded by 1/SUB_BUCKETS.
+        let mut v: u64 = 1;
+        while v < u64::MAX / 3 {
+            for ns in [v, v + 1, v * 3 - 1] {
+                let floor = bucket_floor(bucket_of(ns));
+                assert!(floor <= ns, "floor({ns}) = {floor}");
+                assert!(
+                    (ns - floor) as f64 <= ns as f64 / SUB_BUCKETS as f64 + 1.0,
+                    "error bound violated at {ns}: floor {floor}"
+                );
+            }
+            v *= 3;
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let mut prev = 0;
+        for ns in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1000,
+            1 << 20,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let b = bucket_of(ns);
+            assert!(b >= prev, "bucket_of not monotone at {ns}");
+            assert!(b < N_BUCKETS);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.p50();
+        assert!((450_000..=500_000).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((950_000..=990_000).contains(&p99), "p99 = {p99}");
+        assert!(h.p999() <= h.max_ns());
+        assert!(h.quantile(0.0) >= h.min_ns() / 2);
+        assert_eq!(h.quantile(1.0), h.quantile(0.9999));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 7919 + 13;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min_ns(), both.min_ns());
+        assert_eq!(a.max_ns(), both.max_ns());
+        assert_eq!(a.mean_ns(), both.mean_ns());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    #[test]
+    fn mean_is_exact_not_quantized() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_003);
+        h.record(2_000_001);
+        assert_eq!(h.mean_ns(), 1_500_002.0);
+    }
+
+    #[test]
+    fn record_duration_matches_record() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_duration(SimDuration::from_micros(123));
+        b.record(123_000);
+        assert_eq!(a.p50(), b.p50());
+    }
+}

@@ -7,9 +7,11 @@
 //! summaries (Table 3 / Figure 4) compare policy A's average and worst
 //! runs against policy B's.
 
+pub mod latency;
 pub mod stats;
 pub mod table;
 
+pub use latency::LatencyHistogram;
 pub use stats::{RepeatStats, Sample};
 pub use table::TextTable;
 

@@ -40,5 +40,5 @@ pub use task::{TaskId, TaskState};
 // direct `speedbal-trace` dependency.
 pub use speedbal_trace as trace;
 pub use speedbal_trace::{
-    ActivationOutcome, MigrationReason, TraceBuffer, TraceConfig, TraceEvent,
+    ActivationOutcome, MigrationReason, RequestDropReason, TraceBuffer, TraceConfig, TraceEvent,
 };

@@ -5,9 +5,9 @@
 //!
 //! - pid 1 ("cores"): one thread track per core (`cpu0`, `cpu1`, ...)
 //!   carrying `X` complete events for every task occupancy interval,
-//!   `i` instant events for wakes/sleeps/preemptions/migrations and
-//!   balancer activations, and `C` counter tracks for core-level speed
-//!   samples.
+//!   `i` instant events for wakes/sleeps/preemptions/migrations,
+//!   balancer activations and server-request lifecycle points, and `C`
+//!   counter tracks for core-level speed samples.
 //! - pid 2 ("tasks"): `C` counter tracks for per-task speed samples.
 //! - async nestable `b`/`e` spans (pid 1) for barrier episodes, one id
 //!   per episode condition, so barrier wait epochs render as horizontal
@@ -15,11 +15,18 @@
 //!
 //! Timestamps are microseconds with nanosecond precision (three decimal
 //! places), matching the trace-event spec's `ts` unit.
+//!
+//! The exporter **streams**: [`export_chrome_to`] writes each event
+//! through a buffered writer as it is produced, so exporting a
+//! multi-gigabyte server trace never materializes the whole document in
+//! memory. [`export_chrome`] is a convenience wrapper that collects the
+//! same byte stream into a `String`.
 
 use crate::event::TraceEvent;
 use crate::sink::TraceBuffer;
 use speedbal_sim::SimTime;
 use std::fmt::Write as _;
+use std::io::{self, Write};
 
 const CORES_PID: u64 = 1;
 const TASKS_PID: u64 = 2;
@@ -57,33 +64,45 @@ fn num(x: f64) -> String {
     }
 }
 
-struct Events {
-    out: Vec<String>,
+/// Streams trace events as they are produced: one JSON object per line,
+/// comma-separated, no whole-document accumulation.
+struct Events<W: Write> {
+    w: W,
+    first: bool,
 }
 
-impl Events {
-    fn push(&mut self, json_object_body: String) {
-        self.out.push(format!("{{{json_object_body}}}"));
+impl<W: Write> Events<W> {
+    fn push(&mut self, json_object_body: String) -> io::Result<()> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.w.write_all(b",\n")?;
+        }
+        write!(self.w, "{{{json_object_body}}}")
     }
 
-    fn meta(&mut self, pid: u64, tid: Option<u64>, name: &str, value: &str) {
+    fn meta(&mut self, pid: u64, tid: Option<u64>, name: &str, value: &str) -> io::Result<()> {
         let tid_part = tid.map(|t| format!(",\"tid\":{t}")).unwrap_or_default();
         self.push(format!(
             "\"ph\":\"M\",\"pid\":{pid}{tid_part},\"name\":\"{name}\",\
              \"args\":{{\"name\":\"{}\"}}",
             esc(value)
-        ));
+        ))
     }
 }
 
-/// Renders the whole buffer as a Chrome trace-event JSON document.
-pub fn export_chrome(buf: &TraceBuffer) -> String {
-    let mut ev = Events { out: Vec::new() };
+/// Renders the whole buffer as a Chrome trace-event JSON document,
+/// streamed through a buffered chunked writer. The byte stream is
+/// identical to what [`export_chrome`] returns.
+pub fn export_chrome_to<W: Write>(buf: &TraceBuffer, writer: W) -> io::Result<()> {
+    let mut w = io::BufWriter::with_capacity(1 << 16, writer);
+    w.write_all(b"{\"traceEvents\":[\n")?;
+    let mut ev = Events { w, first: true };
 
-    ev.meta(CORES_PID, None, "process_name", "cores");
-    ev.meta(TASKS_PID, None, "process_name", "tasks");
+    ev.meta(CORES_PID, None, "process_name", "cores")?;
+    ev.meta(TASKS_PID, None, "process_name", "tasks")?;
     for c in 0..buf.n_cores() {
-        ev.meta(CORES_PID, Some(c as u64), "thread_name", &format!("cpu{c}"));
+        ev.meta(CORES_PID, Some(c as u64), "thread_name", &format!("cpu{c}"))?;
     }
 
     // Open occupancy interval per core: (task, dispatch time).
@@ -109,7 +128,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                             ts(since),
                             dur.as_nanos() as f64 / 1_000.0,
                             esc(&buf.task_name(*task)),
-                        ));
+                        ))?;
                     }
                 }
             }
@@ -120,7 +139,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                     ts(rec.time),
                     esc(&buf.task_name(*task)),
                     esc(&buf.task_name(*by)),
-                ));
+                ))?;
             }
             TraceEvent::Wake { task } => {
                 ev.push(format!(
@@ -128,7 +147,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                      \"s\":\"t\",\"name\":\"wake {}\",\"cat\":\"sched\"",
                     ts(rec.time),
                     esc(&buf.task_name(*task)),
-                ));
+                ))?;
             }
             TraceEvent::Sleep { task } => {
                 ev.push(format!(
@@ -136,7 +155,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                      \"s\":\"t\",\"name\":\"sleep {}\",\"cat\":\"sched\"",
                     ts(rec.time),
                     esc(&buf.task_name(*task)),
-                ));
+                ))?;
             }
             TraceEvent::Exit { task } => {
                 ev.push(format!(
@@ -144,7 +163,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                      \"s\":\"t\",\"name\":\"exit {}\",\"cat\":\"sched\"",
                     ts(rec.time),
                     esc(&buf.task_name(*task)),
-                ));
+                ))?;
             }
             TraceEvent::Migrate {
                 task,
@@ -165,7 +184,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                     to.0,
                     tier,
                     reason.label(),
-                ));
+                ))?;
             }
             TraceEvent::SpeedSample { task, speed } => match task {
                 Some(t) => {
@@ -179,7 +198,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                             Some(*t as u64),
                             "thread_name",
                             &buf.task_name(*t),
-                        );
+                        )?;
                     }
                     ev.push(format!(
                         "\"ph\":\"C\",\"pid\":{TASKS_PID},\"tid\":{t},\"ts\":{},\
@@ -187,7 +206,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                         ts(rec.time),
                         esc(&buf.task_name(*t)),
                         num(*speed),
-                    ));
+                    ))?;
                 }
                 None => {
                     ev.push(format!(
@@ -195,7 +214,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                          \"name\":\"speed cpu{core}\",\"args\":{{\"speed\":{}}}",
                         ts(rec.time),
                         num(*speed),
-                    ));
+                    ))?;
                 }
             },
             TraceEvent::BalancerActivation {
@@ -214,7 +233,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                     num(*local),
                     num(*global),
                     num(jitter.as_millis_f64()),
-                ));
+                ))?;
             }
             TraceEvent::BarrierArrive {
                 task,
@@ -230,7 +249,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                          \"id\":{cond},\"name\":\"barrier ep {episode}\",\
                          \"cat\":\"barrier\"",
                         ts(rec.time),
-                    ));
+                    ))?;
                 }
                 ev.push(format!(
                     "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
@@ -238,7 +257,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                      \"cat\":\"barrier\"",
                     ts(rec.time),
                     esc(&buf.task_name(*task)),
-                ));
+                ))?;
             }
             TraceEvent::BarrierRelease { cond, episode, .. } => {
                 ev.push(format!(
@@ -246,7 +265,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                      \"id\":{cond},\"name\":\"barrier ep {episode}\",\
                      \"cat\":\"barrier\"",
                     ts(rec.time),
-                ));
+                ))?;
             }
             TraceEvent::ProcFault {
                 task,
@@ -269,7 +288,7 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                     kind.label(),
                     esc(&who),
                     kind.label(),
-                ));
+                ))?;
             }
             TraceEvent::Quarantined { task, failures } => {
                 ev.push(format!(
@@ -278,7 +297,52 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                      \"args\":{{\"failures\":{failures}}}",
                     ts(rec.time),
                     esc(&buf.task_name(*task)),
-                ));
+                ))?;
+            }
+            TraceEvent::RequestArrival {
+                request,
+                arrival,
+                queued,
+            } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"req {request} arrive\",\
+                     \"cat\":\"request\",\"args\":{{\"arrival_us\":{},\
+                     \"queued\":{queued}}}",
+                    ts(rec.time),
+                    ts(*arrival),
+                ))?;
+            }
+            TraceEvent::RequestDispatch {
+                request,
+                subtask,
+                wait,
+            } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"serve req {request}.{subtask}\",\
+                     \"cat\":\"request\",\"args\":{{\"wait_ms\":{}}}",
+                    ts(rec.time),
+                    num(wait.as_millis_f64()),
+                ))?;
+            }
+            TraceEvent::RequestComplete { request, latency } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"t\",\"name\":\"req {request} done\",\
+                     \"cat\":\"request\",\"args\":{{\"latency_ms\":{}}}",
+                    ts(rec.time),
+                    num(latency.as_millis_f64()),
+                ))?;
+            }
+            TraceEvent::RequestDrop { request, reason } => {
+                ev.push(format!(
+                    "\"ph\":\"i\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"s\":\"p\",\"name\":\"drop req {request}\",\
+                     \"cat\":\"request\",\"args\":{{\"reason\":\"{}\"}}",
+                    ts(rec.time),
+                    reason.label(),
+                ))?;
             }
         }
     }
@@ -294,20 +358,24 @@ pub fn export_chrome(buf: &TraceBuffer) -> String {
                 ts(*since),
                 dur.as_nanos() as f64 / 1_000.0,
                 esc(&buf.task_name(*task)),
-            ));
+            ))?;
         }
     }
 
-    let mut out = String::from("{\"traceEvents\":[\n");
-    for (i, e) in ev.out.iter().enumerate() {
-        out.push_str(e);
-        if i + 1 < ev.out.len() {
-            out.push(',');
-        }
-        out.push('\n');
+    let mut w = ev.w;
+    if !ev.first {
+        w.write_all(b"\n")?;
     }
-    out.push_str("]}\n");
-    out
+    w.write_all(b"]}\n")?;
+    w.flush()
+}
+
+/// Renders the whole buffer as a Chrome trace-event JSON document in
+/// memory. Prefer [`export_chrome_to`] for large traces.
+pub fn export_chrome(buf: &TraceBuffer) -> String {
+    let mut out = Vec::new();
+    export_chrome_to(buf, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("exporter emits UTF-8")
 }
 
 #[cfg(test)]
@@ -444,10 +512,76 @@ mod tests {
     }
 
     #[test]
+    fn request_events_export() {
+        use crate::event::RequestDropReason;
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            t(10),
+            CoreId(0),
+            TraceEvent::RequestArrival {
+                request: 7,
+                arrival: t(8),
+                queued: 3,
+            },
+        );
+        buf.record(
+            t(12),
+            CoreId(1),
+            TraceEvent::RequestDispatch {
+                request: 7,
+                subtask: 1,
+                wait: SimDuration::from_micros(4000),
+            },
+        );
+        buf.record(
+            t(20),
+            CoreId(1),
+            TraceEvent::RequestComplete {
+                request: 7,
+                latency: SimDuration::from_micros(12_000),
+            },
+        );
+        buf.record(
+            t(21),
+            CoreId(0),
+            TraceEvent::RequestDrop {
+                request: 8,
+                reason: RequestDropReason::QueueFull,
+            },
+        );
+        let json = export_chrome(&buf);
+        assert!(json.contains("\"cat\":\"request\""));
+        assert!(json.contains("req 7 arrive"));
+        assert!(json.contains("serve req 7.1"));
+        assert!(json.contains("req 7 done"));
+        assert!(json.contains("\"latency_ms\":12.000000"));
+        assert!(json.contains("drop req 8"));
+        assert!(json.contains("\"reason\":\"queue-full\""));
+    }
+
+    #[test]
     fn document_shape_is_wellformed() {
         let buf = TraceBuffer::new();
         let json = export_chrome(&buf);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn streaming_writer_matches_string_export() {
+        let mut buf = TraceBuffer::new();
+        buf.task_spawned(0, "w0", SimTime::ZERO);
+        buf.record(t(1), CoreId(0), TraceEvent::Dispatch { task: 0 });
+        buf.record(
+            t(9),
+            CoreId(0),
+            TraceEvent::Desched {
+                task: 0,
+                ran: SimDuration::from_micros(8),
+            },
+        );
+        let mut streamed = Vec::new();
+        export_chrome_to(&buf, &mut streamed).unwrap();
+        assert_eq!(String::from_utf8(streamed).unwrap(), export_chrome(&buf));
     }
 }

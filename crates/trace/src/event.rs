@@ -155,6 +155,39 @@ impl ProcFaultKind {
     pub const ALL_LABELS: [&'static str; 4] = ["vanished", "eperm", "malformed", "io"];
 }
 
+/// Why a server request was dropped instead of served (the typed
+/// overload outcomes of the open-loop server workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestDropReason {
+    /// The bounded request queue was full at admission time.
+    QueueFull,
+    /// Load shedding: the request waited longer than the configured
+    /// shed threshold before any worker picked it up.
+    ShedTimeout,
+}
+
+impl RequestDropReason {
+    /// Short stable label (used by exporters and counters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestDropReason::QueueFull => "queue-full",
+            RequestDropReason::ShedTimeout => "shed-timeout",
+        }
+    }
+
+    /// Index into per-reason counter arrays; keep in sync with
+    /// [`RequestDropReason::ALL_LABELS`].
+    pub fn index(&self) -> usize {
+        match self {
+            RequestDropReason::QueueFull => 0,
+            RequestDropReason::ShedTimeout => 1,
+        }
+    }
+
+    /// Labels in [`RequestDropReason::index`] order.
+    pub const ALL_LABELS: [&'static str; 2] = ["queue-full", "shed-timeout"];
+}
+
 /// What one balancer activation decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActivationOutcome {
@@ -298,6 +331,43 @@ pub enum TraceEvent {
         attempt: u32,
         /// Whether a bounded backoff retry follows.
         retrying: bool,
+    },
+    /// An open-loop server request entered the shared queue. Recorded at
+    /// admission (the moment a worker first observes the arrival clock
+    /// passing it); `arrival` is the request's nominal open-loop arrival
+    /// time, which is also the zero point of its latency measurement.
+    RequestArrival {
+        /// The admitted request's id (dense, from 0, per scenario).
+        request: usize,
+        /// Nominal open-loop arrival time of the request.
+        arrival: SimTime,
+        /// Subtasks waiting in the shared queue just after admission.
+        queued: usize,
+    },
+    /// A worker pulled one subtask of a request off the shared queue and
+    /// started computing it.
+    RequestDispatch {
+        /// The request being served.
+        request: usize,
+        /// Subtask index within the request (0 for non-fan-out requests).
+        subtask: usize,
+        /// Queueing delay: time between the request's nominal arrival
+        /// and this dispatch.
+        wait: SimDuration,
+    },
+    /// The last subtask of a request finished: the request is complete.
+    RequestComplete {
+        /// The completed request.
+        request: usize,
+        /// End-to-end latency (completion minus nominal arrival).
+        latency: SimDuration,
+    },
+    /// A request was dropped instead of served.
+    RequestDrop {
+        /// The dropped request.
+        request: usize,
+        /// The typed overload outcome.
+        reason: RequestDropReason,
     },
     /// The native balancer quarantined a thread after `failures`
     /// consecutive failed reads: the tid is dropped from speed accounting

@@ -19,10 +19,13 @@
 //!    histograms by cache/NUMA tier and by reason, per-task
 //!    time-in-state, per-core/per-task speed series statistics), so the
 //!    summary survives ring wraparound.
-//! 3. Exporters — [`export_chrome`] renders Chrome trace-event JSON
+//! 3. Exporters — [`export_chrome_to`] streams Chrome trace-event JSON
 //!    loadable in Perfetto/`chrome://tracing` (one track per core, async
-//!    spans for barrier epochs, counter tracks for speeds);
-//!    [`render_summary`] renders a plain-text report.
+//!    spans for barrier epochs, counter tracks for speeds) through a
+//!    buffered writer, so multi-gigabyte server traces export without
+//!    materializing the document; [`export_chrome`] collects the same
+//!    bytes into a `String`; [`render_summary`] renders a plain-text
+//!    report.
 
 #![warn(missing_docs)]
 
@@ -31,9 +34,10 @@ pub mod event;
 pub mod sink;
 pub mod summary;
 
-pub use chrome::export_chrome;
+pub use chrome::{export_chrome, export_chrome_to};
 pub use event::{
-    ActivationOutcome, MigrationReason, ProcFaultKind, ProcOp, TraceEvent, TraceRecord,
+    ActivationOutcome, MigrationReason, ProcFaultKind, ProcOp, RequestDropReason, TraceEvent,
+    TraceRecord,
 };
 pub use sink::{SeriesStats, StateTimes, TraceBuffer, TraceConfig, TraceCounters};
 pub use summary::render_summary;

@@ -3,7 +3,7 @@
 //! per-task speed statistics) maintained incrementally at record time, so
 //! summaries survive even when the ring has wrapped.
 
-use crate::event::{MigrationReason, ProcFaultKind, TraceEvent, TraceRecord};
+use crate::event::{MigrationReason, ProcFaultKind, RequestDropReason, TraceEvent, TraceRecord};
 use speedbal_machine::{CoreId, DomainLevel};
 use speedbal_sim::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -79,6 +79,16 @@ pub struct TraceCounters {
     pub proc_retries: u64,
     /// Threads quarantined after repeated read failures.
     pub quarantines: u64,
+    /// Open-loop server requests admitted to the shared queue.
+    pub request_arrivals: u64,
+    /// Server subtask dispatches (queue pulls by workers).
+    pub request_dispatches: u64,
+    /// Server requests completed (all subtasks done).
+    pub request_completions: u64,
+    /// Server requests dropped instead of served (all reasons).
+    pub request_drops: u64,
+    /// Histogram over [`RequestDropReason::ALL_LABELS`].
+    pub request_drops_by_reason: [u64; RequestDropReason::ALL_LABELS.len()],
 }
 
 /// Cumulative time a task spent in each scheduler state.
@@ -184,6 +194,10 @@ pub struct TraceBuffer {
     core_speed: Vec<SeriesStats>,
     /// Task-level speed samples (`SpeedSample { task: Some(_) }`).
     task_speed: Vec<SeriesStats>,
+    /// End-to-end request latencies in milliseconds (`RequestComplete`).
+    request_latency: SeriesStats,
+    /// Request queueing delays in milliseconds (`RequestDispatch`).
+    request_wait: SeriesStats,
     first_time: Option<SimTime>,
     last_time: SimTime,
 }
@@ -325,6 +339,19 @@ impl TraceBuffer {
                 }
             }
             TraceEvent::Quarantined { .. } => self.counters.quarantines += 1,
+            TraceEvent::RequestArrival { .. } => self.counters.request_arrivals += 1,
+            TraceEvent::RequestDispatch { wait, .. } => {
+                self.counters.request_dispatches += 1;
+                self.request_wait.push(wait.as_millis_f64());
+            }
+            TraceEvent::RequestComplete { latency, .. } => {
+                self.counters.request_completions += 1;
+                self.request_latency.push(latency.as_millis_f64());
+            }
+            TraceEvent::RequestDrop { reason, .. } => {
+                self.counters.request_drops += 1;
+                self.counters.request_drops_by_reason[reason.index()] += 1;
+            }
         }
         if self.cfg.sample_rate < 1.0
             && matches!(
@@ -407,6 +434,18 @@ impl TraceBuffer {
     /// Speed series statistics for a task.
     pub fn task_speed_stats(&self, task: usize) -> SeriesStats {
         self.task_speed.get(task).copied().unwrap_or_default()
+    }
+
+    /// End-to-end request latency statistics (milliseconds), covering
+    /// every `RequestComplete` recorded, including dropped ring records.
+    pub fn request_latency_stats(&self) -> SeriesStats {
+        self.request_latency
+    }
+
+    /// Request queueing-delay statistics (milliseconds), one sample per
+    /// subtask dispatch.
+    pub fn request_wait_stats(&self) -> SeriesStats {
+        self.request_wait
     }
 
     /// First recorded timestamp, if any event was recorded.
@@ -634,6 +673,58 @@ mod tests {
         assert!(buf
             .records()
             .all(|r| matches!(r.event, TraceEvent::Migrate { .. })));
+    }
+
+    #[test]
+    fn request_counters_and_series_accumulate() {
+        use crate::event::RequestDropReason;
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            t(1),
+            CoreId(0),
+            TraceEvent::RequestArrival {
+                request: 0,
+                arrival: t(1),
+                queued: 1,
+            },
+        );
+        buf.record(
+            t(2),
+            CoreId(0),
+            TraceEvent::RequestDispatch {
+                request: 0,
+                subtask: 0,
+                wait: SimDuration::from_millis(1),
+            },
+        );
+        buf.record(
+            t(5),
+            CoreId(0),
+            TraceEvent::RequestComplete {
+                request: 0,
+                latency: SimDuration::from_millis(4),
+            },
+        );
+        buf.record(
+            t(6),
+            CoreId(1),
+            TraceEvent::RequestDrop {
+                request: 1,
+                reason: RequestDropReason::QueueFull,
+            },
+        );
+        let c = buf.counters();
+        assert_eq!(c.request_arrivals, 1);
+        assert_eq!(c.request_dispatches, 1);
+        assert_eq!(c.request_completions, 1);
+        assert_eq!(c.request_drops, 1);
+        assert_eq!(
+            c.request_drops_by_reason[RequestDropReason::QueueFull.index()],
+            1
+        );
+        assert_eq!(buf.request_latency_stats().count(), 1);
+        assert!((buf.request_latency_stats().mean() - 4.0).abs() < 1e-12);
+        assert!((buf.request_wait_stats().mean() - 1.0).abs() < 1e-12);
     }
 
     #[test]

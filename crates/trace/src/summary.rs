@@ -2,7 +2,7 @@
 //! histograms, per-core speed statistics, per-task time-in-state) rendered
 //! as a human-readable report.
 
-use crate::event::{MigrationReason, ProcFaultKind};
+use crate::event::{MigrationReason, ProcFaultKind, RequestDropReason};
 use crate::sink::TraceBuffer;
 use speedbal_machine::{CoreId, DomainLevel};
 use std::fmt::Write as _;
@@ -64,6 +64,32 @@ pub fn render_summary(buf: &TraceBuffer) -> String {
             }
         }
         let _ = writeln!(out, "  quarantines {}", c.quarantines);
+    }
+
+    if c.request_arrivals > 0 || c.request_drops > 0 {
+        let _ = write!(
+            out,
+            "  requests: arrived {}  dispatched {}  completed {}  dropped {}",
+            c.request_arrivals, c.request_dispatches, c.request_completions, c.request_drops
+        );
+        for (i, label) in RequestDropReason::ALL_LABELS.iter().enumerate() {
+            if c.request_drops_by_reason[i] > 0 {
+                let _ = write!(out, " {}={}", label, c.request_drops_by_reason[i]);
+            }
+        }
+        let _ = writeln!(out);
+        let lat = buf.request_latency_stats();
+        if lat.count() > 0 {
+            let _ = writeln!(
+                out,
+                "  request latency (ms): n={} mean={:.3} max={:.3}  queue wait \
+                 mean={:.3}",
+                lat.count(),
+                lat.mean(),
+                lat.max(),
+                buf.request_wait_stats().mean()
+            );
+        }
     }
 
     let _ = writeln!(out, "migrations: {}", c.migrations);
@@ -205,6 +231,43 @@ mod tests {
         assert!(text.contains("quarantines 1"));
         // And the section is absent on clean traces.
         assert!(!render_summary(&TraceBuffer::new()).contains("proc faults"));
+    }
+
+    #[test]
+    fn request_section_renders_when_present() {
+        use crate::event::RequestDropReason;
+        let mut buf = TraceBuffer::new();
+        buf.record(
+            SimTime::from_millis(1),
+            CoreId(0),
+            TraceEvent::RequestArrival {
+                request: 0,
+                arrival: SimTime::from_millis(1),
+                queued: 1,
+            },
+        );
+        buf.record(
+            SimTime::from_millis(3),
+            CoreId(0),
+            TraceEvent::RequestComplete {
+                request: 0,
+                latency: SimDuration::from_millis(2),
+            },
+        );
+        buf.record(
+            SimTime::from_millis(4),
+            CoreId(0),
+            TraceEvent::RequestDrop {
+                request: 1,
+                reason: RequestDropReason::ShedTimeout,
+            },
+        );
+        let text = render_summary(&buf);
+        assert!(text.contains("requests: arrived 1"));
+        assert!(text.contains("shed-timeout=1"));
+        assert!(text.contains("request latency (ms): n=1"));
+        // And the section is absent without server traffic.
+        assert!(!render_summary(&TraceBuffer::new()).contains("requests:"));
     }
 
     #[test]

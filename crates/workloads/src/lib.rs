@@ -10,6 +10,13 @@
 //! granularity, which is the parameter the balancing analysis actually
 //! depends on.
 
+//!
+//! Beyond the NPB catalogue, [`server`] holds open-loop server-traffic
+//! presets (Poisson/bursty/diurnal arrivals over heavy-tailed service
+//! times) for the tail-latency experiments of the `serve` artifact.
+
 pub mod npb;
+pub mod server;
 
 pub use npb::{bt_a, cg_b, ep, ep_modified, ft_b, is_c, npb, npb_suite, sp_a, NpbSpec};
+pub use server::{diurnal, rpc_fanout, web, web_bursty};

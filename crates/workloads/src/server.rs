@@ -1,0 +1,169 @@
+//! Server-traffic preset catalogue: named open-loop workload profiles
+//! built on [`speedbal_apps::server`], the way [`mod@crate::npb`] wraps the
+//! SPMD machinery.
+//!
+//! Each preset fixes the arrival process and service-time distribution
+//! and takes the experiment's knobs — worker count, target offered load
+//! `ρ` against a core count, and the generation window — so sweep code
+//! varies exactly one axis at a time. Service-time parameters are
+//! Internet-service-shaped (sub-millisecond medians, heavy right tails)
+//! rather than tied to a paper table; the experiments compare *policies*
+//! under identical schedules, so only the shape matters.
+
+use speedbal_apps::server::{ArrivalProcess, ServerConfig, ServiceDist};
+use speedbal_sim::SimDuration;
+
+const MB: u64 = 1 << 20;
+
+/// The standard web-service profile: lognormal service times (median
+/// 700 µs, σ = 0.75 → mean ≈ 0.93 ms, a heavy but not pathological
+/// tail), Poisson arrivals sized to offered load `rho` against `cores`.
+pub fn web(workers: usize, cores: usize, rho: f64, window: SimDuration) -> ServerConfig {
+    ServerConfig::poisson_load(
+        workers,
+        cores,
+        rho,
+        ServiceDist::LogNormal {
+            median: SimDuration::from_micros(700),
+            sigma: 0.75,
+        },
+        window,
+    )
+    .rss(64 * MB)
+    .mem(0.2)
+}
+
+/// The web profile under bursty (MMPP) arrivals: dwells of 60 ms calm /
+/// 20 ms burst, with the burst rate 4× the calm rate, scaled so the
+/// *time-averaged* offered load is `rho`. Same service distribution as
+/// [`web`], so any latency difference against it is pure burstiness.
+pub fn web_bursty(workers: usize, cores: usize, rho: f64, window: SimDuration) -> ServerConfig {
+    let base = web(workers, cores, rho, window);
+    let target = base.arrival.mean_rate();
+    let (mean_calm, mean_burst) = (SimDuration::from_millis(60), SimDuration::from_millis(20));
+    // mean_rate = (calm·c + 4·calm·b) / (c + b)  ⇒  calm = target·(c+b)/(c+4b)
+    let (c, b) = (mean_calm.as_secs_f64(), mean_burst.as_secs_f64());
+    let calm_rate = target * (c + b) / (c + 4.0 * b);
+    base.arrival(ArrivalProcess::Mmpp {
+        calm_rate,
+        burst_rate: 4.0 * calm_rate,
+        mean_calm,
+        mean_burst,
+    })
+}
+
+/// Scatter-gather RPC: bimodal per-subtask work (90% cache hits at
+/// 300 µs, 10% misses at 3 ms) fanned out to `fanout` subtasks; the
+/// request completes at the max, so tail latency compounds with K.
+pub fn rpc_fanout(
+    workers: usize,
+    cores: usize,
+    rho: f64,
+    fanout: usize,
+    window: SimDuration,
+) -> ServerConfig {
+    ServerConfig::poisson_load(
+        workers,
+        cores,
+        rho,
+        ServiceDist::Bimodal {
+            fast: SimDuration::from_micros(300),
+            slow: SimDuration::from_millis(3),
+            slow_prob: 0.1,
+        },
+        window,
+    )
+    .fanout(fanout)
+    .rss(32 * MB)
+    .mem(0.1)
+}
+
+/// Diurnal load replay: a six-segment day curve (night trough → morning
+/// ramp → midday peak → evening tail) cycled over the window, peaking
+/// at offered load `peak_rho`. Exponential service keeps the queueing
+/// math comparable to textbook M/M/c at each plateau.
+pub fn diurnal(workers: usize, cores: usize, peak_rho: f64, window: SimDuration) -> ServerConfig {
+    let service = ServiceDist::Exponential {
+        mean: SimDuration::from_micros(900),
+    };
+    let peak = ServerConfig::poisson_load(workers, cores, peak_rho, service.clone(), window);
+    let peak_rate = peak.arrival.mean_rate();
+    let curve = [0.15, 0.45, 0.85, 1.0, 0.65, 0.25];
+    let step = SimDuration::from_nanos((window.as_nanos() / curve.len() as u64).max(1));
+    peak.arrival(ArrivalProcess::Replay {
+        rates_per_sec: curve.iter().map(|f| f * peak_rate).collect(),
+        step,
+    })
+    .rss(48 * MB)
+    .mem(0.15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIN: SimDuration = SimDuration::from_millis(600);
+
+    #[test]
+    fn web_hits_target_offered_load() {
+        let cfg = web(24, 16, 0.9, WIN);
+        assert!((cfg.offered_load(16) - 0.9).abs() < 1e-9);
+        assert_eq!(cfg.workers, 24);
+        assert_eq!(cfg.fanout, 1);
+    }
+
+    #[test]
+    fn bursty_preserves_mean_rate() {
+        let plain = web(24, 16, 0.8, WIN);
+        let bursty = web_bursty(24, 16, 0.8, WIN);
+        assert!((plain.arrival.mean_rate() - bursty.arrival.mean_rate()).abs() < 1e-6);
+        assert!((bursty.offered_load(16) - 0.8).abs() < 1e-9);
+        match &bursty.arrival {
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                ..
+            } => assert!((burst_rate / calm_rate - 4.0).abs() < 1e-12),
+            other => panic!("expected MMPP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rpc_fanout_sets_k_and_keeps_load() {
+        let cfg = rpc_fanout(24, 16, 0.7, 4, WIN);
+        assert_eq!(cfg.fanout, 4);
+        assert!((cfg.offered_load(16) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_peaks_at_target() {
+        let cfg = diurnal(24, 16, 0.95, WIN);
+        match &cfg.arrival {
+            ArrivalProcess::Replay {
+                rates_per_sec,
+                step,
+            } => {
+                assert_eq!(rates_per_sec.len(), 6);
+                let peak = rates_per_sec.iter().cloned().fold(0.0, f64::max);
+                let peak_cfg = ServerConfig::poisson(1, peak, cfg.service.clone(), WIN);
+                assert!((peak_cfg.offered_load(16) - 0.95).abs() < 1e-9);
+                assert_eq!(step.as_nanos() * 6, WIN.as_nanos());
+            }
+            other => panic!("expected replay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn presets_generate_nonempty_schedules() {
+        use speedbal_apps::server::generate_requests;
+        for cfg in [
+            web(8, 8, 0.5, WIN),
+            web_bursty(8, 8, 0.5, WIN),
+            rpc_fanout(8, 8, 0.5, 3, WIN),
+            diurnal(8, 8, 0.8, WIN),
+        ] {
+            let reqs = generate_requests(&cfg, 1);
+            assert!(!reqs.is_empty(), "{cfg:?} generated nothing");
+        }
+    }
+}
