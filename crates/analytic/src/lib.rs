@@ -19,20 +19,31 @@
 //!
 //! These closed forms are used as oracles for the simulator tests and to
 //! regenerate Figure 1.
+//!
+//! The [`weighted`] module generalizes the split and Lemma 1 to
+//! heterogeneous machines (per-core effective capacities); the uniform
+//! model above is the equal-speeds special case.
+
+#![warn(missing_docs)]
 
 pub mod lemma;
 pub mod speeds;
+pub mod weighted;
 
 pub use lemma::{balancing_steps, is_profitable, min_profitable_granularity, ThreadSplit};
 pub use speeds::{ideal_speed, queue_length_speed, repeated_migration_speed, speedup_bound};
+pub use weighted::{capacity_share, weighted_balancing_steps, WeightedSplit};
 
 /// One cell of Figure 1: the minimum inter-barrier computation time `S`
 /// (in units of the balance interval `B`) above which speed balancing beats
 /// queue-length balancing, for `n` threads on `m` cores.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Fig1Cell {
+    /// Thread count `N`.
     pub threads: u32,
+    /// Core count `M`.
     pub cores: u32,
+    /// Minimum profitable `S` in units of `B` (0 when already balanced).
     pub min_granularity: f64,
 }
 

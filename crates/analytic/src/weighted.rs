@@ -1,0 +1,256 @@
+//! Weighted-core generalization of the Section 4 model (heterogeneous
+//! machines).
+//!
+//! With per-core *effective capacities* `s_1 … s_M` (static speed × current
+//! frequency ratio) the balanced assignment of `N` threads is no longer
+//! `⌊N/M⌋` everywhere: core `j`'s fair share is its **quota**
+//! `q_j = N·s_j / Σs`. Integer thread counts come from largest-remainder
+//! apportionment: every core gets `⌊q_j⌋` threads and the `N − Σ⌊q_j⌋`
+//! leftovers go to the largest fractional remainders (ties to the lower
+//! core index). Cores rounded *up* are the **slow** queues `SQ_w` (their
+//! per-thread speed dips below the fair share), cores at or under quota
+//! are the **fast** queues `FQ_w`, and Lemma 1 carries over verbatim with
+//! the weighted counts:
+//!
+//! > at most `2·⌈SQ_w/FQ_w⌉` balancing steps are needed for every thread
+//! > to have run on an at-or-under-quota core at least once.
+//!
+//! On equal speeds every quota is `N/M`, so `SQ_w = N mod M`,
+//! `FQ_w = M − SQ_w` and everything reduces exactly to
+//! [`ThreadSplit`](crate::lemma::ThreadSplit) — property-tested below.
+//!
+//! The per-thread speed target also changes: with all cores busy, rotation
+//! can give each of `N` always-runnable threads at most the egalitarian
+//! **capacity share** `Σs / N` on time average (the uniform-machine
+//! `M/N`). The simulator's weighted conformance cells check both the
+//! apportioned counts and this time-averaged speed.
+
+use serde::{Deserialize, Serialize};
+
+/// The weighted fast/slow queue decomposition of `n` threads over cores
+/// with effective capacities `speeds`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedSplit {
+    /// Apportioned thread count per core (largest-remainder method).
+    pub counts: Vec<u32>,
+    /// Fractional fair share `n·s_j/Σs` per core.
+    pub quotas: Vec<f64>,
+    /// Cores rounded above their quota (the weighted `SQ`).
+    pub slow_cores: u32,
+    /// Cores at or below their quota (the weighted `FQ`).
+    pub fast_cores: u32,
+}
+
+/// Tolerance for "rounded above quota": absorbs the float error of a quota
+/// that is mathematically integral (e.g. equal speeds with `M | N`).
+const QUOTA_EPS: f64 = 1e-9;
+
+impl WeightedSplit {
+    /// Apportions `n` threads over `speeds.len()` cores by capacity.
+    ///
+    /// Requires `n ≥ speeds.len() ≥ 1` (at least one thread per core on
+    /// average, mirroring [`ThreadSplit::new`](crate::lemma::ThreadSplit::new))
+    /// and every capacity finite and positive. Note a sufficiently slow
+    /// core can still be apportioned zero threads.
+    pub fn new(n: u32, speeds: &[f64]) -> WeightedSplit {
+        let m = speeds.len();
+        assert!(m >= 1, "need at least one core");
+        assert!(
+            n as usize >= m,
+            "analysis assumes at least one thread per core"
+        );
+        for (i, s) in speeds.iter().enumerate() {
+            assert!(
+                s.is_finite() && *s > 0.0,
+                "core {i} capacity must be finite and positive, got {s}"
+            );
+        }
+        let total: f64 = speeds.iter().sum();
+        let quotas: Vec<f64> = speeds.iter().map(|s| n as f64 * s / total).collect();
+        let mut counts: Vec<u32> = quotas.iter().map(|q| q.floor() as u32).collect();
+        let assigned: u32 = counts.iter().sum();
+        // Hand the leftovers to the largest remainders, ties to the lower
+        // index (sort is stable, so equal remainders keep index order).
+        let leftover = n - assigned.min(n);
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - quotas[a].floor();
+            let rb = quotas[b] - quotas[b].floor();
+            rb.total_cmp(&ra)
+        });
+        for &j in order.iter().take(leftover as usize) {
+            counts[j] += 1;
+        }
+        let slow_cores = counts
+            .iter()
+            .zip(quotas.iter())
+            .filter(|(c, q)| **c as f64 > **q + QUOTA_EPS)
+            .count() as u32;
+        WeightedSplit {
+            slow_cores,
+            fast_cores: m as u32 - slow_cores,
+            counts,
+            quotas,
+        }
+    }
+
+    /// True iff the apportionment matches every quota exactly (no core is
+    /// oversubscribed relative to its capacity).
+    pub fn balanced(&self) -> bool {
+        self.slow_cores == 0
+    }
+
+    /// Application speed of the *static* weighted split: the slowest
+    /// per-thread rate `min_j s_j / counts_j` over occupied cores — the
+    /// weighted analogue of `1/(T+1)`.
+    pub fn application_speed(&self, speeds: &[f64]) -> f64 {
+        assert_eq!(speeds.len(), self.counts.len());
+        self.counts
+            .iter()
+            .zip(speeds.iter())
+            .filter(|(c, _)| **c > 0)
+            .map(|(c, s)| s / *c as f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Weighted **Lemma 1** bound: balancing steps needed so that every thread
+/// has run on an at-or-under-quota core at least once is `2·⌈SQ_w/FQ_w⌉`
+/// (zero when the apportionment is exact). Reduces to
+/// [`balancing_steps`](crate::lemma::balancing_steps) on equal speeds.
+pub fn weighted_balancing_steps(n: u32, speeds: &[f64]) -> u32 {
+    let s = WeightedSplit::new(n, speeds);
+    if s.balanced() {
+        return 0;
+    }
+    // `fast_cores ≥ 1` always: each fractional remainder is < 1, so fewer
+    // than M cores get rounded up.
+    2 * s.slow_cores.div_ceil(s.fast_cores)
+}
+
+/// The egalitarian capacity share `Σs / n`: the time-averaged per-thread
+/// speed a rotation policy can sustain for `n` always-runnable threads on
+/// cores of total capacity `Σs`. The uniform-machine `M/N`.
+pub fn capacity_share(n: u32, speeds: &[f64]) -> f64 {
+    assert!(n >= 1, "need at least one thread");
+    let total: f64 = speeds.iter().sum();
+    assert!(total.is_finite() && total > 0.0);
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lemma::{balancing_steps, ThreadSplit};
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_weighted() {
+        // Speeds [2, 1], 4 threads: quotas [8/3, 4/3] → counts [3, 1],
+        // core 0 rounded up (slow), core 1 fast.
+        let s = WeightedSplit::new(4, &[2.0, 1.0]);
+        assert_eq!(s.counts, vec![3, 1]);
+        assert_eq!(s.slow_cores, 1);
+        assert_eq!(s.fast_cores, 1);
+        assert_eq!(weighted_balancing_steps(4, &[2.0, 1.0]), 2);
+        // The static weighted split runs at min(2/3, 1/1) = 2/3 of a
+        // reference core; rotation targets the capacity share 3/4.
+        assert!((s.application_speed(&[2.0, 1.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((capacity_share(4, &[2.0, 1.0]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_apportionment_is_balanced() {
+        // Speeds [2, 1, 1] with 4 threads: quotas [2, 1, 1] exactly.
+        let s = WeightedSplit::new(4, &[2.0, 1.0, 1.0]);
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert!(s.balanced());
+        assert_eq!(weighted_balancing_steps(4, &[2.0, 1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn very_slow_core_can_get_zero_threads() {
+        let s = WeightedSplit::new(2, &[10.0, 0.1]);
+        assert_eq!(s.counts, vec![2, 0]);
+        // application_speed skips the empty core.
+        assert!((s.application_speed(&[10.0, 0.1]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_little_preset_shape() {
+        // The 4P+8E preset: speeds [1.0×4, 0.55×8], 16 threads.
+        let mut speeds = vec![1.0; 4];
+        speeds.extend(std::iter::repeat_n(0.55, 8));
+        let s = WeightedSplit::new(16, &speeds);
+        assert_eq!(s.counts.iter().sum::<u32>(), 16);
+        // P cores must each carry at least as much as any E core.
+        let p_min = s.counts[..4].iter().min().unwrap();
+        let e_max = s.counts[4..].iter().max().unwrap();
+        assert!(p_min >= e_max, "counts {:?}", s.counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_zero_capacity() {
+        WeightedSplit::new(4, &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread per core")]
+    fn rejects_undersubscription() {
+        WeightedSplit::new(2, &[1.0, 1.0, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn reduces_to_uniform_threadsplit(
+            n in 1u32..512, m in 1usize..64, s in 0.1f64..8.0
+        ) {
+            prop_assume!(n as usize >= m);
+            let speeds = vec![s; m];
+            let w = WeightedSplit::new(n, &speeds);
+            let u = ThreadSplit::new(n, m as u32);
+            prop_assert_eq!(w.slow_cores, u.slow_cores);
+            prop_assert_eq!(w.fast_cores, u.fast_cores);
+            // First SQ cores take T+1 (tie-break by index), rest take T.
+            for (j, c) in w.counts.iter().enumerate() {
+                let expect = if (j as u32) < u.slow_cores { u.t + 1 } else { u.t };
+                prop_assert_eq!(*c, expect);
+            }
+            prop_assert_eq!(
+                weighted_balancing_steps(n, &speeds),
+                balancing_steps(n, m as u32)
+            );
+        }
+
+        #[test]
+        fn counts_conserve_and_bracket_quota(
+            n in 1u32..256,
+            speeds in proptest::collection::vec(0.05f64..10.0, 1..24)
+        ) {
+            prop_assume!(n as usize >= speeds.len());
+            let w = WeightedSplit::new(n, &speeds);
+            prop_assert_eq!(w.counts.iter().sum::<u32>(), n);
+            prop_assert_eq!(w.slow_cores + w.fast_cores, speeds.len() as u32);
+            // Largest-remainder counts stay within one of the quota.
+            for (c, q) in w.counts.iter().zip(w.quotas.iter()) {
+                prop_assert!((*c as f64) >= q.floor() - 1e-9);
+                prop_assert!((*c as f64) <= q.floor() + 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn static_speed_never_beats_capacity_share(
+            n in 1u32..256,
+            speeds in proptest::collection::vec(0.05f64..10.0, 1..24)
+        ) {
+            prop_assume!(n as usize >= speeds.len());
+            let w = WeightedSplit::new(n, &speeds);
+            // The slowest static thread cannot exceed the egalitarian
+            // rotation share.
+            prop_assert!(
+                w.application_speed(&speeds) <= capacity_share(n, &speeds) + 1e-9
+            );
+        }
+    }
+}

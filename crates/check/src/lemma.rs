@@ -38,10 +38,10 @@
 //! 3. **Balanced cells migrate nothing.** When `M | N` there are no slow
 //!    queues, and the pull threshold must suppress every migration.
 
-use speedbal_analytic::balancing_steps;
+use speedbal_analytic::{balancing_steps, weighted_balancing_steps, WeightedSplit};
 use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
 use speedbal_harness::{run_sweep, SweepJob};
-use speedbal_machine::{uniform, CostModel};
+use speedbal_machine::{uniform, CostModel, Topology, TopologySpec};
 use speedbal_sched::{Directive, SchedConfig, ScriptProgram, SpawnSpec, System, TaskId};
 use speedbal_sim::{SimDuration, SimTime};
 
@@ -207,6 +207,215 @@ pub fn conformance_sweep(quick: bool) -> (Vec<LemmaCell>, Vec<String>) {
     (cells, failures)
 }
 
+// ---------------------------------------------------------------------
+// Weighted (heterogeneous-core) conformance
+// ---------------------------------------------------------------------
+
+/// One weighted grid cell's outcome (heterogeneous per-core speeds).
+#[derive(Debug, Clone)]
+pub struct WeightedLemmaCell {
+    /// Short cell name (`2c-2:1`, `4c-biglittle`, …).
+    pub name: &'static str,
+    /// Thread count.
+    pub n: u32,
+    /// The weighted step bound `2·⌈SQ_w/FQ_w⌉` (0 when the apportionment
+    /// is exact).
+    pub steps: u32,
+    /// Wall rounds until every thread had been on an *advantaged* queue
+    /// (per-thread speed ≥ the capacity share); `None` for balanced cells.
+    pub rounds_to_rotate: Option<u32>,
+    /// Total migrations the balancer performed over the window.
+    pub migrations: u64,
+}
+
+/// Samples skipped before the quota bracket is enforced: the round-robin
+/// start is count-balanced, not capacity-balanced, so the balancer needs
+/// a few activations to apportion (e.g. 6 threads on speeds `[2,1,1]`
+/// start `[2,2,2]` but the speed-2 core's quota bracket is `[3,3]`).
+/// Four nominal intervals — two samples per interval — is ample.
+const WEIGHTED_WARMUP_SAMPLES: u32 = 8;
+
+/// Runs one weighted cell: `n` compute threads on one core per entry of
+/// `speeds`, constant frequency, free migration. Checks, sampling every
+/// half interval (cf. the uniform [`conformance_cell`]):
+///
+/// 1. **Quota bracket.** After a short warm-up every per-core thread
+///    count stays in `[⌊q_j⌋, ⌈q_j⌉]` where `q_j = n·s_j/Σs` is the
+///    core's proportional quota — the weighted analogue of the uniform
+///    `⌊N/M⌋`/`⌈N/M⌉` multiset invariant.
+/// 2. **Rotation.** Within the weighted Lemma 1 budget
+///    (`2·⌈SQ_w/FQ_w⌉` steps, same wall-clock conversion as the uniform
+///    sweep) every thread is observed at least once on an *advantaged*
+///    queue: one whose per-thread speed `s_j/c_j` is at least the
+///    capacity share `Σs/n`.
+/// 3. **Exact apportionments quiesce.** When every quota is integral the
+///    round-robin start already equalizes per-thread speeds, and the pull
+///    threshold must suppress every migration.
+pub fn weighted_conformance_cell(
+    name: &'static str,
+    n: u32,
+    speeds: &[f64],
+) -> Result<WeightedLemmaCell, String> {
+    let m = speeds.len();
+    let cfg = SpeedBalancerConfig {
+        interval: SimDuration::from_millis(50),
+        measurement_noise: 0.0,
+        // The whole point of the weighted sweep: measured occupancy is
+        // scaled by each core's capacity (§5's heterogeneity extension),
+        // so a full share of a slow core reads as less progress.
+        weight_core_speed: true,
+        ..Default::default()
+    };
+    let interval = cfg.interval;
+    let split = WeightedSplit::new(n, speeds);
+    let steps = weighted_balancing_steps(n, speeds);
+    let rounds = WEIGHTED_WARMUP_SAMPLES / 2 + round_budget(steps, &cfg);
+
+    let topo = Topology::build(&TopologySpec {
+        name: format!("weighted-{name}"),
+        sockets: 1,
+        cores_per_socket: m,
+        cores_per_cache_group: m,
+        speeds: speeds.to_vec(),
+        ..TopologySpec::default()
+    });
+    let bal = SpeedBalancer::with_config(cfg, 0x5745_4947 ^ u64::from(n * 251 + m as u32));
+    let stats = bal.stats_handle();
+    let mut sys = System::new(
+        topo,
+        SchedConfig::default(),
+        CostModel::free(),
+        Box::new(bal),
+        (u64::from(n) << 8) | m as u64,
+    );
+    let g = sys.new_group();
+    let tasks: Vec<TaskId> = (0..n)
+        .map(|i| {
+            sys.spawn(SpawnSpec::new(
+                Box::new(ScriptProgram::new(vec![Directive::Compute(
+                    SimDuration::from_secs(3600),
+                )])),
+                format!("t{i}"),
+                g,
+            ))
+        })
+        .collect();
+
+    let share = speedbal_analytic::capacity_share(n, speeds);
+    let lo: Vec<u32> = split.quotas.iter().map(|q| q.floor() as u32).collect();
+    let hi: Vec<u32> = split.quotas.iter().map(|q| q.ceil() as u32).collect();
+
+    let mut advantaged_seen = vec![false; tasks.len()];
+    let mut rounds_to_rotate = None;
+    for sample in 0..=2 * rounds {
+        sys.run_until(SimTime::ZERO + interval * u64::from(sample) / 2);
+        let mut counts = vec![0u32; m];
+        for &task in &tasks {
+            counts[sys.task_core(task).0] += 1;
+        }
+        if sample >= WEIGHTED_WARMUP_SAMPLES {
+            for j in 0..m {
+                if counts[j] < lo[j] || counts[j] > hi[j] {
+                    return Err(format!(
+                        "{name}: quota bracket broken by sample {sample}: core {j} \
+                         holds {} threads, quota {:.3} allows [{}, {}] \
+                         (counts {counts:?})",
+                        counts[j], split.quotas[j], lo[j], hi[j]
+                    ));
+                }
+            }
+        }
+        for (i, &task) in tasks.iter().enumerate() {
+            let j = sys.task_core(task).0;
+            if speeds[j] / f64::from(counts[j]) >= share - 1e-9 {
+                advantaged_seen[i] = true;
+            }
+        }
+        if rounds_to_rotate.is_none() && advantaged_seen.iter().all(|&f| f) {
+            rounds_to_rotate = Some(sample.div_ceil(2));
+        }
+    }
+
+    let migrations = stats.borrow().migrations;
+    if split.balanced() {
+        if migrations != 0 {
+            return Err(format!(
+                "{name}: exactly-apportioned cell performed {migrations} \
+                 migrations; the pull threshold must suppress them all"
+            ));
+        }
+        return Ok(WeightedLemmaCell {
+            name,
+            n,
+            steps,
+            rounds_to_rotate: None,
+            migrations,
+        });
+    }
+    match rounds_to_rotate {
+        Some(r) => Ok(WeightedLemmaCell {
+            name,
+            n,
+            steps,
+            rounds_to_rotate: Some(r),
+            migrations,
+        }),
+        None => {
+            let unrotated: Vec<usize> = advantaged_seen
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| !f)
+                .map(|(i, _)| i)
+                .collect();
+            Err(format!(
+                "{name}: threads {unrotated:?} never reached an advantaged \
+                 queue within {rounds} rounds (weighted budget for {steps} steps)"
+            ))
+        }
+    }
+}
+
+/// The weighted conformance grid: named (n, speeds) cells chosen to cover
+/// exact apportionment, a single dominant core, big.LITTLE shape, a mixed
+/// ladder, and a slow-core majority (`SQ_w > FQ_w`). The quick subset runs
+/// in CI; `quick = false` adds the larger cells.
+///
+/// Cells are chosen so the over-quota queues' per-thread speed falls
+/// below `speed_threshold × global` (0.9 by default): when the disparity
+/// is *within* the threshold (e.g. 8 threads on `[1, 1, 0.8]`: 0.333 vs
+/// 0.4 per thread, a 6% gap from the mean) the balancer deliberately
+/// migrates nothing — that is the threshold doing its job, not a
+/// conformance failure, so such sub-threshold cells are out of scope.
+pub fn weighted_conformance_sweep(quick: bool) -> (Vec<WeightedLemmaCell>, Vec<String>) {
+    let mut grid: Vec<(&'static str, u32, Vec<f64>)> = vec![
+        ("2c-2:1", 4, vec![2.0, 1.0]),
+        ("3c-2:1:1", 6, vec![2.0, 1.0, 1.0]),
+        ("3c-balanced", 5, vec![1.0, 1.0, 0.5]),
+        ("4c-biglittle", 8, vec![1.0, 1.0, 0.55, 0.55]),
+    ];
+    if !quick {
+        grid.push(("4c-mixed", 10, vec![1.2, 1.0, 1.0, 0.8]));
+        grid.push(("3c-slow-majority", 7, vec![2.0, 2.0, 1.0]));
+    }
+    let jobs = grid
+        .into_iter()
+        .map(|(name, n, speeds)| {
+            SweepJob::new(u64::from(n) * speeds.len() as u64, move || {
+                weighted_conformance_cell(name, n, &speeds)
+            })
+        })
+        .collect();
+    let mut cells = Vec::new();
+    let mut failures = Vec::new();
+    for outcome in run_sweep(jobs) {
+        match outcome {
+            Ok(cell) => cells.push(cell),
+            Err(e) => failures.push(e),
+        }
+    }
+    (cells, failures)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +451,42 @@ mod tests {
         assert!(failures.is_empty(), "{failures:?}");
         // 2..=4 with n ∈ m..=2m+1: 4 + 5 + 6 cells.
         assert_eq!(cells.len(), 15);
+    }
+
+    #[test]
+    fn weighted_dominant_core_rotates() {
+        // 4 threads on speeds [2, 1]: quotas [8/3, 4/3], so the counts
+        // oscillate between [2,2] and [3,1] and every thread must visit
+        // an advantaged queue.
+        let cell = weighted_conformance_cell("2c-2:1", 4, &[2.0, 1.0]).expect("must conform");
+        assert_eq!(cell.steps, 2);
+        assert!(cell.migrations > 0, "rotation requires migrations");
+        assert!(cell.rounds_to_rotate.is_some());
+    }
+
+    #[test]
+    fn weighted_exact_apportionment_is_quiescent() {
+        // 5 threads on speeds [1, 1, 0.5]: quotas [2, 2, 1] are integral
+        // and the round-robin start hits them exactly — every per-thread
+        // speed is 0.5, so no core is ever above the global average.
+        let cell =
+            weighted_conformance_cell("3c-balanced", 5, &[1.0, 1.0, 0.5]).expect("must conform");
+        assert_eq!(cell.steps, 0);
+        assert_eq!(cell.migrations, 0);
+        assert!(cell.rounds_to_rotate.is_none());
+    }
+
+    #[test]
+    fn weighted_quick_sweep_is_clean() {
+        let (cells, failures) = weighted_conformance_sweep(true);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn weighted_full_sweep_is_clean() {
+        let (cells, failures) = weighted_conformance_sweep(false);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(cells.len(), 6);
     }
 }

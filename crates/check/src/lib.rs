@@ -22,7 +22,10 @@ pub mod lemma;
 pub mod refqueue;
 
 pub use diff::{diff_repeat, diff_scenarios, migration_log, Fingerprint};
-pub use lemma::{conformance_cell, conformance_sweep, LemmaCell};
+pub use lemma::{
+    conformance_cell, conformance_sweep, weighted_conformance_cell, weighted_conformance_sweep,
+    LemmaCell, WeightedLemmaCell,
+};
 pub use refqueue::{differential_queue_case, PostedQueue, QueueCaseStats};
 
 use speedbal_apps::WaitMode;
@@ -39,6 +42,8 @@ pub struct CheckReport {
     pub diff_cases: usize,
     /// Lemma 1 grid cells checked.
     pub lemma_cells: Vec<LemmaCell>,
+    /// Weighted (heterogeneous-core) conformance cells checked.
+    pub weighted_cells: Vec<WeightedLemmaCell>,
     /// Every violation found, human-readable. Empty = green.
     pub failures: Vec<String>,
 }
@@ -69,6 +74,24 @@ impl CheckReport {
                 None => out.push_str(&format!(
                     "  n={:2} m={}: balanced, quiescent ({} migrations)\n",
                     c.n, c.m, c.migrations
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "weighted conformance     : {} cells\n",
+            self.weighted_cells.len()
+        ));
+        for c in &self.weighted_cells {
+            match c.rounds_to_rotate {
+                Some(r) => out.push_str(&format!(
+                    "  {:16} n={:2}: rotated in {:2} rounds (step bound {:2}), \
+                     {} migrations\n",
+                    c.name, c.n, r, c.steps, c.migrations
+                )),
+                None => out.push_str(&format!(
+                    "  {:16} n={:2}: exactly apportioned, quiescent \
+                     ({} migrations)\n",
+                    c.name, c.n, c.migrations
                 )),
             }
         }
@@ -120,6 +143,23 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
             0,
             Policy::Speed,
             speedbal_workloads::web(6, 4, 0.6, SimDuration::from_millis(150)),
+        )
+        .repeats(repeats),
+        // Heterogeneous cells: static big.LITTLE asymmetry and a DVFS
+        // throttle trace, so the observational paths are diffed with
+        // frequency-step events interleaved into the stream.
+        Scenario::new(
+            Machine::BigLittle4p8e,
+            6,
+            Policy::Speed,
+            ep().spmd(9, WaitMode::Yield, 0.05),
+        )
+        .repeats(repeats),
+        Scenario::new(
+            Machine::Throttle,
+            0,
+            Policy::Speed,
+            ep().spmd(11, WaitMode::Yield, 0.05),
         )
         .repeats(repeats),
     ];
@@ -195,10 +235,14 @@ pub fn run_full_check(quick: bool) -> CheckReport {
     let (lemma_cells, lemma_failures) = conformance_sweep(quick);
     failures.extend(lemma_failures);
 
+    let (weighted_cells, weighted_failures) = weighted_conformance_sweep(quick);
+    failures.extend(weighted_failures);
+
     CheckReport {
         queue_cases,
         diff_cases,
         lemma_cells,
+        weighted_cells,
         failures,
     }
 }
@@ -213,10 +257,11 @@ mod tests {
         assert!(report.ok(), "{}", report.render());
         assert_eq!(report.queue_cases, 8);
         assert!(
-            report.diff_cases >= 4,
-            "quick battery includes a server cell"
+            report.diff_cases >= 6,
+            "quick battery includes server and hetero cells"
         );
         assert_eq!(report.lemma_cells.len(), 15);
+        assert_eq!(report.weighted_cells.len(), 4);
         assert!(report.render().contains("all checks passed"));
     }
 }

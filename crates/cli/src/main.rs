@@ -21,6 +21,10 @@
 //!               offered-load sweep, arrival shapes (Poisson, bursty,
 //!               bounded-queue, fan-out, diurnal replay) and a mixed
 //!               SPMD + server tenancy cell
+//!   hetero      asymmetric machines (4 P + 8 E big.LITTLE, a turbo
+//!               pair, a thermal-throttle ratchet): barrier SPMD and
+//!               open-loop serving under each policy, plus SPEED-W —
+//!               SPEED with capacity-weighted speed measurement
 //!   all         everything above
 //!   trace <scenario>  record an event trace of a named scenario
 //!                     (ep-3x2, ep-16x8, ep-hog, cg-barrier, web-serve)
@@ -400,6 +404,13 @@ fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
             println!("== serve/3: mixed tenancy — EP (16 threads) + web server (rho 0.4) ==");
             println!("{}", experiments::serve_mixed(p).render());
         }
+        "hetero" => {
+            println!("== hetero/1: barrier SPMD on asymmetric machines (1.5x threads) ==");
+            println!("{}", experiments::hetero_spmd(p).render());
+            println!();
+            println!("== hetero/2: open-loop web serving on asymmetric machines (rho 0.7) ==");
+            println!("{}", experiments::hetero_serve(p).render());
+        }
         "all" => {
             for a in ["fig1", "fig2", "tab1", "fig3", "tab2"] {
                 run_artifact(a, opts)?;
@@ -412,7 +423,7 @@ fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
             println!();
             println!("{}", experiments::fig4(&cells).render());
             println!();
-            for a in ["fig5", "fig6", "barriers", "numa", "serve"] {
+            for a in ["fig5", "fig6", "barriers", "numa", "serve", "hetero"] {
                 run_artifact(a, opts)?;
                 println!();
             }
@@ -433,7 +444,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: speedbal-cli [--full] [--scale f] [--repeats n] [--machine m]\n\
                  \x20                   [--policy p] [--trace-out file.json] <artifact>...\n\
-                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa serve all\n\
+                 artifacts: fig1 fig2 tab1 fig3 tab2 tab3 fig4 fig5 fig6 barriers numa serve\n\
+                 \x20          hetero all\n\
                  \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier web-serve)\n\
                  \x20          bench [--quick] [--out f] [--check f]\n\
                  \x20          check [--quick]"

@@ -156,10 +156,11 @@ impl SpeedBalancer {
         let now = sys.now();
         let tasks = self.managed_tasks_on(sys, core);
         let noise = self.cfg.measurement_noise;
-        // Heterogeneous extension (§5): scale CPU share by relative core
-        // speed so "progress" is compared, not just CPU time.
+        // Heterogeneous extension (§5): scale CPU share by the core's
+        // effective capacity — static speed times the current frequency
+        // ratio — so "progress" is compared, not just CPU time.
         let core_weight = if self.cfg.weight_core_speed {
-            sys.topology().speed_of(core)
+            sys.core_capacity(core)
         } else {
             1.0
         };
@@ -218,7 +219,7 @@ impl SpeedBalancer {
         let len = sys.queue_len(core);
         let mut speed = if len == 0 { 1.0 } else { 1.0 / len as f64 };
         if self.cfg.weight_core_speed {
-            speed *= sys.topology().speed_of(core);
+            speed *= sys.core_capacity(core);
         }
         if self.cfg.measurement_noise > 0.0 {
             speed *= self.rng.gauss(1.0, self.cfg.measurement_noise).max(0.0);

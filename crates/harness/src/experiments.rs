@@ -832,6 +832,120 @@ pub fn serve_mixed(profile: Profile) -> TextTable {
 }
 
 // ---------------------------------------------------------------------
+// hetero — asymmetric machines: big.LITTLE, turbo pair, thermal throttle
+// ---------------------------------------------------------------------
+
+/// The policy line-up of the `hetero` artifact: the serve line-up plus
+/// SPEED-W — the §5 heterogeneity extension, weighting each thread's
+/// measured speed by its core's current capacity (static speed × DVFS
+/// ratio), so a full share of a slow core reads as less progress.
+fn hetero_policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("SPEED", Policy::Speed),
+        (
+            "SPEED-W",
+            Policy::SpeedWith(SpeedBalancerConfig {
+                weight_core_speed: true,
+                ..Default::default()
+            }),
+        ),
+        ("LOAD", Policy::Load),
+        ("FreeBSD", Policy::Ule),
+        ("DWRR", Policy::Dwrr),
+    ]
+}
+
+/// The asymmetric machines the artifact sweeps (see
+/// `speedbal_workloads::hetero` for the regimes each one stresses).
+fn hetero_machines() -> Vec<Machine> {
+    vec![Machine::BigLittle4p8e, Machine::Turbo2p, Machine::Throttle]
+}
+
+/// Nominal total capacity of a machine: the sum of static per-core
+/// speeds. For the DVFS presets this ignores the frequency traces (the
+/// turbo wave and throttle ratchet average out near 1.0), so the derived
+/// efficiency is approximate there and exact for the static big.LITTLE.
+fn nominal_capacity(machine: &Machine) -> f64 {
+    let topo = machine.topology();
+    (0..topo.n_cores())
+        .map(|c| topo.speed_of(speedbal_machine::CoreId(c)))
+        .sum()
+}
+
+/// hetero/1 — barrier SPMD on asymmetric machines: EP (yield barriers)
+/// with 1.5× oversubscription, machine × policy. `eff%` is the
+/// capacity-normalized parallel efficiency — `serial / (Σspeed × time)` —
+/// which makes results comparable across machines with different core
+/// mixes; `var%` is the paper's run-to-run variation measure.
+pub fn hetero_spmd(profile: Profile) -> TextTable {
+    let spec = ep();
+    let serial = spec.serial_time(profile.scale).as_secs_f64();
+    let mut scenarios = Vec::new();
+    for machine in hetero_machines() {
+        let threads = machine.topology().n_cores() * 3 / 2;
+        for (_, policy) in hetero_policies() {
+            let app = spec.spmd(threads, WaitMode::Yield, profile.scale);
+            scenarios.push(Scenario::new(machine.clone(), 0, policy, app).repeats(profile.repeats));
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let mut t = TextTable::new(&["machine", "policy", "time(s)", "eff%", "var%", "migr"]);
+    for machine in hetero_machines() {
+        let capacity = nominal_capacity(&machine);
+        for (label, _) in hetero_policies() {
+            let res = results.next().unwrap();
+            t.row(vec![
+                machine.label(),
+                label.to_string(),
+                fmt_f(res.completion.mean()),
+                fmt_f(res.completion.capacity_efficiency_pct(serial, capacity)),
+                fmt_f(res.completion.variation_pct()),
+                fmt_f(res.migrations.mean()),
+            ]);
+        }
+    }
+    t
+}
+
+/// hetero/2 — open-loop web serving on asymmetric machines: Poisson
+/// arrivals, lognormal service, 1.5× worker oversubscription at ρ = 0.7
+/// of each machine's *core count* (so the slower mixes run effectively
+/// hotter — deliberate: misplacement on slow cores is exactly what the
+/// tail should expose). Every policy serves the identical pre-generated
+/// request schedule and frequency trace.
+pub fn hetero_serve(profile: Profile) -> TextTable {
+    let window = serve_window(profile);
+    let mut scenarios = Vec::new();
+    for machine in hetero_machines() {
+        let cores = machine.topology().n_cores();
+        let workers = cores * 3 / 2;
+        for (_, policy) in hetero_policies() {
+            let cfg = speedbal_workloads::web(workers, cores, 0.7, window);
+            scenarios.push(
+                Scenario::server_only(machine.clone(), 0, policy, cfg).repeats(profile.repeats),
+            );
+        }
+    }
+    let mut results = run_scenarios(scenarios).into_iter();
+    let mut t = TextTable::new(&[
+        "machine",
+        "policy",
+        "p50(ms)",
+        "p99(ms)",
+        "p999(ms)",
+        "qwait(ms)",
+        "drop%",
+    ]);
+    for machine in hetero_machines() {
+        for (label, _) in hetero_policies() {
+            let st = results.next().unwrap().server.expect("server cell");
+            t.row(serve_row(machine.label(), label, &st));
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Named trace scenarios
 // ---------------------------------------------------------------------
 

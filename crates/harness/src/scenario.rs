@@ -10,7 +10,7 @@ use speedbal_balancers::{
 };
 use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
 use speedbal_machine::{
-    asymmetric, barcelona, nehalem, tigerton, uniform, CoreId, CostModel, Topology,
+    asymmetric, barcelona, nehalem, tigerton, uniform, CoreId, CostModel, FreqSchedule, Topology,
 };
 use speedbal_metrics::RepeatStats;
 use speedbal_sched::{Balancer, GroupId, SchedConfig, SpawnSpec, System};
@@ -32,6 +32,15 @@ pub enum Machine {
         slow: usize,
         factor: f64,
     },
+    /// Static big.LITTLE preset: 4 P-cores (1.0) + 8 E-cores (0.55),
+    /// constant frequency (`speedbal_workloads::big_little_4p8e`).
+    BigLittle4p8e,
+    /// 8 equal cores, two following a deterministic turbo square wave
+    /// (`speedbal_workloads::turbo_2p`).
+    Turbo2p,
+    /// 8 equal cores under the open-loop thermal-throttle ratchet
+    /// (`speedbal_workloads::throttling`).
+    Throttle,
 }
 
 impl Machine {
@@ -42,6 +51,23 @@ impl Machine {
             Machine::Nehalem => nehalem(),
             Machine::Uniform(n) => uniform(*n),
             Machine::Asymmetric { fast, slow, factor } => asymmetric(*fast, *slow, *factor),
+            Machine::BigLittle4p8e => speedbal_workloads::big_little_4p8e().topology,
+            Machine::Turbo2p => speedbal_workloads::turbo_2p().topology,
+            Machine::Throttle => speedbal_workloads::throttling().topology,
+        }
+    }
+
+    /// Per-core frequency-trace specs for the asymmetric presets; `None`
+    /// for the constant-frequency Table 1 machines. Specs always cover the
+    /// *full* machine: the harness materializes them once per repeat with
+    /// a policy-independent seed and then restricts to the `taskset`'d
+    /// cores, so a core's trace never depends on how many cores are used.
+    pub fn freq_specs(&self) -> Option<Vec<speedbal_machine::FreqTraceSpec>> {
+        match self {
+            Machine::BigLittle4p8e => Some(speedbal_workloads::big_little_4p8e().freq),
+            Machine::Turbo2p => Some(speedbal_workloads::turbo_2p().freq),
+            Machine::Throttle => Some(speedbal_workloads::throttling().freq),
+            _ => None,
         }
     }
 
@@ -54,6 +80,9 @@ impl Machine {
             Machine::Asymmetric { fast, slow, factor } => {
                 format!("asym{fast}x{factor}+{slow}")
             }
+            Machine::BigLittle4p8e => "4p8e".into(),
+            Machine::Turbo2p => "turbo2p".into(),
+            Machine::Throttle => "throttle".into(),
         }
     }
 }
@@ -227,6 +256,13 @@ impl Scenario {
         self
     }
 
+    /// Overrides the simulated-time deadline (default 600 s). Also bounds
+    /// the horizon over which frequency schedules are materialized.
+    pub fn deadline(mut self, d: SimDuration) -> Scenario {
+        self.deadline = d;
+        self
+    }
+
     /// A short file-system-friendly label: machine, cores, policy.
     pub fn label(&self) -> String {
         let cores = if self.cores == 0 {
@@ -357,6 +393,10 @@ pub fn run_repeat(s: &Scenario, r: usize, traced: bool) -> RepeatOutcome {
 /// tools) can inspect per-task execution totals, per-core busy time and
 /// the migration log after the run. The trace buffer has already been
 /// detached into the outcome.
+/// Salt mixed into the repeat seed for frequency-schedule generation so
+/// the trace RNG stream is decoupled from the scheduler/balancer streams.
+const FREQ_SALT: u64 = 0x4652_4551; // "FREQ"
+
 pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutcome, System) {
     let seed = s.seed.wrapping_add(r as u64);
     let topo = {
@@ -370,6 +410,17 @@ pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutco
     let app_group = GroupId(0);
     let balancer = build_balancer(&s.policy, &topo, app_group, seed);
     let mut sys = System::new(topo, SchedConfig::default(), s.cost.clone(), balancer, seed);
+    if let Some(specs) = s.machine.freq_specs() {
+        // Materialize the per-core frequency traces over the whole run.
+        // The generation seed is derived from (scenario seed, repeat) only
+        // — never the policy — so every policy compared at this cell sees
+        // the identical frequency schedule. Generated for the full machine
+        // first, then restricted, so core j's trace is independent of the
+        // `cores` taskset.
+        let schedule = FreqSchedule::generate(&specs, SimTime::ZERO + s.deadline, seed ^ FREQ_SALT)
+            .expect("hetero preset frequency specs are valid");
+        sys.set_freq_schedule(schedule.restrict(sys.n_cores()));
+    }
     if traced {
         sys.enable_tracing_with(TraceConfig {
             sample_rate: s.trace_sample,
@@ -632,6 +683,53 @@ mod tests {
         let b = quick(Policy::Load, 6, 16);
         assert_eq!(a.completion.values, b.completion.values);
         assert_eq!(a.migrations.values, b.migrations.values);
+    }
+
+    #[test]
+    fn hetero_machines_run_and_are_deterministic() {
+        for machine in [Machine::BigLittle4p8e, Machine::Turbo2p, Machine::Throttle] {
+            let app = ep().spmd(12, WaitMode::Yield, 0.05);
+            let s = Scenario::new(machine.clone(), 0, Policy::Speed, app).repeats(2);
+            let a = run_scenario(&s);
+            let b = run_scenario(&s);
+            assert_eq!(a.timeouts, 0, "{machine:?}");
+            assert_eq!(a.completion.values, b.completion.values, "{machine:?}");
+            assert_eq!(a.migrations.values, b.migrations.values, "{machine:?}");
+        }
+    }
+
+    #[test]
+    fn freq_schedule_is_policy_independent() {
+        // The DVFS trace is generated from (seed, repeat) only, so two
+        // different policies on the same cell must observe the identical
+        // schedule (the runs end at different times, so compare the
+        // installed schedules, not the final cached ratios).
+        let app = ep().spmd(10, WaitMode::Yield, 0.05);
+        let mk = |p: Policy| {
+            Scenario::new(Machine::Throttle, 0, p, app.clone())
+                .repeats(1)
+                .deadline(SimDuration::from_secs(30))
+        };
+        let (_, speed_sys) = run_repeat_detailed(&mk(Policy::Speed), 0, false);
+        let (_, load_sys) = run_repeat_detailed(&mk(Policy::Load), 0, false);
+        let a = speed_sys
+            .freq_schedule()
+            .expect("throttle installs a schedule");
+        let b = load_sys
+            .freq_schedule()
+            .expect("throttle installs a schedule");
+        assert_eq!(a, b, "schedule must not depend on the policy");
+    }
+
+    #[test]
+    fn taskset_restricts_hetero_machine() {
+        // `cores = 6` on the 12-core big.LITTLE preset keeps the 4 P-cores
+        // plus the first 2 E-cores, mirroring the topology restriction.
+        let app = ep().spmd(8, WaitMode::Yield, 0.05);
+        let s = Scenario::new(Machine::BigLittle4p8e, 6, Policy::Speed, app).repeats(1);
+        let (outcome, sys) = run_repeat_detailed(&s, 0, false);
+        assert!(!outcome.timed_out);
+        assert_eq!(sys.n_cores(), 6);
     }
 
     #[test]

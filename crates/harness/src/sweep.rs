@@ -54,7 +54,11 @@ use std::time::Instant;
 /// v2: `Scenario` grew the optional server workload and `ScenarioResult`
 /// the server latency block, changing both the key material and the
 /// cached document shape.
-pub const SWEEP_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: heterogeneous machines — `Machine` gained asymmetric/DVFS presets
+/// and runs now install a per-core frequency schedule, changing cell
+/// semantics for any machine with frequency traces.
+pub const SWEEP_SCHEMA_VERSION: u64 = 3;
 
 // ---------------------------------------------------------------------
 // Global knobs: worker budget, cache switch, cumulative stats

@@ -1,0 +1,411 @@
+//! Per-core frequency (DVFS) traces: the time-varying half of the
+//! machine model.
+//!
+//! A [`Topology`](crate::Topology) gives every core a *static* relative
+//! speed; this module layers a *time-varying* **frequency ratio** on top.
+//! The effective capacity of core `j` at simulated time `t` is
+//!
+//! ```text
+//! capacity_j(t) = speed_j × ratio_j(t)
+//! ```
+//!
+//! where `ratio_j` is a piecewise-constant function described by a
+//! [`FreqTraceSpec`] and materialized into a [`FreqSchedule`] **before
+//! the simulation starts**. Pre-generation is the determinism contract:
+//! the schedule is a pure function of `(spec, horizon, seed)`, so every
+//! policy compared in an experiment sees the identical frequency
+//! schedule — the throttle model is open-loop, not feedback-driven, and
+//! cannot be perturbed by scheduling decisions. See the "Machine model"
+//! section of `DESIGN.md` for the full specification.
+//!
+//! Semantics of a materialized per-core step list:
+//!
+//! * an **empty** list means the ratio is `1.0` for the whole run;
+//! * the ratio at time `t` is the value of the **last step at or before**
+//!   `t`; before the first step the ratio is `1.0` (a step exactly at
+//!   `t = 0` therefore takes effect immediately);
+//! * past the final step the last ratio **holds** for the rest of the
+//!   run, however long it is (hold-last semantics).
+//!
+//! Ratios must be finite and strictly positive; a ratio of zero would
+//! make a busy core's remaining work take infinite wall-clock time, so
+//! it is rejected at validation time rather than surfacing as a hang.
+
+use serde::{Deserialize, Serialize};
+use speedbal_sim::{SimDuration, SimRng, SimTime};
+
+/// Description of one core's frequency behaviour over a run.
+///
+/// Specs are *descriptions*, not schedules: they are materialized into a
+/// concrete [`FreqSchedule`] by [`FreqSchedule::generate`], which fixes
+/// the horizon and (for the stochastic throttle model) the seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FreqTraceSpec {
+    /// A constant multiplier for the whole run. `Constant(1.0)` is the
+    /// homogeneous default; `Constant(1.3)` models a sustained turbo bin.
+    Constant(f64),
+    /// An explicit piecewise-step DVFS trace: at each `(time, ratio)`
+    /// point the core switches to `ratio` and holds it until the next
+    /// step (hold-last past the end). Times must be non-decreasing.
+    Steps(Vec<(SimTime, f64)>),
+    /// A simple open-loop thermal-throttle model: the core starts at
+    /// `boost`, ratchets down by `step` every `ratchet` interval (the
+    /// sustained-load heat-up), holds at `floor` for `dwell` (the thermal
+    /// governor's cap), then recovers to `boost` (the idle cool-down)
+    /// and repeats for the whole horizon. Ratchet intervals are jittered
+    /// ±25% from the schedule's forked seed so cores do not throttle in
+    /// lockstep, but the jitter is fixed at generation time.
+    Throttle {
+        /// Ratio at the start of each thermal cycle (e.g. `1.2`).
+        boost: f64,
+        /// Ratio the ratchet bottoms out at (e.g. `0.6`).
+        floor: f64,
+        /// Ratio decrement per ratchet interval.
+        step: f64,
+        /// Nominal interval between ratchet steps.
+        ratchet: SimDuration,
+        /// How long the core sits at `floor` before recovering.
+        dwell: SimDuration,
+    },
+}
+
+/// Why a [`FreqTraceSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreqError {
+    /// A ratio was zero, negative, NaN or infinite. Holds the offending
+    /// core index and a rendering of the value.
+    BadRatio(usize, String),
+    /// A `Steps` trace had decreasing timestamps. Holds the core index.
+    UnsortedSteps(usize),
+    /// A `Throttle` spec was internally inconsistent (e.g. `floor >
+    /// boost`, or a non-positive `step`/`ratchet`). Holds the core index
+    /// and a description.
+    BadThrottle(usize, String),
+}
+
+impl std::fmt::Display for FreqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreqError::BadRatio(core, v) => {
+                write!(
+                    f,
+                    "core {core}: frequency ratio {v} is not a finite positive number"
+                )
+            }
+            FreqError::UnsortedSteps(core) => {
+                write!(
+                    f,
+                    "core {core}: step trace timestamps must be non-decreasing"
+                )
+            }
+            FreqError::BadThrottle(core, why) => {
+                write!(f, "core {core}: bad throttle spec: {why}")
+            }
+        }
+    }
+}
+
+fn check_ratio(core: usize, r: f64) -> Result<(), FreqError> {
+    if r.is_finite() && r > 0.0 {
+        Ok(())
+    } else {
+        Err(FreqError::BadRatio(core, format!("{r}")))
+    }
+}
+
+/// A materialized, per-core, piecewise-constant frequency schedule.
+///
+/// This is the only form the scheduler ever consumes: generation fixes
+/// every switching instant up front, so identical `(specs, horizon,
+/// seed)` inputs yield bit-identical schedules regardless of what the
+/// simulation later does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqSchedule {
+    /// Per-core `(time, ratio)` step lists, times non-decreasing.
+    cores: Vec<Vec<(SimTime, f64)>>,
+}
+
+impl FreqSchedule {
+    /// Materializes `specs` (one per core) over `[0, horizon]`. The
+    /// throttle model forks a per-core RNG from `seed`, so schedules for
+    /// different cores are independent but jointly deterministic.
+    pub fn generate(
+        specs: &[FreqTraceSpec],
+        horizon: SimTime,
+        seed: u64,
+    ) -> Result<FreqSchedule, FreqError> {
+        let mut root = SimRng::new(seed);
+        let mut cores = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let steps = match spec {
+                FreqTraceSpec::Constant(r) => {
+                    check_ratio(i, *r)?;
+                    if (*r - 1.0).abs() < f64::EPSILON {
+                        Vec::new() // the homogeneous default needs no steps
+                    } else {
+                        vec![(SimTime::ZERO, *r)]
+                    }
+                }
+                FreqTraceSpec::Steps(points) => {
+                    let mut last = SimTime::ZERO;
+                    for (k, (t, r)) in points.iter().enumerate() {
+                        check_ratio(i, *r)?;
+                        if k > 0 && *t < last {
+                            return Err(FreqError::UnsortedSteps(i));
+                        }
+                        last = *t;
+                    }
+                    points.clone()
+                }
+                FreqTraceSpec::Throttle {
+                    boost,
+                    floor,
+                    step,
+                    ratchet,
+                    dwell,
+                } => {
+                    check_ratio(i, *boost)?;
+                    check_ratio(i, *floor)?;
+                    if floor > boost {
+                        return Err(FreqError::BadThrottle(
+                            i,
+                            format!("floor {floor} exceeds boost {boost}"),
+                        ));
+                    }
+                    if *step <= 0.0 || !step.is_finite() {
+                        return Err(FreqError::BadThrottle(
+                            i,
+                            format!("step {step} must be > 0"),
+                        ));
+                    }
+                    if ratchet.as_nanos() == 0 {
+                        return Err(FreqError::BadThrottle(i, "ratchet interval is zero".into()));
+                    }
+                    let mut rng = root.fork(0x5468_524f ^ i as u64); // "ThRO"
+                    let mut steps = Vec::new();
+                    let mut t = SimTime::ZERO;
+                    while t <= horizon {
+                        // Heat-up: ratchet from boost down to floor.
+                        let mut ratio = *boost;
+                        steps.push((t, ratio));
+                        while ratio - *step > *floor + f64::EPSILON {
+                            t += jittered(&mut rng, *ratchet);
+                            ratio -= *step;
+                            if t > horizon {
+                                break;
+                            }
+                            steps.push((t, ratio));
+                        }
+                        if t > horizon {
+                            break;
+                        }
+                        // Cap: sit at the floor for the dwell time.
+                        t += jittered(&mut rng, *ratchet);
+                        if t > horizon {
+                            break;
+                        }
+                        steps.push((t, *floor));
+                        t += *dwell;
+                        // Cool-down: recover to boost and start over.
+                    }
+                    steps
+                }
+            };
+            cores.push(steps);
+        }
+        Ok(FreqSchedule { cores })
+    }
+
+    /// A schedule where every core runs at ratio `1.0` forever.
+    pub fn identity(n_cores: usize) -> FreqSchedule {
+        FreqSchedule {
+            cores: vec![Vec::new(); n_cores],
+        }
+    }
+
+    /// Number of cores the schedule describes.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Keeps only the first `n` cores (mirrors
+    /// [`Topology::restrict`](crate::Topology::restrict)).
+    pub fn restrict(&self, n: usize) -> FreqSchedule {
+        FreqSchedule {
+            cores: self.cores.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// The frequency ratio of `core` at time `t`: the value of the last
+    /// step at or before `t`, `1.0` before the first step (or when the
+    /// core has no steps, or is beyond the schedule's core count).
+    pub fn ratio_at(&self, core: usize, t: SimTime) -> f64 {
+        let Some(steps) = self.cores.get(core) else {
+            return 1.0;
+        };
+        match steps.partition_point(|(st, _)| *st <= t) {
+            0 => 1.0,
+            i => steps[i - 1].1,
+        }
+    }
+
+    /// The first switching instant strictly after `t` on `core`, if any.
+    pub fn next_change_after(&self, core: usize, t: SimTime) -> Option<SimTime> {
+        let steps = self.cores.get(core)?;
+        let i = steps.partition_point(|(st, _)| *st <= t);
+        steps.get(i).map(|(st, _)| *st)
+    }
+
+    /// True when no core ever deviates from ratio `1.0` — the scheduler
+    /// skips all frequency machinery in that case.
+    pub fn is_identity(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|s| s.iter().all(|(_, r)| (*r - 1.0).abs() < f64::EPSILON))
+    }
+}
+
+/// `d` jittered to `U(0.75·d, 1.25·d)`, never zero.
+fn jittered(rng: &mut SimRng, d: SimDuration) -> SimDuration {
+    let n = d.as_nanos();
+    let lo = (n * 3) / 4;
+    SimDuration::from_nanos(rng.range_inclusive(lo.max(1), n + n / 4).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizon() -> SimTime {
+        SimTime::from_secs(10)
+    }
+
+    #[test]
+    fn empty_trace_falls_back_to_unity() {
+        let s = FreqSchedule::generate(&[FreqTraceSpec::Steps(vec![])], horizon(), 1).unwrap();
+        assert_eq!(s.ratio_at(0, SimTime::ZERO), 1.0);
+        assert_eq!(s.ratio_at(0, SimTime::from_secs(9)), 1.0);
+        assert!(s.is_identity());
+        // Cores beyond the schedule are unity too.
+        assert_eq!(s.ratio_at(7, SimTime::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn step_exactly_at_time_zero_applies_immediately() {
+        let s = FreqSchedule::generate(
+            &[FreqTraceSpec::Steps(vec![(SimTime::ZERO, 0.5)])],
+            horizon(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(s.ratio_at(0, SimTime::ZERO), 0.5);
+        assert!(!s.is_identity());
+    }
+
+    #[test]
+    fn trace_shorter_than_run_holds_last_ratio() {
+        let s = FreqSchedule::generate(
+            &[FreqTraceSpec::Steps(vec![
+                (SimTime::from_secs(1), 1.4),
+                (SimTime::from_secs(2), 0.7),
+            ])],
+            horizon(),
+            1,
+        )
+        .unwrap();
+        // Before the first step: unity.
+        assert_eq!(s.ratio_at(0, SimTime::from_millis(999)), 1.0);
+        assert_eq!(s.ratio_at(0, SimTime::from_secs(1)), 1.4);
+        // Far past the last step: the final ratio holds.
+        assert_eq!(s.ratio_at(0, SimTime::from_secs(500)), 0.7);
+        assert_eq!(s.next_change_after(0, SimTime::from_secs(2)), None);
+    }
+
+    #[test]
+    fn zero_ratio_is_rejected_at_validation() {
+        for bad in [
+            FreqTraceSpec::Constant(0.0),
+            FreqTraceSpec::Constant(-1.0),
+            FreqTraceSpec::Constant(f64::NAN),
+            FreqTraceSpec::Steps(vec![(SimTime::ZERO, 0.0)]),
+        ] {
+            let err = FreqSchedule::generate(&[bad], horizon(), 1).unwrap_err();
+            assert!(matches!(err, FreqError::BadRatio(0, _)), "{err}");
+        }
+    }
+
+    #[test]
+    fn unsorted_steps_are_rejected() {
+        let err = FreqSchedule::generate(
+            &[FreqTraceSpec::Steps(vec![
+                (SimTime::from_secs(2), 0.5),
+                (SimTime::from_secs(1), 0.8),
+            ])],
+            horizon(),
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, FreqError::UnsortedSteps(0));
+    }
+
+    #[test]
+    fn constant_non_unity_is_one_step_at_zero() {
+        let s = FreqSchedule::generate(&[FreqTraceSpec::Constant(1.3)], horizon(), 1).unwrap();
+        assert_eq!(s.ratio_at(0, SimTime::ZERO), 1.3);
+        assert_eq!(s.next_change_after(0, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn throttle_is_deterministic_and_ratchets() {
+        let spec = FreqTraceSpec::Throttle {
+            boost: 1.2,
+            floor: 0.6,
+            step: 0.2,
+            ratchet: SimDuration::from_millis(200),
+            dwell: SimDuration::from_millis(400),
+        };
+        let a = FreqSchedule::generate(std::slice::from_ref(&spec), horizon(), 42).unwrap();
+        let b = FreqSchedule::generate(std::slice::from_ref(&spec), horizon(), 42).unwrap();
+        assert_eq!(a, b, "same (spec, horizon, seed) must be bit-identical");
+        let c = FreqSchedule::generate(&[spec], horizon(), 43).unwrap();
+        assert_ne!(a, c, "a different seed must move the jittered steps");
+        // The trace visits both the boost and the floor and never strays.
+        let mut saw_boost = false;
+        let mut saw_floor = false;
+        for ms in 0..10_000 {
+            let r = a.ratio_at(0, SimTime::from_millis(ms));
+            assert!((0.6..=1.2).contains(&r), "ratio {r} out of [floor, boost]");
+            saw_boost |= r == 1.2;
+            saw_floor |= r == 0.6;
+        }
+        assert!(saw_boost && saw_floor);
+    }
+
+    #[test]
+    fn throttle_rejects_inconsistent_specs() {
+        let bad = FreqTraceSpec::Throttle {
+            boost: 0.5,
+            floor: 0.9,
+            step: 0.1,
+            ratchet: SimDuration::from_millis(100),
+            dwell: SimDuration::from_millis(100),
+        };
+        assert!(matches!(
+            FreqSchedule::generate(&[bad], horizon(), 1).unwrap_err(),
+            FreqError::BadThrottle(0, _)
+        ));
+    }
+
+    #[test]
+    fn restrict_takes_a_prefix() {
+        let s = FreqSchedule::generate(
+            &[FreqTraceSpec::Constant(1.5), FreqTraceSpec::Constant(0.5)],
+            horizon(),
+            1,
+        )
+        .unwrap();
+        let r = s.restrict(1);
+        assert_eq!(r.n_cores(), 1);
+        assert_eq!(r.ratio_at(0, SimTime::ZERO), 1.5);
+    }
+}

@@ -13,12 +13,20 @@
 //! * the **migration cost model** — cache-refill latency when a task crosses
 //!   a cache boundary (microseconds to ~2 ms depending on footprint, the
 //!   range the paper quotes from Li et al.), plus the persistent slowdown of
-//!   running with remote NUMA memory.
+//!   running with remote NUMA memory;
+//! * the **frequency model** ([`freq`]) — per-core time-varying clock
+//!   ratios (constant, piecewise-step DVFS, open-loop thermal throttle)
+//!   pre-generated into deterministic schedules, so heterogeneous and
+//!   thermally limited machines can be simulated reproducibly.
+
+#![warn(missing_docs)]
 
 pub mod cost;
+pub mod freq;
 pub mod presets;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use presets::{asymmetric, barcelona, nehalem, tigerton, uniform};
-pub use topology::{CoreId, CoreInfo, Domain, DomainLevel, NodeId, Topology};
+pub use freq::{FreqError, FreqSchedule, FreqTraceSpec};
+pub use presets::{asymmetric, barcelona, big_little, nehalem, tigerton, uniform};
+pub use topology::{CoreId, CoreInfo, Domain, DomainLevel, NodeId, Topology, TopologySpec};

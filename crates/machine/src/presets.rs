@@ -108,6 +108,36 @@ pub fn asymmetric(fast: usize, slow: usize, fast_speed: f64) -> Topology {
     })
 }
 
+/// A big.LITTLE-style UMA machine: `p` performance cores at `p_speed`×
+/// in one cache group plus `e` efficiency cores at `e_speed`× in
+/// another. The canonical instance is `big_little(4, 8, 1.0, 0.55)` —
+/// the "4P+8E" preset of the `hetero` artifact, loosely shaped like a
+/// client hybrid part where an E-core sustains roughly half a P-core's
+/// throughput.
+pub fn big_little(p: usize, e: usize, p_speed: f64, e_speed: f64) -> Topology {
+    assert!(p_speed > 0.0 && e_speed > 0.0);
+    assert!(p >= 1 && e >= 1);
+    let mut speeds = vec![p_speed; p];
+    speeds.extend(std::iter::repeat_n(e_speed, e));
+    Topology::build(&TopologySpec {
+        name: format!("biglittle{p}p{e}e"),
+        sockets: 1,
+        cores_per_socket: p + e,
+        smt: 1,
+        // P and E clusters each share a cache; use the larger cluster as
+        // the group size so the clusters split on a group boundary when
+        // p == e, and fall back to one flat group otherwise (cache
+        // grouping must divide the core count evenly).
+        cores_per_cache_group: if (p + e).is_multiple_of(p) { p } else { p + e },
+        numa: false,
+        cache_bytes: 8 << 20,
+        private_cache_bytes: 64 << 10,
+        smt_busy_factor: 1.0,
+        speeds,
+        bw_streams: f64::INFINITY,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +183,18 @@ mod tests {
         for c in t.core_ids() {
             assert_eq!(t.speed_of(c), 1.0);
         }
+    }
+
+    #[test]
+    fn big_little_clusters_and_speeds() {
+        let t = big_little(4, 8, 1.0, 0.55);
+        assert_eq!(t.n_cores(), 12);
+        assert_eq!(t.speed_of(CoreId(0)), 1.0);
+        assert_eq!(t.speed_of(CoreId(4)), 0.55);
+        assert_eq!(t.speed_of(CoreId(11)), 0.55);
+        // P-cluster shares a cache group; P→E crosses to socket level.
+        assert_eq!(t.common_level(CoreId(0), CoreId(3)), DomainLevel::Cache);
+        assert_eq!(t.common_level(CoreId(0), CoreId(4)), DomainLevel::Socket);
     }
 
     #[test]

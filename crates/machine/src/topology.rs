@@ -56,13 +56,16 @@ impl DomainLevel {
 /// A scheduling domain: a set of cores sharing a resource at some level.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Domain {
+    /// The sharing level this domain represents.
     pub level: DomainLevel,
+    /// The cores inside the domain, in id order.
     pub cores: Vec<CoreId>,
 }
 
 /// Static description of one logical CPU.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoreInfo {
+    /// The logical CPU id.
     pub id: CoreId,
     /// Socket (package) index.
     pub socket: usize,
@@ -106,8 +109,11 @@ pub struct Topology {
 /// Builder-style specification for [`Topology::build`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TopologySpec {
+    /// Human-readable machine name (appears in labels and cache keys).
     pub name: String,
+    /// Number of sockets (packages).
     pub sockets: usize,
+    /// Physical cores per socket.
     pub cores_per_socket: usize,
     /// Hardware threads per physical core (1 = no SMT).
     pub smt: usize,
@@ -117,8 +123,11 @@ pub struct TopologySpec {
     pub cores_per_cache_group: usize,
     /// True if each socket is its own NUMA node; false for UMA machines.
     pub numa: bool,
+    /// Bytes of shared cache per cache group.
     pub cache_bytes: u64,
+    /// Bytes of private per-core cache (L1 + private L2).
     pub private_cache_bytes: u64,
+    /// Per-sibling speed fraction when both SMT contexts are busy.
     pub smt_busy_factor: f64,
     /// Per-logical-CPU relative speeds; if shorter than the core count the
     /// last value (or 1.0 when empty) is repeated.
@@ -230,6 +239,8 @@ impl Topology {
         }
     }
 
+    /// The machine's name (preset name, possibly with a restriction
+    /// suffix).
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -239,10 +250,12 @@ impl Topology {
         self.cores.len()
     }
 
+    /// Number of NUMA nodes (1 on UMA machines).
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
     }
 
+    /// Number of sockets.
     pub fn n_sockets(&self) -> usize {
         self.n_sockets
     }
@@ -252,26 +265,35 @@ impl Topology {
         self.cores.iter().map(|c| c.id)
     }
 
+    /// The full static description of one logical CPU.
     pub fn core(&self, id: CoreId) -> &CoreInfo {
         &self.cores[id.0]
     }
 
+    /// The NUMA node `id`'s local memory lives on.
     pub fn node_of(&self, id: CoreId) -> NodeId {
         self.cores[id.0].node
     }
 
+    /// The static relative speed of `id` (1.0 = nominal). Time-varying
+    /// frequency ratios ([`crate::freq`]) multiply on top of this value;
+    /// the topology itself never changes during a run.
     pub fn speed_of(&self, id: CoreId) -> f64 {
         self.cores[id.0].speed
     }
 
+    /// Bytes of shared cache at the `Cache` level (per group).
     pub fn cache_bytes(&self) -> u64 {
         self.cache_bytes
     }
 
+    /// Bytes of private per-core cache.
     pub fn private_cache_bytes(&self) -> u64 {
         self.private_cache_bytes
     }
 
+    /// Per-sibling speed fraction when both SMT contexts of a physical
+    /// core are busy (1.0 on non-SMT machines).
     pub fn smt_busy_factor(&self) -> f64 {
         self.smt_busy_factor
     }

@@ -92,6 +92,15 @@ impl RepeatStats {
     pub fn speedup(&self, serial: f64) -> f64 {
         serial / self.mean()
     }
+
+    /// Parallel efficiency against a machine of total capacity `capacity`
+    /// (the sum of per-core speeds, in serial-core units): 100% means the
+    /// mean makespan equals `serial / capacity`, the bound for perfectly
+    /// divisible work. The natural speedup normalization on heterogeneous
+    /// machines, where "number of cores" overstates what slow cores add.
+    pub fn capacity_efficiency_pct(&self, serial: f64, capacity: f64) -> f64 {
+        100.0 * serial / (capacity * self.mean())
+    }
 }
 
 #[cfg(test)]

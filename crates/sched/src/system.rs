@@ -38,7 +38,7 @@ use crate::config::SchedConfig;
 use crate::program::{Directive, Program, ProgramCtx};
 use crate::rq::RunQueue;
 use crate::task::{Activity, Task, TaskId, TaskState};
-use speedbal_machine::{CoreId, CostModel, Topology};
+use speedbal_machine::{CoreId, CostModel, FreqSchedule, Topology};
 use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SlotId};
 use speedbal_trace::{MigrationReason, TraceBuffer, TraceConfig, TraceEvent};
 
@@ -144,6 +144,12 @@ enum Ev {
     /// Tracing-only periodic speed sampler. Its handler reads scheduler
     /// state but never mutates it, so arming it cannot perturb a run.
     TraceSample,
+    /// The pre-generated frequency schedule switches `core` to its next
+    /// clock ratio. Only armed when a non-identity schedule is installed,
+    /// so runs without one see a bit-identical event stream.
+    FreqStep {
+        core: usize,
+    },
 }
 
 struct Core {
@@ -243,6 +249,17 @@ pub struct System {
     /// Invariant-checker state (`None` = checks off; every hook is a single
     /// branch on this option, like tracing). See [`System::check_invariants`].
     check: Option<Box<invariants::CheckState>>,
+    /// Installed frequency schedule plus the per-core current-ratio cache
+    /// (`None` = homogeneous clocks; every hot-path read is one branch).
+    freq: Option<Box<FreqState>>,
+}
+
+/// Runtime state of an installed [`FreqSchedule`].
+struct FreqState {
+    schedule: FreqSchedule,
+    /// Current ratio per core, updated at `Ev::FreqStep` instants so the
+    /// dispatch path reads a cached f64 instead of searching the trace.
+    ratios: Vec<f64>,
 }
 
 /// Bound on chained zero-time program transitions, to turn a program that
@@ -299,6 +316,7 @@ impl System {
             sampler_exec: Vec::new(),
             sampler_busy: Vec::new(),
             check: None,
+            freq: None,
         };
         if cfg!(feature = "strict-invariants") || invariants::env_enabled() {
             sys.enable_invariant_checks();
@@ -316,6 +334,89 @@ impl System {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.events.now()
+    }
+
+    /// Installs a pre-generated frequency schedule (see
+    /// `speedbal_machine::freq`). Cores beyond the schedule's length run
+    /// at ratio 1.0. An identity schedule (no core ever deviates from
+    /// 1.0) is discarded entirely, so the event stream — and therefore
+    /// every downstream result — stays bit-identical to a run that never
+    /// called this method.
+    ///
+    /// Must be installed before the simulation advances past the
+    /// schedule's first switching instant; installing at `t = 0` (the
+    /// normal case, right after [`System::new`]) always satisfies that.
+    pub fn set_freq_schedule(&mut self, schedule: FreqSchedule) {
+        if schedule.is_identity() {
+            self.freq = None;
+            return;
+        }
+        let now = self.now();
+        let n = self.cores.len();
+        let ratios: Vec<f64> = (0..n).map(|c| schedule.ratio_at(c, now)).collect();
+        for c in 0..n {
+            if let Some(at) = schedule.next_change_after(c, now) {
+                self.events.schedule(at, Ev::FreqStep { core: c });
+            }
+        }
+        self.freq = Some(Box::new(FreqState { schedule, ratios }));
+        // Ratios may differ from 1.0 right away; resample any core that
+        // is already running a task.
+        for c in 0..n {
+            if self.cores[c].current.is_some() {
+                self.reschedule(CoreId(c), now);
+            }
+        }
+    }
+
+    /// The installed frequency schedule, if any. Identity schedules are
+    /// discarded by [`System::set_freq_schedule`], so `None` means every
+    /// core runs at ratio 1.0 for the whole simulation.
+    pub fn freq_schedule(&self) -> Option<&FreqSchedule> {
+        self.freq.as_deref().map(|f| &f.schedule)
+    }
+
+    /// The core's current frequency ratio (1.0 without a schedule).
+    pub fn freq_ratio(&self, core: CoreId) -> f64 {
+        match &self.freq {
+            Some(f) => f.ratios.get(core.0).copied().unwrap_or(1.0),
+            None => 1.0,
+        }
+    }
+
+    /// The core's effective capacity right now: its static topology speed
+    /// times its current frequency ratio. This — not
+    /// `topology().speed_of()` — is what capacity-aware balancers must
+    /// weight by on machines with time-varying clocks.
+    pub fn core_capacity(&self, core: CoreId) -> f64 {
+        self.topo.speed_of(core) * self.freq_ratio(core)
+    }
+
+    /// Handles one `Ev::FreqStep`: refresh the core's cached ratio and,
+    /// if the core is busy, reschedule it so the elapsed stretch is
+    /// accounted at the old rate and the next dispatch samples the new
+    /// one (exact piecewise integration). Then arm the next step.
+    fn handle_freq_step(&mut self, c: usize, now: SimTime) {
+        let Some(f) = self.freq.as_mut() else {
+            return;
+        };
+        let ratio = f.schedule.ratio_at(c, now);
+        let next = f.schedule.next_change_after(c, now);
+        let changed = ratio != f.ratios[c];
+        if changed {
+            f.ratios[c] = ratio;
+        }
+        if let Some(at) = next {
+            self.events.schedule(at, Ev::FreqStep { core: c });
+        }
+        if changed {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.record(now, CoreId(c), TraceEvent::FreqStep { ratio });
+            }
+            if self.cores[c].current.is_some() {
+                self.reschedule(CoreId(c), now);
+            }
+        }
     }
 
     pub fn topology(&self) -> &Topology {
@@ -919,6 +1020,7 @@ impl System {
                 self.with_balancer(|bal, sys| bal.on_timer(sys, key));
             }
             Ev::TraceSample => self.handle_trace_sample(ev.time),
+            Ev::FreqStep { core } => self.handle_freq_step(core, ev.time),
         }
         self.drain_conds();
         self.flush_balancer_notifications();
@@ -1009,11 +1111,11 @@ impl System {
         }
     }
 
-    /// Effective compute rate of `task` on `core` right now: core speed,
-    /// reduced while an SMT sibling is busy, divided by the NUMA
-    /// remote-memory factor.
+    /// Effective compute rate of `task` on `core` right now: core speed
+    /// times the current frequency ratio, reduced while an SMT sibling is
+    /// busy, divided by the NUMA remote-memory factor.
     fn compute_rate(&self, core: CoreId, task: TaskId) -> f64 {
-        let mut rate = self.topo.speed_of(core);
+        let mut rate = self.topo.speed_of(core) * self.freq_ratio(core);
         let sf = self.topo.smt_busy_factor();
         if sf < 1.0 {
             let sibling_busy = self.smt_sibs[core.0]

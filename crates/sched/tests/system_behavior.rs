@@ -862,3 +862,147 @@ fn forced_deschedule_invalidates_armed_boundary() {
         sys.events_processed()
     );
 }
+
+mod freq {
+    use super::*;
+    use speedbal_machine::{FreqSchedule, FreqTraceSpec};
+
+    fn schedule(specs: &[FreqTraceSpec]) -> FreqSchedule {
+        FreqSchedule::generate(specs, SimTime::from_secs(100), 7).unwrap()
+    }
+
+    #[test]
+    fn step_mid_run_integrates_piecewise_exactly() {
+        // Ratio 1.0 for the first 10 ms, then 0.5: a 20 ms computation
+        // does 10 ms of work at full speed, then the remaining 10 ms at
+        // half speed takes 20 ms of wall clock — exit at exactly 30 ms.
+        let mut sys = mk_system(1);
+        sys.set_freq_schedule(schedule(&[FreqTraceSpec::Steps(vec![(
+            SimTime::from_millis(10),
+            0.5,
+        )])]));
+        let g = sys.new_group();
+        let t = sys.spawn(SpawnSpec::new(compute_task(ms(20)), "t", g));
+        let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        assert_eq!(done, SimTime::from_millis(30));
+        // Wall-clock CPU occupancy is the full 30 ms.
+        assert_eq!(sys.task_exec_total(t), ms(30));
+    }
+
+    #[test]
+    fn step_at_time_zero_applies_from_dispatch() {
+        let mut sys = mk_system(1);
+        sys.set_freq_schedule(schedule(&[FreqTraceSpec::Steps(vec![(
+            SimTime::ZERO,
+            0.5,
+        )])]));
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute_task(ms(20)), "t", g));
+        let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        assert_eq!(done, SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn short_trace_holds_last_ratio_for_rest_of_run() {
+        // One step down to 0.5 at 5 ms and nothing after: the ratio holds
+        // for the whole remaining computation.
+        let mut sys = mk_system(1);
+        sys.set_freq_schedule(schedule(&[FreqTraceSpec::Steps(vec![(
+            SimTime::from_millis(5),
+            0.5,
+        )])]));
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute_task(ms(25)), "t", g));
+        let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        // 5 ms at 1.0 (5 ms of work) + 20 ms of work at 0.5 (40 ms wall).
+        assert_eq!(done, SimTime::from_millis(45));
+    }
+
+    #[test]
+    fn constant_ratio_matches_static_speed() {
+        // Constant(2.0) via the frequency layer must behave exactly like
+        // a topology whose core speed is 2.0.
+        let mut sys = mk_system(1);
+        sys.set_freq_schedule(schedule(&[FreqTraceSpec::Constant(2.0)]));
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute_task(ms(20)), "t", g));
+        let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+        assert_eq!(done, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn identity_schedule_changes_nothing() {
+        let run = |install: bool| -> (SimTime, u64) {
+            let mut sys = mk_system(2);
+            if install {
+                // An identity schedule (empty trace on every core) is
+                // discarded: zero extra events, bit-identical history.
+                sys.set_freq_schedule(schedule(&[
+                    FreqTraceSpec::Steps(vec![]),
+                    FreqTraceSpec::Constant(1.0),
+                ]));
+            }
+            let g = sys.new_group();
+            for i in 0..5 {
+                sys.spawn(SpawnSpec::new(compute_task(ms(13)), format!("t{i}"), g));
+            }
+            let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+            (done, sys.events_processed())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn effective_capacity_tracks_steps() {
+        let mut sys = mk_system(1);
+        assert_eq!(sys.core_capacity(CoreId(0)), 1.0);
+        sys.set_freq_schedule(schedule(&[FreqTraceSpec::Steps(vec![(
+            SimTime::from_millis(10),
+            0.25,
+        )])]));
+        assert_eq!(sys.core_capacity(CoreId(0)), 1.0);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute_task(ms(100)), "t", g));
+        sys.run_until(SimTime::from_millis(12));
+        assert_eq!(sys.core_capacity(CoreId(0)), 0.25);
+        assert_eq!(sys.freq_ratio(CoreId(0)), 0.25);
+    }
+
+    #[test]
+    fn throttle_run_is_deterministic() {
+        let run = || -> (SimTime, u64) {
+            let mut sys = mk_system(2);
+            sys.set_freq_schedule(
+                FreqSchedule::generate(
+                    &vec![
+                        FreqTraceSpec::Throttle {
+                            boost: 1.2,
+                            floor: 0.6,
+                            step: 0.2,
+                            ratchet: ms(20),
+                            dwell: ms(40),
+                        };
+                        2
+                    ],
+                    SimTime::from_secs(100),
+                    99,
+                )
+                .unwrap(),
+            );
+            let g = sys.new_group();
+            for i in 0..4 {
+                sys.spawn(SpawnSpec::new(compute_task(ms(50)), format!("t{i}"), g));
+            }
+            let done = sys.run_until_group_done(g, SimTime::from_secs(10)).unwrap();
+            (done, sys.events_processed())
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // Throttling below 1.0 on average must cost wall-clock time
+        // relative to the unthrottled 100 ms two-core makespan.
+        assert!(
+            a.0 > SimTime::from_millis(100),
+            "throttle must slow the run"
+        );
+    }
+}

@@ -217,6 +217,14 @@ pub fn export_chrome_to<W: Write>(buf: &TraceBuffer, writer: W) -> io::Result<()
                     ))?;
                 }
             },
+            TraceEvent::FreqStep { ratio } => {
+                ev.push(format!(
+                    "\"ph\":\"C\",\"pid\":{CORES_PID},\"tid\":{core},\"ts\":{},\
+                     \"name\":\"freq cpu{core}\",\"args\":{{\"ratio\":{}}}",
+                    ts(rec.time),
+                    num(*ratio),
+                ))?;
+            }
             TraceEvent::BalancerActivation {
                 policy,
                 local,

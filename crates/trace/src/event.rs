@@ -378,6 +378,14 @@ pub enum TraceEvent {
         /// Length of the failure streak that triggered it.
         failures: u32,
     },
+    /// The core's pre-generated frequency schedule switched it to a new
+    /// clock ratio (DVFS step or thermal-throttle transition). The core's
+    /// effective capacity from this instant is its static topology speed
+    /// times `ratio`.
+    FreqStep {
+        /// The new frequency ratio (multiplies the core's static speed).
+        ratio: f64,
+    },
 }
 
 /// A stamped event: when, where, what.

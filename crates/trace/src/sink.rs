@@ -89,6 +89,9 @@ pub struct TraceCounters {
     pub request_drops: u64,
     /// Histogram over [`RequestDropReason::ALL_LABELS`].
     pub request_drops_by_reason: [u64; RequestDropReason::ALL_LABELS.len()],
+    /// Frequency-ratio switches (DVFS steps / thermal-throttle
+    /// transitions) applied from pre-generated schedules.
+    pub freq_steps: u64,
 }
 
 /// Cumulative time a task spent in each scheduler state.
@@ -352,6 +355,7 @@ impl TraceBuffer {
                 self.counters.request_drops += 1;
                 self.counters.request_drops_by_reason[reason.index()] += 1;
             }
+            TraceEvent::FreqStep { .. } => self.counters.freq_steps += 1,
         }
         if self.cfg.sample_rate < 1.0
             && matches!(

@@ -52,6 +52,10 @@ pub fn render_summary(buf: &TraceBuffer) -> String {
         c.barrier_arrivals, c.barrier_releases
     );
 
+    if c.freq_steps > 0 {
+        let _ = writeln!(out, "  freq steps {}", c.freq_steps);
+    }
+
     if c.proc_faults > 0 || c.quarantines > 0 {
         let _ = write!(
             out,

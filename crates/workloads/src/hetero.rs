@@ -1,0 +1,174 @@
+//! Asymmetric-machine presets for the `hetero` artifact.
+//!
+//! Each preset bundles a [`Topology`] with one [`FreqTraceSpec`] per core.
+//! The specs are *descriptions*; the harness materializes them once per
+//! run via [`FreqSchedule::generate`](speedbal_machine::FreqSchedule::generate)
+//! with a policy-independent seed, so every balancer under comparison sees
+//! the identical frequency schedule (see DESIGN.md, "Machine model").
+//!
+//! Three asymmetry regimes, chosen to stress different policy weaknesses:
+//!
+//! * [`big_little_4p8e`] — **static** asymmetry: 4 performance cores at
+//!   speed 1.0 and 8 efficiency cores at 0.55, constant frequency. Here
+//!   count-based LOAD misplaces work on E-cores permanently.
+//! * [`turbo_2p`] — **deterministic DVFS**: 8 equal cores, two of which
+//!   follow a square-wave boost (1.4× for 200 ms, nominal for 300 ms).
+//!   The fast set changes identity over time, so only policies that keep
+//!   re-measuring speed follow it.
+//! * [`throttling`] — **thermal ratchet**: 8 equal cores that all start
+//!   boosted and independently decay to a floor, dwell, and recover
+//!   (jittered per-core phases from the forked seed). Sustained asymmetry
+//!   with no stable fast set at all.
+
+use speedbal_machine::{big_little, uniform, FreqTraceSpec, Topology};
+use speedbal_sim::{SimDuration, SimTime};
+
+/// A named asymmetric machine: topology plus per-core frequency traces.
+#[derive(Debug, Clone)]
+pub struct HeteroPreset {
+    /// Short name used in artifact tables (`4p8e`, `turbo2p`, `throttle`).
+    pub name: &'static str,
+    /// The machine layout (carries the static per-core speeds).
+    pub topology: Topology,
+    /// One frequency-trace spec per core of `topology`.
+    pub freq: Vec<FreqTraceSpec>,
+}
+
+impl HeteroPreset {
+    /// Number of cores in the preset.
+    pub fn n_cores(&self) -> usize {
+        self.topology.n_cores()
+    }
+}
+
+/// Static big.LITTLE machine: 4 P-cores (speed 1.0) + 8 E-cores (0.55),
+/// constant frequency everywhere.
+pub fn big_little_4p8e() -> HeteroPreset {
+    let topology = big_little(4, 8, 1.0, 0.55);
+    let n = topology.n_cores();
+    HeteroPreset {
+        name: "4p8e",
+        topology,
+        freq: vec![FreqTraceSpec::Constant(1.0); n],
+    }
+}
+
+/// How far out the turbo square wave is materialized. Runs longer than
+/// this hold the last ratio (the trace-shorter-than-run contract), so the
+/// window is generous relative to any artifact run length.
+const TURBO_TRACE_END: SimTime = SimTime::from_secs(300);
+
+/// Turbo pair: 8 equal cores; cores 0 and 1 run a deterministic square
+/// wave — 1.4× boost for 200 ms, nominal for 300 ms, repeating.
+pub fn turbo_2p() -> HeteroPreset {
+    let topology = uniform(8);
+    let n = topology.n_cores();
+    let mut wave = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t < TURBO_TRACE_END {
+        wave.push((t, 1.4));
+        wave.push((t + SimDuration::from_millis(200), 1.0));
+        t += SimDuration::from_millis(500);
+    }
+    let mut freq = vec![FreqTraceSpec::Constant(1.0); n];
+    freq[0] = FreqTraceSpec::Steps(wave.clone());
+    freq[1] = FreqTraceSpec::Steps(wave);
+    HeteroPreset {
+        name: "turbo2p",
+        topology,
+        freq,
+    }
+}
+
+/// Thermal-throttle machine: 8 equal cores, each independently ratcheting
+/// from a 1.2× boost down to a 0.7 floor in 0.1 steps every ~250 ms
+/// (jittered per core), dwelling 400 ms at the floor, then recovering.
+pub fn throttling() -> HeteroPreset {
+    let topology = uniform(8);
+    let n = topology.n_cores();
+    HeteroPreset {
+        name: "throttle",
+        topology,
+        freq: vec![
+            FreqTraceSpec::Throttle {
+                boost: 1.2,
+                floor: 0.7,
+                step: 0.1,
+                ratchet: SimDuration::from_millis(250),
+                dwell: SimDuration::from_millis(400),
+            };
+            n
+        ],
+    }
+}
+
+/// The three presets the `hetero` artifact sweeps, in report order.
+pub fn hetero_suite() -> Vec<HeteroPreset> {
+    vec![big_little_4p8e(), turbo_2p(), throttling()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use speedbal_machine::FreqSchedule;
+
+    #[test]
+    fn suite_shapes() {
+        for p in hetero_suite() {
+            assert_eq!(p.freq.len(), p.n_cores(), "{}", p.name);
+        }
+        let names: Vec<&str> = hetero_suite().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["4p8e", "turbo2p", "throttle"]);
+    }
+
+    #[test]
+    fn presets_materialize_deterministically() {
+        for p in hetero_suite() {
+            let h = SimTime::from_secs(30);
+            let a = FreqSchedule::generate(&p.freq, h, 0xBEEF).unwrap();
+            let b = FreqSchedule::generate(&p.freq, h, 0xBEEF).unwrap();
+            assert_eq!(a, b, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn big_little_speeds_are_static() {
+        let p = big_little_4p8e();
+        let s = FreqSchedule::generate(&p.freq, SimTime::from_secs(10), 1).unwrap();
+        assert!(s.is_identity(), "asymmetry lives in the topology speeds");
+        assert_eq!(p.topology.speed_of(speedbal_machine::CoreId(0)), 1.0);
+        assert_eq!(p.topology.speed_of(speedbal_machine::CoreId(4)), 0.55);
+    }
+
+    #[test]
+    fn turbo_wave_alternates() {
+        let p = turbo_2p();
+        let s = FreqSchedule::generate(&p.freq, SimTime::from_secs(10), 1).unwrap();
+        for core in 0..2 {
+            assert_eq!(s.ratio_at(core, SimTime::from_millis(100)), 1.4);
+            assert_eq!(s.ratio_at(core, SimTime::from_millis(300)), 1.0);
+            assert_eq!(s.ratio_at(core, SimTime::from_millis(600)), 1.4);
+        }
+        for core in 2..8 {
+            assert_eq!(s.ratio_at(core, SimTime::from_millis(300)), 1.0);
+        }
+    }
+
+    #[test]
+    fn throttle_cores_dephase() {
+        let p = throttling();
+        let s = FreqSchedule::generate(&p.freq, SimTime::from_secs(30), 7).unwrap();
+        // Per-core forked RNG phases: at least one pair of cores must
+        // disagree at some probe instant.
+        let probes: Vec<SimTime> = (1..30).map(SimTime::from_secs).collect();
+        let mut differs = false;
+        for t in &probes {
+            let r0 = s.ratio_at(0, *t);
+            if (1..8).any(|c| s.ratio_at(c, *t) != r0) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "throttle phases should be independent per core");
+    }
+}

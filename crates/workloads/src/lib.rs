@@ -13,10 +13,16 @@
 //!
 //! Beyond the NPB catalogue, [`server`] holds open-loop server-traffic
 //! presets (Poisson/bursty/diurnal arrivals over heavy-tailed service
-//! times) for the tail-latency experiments of the `serve` artifact.
+//! times) for the tail-latency experiments of the `serve` artifact, and
+//! [`hetero`] holds the asymmetric-machine presets (big.LITTLE, turbo
+//! pair, thermal throttle) the `hetero` artifact sweeps.
 
+#![warn(missing_docs)]
+
+pub mod hetero;
 pub mod npb;
 pub mod server;
 
+pub use hetero::{big_little_4p8e, hetero_suite, throttling, turbo_2p, HeteroPreset};
 pub use npb::{bt_a, cg_b, ep, ep_modified, ft_b, is_c, npb, npb_suite, sp_a, NpbSpec};
 pub use server::{diurnal, rpc_fanout, web, web_bursty};
