@@ -85,6 +85,10 @@ impl Balancer for CompositeBalancer {
         self.base.on_core_idle(sys, core);
     }
 
+    fn wants_desched_events(&self) -> bool {
+        self.app.wants_desched_events() || self.base.wants_desched_events()
+    }
+
     fn on_task_descheduled(
         &mut self,
         sys: &mut System,

@@ -26,7 +26,10 @@ pub use lemma::{
     conformance_cell, conformance_sweep, weighted_conformance_cell, weighted_conformance_sweep,
     LemmaCell, WeightedLemmaCell,
 };
-pub use refqueue::{differential_queue_case, PostedQueue, QueueCaseStats};
+pub use refqueue::{
+    differential_queue_case, differential_queue_case_with, DeltaProfile, PostedQueue,
+    QueueCaseStats,
+};
 
 use speedbal_apps::WaitMode;
 use speedbal_harness::{run_sweep, Competitor, Machine, Policy, Scenario, SweepJob};
@@ -213,20 +216,32 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
 pub fn run_full_check(quick: bool) -> CheckReport {
     let mut failures = Vec::new();
 
-    // Each fuzz seed is independent; fan them out on the sweep executor
-    // (results return in seed order, so the failure list is stable).
+    // Each fuzz case is independent; fan seeds × delta profiles out on
+    // the sweep executor (results return in deterministic order, so the
+    // failure list is stable). The biased profiles aim at the timing
+    // wheel's edges: bucket rollovers, the far-future overflow list, and
+    // the cancel-heavy compaction path.
     let seeds: u64 = if quick { 8 } else { 32 };
     let ops = if quick { 1_500 } else { 4_000 };
-    let queue_jobs = (0..seeds)
-        .map(|seed| {
-            SweepJob::new(ops as u64, move || {
-                differential_queue_case(seed, ops)
-                    .err()
-                    .map(|e| format!("queue differential seed {seed}: {e}"))
+    let profiles = [
+        DeltaProfile::Uniform,
+        DeltaProfile::WheelBoundary,
+        DeltaProfile::FarFuture,
+        DeltaProfile::CancelHeavy,
+    ];
+    let queue_jobs = profiles
+        .iter()
+        .flat_map(|&profile| {
+            (0..seeds).map(move |seed| {
+                SweepJob::new(ops as u64, move || {
+                    differential_queue_case_with(seed, ops, profile)
+                        .err()
+                        .map(|e| format!("queue differential seed {seed} ({profile:?}): {e}"))
+                })
             })
         })
         .collect();
-    let queue_cases = seeds as usize;
+    let queue_cases = seeds as usize * profiles.len();
     failures.extend(run_sweep(queue_jobs).into_iter().flatten());
 
     let (diff_cases, diff_failures) = diff_scenarios(&diff_battery(quick));
@@ -255,7 +270,7 @@ mod tests {
     fn quick_full_check_is_green() {
         let report = run_full_check(true);
         assert!(report.ok(), "{}", report.render());
-        assert_eq!(report.queue_cases, 8);
+        assert_eq!(report.queue_cases, 32, "8 seeds x 4 delta profiles");
         assert!(
             report.diff_cases >= 6,
             "quick battery includes server and hetero cells"

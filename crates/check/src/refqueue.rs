@@ -3,8 +3,9 @@
 //!
 //! [`PostedQueue`] re-implements the event queue's observable contract —
 //! earliest-first, FIFO within an instant, at-most-one-armed-entry slots —
-//! with none of its machinery: no binary heap, no lazy cancellation, no
-//! compaction. Entries live in a plain `Vec`; `pop` linearly scans for the
+//! with none of its machinery: no timing wheel, no armed-slot fast lane,
+//! no lazy cancellation, no compaction. Entries live in a plain `Vec`;
+//! `pop` linearly scans for the
 //! minimum `(time, seq)` and removes it eagerly. Slow and obviously
 //! correct, which is the point: any divergence between the two
 //! implementations over the same operation sequence is a bug in the fast
@@ -127,6 +128,63 @@ pub struct QueueCaseStats {
     pub pops: usize,
     pub schedules: usize,
     pub cancellations: usize,
+    /// Compaction passes the production queue ran during the case — proof
+    /// that a stress profile actually reached the sweep-and-rebuild path.
+    pub compactions: u64,
+}
+
+/// Time-delta distribution for a differential case. The production queue
+/// is a hierarchical timing wheel (64-slot levels, 6 bits each, 2^48 ns
+/// horizon), so uniform deltas alone barely graze its interesting edges;
+/// each biased profile aims the fuzzer at one of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaProfile {
+    /// Uniform 0..2 ms deltas — the original general-purpose mix.
+    Uniform,
+    /// Deltas hugging the wheel's slot and level widths (64^k ns ± 1), so
+    /// entries straddle bucket rollovers and level promotions as the
+    /// cursor advances past them.
+    WheelBoundary,
+    /// Mostly near-term traffic with a tail of deltas beyond the 2^48 ns
+    /// wheel horizon, exercising the far-future overflow list and its
+    /// re-bucketing when the cursor catches up.
+    FarFuture,
+    /// Tiny deltas with the op mix skewed hard toward slot supersede and
+    /// cancel, piling up dead carcasses until compaction fires.
+    CancelHeavy,
+}
+
+impl DeltaProfile {
+    fn delta(self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            DeltaProfile::Uniform => SimDuration::from_micros(rng.next_below(2_000)),
+            DeltaProfile::WheelBoundary => {
+                // Slot widths are 64^k ns; land one tick before, on, and
+                // one tick after each boundary up to the horizon (k = 8
+                // is 2^48 ns, the horizon edge itself).
+                let k = 1 + rng.next_below(8);
+                let base = 1u64 << (6 * k);
+                SimDuration::from_nanos(base - 1 + rng.next_below(3))
+            }
+            DeltaProfile::FarFuture => {
+                if rng.next_below(8) == 0 {
+                    SimDuration::from_nanos((1u64 << 48) + rng.next_below(1 << 20))
+                } else {
+                    SimDuration::from_micros(rng.next_below(500))
+                }
+            }
+            DeltaProfile::CancelHeavy => SimDuration::from_micros(rng.next_below(50)),
+        }
+    }
+
+    /// Inclusive upper bounds of the alloc / plain-schedule / slot-schedule
+    /// / cancel bands in the 0..100 op draw (the rest are pops).
+    fn op_bands(self) -> (u64, u64, u64, u64) {
+        match self {
+            DeltaProfile::CancelHeavy => (2, 10, 55, 85),
+            _ => (4, 29, 64, 74),
+        }
+    }
 }
 
 /// Drives the production [`EventQueue`] and the reference [`PostedQueue`]
@@ -135,7 +193,19 @@ pub struct QueueCaseStats {
 /// armed-ness. Ends by draining both queues and validating the production
 /// queue's internal bookkeeping. Returns the case's op mix, or a
 /// description of the first divergence.
+///
+/// Uses the general-purpose [`DeltaProfile::Uniform`] mix; see
+/// [`differential_queue_case_with`] for the wheel-edge-biased variants.
 pub fn differential_queue_case(seed: u64, n_ops: usize) -> Result<QueueCaseStats, String> {
+    differential_queue_case_with(seed, n_ops, DeltaProfile::Uniform)
+}
+
+/// [`differential_queue_case`] with an explicit time-delta profile.
+pub fn differential_queue_case_with(
+    seed: u64,
+    n_ops: usize,
+    profile: DeltaProfile,
+) -> Result<QueueCaseStats, String> {
     let mut rng = SimRng::new(seed ^ 0x5245_4651); // "REFQ"
     let mut fast: EventQueue<u64> = EventQueue::new();
     let mut slow: PostedQueue<u64> = PostedQueue::new();
@@ -161,38 +231,34 @@ pub fn differential_queue_case(seed: u64, n_ops: usize) -> Result<QueueCaseStats
         Ok(())
     };
 
+    let (alloc_hi, plain_hi, slot_hi, cancel_hi) = profile.op_bands();
     for op in 0..n_ops {
-        let delta = SimDuration::from_micros(rng.next_below(2_000));
+        let delta = profile.delta(&mut rng);
         let at = slow.now() + delta;
-        match rng.next_below(100) {
-            // Grow the slot population early, rarely later.
-            0..=4 => {
-                fast_slots.push(fast.alloc_slot());
-                slow_slots.push(slow.alloc_slot());
-            }
-            5..=29 => {
-                payload += 1;
-                fast.schedule(at, payload);
-                slow.schedule(at, payload);
-                stats.schedules += 1;
-            }
-            30..=64 if !fast_slots.is_empty() => {
-                let k = rng.next_below(fast_slots.len() as u64) as usize;
-                payload += 1;
-                fast.schedule_in_slot(fast_slots[k], at, payload);
-                slow.schedule_in_slot(slow_slots[k], at, payload);
-                stats.schedules += 1;
-            }
-            65..=74 if !fast_slots.is_empty() => {
-                let k = rng.next_below(fast_slots.len() as u64) as usize;
-                fast.cancel_slot(fast_slots[k]);
-                slow.cancel_slot(slow_slots[k]);
-                stats.cancellations += 1;
-            }
-            _ => {
-                check_pops(&mut fast, &mut slow, op)?;
-                stats.pops += 1;
-            }
+        let draw = rng.next_below(100);
+        // Grow the slot population early, rarely later.
+        if draw <= alloc_hi {
+            fast_slots.push(fast.alloc_slot());
+            slow_slots.push(slow.alloc_slot());
+        } else if draw <= plain_hi {
+            payload += 1;
+            fast.schedule(at, payload);
+            slow.schedule(at, payload);
+            stats.schedules += 1;
+        } else if draw <= slot_hi && !fast_slots.is_empty() {
+            let k = rng.next_below(fast_slots.len() as u64) as usize;
+            payload += 1;
+            fast.schedule_in_slot(fast_slots[k], at, payload);
+            slow.schedule_in_slot(slow_slots[k], at, payload);
+            stats.schedules += 1;
+        } else if draw <= cancel_hi && !fast_slots.is_empty() {
+            let k = rng.next_below(fast_slots.len() as u64) as usize;
+            fast.cancel_slot(fast_slots[k]);
+            slow.cancel_slot(slow_slots[k]);
+            stats.cancellations += 1;
+        } else {
+            check_pops(&mut fast, &mut slow, op)?;
+            stats.pops += 1;
         }
         if fast.len() != slow.len() {
             return Err(format!(
@@ -231,6 +297,7 @@ pub fn differential_queue_case(seed: u64, n_ops: usize) -> Result<QueueCaseStats
             violations.join("; ")
         ));
     }
+    stats.compactions = fast.compactions();
     Ok(stats)
 }
 
@@ -279,6 +346,76 @@ mod tests {
             let stats =
                 differential_queue_case(seed, 1_500).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(stats.pops > 0 && stats.schedules > 0 && stats.cancellations > 0);
+        }
+    }
+
+    #[test]
+    fn wheel_boundary_bias_pops_identical_streams() {
+        for seed in 0..6 {
+            let stats = differential_queue_case_with(seed, 2_000, DeltaProfile::WheelBoundary)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(stats.pops > 0 && stats.schedules > 0);
+        }
+    }
+
+    #[test]
+    fn far_future_bias_crosses_the_wheel_horizon() {
+        for seed in 0..6 {
+            let stats = differential_queue_case_with(seed, 2_000, DeltaProfile::FarFuture)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(stats.pops > 0 && stats.schedules > 0);
+        }
+    }
+
+    #[test]
+    fn cancel_heavy_bias_reaches_compaction() {
+        let mut compactions = 0;
+        for seed in 0..6 {
+            let stats = differential_queue_case_with(seed, 3_000, DeltaProfile::CancelHeavy)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(stats.cancellations > 0);
+            compactions += stats.compactions;
+        }
+        assert!(
+            compactions > 0,
+            "cancel-heavy mix never triggered a compaction pass"
+        );
+    }
+
+    /// The ISSUE-level property straight up: a wheel build and a plain
+    /// `BinaryHeap` build fed the same schedule stream pop identical
+    /// `(time, seq)` sequences, across deltas spanning every wheel level
+    /// and the overflow horizon.
+    #[test]
+    fn wheel_and_heap_builds_pop_identical_time_seq_streams() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        for seed in 0..8u64 {
+            let mut rng = SimRng::new(seed ^ 0x5748_4C42); // "WHLB"
+            let mut wheel: EventQueue<u64> = EventQueue::new();
+            let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = SimTime::ZERO;
+            for _ in 0..2_000 {
+                if rng.next_below(3) < 2 {
+                    // Span widths from 1 ns up past the 2^48 ns horizon.
+                    let bits = rng.next_below(50) as u32;
+                    let at = now + SimDuration::from_nanos(rng.next_below(1u64 << bits) + 1);
+                    wheel.schedule(at, seq);
+                    heap.push(Reverse((at, seq)));
+                    seq += 1;
+                } else if let Some(e) = wheel.pop() {
+                    let Reverse(expect) = heap.pop().expect("heap drained first");
+                    assert_eq!((e.time, e.event), expect, "seed {seed}");
+                    now = e.time;
+                }
+            }
+            while let Some(e) = wheel.pop() {
+                let Reverse(expect) = heap.pop().expect("heap drained first");
+                assert_eq!((e.time, e.event), expect, "seed {seed}");
+            }
+            assert!(heap.pop().is_none(), "wheel drained first");
+            assert!(wheel.validate().is_empty());
         }
     }
 }

@@ -46,6 +46,9 @@
 //!   --trace-out <f>  write Chrome trace JSON (load in Perfetto). With
 //!                    `trace` the files derive from <f>; with any other
 //!                    artifact every scenario dumps one file per repeat.
+//!   --profile        bench: print a per-subsystem time breakdown (queue
+//!                    pops, dispatch, wakes, balancer ticks, trace emit)
+//!                    on stderr instead of timing repeats
 //!   --quick          bench: quarter-scale workload, best of 3 (CI-sized)
 //!                    check: fewer fuzz seeds, smaller grid (CI-sized)
 //!   --jobs <n>       sweep-executor worker budget (also caps the
@@ -83,6 +86,8 @@ struct Options {
     bench_quick: bool,
     bench_out: Option<PathBuf>,
     bench_check: Option<PathBuf>,
+    /// Print the per-subsystem time breakdown instead of timing repeats.
+    bench_profile: bool,
     /// Sweep-executor worker budget (`--jobs`); falls back to
     /// `SPEEDBAL_JOBS`, then the machine's parallelism.
     jobs: Option<usize>,
@@ -114,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut bench_quick = false;
     let mut bench_out = None;
     let mut bench_check = None;
+    let mut bench_profile = false;
     let mut jobs = None;
     let mut no_cache = false;
     let mut trace_sample = 1.0f64;
@@ -150,6 +156,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 trace_out = Some(PathBuf::from(v));
             }
             "--quick" => bench_quick = true,
+            "--profile" => bench_profile = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 let n = v
@@ -210,6 +217,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bench_quick,
         bench_out,
         bench_check,
+        bench_profile,
         jobs,
         no_cache,
         trace_sample,
@@ -260,16 +268,32 @@ fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
 }
 
 /// `speedbal-cli bench [--quick] [--out f] [--check f]`: time the hot
-/// path, then either write `BENCH_sim.json` (preserving any `before`
-/// baseline block the existing file carries) or, with `--check`, compare
-/// ns/step against a committed report with 2x tolerance and exit non-zero
-/// on regression.
+/// path and the multi-scenario matrix, then either write `BENCH_sim.json`
+/// (preserving any `before` baseline block the existing file carries) or,
+/// with `--check`, compare ns/step — headline and per matrix cell —
+/// against a committed report with 2x tolerance and exit non-zero on
+/// regression (naming the offending cell). `--check` combined with
+/// `--out` also writes the fresh report, so CI can archive it.
 fn run_bench_cmd(opts: &Options) -> Result<(), String> {
     let cfg = if opts.bench_quick {
         perf::BenchConfig::quick()
     } else {
         perf::BenchConfig::full()
     };
+    if opts.bench_profile {
+        eprintln!(
+            "== bench --profile: {} (scale {}) ==",
+            perf::BENCH_SCENARIO,
+            cfg.scale
+        );
+        let report = perf::run_profile(&cfg);
+        eprint!("{}", report.render());
+        println!(
+            "profiled {} steps at scale {} (breakdown on stderr)",
+            report.profile.steps, report.scale
+        );
+        return Ok(());
+    }
     eprintln!(
         "== bench: {} (scale {}, best of {}) ==",
         perf::BENCH_SCENARIO,
@@ -277,6 +301,8 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         cfg.repeats
     );
     let mut report = perf::run_bench(&cfg, |line| eprintln!("  {line}"));
+    eprintln!("== bench matrix: policies x workloads x machines ==");
+    report.matrix = perf::run_matrix(&cfg, |line| eprintln!("  {line}"));
     eprintln!("== sweep bench: 12-cell scenario grid, cold + warm pass ==");
     report.sweep = Some(perf::run_sweep_bench(&cfg));
     println!(
@@ -291,6 +317,14 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         report.compactions,
         report.peak_rss_kb
     );
+    println!(
+        "matrix: {} cells, headline {:.1} ns/step",
+        report.matrix.len(),
+        report
+            .matrix
+            .first()
+            .map_or(report.ns_per_step, |c| c.ns_per_step)
+    );
     if let Some(sw) = &report.sweep {
         println!(
             "sweep: {} cells in {:.3}s ({:.1} cells/sec) on {} worker(s); \
@@ -302,6 +336,13 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         let text = std::fs::read_to_string(check)
             .map_err(|e| format!("reading {}: {e}", check.display()))?;
         let doc = perf::parse_bench_doc(&text).map_err(|e| format!("{}: {e}", check.display()))?;
+        // With an explicit --out, the fresh report is also written (before
+        // the verdict, so CI can archive it even when the check fails).
+        if let Some(out) = &opts.bench_out {
+            std::fs::write(out, report.to_json(doc.before.as_ref()))
+                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+            eprintln!("wrote fresh report to {}", out.display());
+        }
         let verdict = perf::check_against(&report, &doc, 2.0)?;
         println!("{verdict}");
         return Ok(());

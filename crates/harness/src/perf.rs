@@ -10,18 +10,27 @@
 //! the *best* (minimum) ns/step, the standard way to estimate the noise
 //! floor of a deterministic workload.
 //!
+//! Beyond the headline scenario, [`run_matrix`] times a fixed grid of
+//! cells spanning the simulator's behaviourally distinct regimes — small
+//! and large thread counts, traced and untraced runs, SPEED / LOAD / DWRR
+//! policies, and SPMD / open-loop-server / heterogeneous-machine
+//! applications — so a hot-path regression that only bites one regime
+//! (say, the DWRR desched path or trace emission) still moves a gated
+//! number.
+//!
 //! Results serialize to the hand-rolled JSON in `BENCH_sim.json` (schema
-//! documented in EXPERIMENTS.md); `check_against` compares a fresh run to
-//! the committed file with a configurable tolerance so CI catches
+//! `speedbal-bench-v3`, documented in EXPERIMENTS.md); `check_against`
+//! compares a fresh run to the committed file per cell with a configurable
+//! tolerance and names the offending cell, so CI catches
 //! order-of-magnitude regressions without flaking on noisy runners.
 
-use speedbal_apps::{SpmdApp, WaitMode};
-use speedbal_balancers::{CompositeBalancer, LinuxLoadBalancer};
+use speedbal_apps::{ServerApp, SpmdApp, WaitMode};
+use speedbal_balancers::{CompositeBalancer, Dwrr, LinuxLoadBalancer};
 use speedbal_core::SpeedBalancer;
-use speedbal_machine::{tigerton, CoreId, CostModel};
-use speedbal_sched::{GroupId, SchedConfig, System};
+use speedbal_machine::{tigerton, uniform, CoreId, CostModel, Topology};
+use speedbal_sched::{Balancer, GroupId, SchedConfig, System};
 use speedbal_sim::{SimDuration, SimTime};
-use speedbal_workloads::cg_b;
+use speedbal_workloads::{big_little_4p8e, cg_b, ep, web};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -104,6 +113,10 @@ pub struct BenchReport {
     pub compactions: u64,
     /// Process peak RSS (`VmHWM`) in kB, if readable.
     pub peak_rss_kb: u64,
+    /// The multi-scenario benchmark matrix (schema v3); empty when the
+    /// matrix pass was not run. Cell 0 duplicates the headline scenario
+    /// (measured separately, with fewer repeats).
+    pub matrix: Vec<MatrixCell>,
     /// Sweep-executor throughput section (schema v2); `None` when the
     /// sweep bench was not run.
     pub sweep: Option<SweepBenchReport>,
@@ -167,6 +180,375 @@ fn run_once(scale: f64) -> RunOutcome {
     }
 }
 
+// ----------------------------------------------------------------------
+// The benchmark matrix (schema v3)
+// ----------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum CellMachine {
+    /// 16-core Table 1 flagship (the headline machine).
+    Tigerton,
+    /// 4 P-cores + 8 E-cores at 0.55× — the asymmetric-speed dispatch path.
+    BigLittle4p8e,
+    /// Small uniform box for the server cells.
+    Uniform4,
+}
+
+#[derive(Clone, Copy)]
+enum CellPolicy {
+    /// Speed balancing over Linux (the paper's SPEED arrangement).
+    Speed,
+    /// Plain Linux queue-length balancing.
+    Load,
+    /// DWRR — the one stock policy that consumes per-deschedule events,
+    /// so it exercises the notification path the others skip.
+    Dwrr,
+}
+
+#[derive(Clone, Copy)]
+enum CellApp {
+    /// Barrier-every-4ms SPMD job with yielding waits (event-rate stress).
+    CgB { threads: usize },
+    /// One long phase per thread, barrier only at the end.
+    Ep { threads: usize },
+    /// Open-loop Poisson web serving at ρ=0.6 (timed wakes + blocking).
+    WebServe,
+}
+
+/// One cell of the v3 benchmark matrix.
+struct CellSpec {
+    name: &'static str,
+    traced: bool,
+    machine: CellMachine,
+    policy: CellPolicy,
+    app: CellApp,
+}
+
+/// The fixed grid: every regime the simulator treats differently on its
+/// hot path gets at least one cell. Cell 0 is the headline scenario.
+const MATRIX: &[CellSpec] = &[
+    CellSpec {
+        name: "cg.B-x64/tigerton/SPEED",
+        traced: false,
+        machine: CellMachine::Tigerton,
+        policy: CellPolicy::Speed,
+        app: CellApp::CgB { threads: 64 },
+    },
+    CellSpec {
+        name: "cg.B-x64/tigerton/SPEED+trace",
+        traced: true,
+        machine: CellMachine::Tigerton,
+        policy: CellPolicy::Speed,
+        app: CellApp::CgB { threads: 64 },
+    },
+    CellSpec {
+        name: "cg.B-x64/tigerton/LOAD",
+        traced: false,
+        machine: CellMachine::Tigerton,
+        policy: CellPolicy::Load,
+        app: CellApp::CgB { threads: 64 },
+    },
+    CellSpec {
+        name: "cg.B-x64/tigerton/DWRR",
+        traced: false,
+        machine: CellMachine::Tigerton,
+        policy: CellPolicy::Dwrr,
+        app: CellApp::CgB { threads: 64 },
+    },
+    CellSpec {
+        name: "ep-x8/tigerton/SPEED",
+        traced: false,
+        machine: CellMachine::Tigerton,
+        policy: CellPolicy::Speed,
+        app: CellApp::Ep { threads: 8 },
+    },
+    CellSpec {
+        name: "ep-x8/tigerton/LOAD",
+        traced: false,
+        machine: CellMachine::Tigerton,
+        policy: CellPolicy::Load,
+        app: CellApp::Ep { threads: 8 },
+    },
+    CellSpec {
+        name: "web-x8/uniform4/SPEED",
+        traced: false,
+        machine: CellMachine::Uniform4,
+        policy: CellPolicy::Speed,
+        app: CellApp::WebServe,
+    },
+    CellSpec {
+        name: "web-x8/uniform4/LOAD",
+        traced: false,
+        machine: CellMachine::Uniform4,
+        policy: CellPolicy::Load,
+        app: CellApp::WebServe,
+    },
+    CellSpec {
+        name: "cg.B-x24/4p8e/SPEED",
+        traced: false,
+        machine: CellMachine::BigLittle4p8e,
+        policy: CellPolicy::Speed,
+        app: CellApp::CgB { threads: 24 },
+    },
+    CellSpec {
+        name: "ep-x12/4p8e/LOAD",
+        traced: false,
+        machine: CellMachine::BigLittle4p8e,
+        policy: CellPolicy::Load,
+        app: CellApp::Ep { threads: 12 },
+    },
+];
+
+/// Measured result of one matrix cell (best repeat).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    pub name: String,
+    pub traced: bool,
+    pub scale: f64,
+    pub repeats: usize,
+    /// Deterministic step count (repeat-invariant per cell and scale).
+    pub steps: u64,
+    pub sim_secs: f64,
+    pub ns_per_step: f64,
+}
+
+fn cell_balancer(policy: CellPolicy, topo: &Topology, group: GroupId) -> Box<dyn Balancer> {
+    match policy {
+        CellPolicy::Speed => {
+            let cores: Vec<CoreId> = topo.core_ids().collect();
+            let speed = SpeedBalancer::with_config(Default::default(), BENCH_SEED)
+                .managing(vec![group], cores);
+            Box::new(CompositeBalancer::new(
+                vec![group],
+                Box::new(speed),
+                Box::new(LinuxLoadBalancer::new()),
+            ))
+        }
+        CellPolicy::Load => Box::new(LinuxLoadBalancer::new()),
+        CellPolicy::Dwrr => Box::new(Dwrr::new()),
+    }
+}
+
+fn build_cell(spec: &CellSpec, scale: f64) -> (System, GroupId) {
+    let topo = match spec.machine {
+        CellMachine::Tigerton => tigerton(),
+        CellMachine::BigLittle4p8e => big_little_4p8e().topology,
+        CellMachine::Uniform4 => uniform(4),
+    };
+    let group = GroupId(0);
+    let bal = cell_balancer(spec.policy, &topo, group);
+    let mut sys = System::new(
+        topo,
+        SchedConfig::default(),
+        CostModel::default(),
+        bal,
+        BENCH_SEED,
+    );
+    if spec.traced {
+        sys.enable_tracing();
+    }
+    let g = sys.new_group();
+    debug_assert_eq!(g, group);
+    match spec.app {
+        CellApp::CgB { threads } => {
+            let app = cg_b().spmd(threads, WaitMode::Yield, scale);
+            SpmdApp::spawn(&mut sys, group, &app, None);
+        }
+        CellApp::Ep { threads } => {
+            let app = ep().spmd(threads, WaitMode::Yield, scale);
+            SpmdApp::spawn(&mut sys, group, &app, None);
+        }
+        CellApp::WebServe => {
+            // Scale shrinks the offered-load window, not the request mix.
+            let window = SimDuration::from_millis(((2000.0 * scale) as u64).max(1));
+            let cfg = web(8, 4, 0.6, window);
+            ServerApp::spawn(&mut sys, group, &cfg, BENCH_SEED);
+        }
+    }
+    (sys, group)
+}
+
+/// (steps, sim_secs, wall_ns) of one timed cell run.
+fn run_cell_once(spec: &CellSpec, scale: f64) -> (u64, f64, u128) {
+    let (mut sys, group) = build_cell(spec, scale);
+    let deadline = SimTime::ZERO + SimDuration::from_secs(600);
+    let start = Instant::now();
+    let mut steps: u64 = 0;
+    loop {
+        if sys.group_finished_at(group).is_some() {
+            break;
+        }
+        if sys.now() > deadline || !sys.step() {
+            break;
+        }
+        steps += 1;
+    }
+    (steps, sys.now().as_secs_f64(), start.elapsed().as_nanos())
+}
+
+/// Times every matrix cell (best of up to 3 repeats — the cells gate at a
+/// coarse tolerance, so they don't need the headline's repeat count) and
+/// reports one [`MatrixCell`] per grid entry. `progress` receives one
+/// line per cell.
+pub fn run_matrix(cfg: &BenchConfig, mut progress: impl FnMut(&str)) -> Vec<MatrixCell> {
+    let reps = cfg.repeats.clamp(1, 3);
+    MATRIX
+        .iter()
+        .map(|spec| {
+            let mut best: Option<(u64, f64, u128)> = None;
+            for _ in 0..reps {
+                let out = run_cell_once(spec, cfg.scale);
+                if let Some(b) = &best {
+                    assert_eq!(b.0, out.0, "nondeterministic matrix cell {}", spec.name);
+                }
+                if best.as_ref().is_none_or(|b| out.2 < b.2) {
+                    best = Some(out);
+                }
+            }
+            let (steps, sim_secs, wall_ns) = best.expect("at least one repeat");
+            let ns_per_step = wall_ns as f64 / steps.max(1) as f64;
+            progress(&format!(
+                "{:<30} {:>9} steps  {:>7.1} ns/step",
+                spec.name, steps, ns_per_step
+            ));
+            MatrixCell {
+                name: spec.name.to_string(),
+                traced: spec.traced,
+                scale: cfg.scale,
+                repeats: reps,
+                steps,
+                sim_secs,
+                ns_per_step,
+            }
+        })
+        .collect()
+}
+
+/// Per-subsystem wall-clock breakdown of the bench scenario, produced by
+/// `speedbal-cli bench --profile`: an instrumented untraced run (phase
+/// times from [`speedbal_sched::System::step_profiled`]) plus a traced run
+/// whose per-step delta estimates the trace-emission cost.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileReport {
+    pub scale: f64,
+    pub profile: speedbal_sched::StepProfile,
+    /// Wall time of the instrumented untraced run.
+    pub wall_ns: u64,
+    /// Steps and wall time of the instrumented *traced* run (its step count
+    /// differs: tracing arms periodic sampler events).
+    pub traced_steps: u64,
+    pub traced_wall_ns: u64,
+}
+
+fn run_once_profiled(scale: f64, traced: bool) -> (speedbal_sched::StepProfile, u64) {
+    let (mut sys, group) = build_system();
+    if traced {
+        sys.enable_tracing();
+    }
+    let app = cg_b().spmd(64, WaitMode::Yield, scale);
+    SpmdApp::spawn(&mut sys, group, &app, None);
+    let deadline = SimTime::ZERO + SimDuration::from_secs(600);
+    let mut p = speedbal_sched::StepProfile::default();
+    let start = Instant::now();
+    let ticks_start = speedbal_sched::profile_timestamp();
+    loop {
+        if sys.group_finished_at(group).is_some() {
+            break;
+        }
+        if sys.now() > deadline || !sys.step_profiled(&mut p) {
+            break;
+        }
+    }
+    let ticks = speedbal_sched::profile_timestamp() - ticks_start;
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    // Phase times accumulate in raw timestamp units (TSC on x86_64);
+    // calibrate against the wall clock over the whole run.
+    let scale = wall_ns as f64 / ticks.max(1) as f64;
+    let cvt = |t: u64| (t as f64 * scale) as u64;
+    p.pop_ns = cvt(p.pop_ns);
+    p.core_ns = cvt(p.core_ns);
+    p.wake_ns = cvt(p.wake_ns);
+    p.timer_ns = cvt(p.timer_ns);
+    p.other_ns = cvt(p.other_ns);
+    p.post_ns = cvt(p.post_ns);
+    p.balancer_ns = cvt(p.balancer_ns);
+    (p, wall_ns)
+}
+
+/// Runs the bench scenario instrumented (once untraced, once traced) and
+/// reports the per-subsystem breakdown. Phase timers add overhead — the
+/// absolute ns/step here is *higher* than the plain bench; the split, not
+/// the total, is the signal.
+pub fn run_profile(cfg: &BenchConfig) -> ProfileReport {
+    for _ in 0..cfg.warmup {
+        run_once(cfg.scale);
+    }
+    let (profile, wall_ns) = run_once_profiled(cfg.scale, false);
+    let (traced, traced_wall_ns) = run_once_profiled(cfg.scale, true);
+    ProfileReport {
+        scale: cfg.scale,
+        profile,
+        wall_ns,
+        traced_steps: traced.steps,
+        traced_wall_ns,
+    }
+}
+
+impl ProfileReport {
+    /// Human-readable breakdown (one line per subsystem), for stderr.
+    pub fn render(&self) -> String {
+        let p = &self.profile;
+        let steps = p.steps.max(1) as f64;
+        let per = |ns: u64| ns as f64 / steps;
+        let total = self.wall_ns as f64 / steps;
+        let phases = [
+            ("event-queue pop", p.pop_ns),
+            ("core events (desched+dispatch)", p.core_ns),
+            ("timed wakes", p.wake_ns),
+            ("balancer timers", p.timer_ns),
+            ("sampler/freq steps", p.other_ns),
+            ("cond drain + notify flush", p.post_ns),
+        ];
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "profile: {} steps at scale {} (instrumented; split is the signal, not the total)",
+            p.steps, self.scale
+        );
+        let mut accounted = 0u64;
+        for (name, ns) in phases {
+            accounted += ns;
+            let _ = writeln!(
+                s,
+                "  {name:<31} {:>7.1} ns/step  ({:>4.1}%)",
+                per(ns),
+                100.0 * ns as f64 / self.wall_ns.max(1) as f64
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  {:<31} {:>7.1} ns/step",
+            "timer + loop overhead",
+            total - per(accounted)
+        );
+        let _ = writeln!(
+            s,
+            "  of the above, inside balancer hooks: {:.1} ns/step",
+            per(p.balancer_ns)
+        );
+        let traced = self.traced_wall_ns as f64 / self.traced_steps.max(1) as f64;
+        let _ = writeln!(
+            s,
+            "trace emit: traced run {:.1} ns/step over {} steps (untraced {:.1}) => ~{:+.1} ns/step",
+            traced,
+            self.traced_steps,
+            total,
+            traced - total
+        );
+        s
+    }
+}
+
 /// `VmHWM` from `/proc/self/status`, in kB (0 where unavailable).
 pub fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -219,6 +601,7 @@ pub fn run_bench(cfg: &BenchConfig, mut progress: impl FnMut(&str)) -> BenchRepo
         cancellations: best.cancellations,
         compactions: best.compactions,
         peak_rss_kb: peak_rss_kb(),
+        matrix: Vec::new(),
         sweep: None,
     }
 }
@@ -336,7 +719,7 @@ impl BenchReport {
     pub fn to_json(&self, before: Option<&Baseline>) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"speedbal-bench-v2\",");
+        let _ = writeln!(s, "  \"schema\": \"speedbal-bench-v3\",");
         let _ = writeln!(s, "  \"scenario\": \"{}\",", self.scenario);
         if let Some(b) = before {
             let _ = writeln!(s, "  \"before\": {{");
@@ -358,12 +741,36 @@ impl BenchReport {
         let _ = writeln!(s, "    \"cancellations\": {},", self.cancellations);
         let _ = writeln!(s, "    \"compactions\": {},", self.compactions);
         let _ = writeln!(s, "    \"peak_rss_kb\": {}", self.peak_rss_kb);
+        if !self.matrix.is_empty() {
+            let _ = writeln!(s, "  }},");
+            let _ = writeln!(s, "  \"matrix\": [");
+            for (i, c) in self.matrix.iter().enumerate() {
+                let _ = writeln!(s, "    {{");
+                let _ = writeln!(s, "      \"name\": \"{}\",", c.name);
+                let _ = writeln!(s, "      \"traced\": {},", c.traced);
+                let _ = writeln!(s, "      \"scale\": {},", fmt_f64(c.scale));
+                let _ = writeln!(s, "      \"repeats\": {},", c.repeats);
+                let _ = writeln!(s, "      \"steps\": {},", c.steps);
+                let _ = writeln!(s, "      \"sim_secs\": {},", fmt_f64(c.sim_secs));
+                let _ = writeln!(s, "      \"ns_per_step\": {}", fmt_f64(c.ns_per_step));
+                let sep = if i + 1 < self.matrix.len() { "," } else { "" };
+                let _ = writeln!(s, "    }}{sep}");
+            }
+            s.push_str("  ]");
+            let _ = writeln!(s, "{}", if self.sweep.is_some() { "," } else { "" });
+            if self.sweep.is_none() {
+                s.push_str("}\n");
+                return s;
+            }
+        }
         match &self.sweep {
             None => {
                 let _ = writeln!(s, "  }}");
             }
             Some(sw) => {
-                let _ = writeln!(s, "  }},");
+                if self.matrix.is_empty() {
+                    let _ = writeln!(s, "  }},");
+                }
                 let _ = writeln!(s, "  \"sweep\": {{");
                 let _ = writeln!(s, "    \"cells\": {},", sw.cells);
                 let _ = writeln!(s, "    \"wall_secs\": {},", fmt_f64(sw.wall_secs));
@@ -386,7 +793,20 @@ pub struct BenchDoc {
     pub after_ns_per_step: f64,
     pub after_steps: u64,
     pub after_scale: f64,
+    /// The committed `matrix` section (schema v3); empty for v1/v2
+    /// documents, which checked the headline scenario only.
+    pub matrix: Vec<MatrixCellDoc>,
     pub sweep: Option<SweepDoc>,
+}
+
+/// One committed matrix cell of a schema-v3 document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCellDoc {
+    pub name: String,
+    pub traced: bool,
+    pub scale: f64,
+    pub steps: u64,
+    pub ns_per_step: f64,
 }
 
 /// The committed `sweep` section of a schema-v2 document.
@@ -430,11 +850,30 @@ pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
         }),
         None => None,
     };
+    let mut matrix = Vec::new();
+    if let Some(json::Value::Arr(cells)) = json::get(obj, "matrix") {
+        for v in cells {
+            let c = v.as_obj().ok_or("matrix cell is not an object")?;
+            matrix.push(MatrixCellDoc {
+                name: json::get(c, "name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("matrix cell missing \"name\"")?
+                    .to_string(),
+                traced: json::get(c, "traced")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false),
+                scale: num(c, "scale")?,
+                steps: num(c, "steps")? as u64,
+                ns_per_step: num(c, "ns_per_step")?,
+            });
+        }
+    }
     Ok(BenchDoc {
         before,
         after_ns_per_step: num(after, "ns_per_step")?,
         after_steps: num(after, "steps")? as u64,
         after_scale: num(after, "scale")?,
+        matrix,
         sweep,
     })
 }
@@ -463,6 +902,35 @@ pub fn check_against(
             fresh.ns_per_step, limit, committed.after_ns_per_step
         ));
     }
+    // Per-cell matrix gating (schema v3): every committed cell must be
+    // present in the fresh run, replay the identical schedule at the same
+    // scale, and stay within tolerance — failures name the cell.
+    if !committed.matrix.is_empty() && !fresh.matrix.is_empty() {
+        for cell in &committed.matrix {
+            let Some(f) = fresh.matrix.iter().find(|f| f.name == cell.name) else {
+                return Err(format!(
+                    "matrix cell \"{}\" missing from the fresh run",
+                    cell.name
+                ));
+            };
+            if f.scale == cell.scale && f.steps != cell.steps {
+                return Err(format!(
+                    "matrix cell \"{}\": step count diverged from committed \
+                     baseline: {} != {} (same scale {} must replay the \
+                     identical schedule)",
+                    cell.name, f.steps, cell.steps, cell.scale
+                ));
+            }
+            let cell_limit = cell.ns_per_step * tolerance;
+            if f.ns_per_step > cell_limit {
+                return Err(format!(
+                    "matrix cell \"{}\": perf regression: {:.1} ns/step > \
+                     {:.1} allowed (committed {:.1} × tolerance {tolerance})",
+                    cell.name, f.ns_per_step, cell_limit, cell.ns_per_step
+                ));
+            }
+        }
+    }
     // The sweep section gates only when both sides carry one (v1 documents
     // and bench runs without the sweep pass stay comparable).
     if let (Some(fresh_sw), Some(committed_sw)) = (&fresh.sweep, &committed.sweep) {
@@ -482,8 +950,11 @@ pub fn check_against(
         }
     }
     Ok(format!(
-        "ok: {:.1} ns/step within {tolerance}x of committed {:.1}",
-        fresh.ns_per_step, committed.after_ns_per_step
+        "ok: {:.1} ns/step within {tolerance}x of committed {:.1} \
+         ({} matrix cells checked)",
+        fresh.ns_per_step,
+        committed.after_ns_per_step,
+        committed.matrix.len().min(fresh.matrix.len())
     ))
 }
 
@@ -519,6 +990,13 @@ pub mod json {
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
                 _ => None,
             }
         }
@@ -706,7 +1184,20 @@ mod tests {
             cancellations: 31_173,
             compactions: 501,
             peak_rss_kb: 2900,
+            matrix: Vec::new(),
             sweep: None,
+        }
+    }
+
+    fn cell(name: &str, ns: f64) -> MatrixCell {
+        MatrixCell {
+            name: name.to_string(),
+            traced: false,
+            scale: 1.0,
+            repeats: 3,
+            steps: 100_000,
+            sim_secs: 1.0,
+            ns_per_step: ns,
         }
     }
 
@@ -732,6 +1223,90 @@ mod tests {
         let doc = parse_bench_doc(&text).unwrap();
         assert!(doc.before.is_none());
         assert_eq!(doc.after_steps, 1_659_542);
+    }
+
+    #[test]
+    fn matrix_roundtrips_and_fails_with_named_cell() {
+        let mut fresh = report();
+        fresh.matrix = vec![
+            cell("cg.B-x64/tigerton/SPEED", 90.0),
+            cell("ep-x8/tigerton/LOAD", 40.0),
+        ];
+        fresh.matrix[0].traced = false;
+
+        // Round-trip: both cells parse back with their fields intact, with
+        // and without a trailing sweep section.
+        for with_sweep in [false, true] {
+            let mut r = fresh.clone();
+            if with_sweep {
+                r.sweep = Some(SweepBenchReport {
+                    cells: 12,
+                    wall_secs: 0.5,
+                    cells_per_sec: 24.0,
+                    cache_hits: 12,
+                    jobs: 4,
+                });
+            }
+            let doc = parse_bench_doc(&r.to_json(None)).unwrap();
+            assert_eq!(doc.matrix.len(), 2, "with_sweep={with_sweep}");
+            assert_eq!(doc.matrix[0].name, "cg.B-x64/tigerton/SPEED");
+            assert_eq!(doc.matrix[1].steps, 100_000);
+            assert!((doc.matrix[1].ns_per_step - 40.0).abs() < 1e-9);
+            assert_eq!(doc.sweep.is_some(), with_sweep);
+        }
+
+        let doc = parse_bench_doc(&fresh.to_json(None)).unwrap();
+        assert!(check_against(&fresh, &doc, 2.0).is_ok());
+
+        // One cell regresses beyond tolerance: the error names it.
+        let mut slow = fresh.clone();
+        slow.matrix[1].ns_per_step = 40.0 * 2.5;
+        let err = check_against(&slow, &doc, 2.0).unwrap_err();
+        assert!(err.contains("ep-x8/tigerton/LOAD"), "{err}");
+
+        // A cell's deterministic step count diverging at the same scale is
+        // a correctness failure, not noise.
+        let mut diverged = fresh.clone();
+        diverged.matrix[0].steps += 1;
+        let err = check_against(&diverged, &doc, 2.0).unwrap_err();
+        assert!(err.contains("cg.B-x64/tigerton/SPEED"), "{err}");
+        assert!(err.contains("diverged"), "{err}");
+
+        // A committed cell missing from the fresh run is flagged by name.
+        let mut missing = fresh.clone();
+        missing.matrix.remove(1);
+        let err = check_against(&missing, &doc, 2.0).unwrap_err();
+        assert!(err.contains("ep-x8/tigerton/LOAD"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+
+        // v2 documents (no matrix) still check cleanly against v3 runs.
+        let v2 = parse_bench_doc(&report().to_json(None)).unwrap();
+        assert!(v2.matrix.is_empty());
+        assert!(check_against(&fresh, &v2, 2.0).is_ok());
+    }
+
+    /// The real grid runs deterministically end to end (tiny scale): two
+    /// passes produce identical step counts for every cell, the grid has
+    /// the v3 minimum of 9 cells, and the headline cell replays the exact
+    /// headline-scenario schedule.
+    #[test]
+    fn matrix_cells_run_deterministically() {
+        let cfg = BenchConfig {
+            scale: 0.02,
+            repeats: 1,
+            warmup: 0,
+        };
+        let a = run_matrix(&cfg, |_| {});
+        let b = run_matrix(&cfg, |_| {});
+        assert!(a.len() >= 9, "matrix must span at least 9 cells");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.steps, y.steps, "cell {} not deterministic", x.name);
+            assert!(x.steps > 100, "cell {} does no real work", x.name);
+        }
+        // Cell 0 is the headline scenario measured by run_bench.
+        let headline = run_bench(&cfg, |_| {});
+        assert_eq!(a[0].steps, headline.steps);
     }
 
     #[test]
@@ -771,7 +1346,7 @@ mod tests {
             jobs: 4,
         });
         let text = fresh.to_json(None);
-        assert!(text.contains("speedbal-bench-v2"));
+        assert!(text.contains("speedbal-bench-v3"));
         let doc = parse_bench_doc(&text).unwrap();
         let sw = doc.sweep.clone().expect("sweep section must parse");
         assert_eq!(sw.cells, 12);

@@ -513,6 +513,16 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
 pub fn run_scenario_with_traces(s: &Scenario) -> (ScenarioResult, Vec<Option<TraceBuffer>>) {
     let traced = s.trace || trace_output_base().is_some();
     let outcomes = run_repeats(s, traced);
+    assemble_outcomes(s, outcomes)
+}
+
+/// Folds per-repeat outcomes (in repeat order) into a [`ScenarioResult`].
+/// Shared by the cell-level path above and the sweep executor's
+/// repeat-level split, so both assemble bit-identical numbers.
+pub(crate) fn assemble_outcomes(
+    s: &Scenario,
+    outcomes: Vec<RepeatOutcome>,
+) -> (ScenarioResult, Vec<Option<TraceBuffer>>) {
     let mut completion = RepeatStats::default();
     let mut migrations = RepeatStats::default();
     let mut timeouts = 0usize;

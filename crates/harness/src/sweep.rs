@@ -36,8 +36,9 @@
 
 use crate::perf::json;
 use crate::scenario::{
-    next_trace_seq, run_scenario, run_scenario_with_traces, trace_output_base,
-    write_trace_files_with_seq, Competitor, Scenario, ScenarioResult, ServerStats,
+    assemble_outcomes, next_trace_seq, run_repeat, run_scenario, run_scenario_with_traces,
+    trace_output_base, write_trace_files_with_seq, Competitor, RepeatOutcome, Scenario,
+    ScenarioResult, ServerStats,
 };
 use speedbal_metrics::RepeatStats;
 use std::cell::Cell;
@@ -444,9 +445,125 @@ pub fn scenario_cost(s: &Scenario) -> u64 {
 /// to calling [`run_scenario`] in a serial loop. Cells are cached by
 /// content hash unless they carry side effects (tracing), which must
 /// re-run to produce their trace files.
+///
+/// Narrow batches — fewer cells than the worker budget, e.g. one
+/// full-scale scenario run at 5 repeats on an 8-way box — would leave
+/// most of the pool idle at cell granularity, so they are fanned out at
+/// *repeat* granularity instead (see [`run_scenarios_split`]).
 pub fn run_scenarios(scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+    if !scenarios.is_empty() && scenarios.len() < effective_jobs() {
+        return run_scenarios_split(scenarios);
+    }
     let jobs = scenarios.into_iter().map(scenario_job).collect();
     run_sweep(jobs)
+}
+
+/// One planned scenario of the repeat-split path: how its jobs fold back
+/// into a result.
+enum SplitPlan {
+    /// Answered from the cache at planning time; contributes no jobs.
+    Done(Box<ScenarioResult>),
+    /// One whole-cell job (traced cells keep their side effects together).
+    Whole,
+    /// One job per repeat; outcomes are folded in repeat order and the
+    /// assembled result is persisted under `key` like a cell-level miss.
+    PerRepeat {
+        scenario: Box<Scenario>,
+        repeats: usize,
+        key: Option<CacheKey>,
+    },
+}
+
+/// A job output of the split path.
+enum SplitOut {
+    Cell(Box<ScenarioResult>),
+    Repeat(Box<RepeatOutcome>),
+}
+
+/// The repeat-granularity executor path for narrow batches. Every repeat
+/// of every uncached, untraced cell becomes its own job, so a
+/// single-scenario sweep still saturates the worker pool. Determinism is
+/// untouched: repeat `r` always runs seed `scenario.seed + r` in a fresh
+/// `System`, outcomes are folded in repeat order through the same
+/// assembly as the cell-level path, and cache round-trips are bit-exact —
+/// so stdout is byte-identical whichever path ran. Traced cells stay
+/// whole (their trace files are a side effect of the full cell), and
+/// cache hits are resolved up front.
+fn run_scenarios_split(scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
+    let n_scenarios = scenarios.len() as u64;
+    let mut plans: Vec<SplitPlan> = Vec::with_capacity(scenarios.len());
+    let mut jobs: Vec<SweepJob<SplitOut>> = Vec::new();
+    for s in scenarios {
+        let cost = scenario_cost(&s);
+        if s.trace || trace_output_base().is_some() {
+            let seq = next_trace_seq();
+            plans.push(SplitPlan::Whole);
+            jobs.push(SweepJob::new(cost, move || {
+                let (res, traces) = run_scenario_with_traces(&s);
+                write_trace_files_with_seq(&s, &traces, seq);
+                SplitOut::Cell(Box::new(res))
+            }));
+            continue;
+        }
+        let key = scenario_cache_key(&s);
+        if cache_enabled() {
+            if let Some(v) = cache_load::<ScenarioResult>(key) {
+                STAT_HITS.fetch_add(1, Ordering::Relaxed);
+                plans.push(SplitPlan::Done(Box::new(v)));
+                continue;
+            }
+            STAT_MISSES.fetch_add(1, Ordering::Relaxed);
+        }
+        let repeats = s.repeats.max(1);
+        let per_repeat_cost = (cost / repeats as u64).max(1);
+        for r in 0..repeats {
+            let s = s.clone();
+            jobs.push(SweepJob::new(per_repeat_cost, move || {
+                SplitOut::Repeat(Box::new(run_repeat(&s, r, false)))
+            }));
+        }
+        plans.push(SplitPlan::PerRepeat {
+            scenario: Box::new(s),
+            repeats,
+            key: cache_enabled().then_some(key),
+        });
+    }
+    let n_jobs = jobs.len() as u64;
+    let outs = run_sweep(jobs);
+    // The executor counted one "cell" per job; re-express the cumulative
+    // stat in scenario cells so it keeps meaning the same thing on both
+    // paths (cache hits resolved at planning time count too).
+    STAT_CELLS.fetch_sub(n_jobs, Ordering::Relaxed);
+    STAT_CELLS.fetch_add(n_scenarios, Ordering::Relaxed);
+    let mut outs = outs.into_iter();
+    let cell = |outs: &mut std::vec::IntoIter<SplitOut>| match outs.next() {
+        Some(SplitOut::Cell(v)) => *v,
+        _ => unreachable!("whole-cell plan must consume a cell output"),
+    };
+    plans
+        .into_iter()
+        .map(|plan| match plan {
+            SplitPlan::Done(v) => *v,
+            SplitPlan::Whole => cell(&mut outs),
+            SplitPlan::PerRepeat {
+                scenario,
+                repeats,
+                key,
+            } => {
+                let outcomes: Vec<RepeatOutcome> = (0..repeats)
+                    .map(|_| match outs.next() {
+                        Some(SplitOut::Repeat(o)) => *o,
+                        _ => unreachable!("per-repeat plan must consume repeat outputs"),
+                    })
+                    .collect();
+                let (res, _traces) = assemble_outcomes(&scenario, outcomes);
+                if let Some(key) = key {
+                    cache_store(key, &res);
+                }
+                res
+            }
+        })
+        .collect()
 }
 
 fn scenario_job(s: Scenario) -> SweepJob<ScenarioResult> {
@@ -856,6 +973,108 @@ pub(crate) mod tests {
         set_cache_enabled(false);
         set_cache_dir(None);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn narrow_sweep_splits_repeats_and_matches_cell_level() {
+        use crate::scenario::{Machine, Policy, Scenario};
+        use speedbal_apps::WaitMode;
+        use speedbal_workloads::ep;
+        let _g = global_guard();
+        let mk = || {
+            vec![
+                Scenario::new(
+                    Machine::Uniform(4),
+                    0,
+                    Policy::Load,
+                    ep().spmd(6, WaitMode::Yield, 0.05),
+                )
+                .repeats(5),
+                Scenario::new(
+                    Machine::Uniform(2),
+                    0,
+                    Policy::Speed,
+                    ep().spmd(3, WaitMode::Yield, 0.05),
+                )
+                .repeats(4),
+            ]
+        };
+        // 2 scenarios < 8 workers: the split path runs 9 repeat jobs.
+        set_jobs(Some(8));
+        let split = run_scenarios(mk());
+        // 2 scenarios >= 1 worker: the cell-level path runs serially.
+        set_jobs(Some(1));
+        let cells = run_scenarios(mk());
+        set_jobs(None);
+        assert_eq!(split.len(), 2);
+        for (a, b) in split.iter().zip(&cells) {
+            assert_eq!(a.completion.values, b.completion.values);
+            assert_eq!(a.migrations.values, b.migrations.values);
+            assert_eq!(a.timeouts, b.timeouts);
+        }
+    }
+
+    #[test]
+    fn split_path_stores_and_replays_the_cell_cache() {
+        use crate::scenario::{Machine, Policy, Scenario};
+        use speedbal_apps::WaitMode;
+        use speedbal_workloads::ep;
+        let _g = global_guard();
+        let dir = temp_cache_dir("split");
+        set_cache_dir(Some(dir.clone()));
+        set_cache_enabled(true);
+        set_jobs(Some(8));
+        let mk = || {
+            vec![Scenario::new(
+                Machine::Uniform(4),
+                0,
+                Policy::Load,
+                ep().spmd(5, WaitMode::Yield, 0.05),
+            )
+            .repeats(4)]
+        };
+        let cold = run_scenarios(mk());
+        // The assembled cell (not individual repeats) must now be cached.
+        let key = scenario_cache_key(&mk()[0]);
+        assert!(
+            cache_load::<ScenarioResult>(key).is_some(),
+            "split miss must persist the assembled cell"
+        );
+        let before_hits = sweep_stats().cache_hits;
+        let warm = run_scenarios(mk());
+        assert_eq!(sweep_stats().cache_hits, before_hits + 1);
+        assert_eq!(cold[0].completion.values, warm[0].completion.values);
+        assert_eq!(cold[0].migrations.values, warm[0].migrations.values);
+        set_jobs(None);
+        set_cache_enabled(false);
+        set_cache_dir(None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn split_path_keeps_traced_cells_whole_and_identical() {
+        use crate::scenario::{Machine, Policy, Scenario};
+        use speedbal_apps::WaitMode;
+        use speedbal_workloads::ep;
+        let _g = global_guard();
+        let mk = |traced: bool| {
+            vec![Scenario::new(
+                Machine::Uniform(2),
+                0,
+                Policy::Speed,
+                ep().spmd(3, WaitMode::Block, 0.05),
+            )
+            .repeats(3)
+            .traced(traced)]
+        };
+        set_jobs(Some(8));
+        let traced = run_scenarios(mk(true));
+        let plain = run_scenarios(mk(false));
+        set_jobs(None);
+        // Tracing is observational; the traced whole-cell job and the
+        // untraced repeat-split jobs must produce identical numbers.
+        assert_eq!(traced[0].completion.values, plain[0].completion.values);
+        assert_eq!(traced[0].migrations.values, plain[0].migrations.values);
     }
 
     #[test]

@@ -83,6 +83,15 @@ pub trait Balancer {
     /// hook).
     fn on_core_idle(&mut self, _sys: &mut System, _core: CoreId) {}
 
+    /// Whether this balancer consumes [`Balancer::on_task_descheduled`].
+    /// Deschedules happen on nearly every event, so the system skips
+    /// queueing the notifications entirely when nothing listens; a
+    /// balancer that overrides the hook must override this too (a
+    /// composite returns the OR of its children).
+    fn wants_desched_events(&self) -> bool {
+        false
+    }
+
     /// A task came off a CPU after running for `ran` (DWRR's round-slice
     /// accounting hook).
     fn on_task_descheduled(

@@ -37,7 +37,7 @@ use crate::cond::{CondId, CondTable};
 use crate::config::SchedConfig;
 use crate::program::{Directive, Program, ProgramCtx};
 use crate::rq::RunQueue;
-use crate::task::{Activity, Task, TaskId, TaskState};
+use crate::task::{Activity, Task, TaskId, TaskState, TaskTable};
 use speedbal_machine::{CoreId, CostModel, FreqSchedule, Topology};
 use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SlotId};
 use speedbal_trace::{MigrationReason, TraceBuffer, TraceConfig, TraceEvent};
@@ -199,7 +199,7 @@ pub struct System {
     topo: Topology,
     cfg: SchedConfig,
     cost: CostModel,
-    tasks: Vec<Task>,
+    tasks: TaskTable,
     cores: Vec<Core>,
     conds: CondTable,
     events: EventQueue<Ev>,
@@ -212,6 +212,10 @@ pub struct System {
     /// Deferred balancer notifications (collected while the balancer is
     /// detached during system mutation, drained after each event).
     pending_desched: Vec<(TaskId, CoreId, SimDuration)>,
+    /// Cached [`Balancer::wants_desched_events`]: deschedules happen on
+    /// nearly every event, so when no balancer listens the notifications
+    /// are never even queued.
+    desched_events_wanted: bool,
     pending_exits: Vec<TaskId>,
     /// Scratch buffers swapped with the pending queues on every flush so
     /// the steady-state event loop never reallocates them.
@@ -231,6 +235,13 @@ pub struct System {
     current_mi: Vec<f64>,
     /// Cached topology lists (the `Topology` getters allocate per call).
     bw_domain_cores: Vec<Vec<CoreId>>,
+    /// `Some(lo)` when `bw_domain_cores[d]` is exactly the contiguous run
+    /// `lo..lo+len` in order, letting the memo hit check below compare a
+    /// flat `current_mi` slice instead of gathering core by core.
+    bw_domain_contig: Vec<Option<usize>>,
+    /// Per-core memo for [`System::bandwidth_factor`], keyed by the raw
+    /// bits of its inputs (see there).
+    bw_cache: Vec<BwCache>,
     smt_sibs: Vec<Vec<CoreId>>,
     /// Memoized [`SchedConfig::slice_for`] by `nr_running` (one u64
     /// division per boundary arm otherwise; the config is immutable).
@@ -252,6 +263,74 @@ pub struct System {
     /// Installed frequency schedule plus the per-core current-ratio cache
     /// (`None` = homogeneous clocks; every hot-path read is one branch).
     freq: Option<Box<FreqState>>,
+    /// When true (only inside [`System::step_profiled`]), `with_balancer`
+    /// accumulates hook wall time into `balancer_ns`.
+    profile_balancer: bool,
+    balancer_ns: u64,
+}
+
+/// Wall-clock breakdown of the event loop accumulated by
+/// [`System::step_profiled`]. All times are in [`profile_timestamp`]
+/// units — the raw TSC on x86_64 (cheap enough to stamp four times per
+/// step without drowning the signal), `Instant` nanoseconds elsewhere.
+/// Consumers calibrate against wall clock over the whole run to convert
+/// to nanoseconds. `balancer_ns` is a *subset* of the gross phase times
+/// (the slices of handler and post-step work spent inside balancer
+/// hooks), so the phases alone sum to the measured total.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StepProfile {
+    /// Steps accumulated into this profile.
+    pub steps: u64,
+    /// Event-queue pop (wheel service: batch refills, cascades).
+    pub pop_ns: u64,
+    /// Core-event handling: deschedule accounting, program transitions,
+    /// dispatch and boundary re-arm.
+    pub core_ns: u64,
+    /// Timed-wake handling (wake placement and enqueue).
+    pub wake_ns: u64,
+    /// Balancer-timer handling (gross; the hook itself is in
+    /// `balancer_ns`).
+    pub timer_ns: u64,
+    /// Trace-sampler and frequency-step handling.
+    pub other_ns: u64,
+    /// Post-step condition drain plus balancer-notification flush.
+    pub post_ns: u64,
+    /// Time inside balancer hooks, wherever they fired (subset).
+    pub balancer_ns: u64,
+}
+
+/// Raw timestamp for [`StepProfile`] phase attribution: the TSC on
+/// x86_64 (a few ns per read, versus ~25 for `Instant::now`, which would
+/// distort a sub-100ns hot path beyond recognition), `Instant`
+/// nanoseconds elsewhere. Monotonic enough for deltas on any machine new
+/// enough to run the simulator (constant_tsc).
+#[inline]
+pub fn profile_timestamp() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: RDTSC is unprivileged and has no memory effects.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static START: OnceLock<Instant> = OnceLock::new();
+        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Memo for [`System::bandwidth_factor`]: the last computed factor and
+/// the raw bits of every input that produced it.
+#[derive(Default, Clone)]
+struct BwCache {
+    valid: bool,
+    /// `mem_intensity` bits of the dispatched task.
+    own: u64,
+    /// `current_mi` bits of each core in the bandwidth domain, in domain
+    /// order.
+    key: Vec<u64>,
+    factor: f64,
 }
 
 /// Runtime state of an installed [`FreqSchedule`].
@@ -283,13 +362,24 @@ impl System {
             .map(|c| topo.bw_domain_of(CoreId(c)))
             .max()
             .map_or(0, |d| d + 1);
-        let bw_domain_cores = (0..n_domains).map(|d| topo.cores_in_bw_domain(d)).collect();
+        let bw_domain_cores: Vec<Vec<CoreId>> =
+            (0..n_domains).map(|d| topo.cores_in_bw_domain(d)).collect();
+        let bw_domain_contig = bw_domain_cores
+            .iter()
+            .map(|cs| {
+                let lo = cs.first()?.0;
+                cs.iter()
+                    .enumerate()
+                    .all(|(i, c)| c.0 == lo + i)
+                    .then_some(lo)
+            })
+            .collect();
         let smt_sibs = (0..n).map(|c| topo.smt_siblings(CoreId(c))).collect();
         let mut sys = System {
             topo,
             cfg,
             cost,
-            tasks: Vec::new(),
+            tasks: TaskTable::new(),
             cores,
             conds: CondTable::new(),
             events,
@@ -300,6 +390,7 @@ impl System {
             total_migrations: 0,
             events_processed: 0,
             pending_desched: Vec::new(),
+            desched_events_wanted: false,
             pending_exits: Vec::new(),
             scratch_desched: Vec::new(),
             scratch_exits: Vec::new(),
@@ -307,6 +398,8 @@ impl System {
             members: vec![Vec::new(); n],
             current_mi: vec![0.0; n],
             bw_domain_cores,
+            bw_domain_contig,
+            bw_cache: vec![BwCache::default(); n],
             smt_sibs,
             slice_cache: Vec::new(),
             trace: None,
@@ -317,11 +410,14 @@ impl System {
             sampler_busy: Vec::new(),
             check: None,
             freq: None,
+            profile_balancer: false,
+            balancer_ns: 0,
         };
         if cfg!(feature = "strict-invariants") || invariants::env_enabled() {
             sys.enable_invariant_checks();
         }
         let mut bal = balancer;
+        sys.desched_events_wanted = bal.wants_desched_events();
         bal.on_start(&mut sys);
         sys.balancer = Some(bal);
         sys
@@ -472,62 +568,62 @@ impl System {
     }
 
     pub fn task_state(&self, t: TaskId) -> TaskState {
-        self.tasks[t.0].state
+        self.tasks.state[t.0]
     }
 
     /// The core whose queue the task belongs to (last placement if blocked).
     pub fn task_core(&self, t: TaskId) -> CoreId {
-        self.tasks[t.0].core
+        self.tasks.core[t.0]
     }
 
     pub fn task_group(&self, t: TaskId) -> GroupId {
-        self.tasks[t.0].group
+        self.tasks.cold[t.0].group
     }
 
     pub fn task_name(&self, t: TaskId) -> &str {
-        &self.tasks[t.0].name
+        &self.tasks.cold[t.0].name
     }
 
     /// Cumulative CPU time (utime+stime equivalent) as of now.
     pub fn task_exec_total(&self, t: TaskId) -> SimDuration {
-        self.tasks[t.0].exec_total_at(self.now())
+        self.tasks.exec_total_at(t.0, self.now())
     }
 
     pub fn task_migrations(&self, t: TaskId) -> u64 {
-        self.tasks[t.0].migrations
+        self.tasks.cold[t.0].migrations
     }
 
     pub fn task_wakeups(&self, t: TaskId) -> u64 {
-        self.tasks[t.0].wakeups
+        self.tasks.cold[t.0].wakeups
     }
 
     pub fn task_rss(&self, t: TaskId) -> u64 {
-        self.tasks[t.0].rss_bytes
+        self.tasks.cold[t.0].rss_bytes
     }
 
     pub fn task_pinned(&self, t: TaskId) -> Option<CoreId> {
-        self.tasks[t.0].pinned
+        self.tasks.cold[t.0].pinned
     }
 
     pub fn task_spawned_at(&self, t: TaskId) -> SimTime {
-        self.tasks[t.0].spawned_at
+        self.tasks.cold[t.0].spawned_at
     }
 
     pub fn task_exited_at(&self, t: TaskId) -> Option<SimTime> {
-        self.tasks[t.0].exited_at
+        self.tasks.cold[t.0].exited_at
     }
 
     pub fn task_may_run_on(&self, t: TaskId, core: CoreId) -> bool {
-        self.tasks[t.0].may_run_on(core)
+        self.tasks.may_run_on(t.0, core)
     }
 
     /// First core the task's affinity mask allows.
     pub fn first_allowed_core(&self, t: TaskId) -> CoreId {
-        let task = &self.tasks[t.0];
-        if let Some(p) = task.pinned {
+        let cold = &self.tasks.cold[t.0];
+        if let Some(p) = cold.pinned {
             return p;
         }
-        match &task.allowed {
+        match &cold.allowed {
             Some(mask) => *mask.first().expect("empty affinity mask"),
             None => CoreId(0),
         }
@@ -537,11 +633,10 @@ impl System {
     /// `cache_hot_time` (≈5 ms). SMT-sibling exemption is applied by the
     /// Linux balancer itself.
     pub fn is_cache_hot(&self, t: TaskId) -> bool {
-        let task = &self.tasks[t.0];
-        if task.state == TaskState::Running {
+        if self.tasks.state[t.0] == TaskState::Running {
             return true;
         }
-        self.now().saturating_since(task.last_ran_at) < self.cfg.cache_hot_time
+        self.now().saturating_since(self.tasks.last_ran_at[t.0]) < self.cfg.cache_hot_time
     }
 
     /// All task ids ever spawned.
@@ -551,19 +646,17 @@ impl System {
 
     /// Live (non-exited) tasks in a group.
     pub fn group_live_tasks(&self, g: GroupId) -> Vec<TaskId> {
-        self.tasks
-            .iter()
-            .filter(|t| t.group == g && t.state != TaskState::Exited)
-            .map(|t| t.id)
+        (0..self.tasks.len())
+            .filter(|&i| self.tasks.cold[i].group == g && self.tasks.state[i] != TaskState::Exited)
+            .map(TaskId)
             .collect()
     }
 
     /// All tasks ever spawned in a group.
     pub fn group_tasks(&self, g: GroupId) -> Vec<TaskId> {
-        self.tasks
-            .iter()
-            .filter(|t| t.group == g)
-            .map(|t| t.id)
+        (0..self.tasks.len())
+            .filter(|&i| self.tasks.cold[i].group == g)
+            .map(TaskId)
             .collect()
     }
 
@@ -593,15 +686,15 @@ impl System {
         let mut buf = Box::new(TraceBuffer::with_config(cfg));
         buf.set_n_cores(self.cores.len());
         let now = self.now();
-        for t in &self.tasks {
-            if t.state != TaskState::Exited {
-                buf.task_spawned(t.id.0, &t.name, now);
+        for i in 0..self.tasks.len() {
+            if self.tasks.state[i] != TaskState::Exited {
+                buf.task_spawned(i, &self.tasks.cold[i].name, now);
             }
         }
         self.trace = Some(buf);
         self.sampler_last = now;
         self.sync_sampler_baseline(now);
-        if self.tasks.iter().any(|t| t.state != TaskState::Exited) {
+        if self.tasks.any_live() {
             self.arm_sampler(now + interval);
         }
     }
@@ -768,7 +861,7 @@ impl System {
         self.groups[group.0].total += 1;
         self.groups[group.0].live += 1;
 
-        let core = if let Some(p) = self.tasks[id.0].pinned {
+        let core = if let Some(p) = self.tasks.cold[id.0].pinned {
             p
         } else {
             let chosen = self.with_balancer(|bal, sys| {
@@ -776,9 +869,9 @@ impl System {
                 (c, bal.pin_on_place(sys, id))
             });
             match chosen {
-                Some((c, pin)) if self.tasks[id.0].may_run_on(c) => {
+                Some((c, pin)) if self.tasks.may_run_on(id.0, c) => {
                     if pin {
-                        self.tasks[id.0].pinned = Some(c);
+                        self.tasks.cold[id.0].pinned = Some(c);
                     }
                     c
                 }
@@ -787,9 +880,9 @@ impl System {
         };
         // First-touch memory placement: the task's pages land on the node
         // of the core it starts on.
-        self.tasks[id.0].home_node = Some(self.topo.node_of(core));
+        self.tasks.cold[id.0].home_node = Some(self.topo.node_of(core));
         if let Some(buf) = self.trace.as_mut() {
-            let name = self.tasks[id.0].name.clone();
+            let name = self.tasks.cold[id.0].name.clone();
             buf.task_spawned(id.0, &name, now);
             if !self.sampler_armed {
                 let interval = buf.config().sample_interval;
@@ -810,9 +903,9 @@ impl System {
     /// with a one-CPU mask would. Pinning to a different core than the task
     /// currently occupies migrates it immediately.
     pub fn pin_task(&mut self, t: TaskId, to: Option<CoreId>) {
-        self.tasks[t.0].pinned = to;
+        self.tasks.cold[t.0].pinned = to;
         if let Some(c) = to {
-            if self.tasks[t.0].core != c && self.tasks[t.0].state != TaskState::Exited {
+            if self.tasks.core[t.0] != c && self.tasks.state[t.0] != TaskState::Exited {
                 self.migrate_task(t, c);
             }
         }
@@ -825,8 +918,8 @@ impl System {
     /// affinity-disallowed for kernel balancers).
     pub fn migrate_task(&mut self, t: TaskId, to: CoreId) -> bool {
         let now = self.now();
-        let from = self.tasks[t.0].core;
-        if self.tasks[t.0].state == TaskState::Exited || from == to || to.0 >= self.cores.len() {
+        let from = self.tasks.core[t.0];
+        if self.tasks.state[t.0] == TaskState::Exited || from == to || to.0 >= self.cores.len() {
             return false;
         }
         if self.trace.is_some() {
@@ -845,8 +938,8 @@ impl System {
         }
         let stall = self
             .cost
-            .migration_cost(&self.topo, from, to, self.tasks[t.0].rss_bytes);
-        match self.tasks[t.0].state {
+            .migration_cost(&self.topo, from, to, self.tasks.cold[t.0].rss_bytes);
+        match self.tasks.state[t.0] {
             TaskState::Running => {
                 // Rip it off the CPU: account the partial stretch, then move.
                 debug_assert_eq!(self.cores[from.0].current, Some(t));
@@ -858,7 +951,7 @@ impl System {
                 // next task at nanosecond granularity.
                 self.events.cancel_slot(self.cores[from.0].slot);
                 self.account_and_settle(t, from, now);
-                if self.tasks[t.0].state == TaskState::Exited {
+                if self.tasks.state[t.0] == TaskState::Exited {
                     // The interrupted stretch completed its program.
                     self.pick_and_dispatch(from.0, now);
                     self.drain_conds();
@@ -869,13 +962,13 @@ impl System {
                 self.pick_and_dispatch(from.0, now);
             }
             TaskState::Runnable => {
-                debug_assert!(self.tasks[t.0].on_queue());
-                if self.tasks[t.0].suspended {
+                debug_assert!(self.tasks.on_queue(t.0));
+                if self.tasks.suspended[t.0] {
                     // Parked off-queue: nothing to dequeue.
                     self.detach_vruntime_common(t, from);
                     self.finish_migration(t, from, to, stall, now);
                 } else {
-                    let v = self.tasks[t.0].vruntime;
+                    let v = self.tasks.vruntime[t.0];
                     let removed = self.cores[from.0].queue.dequeue(v, t);
                     debug_assert!(removed, "runnable task missing from queue");
                     self.detach_vruntime_common(t, from);
@@ -887,9 +980,9 @@ impl System {
             TaskState::Blocked => {
                 // Off-queue: just retarget; it will enqueue there on wake.
                 self.move_member(t, to);
-                self.tasks[t.0].core = to;
-                self.tasks[t.0].migrations += 1;
-                self.tasks[t.0].pending_stall += stall;
+                self.tasks.core[t.0] = to;
+                self.tasks.cold[t.0].migrations += 1;
+                self.tasks.pending_stall[t.0] += stall;
                 self.total_migrations += 1;
             }
             TaskState::Exited => unreachable!(),
@@ -934,13 +1027,13 @@ impl System {
     /// accounted first. No effect on exited tasks. Idempotent.
     pub fn suspend_task(&mut self, t: TaskId) {
         let now = self.now();
-        if self.tasks[t.0].suspended || self.tasks[t.0].state == TaskState::Exited {
+        if self.tasks.suspended[t.0] || self.tasks.state[t.0] == TaskState::Exited {
             return;
         }
-        self.tasks[t.0].suspended = true;
-        match self.tasks[t.0].state {
+        self.tasks.suspended[t.0] = true;
+        match self.tasks.state[t.0] {
             TaskState::Running => {
-                let core = self.tasks[t.0].core;
+                let core = self.tasks.core[t.0];
                 debug_assert_eq!(self.cores[core.0].current, Some(t));
                 self.cores[core.0].current = None;
                 self.current_mi[core.0] = 0.0;
@@ -952,15 +1045,15 @@ impl System {
                 // `suspended` keeps it that way (with detached vruntime,
                 // matching blocked tasks). If it blocked or exited the flag
                 // is simply latent until resume.
-                if self.tasks[t.0].state == TaskState::Runnable {
+                if self.tasks.state[t.0] == TaskState::Runnable {
                     self.detach_vruntime_common(t, core);
                 }
                 self.pick_and_dispatch(core.0, now);
                 self.drain_conds();
             }
             TaskState::Runnable => {
-                let v = self.tasks[t.0].vruntime;
-                let core = self.tasks[t.0].core;
+                let v = self.tasks.vruntime[t.0];
+                let core = self.tasks.core[t.0];
                 if self.cores[core.0].queue.dequeue(v, t) {
                     self.detach_vruntime_common(t, core);
                     self.reschedule(core, now);
@@ -974,12 +1067,12 @@ impl System {
     /// Puts a suspended task back on the runnable set (on its current
     /// core). Idempotent for non-suspended tasks.
     pub fn resume_task(&mut self, t: TaskId) {
-        if !self.tasks[t.0].suspended {
+        if !self.tasks.suspended[t.0] {
             return;
         }
-        self.tasks[t.0].suspended = false;
-        if self.tasks[t.0].state == TaskState::Runnable {
-            let core = self.tasks[t.0].core;
+        self.tasks.suspended[t.0] = false;
+        if self.tasks.state[t.0] == TaskState::Runnable {
+            let core = self.tasks.core[t.0];
             let now = self.now();
             self.attach_and_enqueue(t, core, false, now);
         }
@@ -987,7 +1080,7 @@ impl System {
 
     /// True iff the task is balancer-suspended.
     pub fn task_suspended(&self, t: TaskId) -> bool {
-        self.tasks[t.0].suspended
+        self.tasks.suspended[t.0]
     }
 
     // ------------------------------------------------------------------
@@ -1009,9 +1102,8 @@ impl System {
             // Slot-armed, so a popped core event is always live.
             Ev::Core { core } => self.advance_core(core, ev.time),
             Ev::Wake { task, gen } => {
-                let t = &self.tasks[task.0];
-                if let Activity::Sleeping { gen: g, .. } = t.activity {
-                    if g == gen && t.state == TaskState::Blocked {
+                if let Activity::Sleeping { gen: g, .. } = self.tasks.activity[task.0] {
+                    if g == gen && self.tasks.state[task.0] == TaskState::Blocked {
                         self.wake_task(task);
                     }
                 }
@@ -1031,6 +1123,68 @@ impl System {
             };
             self.invariant_tick(point);
         }
+        true
+    }
+
+    /// [`System::step`] with a wall-clock breakdown: times the event-queue
+    /// pop, the handler (split by event kind), and the post-step
+    /// drain/flush, accumulating into `p`. Time spent inside balancer hooks
+    /// (placement, idle pulls, timers, deschedule/exit notifications) is
+    /// additionally collected into `p.balancer_ns` — a subset of the gross
+    /// phase times, not an extra phase. Drives `speedbal-cli bench
+    /// --profile`; the unprofiled [`System::step`] stays branch-free.
+    pub fn step_profiled(&mut self, p: &mut StepProfile) -> bool {
+        let t0 = profile_timestamp();
+        let Some(ev) = self.events.pop() else {
+            return false;
+        };
+        let t1 = profile_timestamp();
+        self.events_processed += 1;
+        assert!(
+            self.events_processed < self.cfg.max_events,
+            "event budget exhausted at {} — runaway simulation?",
+            self.now()
+        );
+        self.profile_balancer = true;
+        self.balancer_ns = 0;
+        match ev.event {
+            Ev::Core { core } => self.advance_core(core, ev.time),
+            Ev::Wake { task, gen } => {
+                if let Activity::Sleeping { gen: g, .. } = self.tasks.activity[task.0] {
+                    if g == gen && self.tasks.state[task.0] == TaskState::Blocked {
+                        self.wake_task(task);
+                    }
+                }
+            }
+            Ev::BalancerTimer { key } => {
+                self.with_balancer(|bal, sys| bal.on_timer(sys, key));
+            }
+            Ev::TraceSample => self.handle_trace_sample(ev.time),
+            Ev::FreqStep { core } => self.handle_freq_step(core, ev.time),
+        }
+        let t2 = profile_timestamp();
+        self.drain_conds();
+        self.flush_balancer_notifications();
+        let t3 = profile_timestamp();
+        self.profile_balancer = false;
+        if self.check.is_some() {
+            let point = match ev.event {
+                Ev::BalancerTimer { .. } => "post-balance-tick",
+                _ => "post-step",
+            };
+            self.invariant_tick(point);
+        }
+        p.steps += 1;
+        p.pop_ns += t1 - t0;
+        let handler = t2 - t1;
+        match ev.event {
+            Ev::Core { .. } => p.core_ns += handler,
+            Ev::Wake { .. } => p.wake_ns += handler,
+            Ev::BalancerTimer { .. } => p.timer_ns += handler,
+            Ev::TraceSample | Ev::FreqStep { .. } => p.other_ns += handler,
+        }
+        p.post_ns += t3 - t2;
+        p.balancer_ns += self.balancer_ns;
         true
     }
 
@@ -1078,6 +1232,13 @@ impl System {
         f: impl FnOnce(&mut Box<dyn Balancer>, &mut System) -> R,
     ) -> Option<R> {
         let mut bal = self.balancer.take()?;
+        if self.profile_balancer {
+            let t = profile_timestamp();
+            let r = f(&mut bal, self);
+            self.balancer_ns += profile_timestamp() - t;
+            self.balancer = Some(bal);
+            return Some(r);
+        }
         let r = f(&mut bal, self);
         self.balancer = Some(bal);
         Some(r)
@@ -1114,7 +1275,7 @@ impl System {
     /// Effective compute rate of `task` on `core` right now: core speed
     /// times the current frequency ratio, reduced while an SMT sibling is
     /// busy, divided by the NUMA remote-memory factor.
-    fn compute_rate(&self, core: CoreId, task: TaskId) -> f64 {
+    fn compute_rate(&mut self, core: CoreId, task: TaskId) -> f64 {
         let mut rate = self.topo.speed_of(core) * self.freq_ratio(core);
         let sf = self.topo.smt_busy_factor();
         if sf < 1.0 {
@@ -1125,7 +1286,7 @@ impl System {
                 rate *= sf;
             }
         }
-        if let Some(home) = self.tasks[task.0].home_node {
+        if let Some(home) = self.tasks.cold[task.0].home_node {
             rate /= self.cost.locality_factor(&self.topo, core, home);
         }
         rate * self.bandwidth_factor(core, task)
@@ -1136,25 +1297,57 @@ impl System {
     /// domain's sustainable streams, the memory-bound fraction of each
     /// task's execution is scaled down proportionally:
     /// `rate = (1 - mi) + mi * min(1, streams / demand)`.
-    fn bandwidth_factor(&self, core: CoreId, task: TaskId) -> f64 {
-        let mi = self.tasks[task.0].mem_intensity;
+    fn bandwidth_factor(&mut self, core: CoreId, task: TaskId) -> f64 {
+        let mi = self.tasks.mem_intensity[task.0];
         if mi <= 0.0 || !self.topo.models_bandwidth() {
             return 1.0;
         }
         let domain = self.topo.bw_domain_of(core);
+        // Dispatch storms re-create the identical intensity configuration
+        // event after event, so the factor is memoized per core under a
+        // raw-bits snapshot of the inputs. The key comparison revalidates
+        // against the live `current_mi` on every call — no invalidation
+        // hooks — and a hit returns exactly what the serial summation
+        // below produced for the same bits, so schedules cannot diverge.
+        let cores = &self.bw_domain_cores[domain];
+        let mis = &self.current_mi;
+        let cache = &mut self.bw_cache[core.0];
+        if cache.valid && cache.own == mi.to_bits() && cache.key.len() == cores.len() {
+            // Contiguous domains (the common, whole-socket case) compare the
+            // live slice flat; irregular ones gather core by core.
+            let hit = match self.bw_domain_contig[domain] {
+                Some(lo) => mis[lo..lo + cores.len()]
+                    .iter()
+                    .zip(cache.key.iter())
+                    .all(|(&m, &k)| m.to_bits() == k),
+                None => cores
+                    .iter()
+                    .zip(cache.key.iter())
+                    .all(|(&c, &k)| mis[c.0].to_bits() == k),
+            };
+            if hit {
+                return cache.factor;
+            }
+        }
         let mut demand = mi; // self counts even while being dispatched
-        for &c in &self.bw_domain_cores[domain] {
+        for &c in cores {
             if c == core {
                 continue;
             }
-            demand += self.current_mi[c.0];
+            demand += mis[c.0];
         }
         let streams = self.topo.bw_streams();
-        if demand <= streams {
+        let factor = if demand <= streams {
             1.0
         } else {
             (1.0 - mi) + mi * (streams / demand)
-        }
+        };
+        cache.valid = true;
+        cache.own = mi.to_bits();
+        cache.key.clear();
+        cache.key.extend(cores.iter().map(|&c| mis[c.0].to_bits()));
+        cache.factor = factor;
+        factor
     }
 
     /// Re-arms the core's slot with an immediate core event, cancelling any
@@ -1172,12 +1365,11 @@ impl System {
             self.current_mi[c] = 0.0;
             self.account_and_settle(tid, CoreId(c), now);
             // Requeue if the task remains runnable (and not suspended).
-            let task = &mut self.tasks[tid.0];
-            if task.state == TaskState::Runnable {
-                if task.suspended {
+            if self.tasks.state[tid.0] == TaskState::Runnable {
+                if self.tasks.suspended[tid.0] {
                     self.detach_vruntime_common(tid, CoreId(c));
                 } else {
-                    let v = task.vruntime;
+                    let v = self.tasks.vruntime[tid.0];
                     self.cores[c].queue.enqueue(v, tid);
                 }
             }
@@ -1192,34 +1384,34 @@ impl System {
     fn account_and_settle(&mut self, tid: TaskId, core: CoreId, now: SimTime) {
         let rate = self.cores[core.0].current_rate;
         {
-            let task = &mut self.tasks[tid.0];
-            debug_assert_eq!(task.state, TaskState::Running);
-            let ran = now.saturating_since(task.last_dispatched);
-            task.exec_total += ran;
-            task.last_ran_at = now;
+            let i = tid.0;
+            debug_assert_eq!(self.tasks.state[i], TaskState::Running);
+            let ran = now.saturating_since(self.tasks.last_dispatched[i]);
+            self.tasks.exec_total[i] += ran;
+            self.tasks.last_ran_at[i] = now;
             // Nice-0 weight (1024) is the overwhelmingly common case; skip
             // the division (x * 1024 / 1024 == x exactly).
-            task.vruntime += if task.weight == 1024 {
+            self.tasks.vruntime[i] += if self.tasks.weight[i] == 1024 {
                 ran.as_nanos()
             } else {
-                ran.as_nanos() * 1024 / task.weight as u64
+                ran.as_nanos() * 1024 / self.tasks.weight[i] as u64
             };
             self.cores[core.0].busy_total += ran;
             // Advance the queue's vruntime floor.
             let floor = match self.cores[core.0].queue.peek_min() {
-                Some((v, _)) => v.min(task.vruntime),
-                None => task.vruntime,
+                Some((v, _)) => v.min(self.tasks.vruntime[i]),
+                None => self.tasks.vruntime[i],
             };
             self.cores[core.0].queue.advance_min_vruntime(floor);
 
             // Burn the migration stall first, then make activity progress.
             let mut wall = ran;
-            if !task.pending_stall.is_zero() {
-                let burned = task.pending_stall.min(wall);
-                task.pending_stall -= burned;
+            if !self.tasks.pending_stall[i].is_zero() {
+                let burned = self.tasks.pending_stall[i].min(wall);
+                self.tasks.pending_stall[i] -= burned;
                 wall = wall.saturating_sub(burned);
             }
-            match &mut task.activity {
+            match &mut self.tasks.activity[i] {
                 Activity::Compute { remaining } => {
                     let done = wall.mul_f64(rate);
                     *remaining = remaining.saturating_sub(done);
@@ -1229,19 +1421,21 @@ impl System {
                 }
                 _ => {}
             }
-            task.state = TaskState::Runnable;
-            self.pending_desched.push((tid, core, ran));
+            self.tasks.state[i] = TaskState::Runnable;
+            if self.desched_events_wanted {
+                self.pending_desched.push((tid, core, ran));
+            }
             if let Some(buf) = self.trace.as_mut() {
                 buf.record(now, core, TraceEvent::Desched { task: tid.0, ran });
             }
         }
         // A `sched_yield` completes: the yielder parks at the right edge of
         // the queue so everyone else runs first (CFS yield_task).
-        if let Activity::YieldLoop { cond } = self.tasks[tid.0].activity {
+        if let Activity::YieldLoop { cond } = self.tasks.activity[tid.0] {
             if !self.conds.is_set(cond) {
                 if let Some(maxv) = self.cores[core.0].queue.max_vruntime() {
-                    let t = &mut self.tasks[tid.0];
-                    t.vruntime = t.vruntime.max(maxv + 1);
+                    let v = &mut self.tasks.vruntime[tid.0];
+                    *v = (*v).max(maxv + 1);
                 }
             }
         }
@@ -1253,10 +1447,10 @@ impl System {
     /// Calls the program as needed.
     fn settle_task(&mut self, tid: TaskId, now: SimTime) {
         for _ in 0..MAX_CHAINED_TRANSITIONS {
-            let due = match self.tasks[tid.0].activity {
+            let due = match self.tasks.activity[tid.0] {
                 Activity::Fresh => true,
                 Activity::Compute { remaining } => {
-                    remaining.is_zero() && self.tasks[tid.0].pending_stall.is_zero()
+                    remaining.is_zero() && self.tasks.pending_stall[tid.0].is_zero()
                 }
                 Activity::Spin { cond } | Activity::YieldLoop { cond } => self.conds.is_set(cond),
                 Activity::SpinThenBlock {
@@ -1267,10 +1461,9 @@ impl System {
                         true
                     } else if remaining_spin.is_zero() {
                         // Timeout: fall asleep on the condition.
-                        let t = &mut self.tasks[tid.0];
-                        t.activity = Activity::Blocked { cond };
-                        t.state = TaskState::Blocked;
-                        let core = t.core;
+                        self.tasks.activity[tid.0] = Activity::Blocked { cond };
+                        self.tasks.state[tid.0] = TaskState::Blocked;
+                        let core = self.tasks.core[tid.0];
                         if let Some(buf) = self.trace.as_mut() {
                             buf.record(now, core, TraceEvent::Sleep { task: tid.0 });
                         }
@@ -1295,12 +1488,12 @@ impl System {
         }
         panic!(
             "task {} livelocked: {MAX_CHAINED_TRANSITIONS} zero-time transitions at {now}",
-            self.tasks[tid.0].name
+            self.tasks.cold[tid.0].name
         );
     }
 
     fn run_program(&mut self, tid: TaskId, now: SimTime) -> Directive {
-        let mut program = self.tasks[tid.0]
+        let mut program = self.tasks.cold[tid.0]
             .program
             .take()
             .expect("program re-entered");
@@ -1309,7 +1502,7 @@ impl System {
             let mut ctx = ProgramCtx {
                 now,
                 task: tid,
-                core: self.tasks[tid.0].core,
+                core: self.tasks.core[tid.0],
                 conds: &mut self.conds,
                 rng: &mut rng,
                 trace: self.trace.as_deref_mut(),
@@ -1317,7 +1510,7 @@ impl System {
             program.next(&mut ctx)
         };
         self.task_rng_store(tid, rng);
-        self.tasks[tid.0].program = Some(program);
+        self.tasks.cold[tid.0].program = Some(program);
         directive
     }
 
@@ -1326,25 +1519,25 @@ impl System {
     fn apply_directive(&mut self, tid: TaskId, d: Directive, now: SimTime) -> bool {
         match d {
             Directive::Compute(amount) => {
-                self.tasks[tid.0].activity = Activity::Compute { remaining: amount };
+                self.tasks.activity[tid.0] = Activity::Compute { remaining: amount };
                 false
             }
             Directive::SpinUntil(cond) => {
-                self.tasks[tid.0].activity = Activity::Spin { cond };
+                self.tasks.activity[tid.0] = Activity::Spin { cond };
                 if !self.conds.is_set(cond) {
                     self.conds.add_waiter(cond, tid);
                 }
                 false
             }
             Directive::YieldUntil(cond) => {
-                self.tasks[tid.0].activity = Activity::YieldLoop { cond };
+                self.tasks.activity[tid.0] = Activity::YieldLoop { cond };
                 if !self.conds.is_set(cond) {
                     self.conds.add_waiter(cond, tid);
                 }
                 false
             }
             Directive::SpinThenBlock { cond, spin } => {
-                self.tasks[tid.0].activity = Activity::SpinThenBlock {
+                self.tasks.activity[tid.0] = Activity::SpinThenBlock {
                     cond,
                     remaining_spin: spin,
                 };
@@ -1358,15 +1551,14 @@ impl System {
                     // Already satisfied; continue to the next directive via
                     // the settle loop (model it as an instantly-complete
                     // computation).
-                    self.tasks[tid.0].activity = Activity::Compute {
+                    self.tasks.activity[tid.0] = Activity::Compute {
                         remaining: SimDuration::ZERO,
                     };
                     false
                 } else {
-                    let t = &mut self.tasks[tid.0];
-                    t.activity = Activity::Blocked { cond };
-                    t.state = TaskState::Blocked;
-                    let core = t.core;
+                    self.tasks.activity[tid.0] = Activity::Blocked { cond };
+                    self.tasks.state[tid.0] = TaskState::Blocked;
+                    let core = self.tasks.core[tid.0];
                     if let Some(buf) = self.trace.as_mut() {
                         buf.record(now, core, TraceEvent::Sleep { task: tid.0 });
                     }
@@ -1378,12 +1570,11 @@ impl System {
             Directive::SleepFor(d) => {
                 let dur = d.max(self.cfg.timer_granularity);
                 let until = now + dur;
-                let t = &mut self.tasks[tid.0];
-                t.sleep_gen += 1;
-                let gen = t.sleep_gen;
-                t.activity = Activity::Sleeping { until, gen };
-                t.state = TaskState::Blocked;
-                let core = t.core;
+                self.tasks.sleep_gen[tid.0] += 1;
+                let gen = self.tasks.sleep_gen[tid.0];
+                self.tasks.activity[tid.0] = Activity::Sleeping { until, gen };
+                self.tasks.state[tid.0] = TaskState::Blocked;
+                let core = self.tasks.core[tid.0];
                 if let Some(buf) = self.trace.as_mut() {
                     buf.record(now, core, TraceEvent::Sleep { task: tid.0 });
                 }
@@ -1392,16 +1583,14 @@ impl System {
                 true
             }
             Directive::Exit => {
-                let t = &mut self.tasks[tid.0];
-                t.activity = Activity::Exited;
-                t.state = TaskState::Exited;
-                t.exited_at = Some(now);
-                let core = t.core;
+                self.tasks.activity[tid.0] = Activity::Exited;
+                self.tasks.state[tid.0] = TaskState::Exited;
+                self.tasks.cold[tid.0].exited_at = Some(now);
+                let core = self.tasks.core[tid.0];
                 if let Some(buf) = self.trace.as_mut() {
                     buf.record(now, core, TraceEvent::Exit { task: tid.0 });
                 }
-                let t = &mut self.tasks[tid.0];
-                let g = t.group;
+                let g = self.tasks.cold[tid.0].group;
                 let group = &mut self.groups[g.0];
                 group.live -= 1;
                 if group.live == 0 {
@@ -1418,7 +1607,7 @@ impl System {
     /// task's current `core` field — call *before* reassigning `task.core`.
     /// Lists stay sorted by `TaskId` so readers see a deterministic order.
     fn move_member(&mut self, tid: TaskId, to: CoreId) {
-        let from = self.tasks[tid.0].core;
+        let from = self.tasks.core[tid.0];
         if from == to {
             return;
         }
@@ -1433,7 +1622,7 @@ impl System {
 
     /// Drops `tid` from its core's member list (task exit).
     fn remove_member(&mut self, tid: TaskId) {
-        let from = self.tasks[tid.0].core;
+        let from = self.tasks.core[tid.0];
         let v = &mut self.members[from.0];
         let pos = v.partition_point(|&t| t < tid);
         debug_assert_eq!(v.get(pos), Some(&tid), "member list out of sync");
@@ -1442,14 +1631,14 @@ impl System {
 
     /// CFS-style vruntime normalization when a task leaves a queue.
     fn detach_vruntime(&mut self, tid: TaskId) {
-        let core = self.tasks[tid.0].core;
+        let core = self.tasks.core[tid.0];
         self.detach_vruntime_common(tid, core);
     }
 
     fn detach_vruntime_common(&mut self, tid: TaskId, core: CoreId) {
         let min = self.cores[core.0].queue.min_vruntime();
-        let t = &mut self.tasks[tid.0];
-        t.vruntime = t.vruntime.saturating_sub(min);
+        let v = &mut self.tasks.vruntime[tid.0];
+        *v = v.saturating_sub(min);
     }
 
     fn finish_migration(
@@ -1460,12 +1649,9 @@ impl System {
         stall: SimDuration,
         now: SimTime,
     ) {
-        {
-            let t = &mut self.tasks[tid.0];
-            t.migrations += 1;
-            t.pending_stall += stall;
-            t.state = TaskState::Runnable;
-        }
+        self.tasks.cold[tid.0].migrations += 1;
+        self.tasks.pending_stall[tid.0] += stall;
+        self.tasks.state[tid.0] = TaskState::Runnable;
         self.total_migrations += 1;
         self.attach_and_enqueue(tid, to, false, now);
     }
@@ -1474,20 +1660,20 @@ impl System {
     /// with sleeper credit, and preempts if warranted.
     fn wake_task(&mut self, tid: TaskId) {
         let now = self.now();
-        debug_assert_eq!(self.tasks[tid.0].state, TaskState::Blocked);
-        self.tasks[tid.0].wakeups += 1;
+        debug_assert_eq!(self.tasks.state[tid.0], TaskState::Blocked);
+        self.tasks.cold[tid.0].wakeups += 1;
         // Next directive runs when dispatched.
-        self.tasks[tid.0].activity = Activity::Fresh;
+        self.tasks.activity[tid.0] = Activity::Fresh;
         let chosen = self
             .with_balancer(|bal, sys| bal.select_wake_core(sys, tid))
-            .unwrap_or(self.tasks[tid.0].core);
-        let core = if self.tasks[tid.0].may_run_on(chosen) {
+            .unwrap_or(self.tasks.core[tid.0]);
+        let core = if self.tasks.may_run_on(tid.0, chosen) {
             chosen
         } else {
             self.first_allowed_core(tid)
         };
         if self.trace.is_some() {
-            let prev = self.tasks[tid.0].core;
+            let prev = self.tasks.core[tid.0];
             self.trace_event(core, TraceEvent::Wake { task: tid.0 });
             if prev != core {
                 // Trace-only: wake placements do not count as migrations in
@@ -1505,38 +1691,38 @@ impl System {
                 );
             }
         }
-        self.tasks[tid.0].state = TaskState::Runnable;
+        self.tasks.state[tid.0] = TaskState::Runnable;
         self.attach_and_enqueue(tid, core, true, now);
     }
 
     /// Enqueues a detached task on `core` (attaching vruntime, optionally
     /// with sleeper credit) and triggers dispatch/preemption.
     fn attach_and_enqueue(&mut self, tid: TaskId, core: CoreId, sleeper: bool, now: SimTime) {
-        if self.tasks[tid.0].suspended {
+        if self.tasks.suspended[tid.0] {
             // Stays logically runnable but parked (DWRR expired) with its
             // vruntime detached; `resume` attaches and enqueues it.
             self.move_member(tid, core);
-            self.tasks[tid.0].core = core;
+            self.tasks.core[tid.0] = core;
             return;
         }
         self.move_member(tid, core);
         let min = self.cores[core.0].queue.min_vruntime();
         {
-            let t = &mut self.tasks[tid.0];
-            t.core = core;
-            t.vruntime = t.vruntime.saturating_add(min);
+            self.tasks.core[tid.0] = core;
+            let v = &mut self.tasks.vruntime[tid.0];
+            *v = v.saturating_add(min);
             if sleeper {
                 let credit = self.cfg.sleeper_credit.as_nanos();
-                t.vruntime = t.vruntime.max(min.saturating_sub(credit));
+                *v = (*v).max(min.saturating_sub(credit));
             }
         }
-        let v = self.tasks[tid.0].vruntime;
+        let v = self.tasks.vruntime[tid.0];
         self.cores[core.0].queue.enqueue(v, tid);
         match self.cores[core.0].current {
             None => self.reschedule(core, now),
             Some(cur) => {
                 let gran = self.cfg.wakeup_granularity.as_nanos();
-                if v.saturating_add(gran) < self.tasks[cur.0].vruntime {
+                if v.saturating_add(gran) < self.tasks.vruntime[cur.0] {
                     if let Some(buf) = self.trace.as_mut() {
                         buf.record(
                             now,
@@ -1561,7 +1747,7 @@ impl System {
     /// the queue floor so it is neither penalized nor favored).
     fn enqueue_task(&mut self, tid: TaskId, core: CoreId, sleeper: bool) {
         let now = self.now();
-        self.tasks[tid.0].vruntime = 0;
+        self.tasks.vruntime[tid.0] = 0;
         self.attach_and_enqueue(tid, core, sleeper, now);
     }
 
@@ -1615,21 +1801,21 @@ impl System {
     fn try_dispatch(&mut self, c: usize, tid: TaskId, now: SimTime) -> bool {
         // The task may have been released/blocked/exited while queued.
         self.settle_task(tid, now);
-        let state = self.tasks[tid.0].state;
+        let state = self.tasks.state[tid.0];
         if state != TaskState::Runnable {
             return false;
         }
         let core = CoreId(c);
-        self.tasks[tid.0].state = TaskState::Running;
-        self.tasks[tid.0].last_dispatched = now;
+        self.tasks.state[tid.0] = TaskState::Running;
+        self.tasks.last_dispatched[tid.0] = now;
         // Popped off this core's queue, so membership is already right.
-        debug_assert_eq!(self.tasks[tid.0].core, core);
-        self.tasks[tid.0].core = core;
+        debug_assert_eq!(self.tasks.core[tid.0], core);
+        self.tasks.core[tid.0] = core;
         if let Some(buf) = self.trace.as_mut() {
             buf.record(now, core, TraceEvent::Dispatch { task: tid.0 });
         }
         self.cores[c].current = Some(tid);
-        self.current_mi[c] = self.tasks[tid.0].mem_intensity;
+        self.current_mi[c] = self.tasks.mem_intensity[tid.0];
         self.cores[c].nr_switches += 1;
         self.cores[c].current_rate = self.compute_rate(core, tid);
         self.update_busy_flag(c, now);
@@ -1654,8 +1840,8 @@ impl System {
         let tid = self.cores[c].current.expect("arming idle core");
         let nr = self.cores[c].nr_running();
         let rate = self.cores[c].current_rate;
-        let stall = self.tasks[tid.0].pending_stall;
-        let activity_wall: Option<SimDuration> = match self.tasks[tid.0].activity {
+        let stall = self.tasks.pending_stall[tid.0];
+        let activity_wall: Option<SimDuration> = match self.tasks.activity[tid.0] {
             Activity::Compute { remaining } => {
                 debug_assert!(rate > 0.0, "dispatched on a zero-speed core");
                 Some(stall + remaining.mul_f64(1.0 / rate))
@@ -1690,7 +1876,7 @@ impl System {
         // Bandwidth contention changes with what the *other* cores run;
         // rates are sampled at dispatch, so bandwidth-sensitive tasks
         // resample on a short tick to bound the staleness.
-        if self.topo.models_bandwidth() && self.tasks[tid.0].mem_intensity > 0.0 {
+        if self.topo.models_bandwidth() && self.tasks.mem_intensity[tid.0] > 0.0 {
             let tick = SimDuration::from_millis(5);
             boundary = Some(boundary.map_or(tick, |b| b.min(tick)));
         }
@@ -1729,7 +1915,7 @@ impl System {
             let mut waiters = std::mem::take(&mut self.scratch_waiters);
             self.conds.take_waiters_into(cond, &mut waiters);
             for &tid in waiters.iter() {
-                match self.tasks[tid.0].activity {
+                match self.tasks.activity[tid.0] {
                     Activity::Blocked { cond: c2 } if c2 == cond => {
                         self.wake_task(tid);
                     }
@@ -1741,9 +1927,9 @@ impl System {
                         // but its core may have parked its boundary (a
                         // degenerate all-yielders queue), so reschedule
                         // the core in both cases.
-                        if c2 == cond && self.tasks[tid.0].on_queue() =>
+                        if c2 == cond && self.tasks.on_queue(tid.0) =>
                     {
-                        let core = self.tasks[tid.0].core;
+                        let core = self.tasks.core[tid.0];
                         self.reschedule(core, self.now());
                     }
                     _ => {}
@@ -1768,7 +1954,7 @@ impl System {
     fn sync_sampler_baseline(&mut self, now: SimTime) {
         self.sampler_exec.clear();
         self.sampler_exec
-            .extend(self.tasks.iter().map(|t| t.exec_total_at(now)));
+            .extend((0..self.tasks.len()).map(|i| self.tasks.exec_total_at(i, now)));
         self.sampler_busy.clear();
         for c in 0..self.cores.len() {
             self.sampler_busy.push(self.core_busy_at(c, now));
@@ -1780,7 +1966,7 @@ impl System {
         let core = &self.cores[c];
         let mut busy = core.busy_total;
         if let Some(cur) = core.current {
-            busy += now.saturating_since(self.tasks[cur.0].last_dispatched);
+            busy += now.saturating_since(self.tasks.last_dispatched[cur.0]);
         }
         busy
     }
@@ -1798,14 +1984,14 @@ impl System {
             self.sampler_exec
                 .resize(self.tasks.len(), SimDuration::ZERO);
             for i in 0..self.tasks.len() {
-                let exec_now = self.tasks[i].exec_total_at(now);
+                let exec_now = self.tasks.exec_total_at(i, now);
                 let delta = exec_now.saturating_sub(self.sampler_exec[i]);
                 self.sampler_exec[i] = exec_now;
-                if self.tasks[i].state == TaskState::Exited && delta.is_zero() {
+                if self.tasks.state[i] == TaskState::Exited && delta.is_zero() {
                     continue; // dead the whole window: no sample
                 }
                 let speed = delta / window;
-                let core = self.tasks[i].core;
+                let core = self.tasks.core[i];
                 if let Some(buf) = self.trace.as_mut() {
                     buf.record(
                         now,
@@ -1837,7 +2023,7 @@ impl System {
         }
         // Re-arm only while something is alive, so tracing never keeps an
         // otherwise-finished simulation from quiescing.
-        if self.tasks.iter().any(|t| t.state != TaskState::Exited) {
+        if self.tasks.any_live() {
             self.arm_sampler(now + interval);
         }
     }

@@ -86,10 +86,8 @@ impl System {
         // exactly one core, and `account_and_settle` adds the same stretch
         // to both sides — so the totals must match exactly, in-flight
         // stretches included.
-        let task_ns: u64 = self
-            .tasks
-            .iter()
-            .map(|t| t.exec_total_at(now).as_nanos())
+        let task_ns: u64 = (0..self.tasks.len())
+            .map(|i| self.tasks.exec_total_at(i, now).as_nanos())
             .sum();
         let core_ns: u64 = (0..self.cores.len())
             .map(|c| self.core_busy_at(c, now).as_nanos())
@@ -105,9 +103,9 @@ impl System {
         // Mirror: per-core member lists vs a fresh scan of the task table.
         // Scanning in TaskId order reproduces the lists' sort key.
         let mut expected_members: Vec<Vec<TaskId>> = vec![Vec::new(); self.cores.len()];
-        for t in &self.tasks {
-            if t.state != TaskState::Exited {
-                expected_members[t.core.0].push(t.id);
+        for i in 0..self.tasks.len() {
+            if self.tasks.state[i] != TaskState::Exited {
+                expected_members[self.tasks.core[i].0].push(TaskId(i));
             }
         }
         for (c, expected) in expected_members.iter().enumerate() {
@@ -123,26 +121,25 @@ impl System {
             // `current` / `current_mi` coherence.
             match core.current {
                 Some(t) => {
-                    let task = &self.tasks[t.0];
-                    if task.state != TaskState::Running {
+                    if self.tasks.state[t.0] != TaskState::Running {
                         violations.push(format!(
                             "coherence: current of core {c} is {t} in state {:?}",
-                            task.state
+                            self.tasks.state[t.0]
                         ));
                     }
-                    if task.core.0 != c {
+                    if self.tasks.core[t.0].0 != c {
                         violations.push(format!(
                             "coherence: current of core {c} is {t} whose core field is {:?}",
-                            task.core
+                            self.tasks.core[t.0]
                         ));
                     }
-                    if task.suspended {
+                    if self.tasks.suspended[t.0] {
                         violations.push(format!("coherence: current {t} of core {c} is suspended"));
                     }
-                    if self.current_mi[c].to_bits() != task.mem_intensity.to_bits() {
+                    if self.current_mi[c].to_bits() != self.tasks.mem_intensity[t.0].to_bits() {
                         violations.push(format!(
                             "mirror: current_mi[{c}] = {} but {t} has mem_intensity {}",
-                            self.current_mi[c], task.mem_intensity
+                            self.current_mi[c], self.tasks.mem_intensity[t.0]
                         ));
                     }
                 }
@@ -159,11 +156,13 @@ impl System {
             // Runnable, unsuspended tasks assigned to this core, keyed by
             // their stored vruntime.
             let actual: Vec<(u64, TaskId)> = core.queue.entries().collect();
-            let mut expected: Vec<(u64, TaskId)> = self
-                .tasks
-                .iter()
-                .filter(|t| t.state == TaskState::Runnable && !t.suspended && t.core.0 == c)
-                .map(|t| (t.vruntime, t.id))
+            let mut expected: Vec<(u64, TaskId)> = (0..self.tasks.len())
+                .filter(|&i| {
+                    self.tasks.state[i] == TaskState::Runnable
+                        && !self.tasks.suspended[i]
+                        && self.tasks.core[i].0 == c
+                })
+                .map(|i| (self.tasks.vruntime[i], TaskId(i)))
                 .collect();
             expected.sort_unstable();
             if actual != expected {
@@ -173,19 +172,20 @@ impl System {
             }
         }
 
-        for t in &self.tasks {
+        for i in 0..self.tasks.len() {
+            let (id, core) = (TaskId(i), self.tasks.core[i]);
             // Every Running task is its core's current.
-            if t.state == TaskState::Running && self.cores[t.core.0].current != Some(t.id) {
+            if self.tasks.state[i] == TaskState::Running && self.cores[core.0].current != Some(id) {
                 violations.push(format!(
-                    "coherence: {} is Running but core {:?} runs {:?}",
-                    t.id, t.core, self.cores[t.core.0].current
+                    "coherence: {id} is Running but core {core:?} runs {:?}",
+                    self.cores[core.0].current
                 ));
             }
             // Affinity: a task never sits on a core its pin/mask disallows.
-            if t.state != TaskState::Exited && !t.may_run_on(t.core) {
+            if self.tasks.state[i] != TaskState::Exited && !self.tasks.may_run_on(i, core) {
                 violations.push(format!(
-                    "affinity: {} assigned to {:?}, which its mask (pin {:?}) disallows",
-                    t.id, t.core, t.pinned
+                    "affinity: {id} assigned to {core:?}, which its mask (pin {:?}) disallows",
+                    self.tasks.cold[i].pinned
                 ));
             }
         }
@@ -297,7 +297,7 @@ mod tests {
         let g = sys.new_group();
         sys.spawn(SpawnSpec::new(compute(10), "a", g));
         sys.run_to_quiescence();
-        sys.tasks[0].exec_total += SimDuration::from_nanos(1);
+        sys.tasks.exec_total[0] += SimDuration::from_nanos(1);
         let v = sys.check_invariants();
         assert!(
             v.iter().any(|m| m.contains("conservation")),
@@ -329,8 +329,8 @@ mod tests {
         sys.spawn(SpawnSpec::new(compute(10), "b", g));
         // Task 1 is queued behind the running task 0; bump its task-table
         // vruntime without touching its queue key.
-        assert_eq!(sys.tasks[1].state, TaskState::Runnable);
-        sys.tasks[1].vruntime += 17;
+        assert_eq!(sys.tasks.state[1], TaskState::Runnable);
+        sys.tasks.vruntime[1] += 17;
         let v = sys.check_invariants();
         assert!(
             v.iter().any(|m| m.contains("queue[0]")),
@@ -344,7 +344,7 @@ mod tests {
         let g = sys.new_group();
         sys.spawn(SpawnSpec::new(compute(10), "a", g).pin(CoreId(1)));
         // Repin behind the system's back, leaving the task on core 1.
-        sys.tasks[0].pinned = Some(CoreId(0));
+        sys.tasks.cold[0].pinned = Some(CoreId(0));
         let v = sys.check_invariants();
         assert!(
             v.iter().any(|m| m.contains("affinity")),
@@ -358,7 +358,7 @@ mod tests {
         let mut sys = checked_system(1);
         let g = sys.new_group();
         sys.spawn(SpawnSpec::new(compute(10), "a", g));
-        sys.tasks[0].exec_total += SimDuration::from_nanos(1);
+        sys.tasks.exec_total[0] += SimDuration::from_nanos(1);
         sys.run_to_quiescence();
     }
 

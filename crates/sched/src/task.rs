@@ -1,5 +1,15 @@
 //! Task state: everything the scheduler and the balancers know about one
 //! thread.
+//!
+//! Storage is a struct-of-arrays [`TaskTable`]: the fields the dispatch /
+//! deschedule path touches on every event (state, core, vruntime, weight,
+//! activity, accounting timestamps) live in dense parallel vectors, while
+//! rarely-touched identity and bookkeeping fields (name, affinity, program,
+//! counters) sit in a per-task [`TaskCold`] record. One simulation step
+//! touches a handful of hot arrays instead of striding across ~250-byte
+//! task structs, which keeps the working set of the event loop inside a few
+//! cache lines. [`Task`] survives as the spawn-time record that
+//! [`TaskTable::push`] scatters into the arrays.
 
 use crate::cond::CondId;
 use crate::program::Program;
@@ -59,7 +69,9 @@ pub(crate) enum Activity {
     Exited,
 }
 
-/// One simulated thread.
+/// Spawn-time record for one simulated thread. [`TaskTable::push`] splits
+/// it into the hot arrays and the cold per-task record; it never lives in
+/// this form afterwards.
 pub(crate) struct Task {
     pub id: TaskId,
     pub name: String,
@@ -111,19 +123,94 @@ pub(crate) struct Task {
     pub sleep_gen: u64,
 }
 
-impl Task {
+/// Per-task fields off the event-loop hot path: identity, affinity,
+/// counters bumped only on migrate/wake/exit, and the program body.
+pub(crate) struct TaskCold {
+    pub name: String,
+    pub group: crate::system::GroupId,
+    pub pinned: Option<CoreId>,
+    pub allowed: Option<Vec<CoreId>>,
+    pub migrations: u64,
+    pub wakeups: u64,
+    pub home_node: Option<NodeId>,
+    pub rss_bytes: u64,
+    pub program: Option<Box<dyn Program>>,
+    pub spawned_at: SimTime,
+    pub exited_at: Option<SimTime>,
+}
+
+/// Struct-of-arrays task storage (see the module docs). Index `i` across
+/// every array is `TaskId(i)`; the arrays always have identical length.
+#[derive(Default)]
+pub(crate) struct TaskTable {
+    pub state: Vec<TaskState>,
+    pub core: Vec<CoreId>,
+    pub vruntime: Vec<u64>,
+    pub weight: Vec<u32>,
+    pub activity: Vec<Activity>,
+    pub exec_total: Vec<SimDuration>,
+    pub last_dispatched: Vec<SimTime>,
+    pub last_ran_at: Vec<SimTime>,
+    pub pending_stall: Vec<SimDuration>,
+    pub suspended: Vec<bool>,
+    pub mem_intensity: Vec<f64>,
+    pub sleep_gen: Vec<u64>,
+    pub cold: Vec<TaskCold>,
+}
+
+impl TaskTable {
+    pub fn new() -> TaskTable {
+        TaskTable::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Appends a spawned task, scattering the record into the arrays. The
+    /// record's `id` must be the next index.
+    pub fn push(&mut self, t: Task) {
+        debug_assert_eq!(t.id.0, self.len(), "task ids are dense spawn order");
+        self.state.push(t.state);
+        self.core.push(t.core);
+        self.vruntime.push(t.vruntime);
+        self.weight.push(t.weight);
+        self.activity.push(t.activity);
+        self.exec_total.push(t.exec_total);
+        self.last_dispatched.push(t.last_dispatched);
+        self.last_ran_at.push(t.last_ran_at);
+        self.pending_stall.push(t.pending_stall);
+        self.suspended.push(t.suspended);
+        self.mem_intensity.push(t.mem_intensity);
+        self.sleep_gen.push(t.sleep_gen);
+        self.cold.push(TaskCold {
+            name: t.name,
+            group: t.group,
+            pinned: t.pinned,
+            allowed: t.allowed,
+            migrations: t.migrations,
+            wakeups: t.wakeups,
+            home_node: t.home_node,
+            rss_bytes: t.rss_bytes,
+            program: t.program,
+            spawned_at: t.spawned_at,
+            exited_at: t.exited_at,
+        });
+    }
+
     /// True if the task occupies a run-queue slot (running or runnable) —
     /// i.e. it counts toward Linux's notion of load.
-    pub fn on_queue(&self) -> bool {
-        matches!(self.state, TaskState::Runnable | TaskState::Running)
+    pub fn on_queue(&self, i: usize) -> bool {
+        matches!(self.state[i], TaskState::Runnable | TaskState::Running)
     }
 
     /// True if the task may be placed on `core` given its affinity mask.
-    pub fn may_run_on(&self, core: CoreId) -> bool {
-        if let Some(p) = self.pinned {
+    pub fn may_run_on(&self, i: usize, core: CoreId) -> bool {
+        let cold = &self.cold[i];
+        if let Some(p) = cold.pinned {
             return p == core;
         }
-        match &self.allowed {
+        match &cold.allowed {
             Some(mask) => mask.contains(&core),
             None => true,
         }
@@ -132,27 +219,17 @@ impl Task {
     /// CPU time consumed as of `now`, including the in-flight stretch if the
     /// task is currently on a CPU. This is what `/proc/<tid>/stat` would
     /// report.
-    pub fn exec_total_at(&self, now: SimTime) -> SimDuration {
-        if self.state == TaskState::Running {
-            self.exec_total + now.saturating_since(self.last_dispatched)
+    pub fn exec_total_at(&self, i: usize, now: SimTime) -> SimDuration {
+        if self.state[i] == TaskState::Running {
+            self.exec_total[i] + now.saturating_since(self.last_dispatched[i])
         } else {
-            self.exec_total
+            self.exec_total[i]
         }
     }
-}
 
-impl fmt::Debug for Task {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Task")
-            .field("id", &self.id)
-            .field("name", &self.name)
-            .field("state", &self.state)
-            .field("activity", &self.activity)
-            .field("core", &self.core)
-            .field("vruntime", &self.vruntime)
-            .field("exec_total", &self.exec_total)
-            .field("migrations", &self.migrations)
-            .finish()
+    /// True while any task has not exited (keeps the trace sampler armed).
+    pub fn any_live(&self) -> bool {
+        self.state.iter().any(|&s| s != TaskState::Exited)
     }
 }
 
@@ -160,9 +237,10 @@ impl fmt::Debug for Task {
 mod tests {
     use super::*;
 
-    fn mk_task() -> Task {
-        Task {
-            id: TaskId(1),
+    fn mk_table() -> TaskTable {
+        let mut table = TaskTable::new();
+        table.push(Task {
+            id: TaskId(0),
             name: "x".into(),
             group: crate::system::GroupId(0),
             state: TaskState::Runnable,
@@ -186,46 +264,47 @@ mod tests {
             spawned_at: SimTime::ZERO,
             exited_at: None,
             sleep_gen: 0,
-        }
+        });
+        table
     }
 
     #[test]
     fn on_queue_classification() {
-        let mut t = mk_task();
-        assert!(t.on_queue());
-        t.state = TaskState::Running;
-        assert!(t.on_queue());
-        t.state = TaskState::Blocked;
-        assert!(!t.on_queue());
-        t.state = TaskState::Exited;
-        assert!(!t.on_queue());
+        let mut t = mk_table();
+        assert!(t.on_queue(0));
+        t.state[0] = TaskState::Running;
+        assert!(t.on_queue(0));
+        t.state[0] = TaskState::Blocked;
+        assert!(!t.on_queue(0));
+        t.state[0] = TaskState::Exited;
+        assert!(!t.on_queue(0));
     }
 
     #[test]
     fn pinning_overrides_mask() {
-        let mut t = mk_task();
-        assert!(t.may_run_on(CoreId(5)));
-        t.allowed = Some(vec![CoreId(0), CoreId(1)]);
-        assert!(t.may_run_on(CoreId(1)));
-        assert!(!t.may_run_on(CoreId(5)));
-        t.pinned = Some(CoreId(7));
-        assert!(t.may_run_on(CoreId(7)));
-        assert!(!t.may_run_on(CoreId(0)));
+        let mut t = mk_table();
+        assert!(t.may_run_on(0, CoreId(5)));
+        t.cold[0].allowed = Some(vec![CoreId(0), CoreId(1)]);
+        assert!(t.may_run_on(0, CoreId(1)));
+        assert!(!t.may_run_on(0, CoreId(5)));
+        t.cold[0].pinned = Some(CoreId(7));
+        assert!(t.may_run_on(0, CoreId(7)));
+        assert!(!t.may_run_on(0, CoreId(0)));
     }
 
     #[test]
     fn exec_total_includes_running_stretch() {
-        let mut t = mk_task();
-        t.exec_total = SimDuration::from_millis(10);
-        t.state = TaskState::Running;
-        t.last_dispatched = SimTime::from_millis(100);
+        let mut t = mk_table();
+        t.exec_total[0] = SimDuration::from_millis(10);
+        t.state[0] = TaskState::Running;
+        t.last_dispatched[0] = SimTime::from_millis(100);
         assert_eq!(
-            t.exec_total_at(SimTime::from_millis(107)),
+            t.exec_total_at(0, SimTime::from_millis(107)),
             SimDuration::from_millis(17)
         );
-        t.state = TaskState::Runnable;
+        t.state[0] = TaskState::Runnable;
         assert_eq!(
-            t.exec_total_at(SimTime::from_millis(107)),
+            t.exec_total_at(0, SimTime::from_millis(107)),
             SimDuration::from_millis(10)
         );
     }
