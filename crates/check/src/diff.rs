@@ -34,7 +34,7 @@ pub struct Fingerprint {
 }
 
 impl Fingerprint {
-    fn of(outcome: &RepeatOutcome, sys: &System) -> Fingerprint {
+    pub(crate) fn of(outcome: &RepeatOutcome, sys: &System) -> Fingerprint {
         let mut tasks: Vec<(usize, u64, usize)> = sys
             .all_tasks()
             .map(|t| (t.0, sys.task_exec_total(t).as_nanos(), sys.task_core(t).0))

@@ -1,0 +1,565 @@
+//! Schedule-space fuzzing: replay the scenario battery under non-FIFO
+//! same-instant orderings and check that everything the simulator
+//! *promises* independently of the tie-break actually holds.
+//!
+//! The event queue's `(time, seq)` FIFO contract pins one serialization
+//! of each same-instant batch; [`speedbal_sim::OrderingPolicy`] makes
+//! that serialization a knob. Every ordering of a same-instant batch is
+//! a legal schedule — the events' causes have all fired — so properties
+//! that are *about the design* rather than *about one schedule* must
+//! survive any of them:
+//!
+//! 1. **The full runtime invariant set.** Every fuzz run executes with
+//!    `System::enable_invariant_checks`; a violation panics and is
+//!    caught and reported here instead of crashing the process.
+//! 2. **Termination.** No reordering may turn a completing scenario
+//!    into a deadline timeout (a lost wake-up or a starved task would).
+//! 3. **Per-policy determinism.** The same `(scenario, seed, ordering)`
+//!    triple replayed twice must produce a bit-identical
+//!    [`Fingerprint`] — reordering is a seeded function of the triple,
+//!    never of ambient state.
+//! 4. **Task-set conservation.** The set of task ids ever spawned must
+//!    match the FIFO baseline's: orderings may move work around, never
+//!    create or lose it.
+//! 5. **Lemma budgets.** The Lemma 1 and weighted-conformance budgets
+//!    (see [`crate::lemma`]) are claims about the jittered activation
+//!    pattern, not about the FIFO tie-break, so a sample of the grid is
+//!    re-checked under LIFO and seeded shuffles.
+//!
+//! Beyond the seeded sweep, [`run_fuzz`] walks part of the schedule
+//! *tree* of the cheapest battery cell with
+//! [`OrderingPolicy::Exhaustive`]: a depth-bounded DFS over same-instant
+//! permutation choices, in the style of stateless model checking.
+//!
+//! Failures come back minimized — a failing triple is first retried
+//! under FIFO (ordering-independent failures are battery bugs, not
+//! fuzz findings), then under plain LIFO, and exhaustive prefixes are
+//! trimmed from the tail — and rendered as copy-pasteable repro
+//! commands for `speedbal-cli check --fuzz`.
+
+use crate::diff::Fingerprint;
+use crate::lemma::{conformance_cell_ordered, weighted_conformance_cell_ordered};
+use speedbal_harness::sweep::scenario_cost;
+use speedbal_harness::{run_repeat_detailed, run_sweep, Scenario, SweepJob};
+use speedbal_sim::ordering::next_prefix;
+use speedbal_sim::OrderingPolicy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The committed shuffle-seed corpus (mirrored in `fuzz/corpus.txt`,
+/// which CI feeds back via `--corpus`). Quick mode uses a prefix.
+pub const DEFAULT_CORPUS: &[u64] = &[
+    0x5EED_0001,
+    0xDEAD_BEEF,
+    0x0BAD_CAFE,
+    0x1234_5678_9ABC_DEF0,
+    3,
+    0xFFFF_FFFF_FFFF_FFFE,
+    0xA5A5_A5A5,
+    0x0F1E_2D3C_4B5A_6978,
+];
+
+/// How many corpus seeds the quick sweep uses.
+const QUICK_CORPUS: usize = 3;
+
+/// Options for [`run_fuzz`].
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Quick mode: first repeat only, shorter corpus, smaller
+    /// exhaustive walk. This is what CI runs.
+    pub quick: bool,
+    /// Shuffle seeds to sweep (`SeededShuffle` policies).
+    pub corpus: Vec<u64>,
+    /// Restrict the battery to scenarios whose label contains this
+    /// substring (repro mode).
+    pub only: Option<String>,
+    /// Pin a single ordering policy instead of sweeping (repro mode;
+    /// also skips the exhaustive walk and the lemma grid).
+    pub ordering: Option<OrderingPolicy>,
+    /// Pin a single repeat index (repro mode).
+    pub repeat: Option<usize>,
+}
+
+impl FuzzOptions {
+    pub fn new(quick: bool) -> FuzzOptions {
+        let corpus = if quick {
+            DEFAULT_CORPUS[..QUICK_CORPUS].to_vec()
+        } else {
+            DEFAULT_CORPUS.to_vec()
+        };
+        FuzzOptions {
+            quick,
+            corpus,
+            only: None,
+            ordering: None,
+            repeat: None,
+        }
+    }
+
+    /// Repro mode pins part of the triple; the broad phases (exhaustive
+    /// walk, lemma grid) are skipped so the repro runs just the case.
+    fn repro_mode(&self) -> bool {
+        self.only.is_some() || self.ordering.is_some() || self.repeat.is_some()
+    }
+}
+
+/// One minimized failure.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Copy-pasteable repro: a `speedbal-cli check --fuzz ...` command
+    /// (scenario cases) or a Rust call (lemma cells).
+    pub repro: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Combined outcome of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// `(scenario, repeat, ordering)` triples checked (incl. FIFO
+    /// baselines).
+    pub cases: usize,
+    /// Schedules explored by the exhaustive walk.
+    pub schedules: usize,
+    /// Lemma / weighted cells re-checked under non-FIFO orderings.
+    pub lemma_cells: usize,
+    /// Every minimized violation. Empty = green.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A text summary for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "schedule-space fuzz      : {} ordering cases\n\
+             exhaustive exploration   : {} schedules\n\
+             lemma under orderings    : {} cells\n",
+            self.cases, self.schedules, self.lemma_cells
+        ));
+        if self.ok() {
+            out.push_str("all orderings conform\n");
+        } else {
+            out.push_str(&format!("{} FAILURE(S):\n", self.failures.len()));
+            for f in &self.failures {
+                out.push_str(&format!("  {}\n    repro: {}\n", f.detail, f.repro));
+            }
+        }
+        out
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The copy-pasteable repro command for a scenario-battery triple.
+fn repro(s: &Scenario, r: usize, policy: &OrderingPolicy) -> String {
+    format!(
+        "speedbal-cli check --fuzz --only {} --repeat {r} --ordering {policy}",
+        s.label()
+    )
+}
+
+/// Runs one `(scenario, repeat, ordering)` triple with the runtime
+/// invariant checker enabled; `Err` is the first violation (an
+/// invariant panic, a missing checker, or a deadline timeout).
+pub fn fuzz_case(s: &Scenario, r: usize, policy: &OrderingPolicy) -> Result<Fingerprint, String> {
+    let cs = s.clone().checked(true).ordered(policy.clone());
+    let run = catch_unwind(AssertUnwindSafe(|| run_repeat_detailed(&cs, r, false)));
+    let (out, sys) = match run {
+        Ok(v) => v,
+        Err(p) => return Err(format!("invariant panic: {}", panic_msg(&*p))),
+    };
+    if !sys.invariant_checks_enabled() || sys.invariant_checks_run() == 0 {
+        return Err("checked run did not actually check".into());
+    }
+    if out.timed_out {
+        return Err(format!("deadline timeout under ordering {policy}"));
+    }
+    Ok(Fingerprint::of(&out, &sys))
+}
+
+/// Checks a triple fully: the [`fuzz_case`] invariants, bit-stability
+/// across an identical replay, and (when a FIFO baseline is supplied)
+/// task-set conservation. Returns the violations found.
+pub fn policy_case(
+    s: &Scenario,
+    r: usize,
+    policy: &OrderingPolicy,
+    fifo: Option<&Fingerprint>,
+) -> Vec<String> {
+    let label = format!("{} r{r} [{policy}]", s.label());
+    let mut fails = Vec::new();
+    match (fuzz_case(s, r, policy), fuzz_case(s, r, policy)) {
+        (Ok(a), Ok(b)) => {
+            if a != b {
+                fails.push(format!(
+                    "{label}: fingerprint not bit-stable across identical replays"
+                ));
+            }
+            if let Some(f) = fifo {
+                let ids =
+                    |fp: &Fingerprint| -> Vec<usize> { fp.tasks.iter().map(|t| t.0).collect() };
+                if ids(&a) != ids(f) {
+                    fails.push(format!(
+                        "{label}: task set diverged from the FIFO baseline \
+                         ({} vs {} tasks)",
+                        a.tasks.len(),
+                        f.tasks.len()
+                    ));
+                }
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => fails.push(format!("{label}: {e}")),
+    }
+    fails
+}
+
+/// Shrinks a failing triple's ordering: FIFO if the failure is
+/// ordering-independent, LIFO if that simpler policy already triggers
+/// it, and exhaustive prefixes trimmed from the tail while the failure
+/// persists.
+fn minimize(s: &Scenario, r: usize, policy: &OrderingPolicy) -> OrderingPolicy {
+    if policy.is_fifo() {
+        return policy.clone();
+    }
+    if !policy_case(s, r, &OrderingPolicy::Fifo, None).is_empty() {
+        return OrderingPolicy::Fifo;
+    }
+    if *policy != OrderingPolicy::Lifo && !policy_case(s, r, &OrderingPolicy::Lifo, None).is_empty()
+    {
+        return OrderingPolicy::Lifo;
+    }
+    if let OrderingPolicy::Exhaustive { k, prefix } = policy {
+        let mut best = prefix.clone();
+        while let Some((_, rest)) = best.split_last() {
+            let cand = OrderingPolicy::Exhaustive {
+                k: *k,
+                prefix: rest.to_vec(),
+            };
+            if policy_case(s, r, &cand, None).is_empty() {
+                break;
+            }
+            best = rest.to_vec();
+        }
+        return OrderingPolicy::Exhaustive {
+            k: *k,
+            prefix: best,
+        };
+    }
+    policy.clone()
+}
+
+/// Depth-bounded DFS over the schedule tree of one scenario repeat:
+/// every run replays with an [`OrderingPolicy::Exhaustive`] prefix, the
+/// branch-point log it returns (truncated to `depth`) yields the next
+/// DFS path via [`next_prefix`], until the tree is exhausted or
+/// `max_schedules` runs have been spent. Returns `(schedules run,
+/// minimized failures)`.
+pub fn exhaustive_sweep(
+    s: &Scenario,
+    r: usize,
+    k: u32,
+    depth: usize,
+    max_schedules: usize,
+) -> (usize, Vec<FuzzFailure>) {
+    let mut prefix: Vec<u32> = Vec::new();
+    let mut schedules = 0usize;
+    let mut failures = Vec::new();
+    loop {
+        let policy = OrderingPolicy::Exhaustive {
+            k,
+            prefix: prefix.clone(),
+        };
+        let cs = s.clone().checked(true).ordered(policy.clone());
+        let run = catch_unwind(AssertUnwindSafe(|| run_repeat_detailed(&cs, r, false)));
+        schedules += 1;
+        match run {
+            Err(p) => {
+                let min = minimize(s, r, &policy);
+                failures.push(FuzzFailure {
+                    repro: repro(s, r, &min),
+                    detail: format!(
+                        "{} r{r} [{policy}]: invariant panic: {}",
+                        s.label(),
+                        panic_msg(&*p)
+                    ),
+                });
+                // The branch-point log died with the run; stop this walk.
+                break;
+            }
+            Ok((out, sys)) => {
+                if out.timed_out {
+                    let min = minimize(s, r, &policy);
+                    failures.push(FuzzFailure {
+                        repro: repro(s, r, &min),
+                        detail: format!("{} r{r} [{policy}]: deadline timeout", s.label()),
+                    });
+                }
+                let log = sys.ordering_log();
+                let trimmed = &log[..log.len().min(depth)];
+                match next_prefix(trimmed) {
+                    Some(p) => prefix = p,
+                    None => break,
+                }
+            }
+        }
+        if schedules >= max_schedules {
+            break;
+        }
+    }
+    (schedules, failures)
+}
+
+/// The full schedule-space fuzz: seeded policy sweep over the battery,
+/// a depth-bounded exhaustive walk of the cheapest cell, and the lemma
+/// grids under non-FIFO orderings.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let mut failures: Vec<FuzzFailure> = Vec::new();
+
+    let battery: Vec<Scenario> = crate::diff_battery(opts.quick)
+        .into_iter()
+        .filter(|s| opts.only.as_deref().is_none_or(|o| s.label().contains(o)))
+        .collect();
+    if battery.is_empty() {
+        // A typo'd `--only` must not read as a passing repro.
+        failures.push(FuzzFailure {
+            repro: format!(
+                "--only {} matches no battery scenario",
+                opts.only.as_deref().unwrap_or("?")
+            ),
+            detail: format!(
+                "known labels: {}",
+                crate::diff_battery(opts.quick)
+                    .iter()
+                    .map(Scenario::label)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+        return FuzzReport {
+            cases: 0,
+            schedules: 0,
+            lemma_cells: 0,
+            failures,
+        };
+    }
+    let policies: Vec<OrderingPolicy> = match &opts.ordering {
+        Some(p) => vec![p.clone()],
+        None => std::iter::once(OrderingPolicy::Lifo)
+            .chain(
+                opts.corpus
+                    .iter()
+                    .map(|&s| OrderingPolicy::SeededShuffle(s)),
+            )
+            .collect(),
+    };
+
+    let mut grid: Vec<(Scenario, usize)> = Vec::new();
+    for s in &battery {
+        let reps: Vec<usize> = match opts.repeat {
+            Some(r) => vec![r],
+            None => (0..if opts.quick { 1 } else { s.repeats }).collect(),
+        };
+        for r in reps {
+            grid.push((s.clone(), r));
+        }
+    }
+    let case_cost = |s: &Scenario| (scenario_cost(s) / s.repeats.max(1) as u64).max(1);
+
+    // Phase 1: FIFO baselines. A cell that fails under plain FIFO is a
+    // battery bug, reported as such rather than poisoning every
+    // comparison below.
+    let fifo_jobs: Vec<SweepJob<Result<Fingerprint, String>>> = grid
+        .iter()
+        .map(|(s, r)| {
+            let (s, r) = (s.clone(), *r);
+            SweepJob::new(case_cost(&s), move || {
+                fuzz_case(&s, r, &OrderingPolicy::Fifo)
+            })
+        })
+        .collect();
+    let fifo: Vec<Result<Fingerprint, String>> = run_sweep(fifo_jobs);
+    for ((s, r), res) in grid.iter().zip(&fifo) {
+        if let Err(e) = res {
+            failures.push(FuzzFailure {
+                repro: repro(s, *r, &OrderingPolicy::Fifo),
+                detail: format!("{} r{r} [fifo]: {e}", s.label()),
+            });
+        }
+    }
+
+    // Phase 2: the seeded policy sweep. Each job checks one triple and
+    // minimizes its own failure, so the expensive shrink runs only on
+    // the (rare) failing triples and stays parallel.
+    let policy_jobs: Vec<SweepJob<Option<FuzzFailure>>> = grid
+        .iter()
+        .zip(&fifo)
+        .flat_map(|((s, r), base)| {
+            let base = base.as_ref().ok().cloned();
+            policies.iter().map(move |p| {
+                let (s, r, p, base) = (s.clone(), *r, p.clone(), base.clone());
+                // Two replays per triple, plus shrink attempts on failure.
+                SweepJob::new(case_cost(&s) * 2, move || {
+                    let fails = policy_case(&s, r, &p, base.as_ref());
+                    if fails.is_empty() {
+                        None
+                    } else {
+                        let min = minimize(&s, r, &p);
+                        Some(FuzzFailure {
+                            repro: repro(&s, r, &min),
+                            detail: fails.join("; "),
+                        })
+                    }
+                })
+            })
+        })
+        .collect();
+    let cases = grid.len() + policy_jobs.len();
+    failures.extend(run_sweep(policy_jobs).into_iter().flatten());
+
+    // Phases 3 and 4 sweep broadly; a pinned repro skips them.
+    let mut schedules = 0usize;
+    let mut lemma_cells = 0usize;
+    if !opts.repro_mode() {
+        // Phase 3: exhaustive walk of the cheapest battery cell.
+        if let Some(target) = battery.iter().min_by_key(|s| case_cost(s)) {
+            let (depth, max) = if opts.quick { (4, 32) } else { (6, 128) };
+            let (n, fails) = exhaustive_sweep(target, 0, 3, depth, max);
+            schedules = n;
+            failures.extend(fails);
+        }
+
+        // Phase 4: lemma and weighted budgets under non-FIFO orderings.
+        let lemma_policies: Vec<OrderingPolicy> = {
+            let seeds = if opts.quick { 2 } else { 4 };
+            std::iter::once(OrderingPolicy::Lifo)
+                .chain(
+                    opts.corpus
+                        .iter()
+                        .take(seeds)
+                        .map(|&s| OrderingPolicy::SeededShuffle(s)),
+                )
+                .collect()
+        };
+        let lemma_grid: &[(u32, u32)] = &[(3, 2), (5, 3), (7, 4)];
+        let weighted_grid: &[(&'static str, u32, &'static [f64])] = &[
+            ("2c-2:1", 4, &[2.0, 1.0]),
+            ("4c-biglittle", 8, &[1.0, 1.0, 0.55, 0.55]),
+        ];
+        let mut lemma_jobs: Vec<SweepJob<Option<FuzzFailure>>> = Vec::new();
+        for &(n, m) in lemma_grid {
+            for p in &lemma_policies {
+                let p = p.clone();
+                lemma_jobs.push(SweepJob::new(u64::from(n) * u64::from(m), move || {
+                    conformance_cell_ordered(n, m, &p)
+                        .err()
+                        .map(|e| FuzzFailure {
+                            repro: format!(
+                                "conformance_cell_ordered({n}, {m}, &\"{p}\".parse().unwrap())"
+                            ),
+                            detail: format!("[{p}] {e}"),
+                        })
+                }));
+            }
+        }
+        for &(name, n, speeds) in weighted_grid {
+            for p in &lemma_policies {
+                let p = p.clone();
+                lemma_jobs.push(SweepJob::new(
+                    u64::from(n) * speeds.len() as u64,
+                    move || {
+                        weighted_conformance_cell_ordered(name, n, speeds, &p)
+                            .err()
+                            .map(|e| FuzzFailure {
+                                repro: format!(
+                                    "weighted_conformance_cell_ordered(\"{name}\", {n}, \
+                                     &{speeds:?}, &\"{p}\".parse().unwrap())"
+                                ),
+                                detail: format!("[{p}] {e}"),
+                            })
+                    },
+                ));
+            }
+        }
+        lemma_cells = lemma_jobs.len();
+        failures.extend(run_sweep(lemma_jobs).into_iter().flatten());
+    }
+
+    FuzzReport {
+        cases,
+        schedules,
+        lemma_cells,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smallest_cell() -> Scenario {
+        crate::diff_battery(true)
+            .into_iter()
+            .min_by_key(scenario_cost)
+            .expect("battery is non-empty")
+    }
+
+    #[test]
+    fn unmatched_only_filter_is_a_failure_not_a_pass() {
+        let mut opts = FuzzOptions::new(true);
+        opts.only = Some("no-such-scenario".into());
+        let report = run_fuzz(&opts);
+        assert!(!report.ok(), "a typo'd --only must not read as green");
+        assert!(report.failures[0].detail.contains("known labels"));
+    }
+
+    #[test]
+    fn lifo_and_shuffle_conform_on_the_smallest_cell() {
+        let s = smallest_cell();
+        let base = fuzz_case(&s, 0, &OrderingPolicy::Fifo).expect("fifo baseline");
+        for p in [
+            OrderingPolicy::Lifo,
+            OrderingPolicy::SeededShuffle(DEFAULT_CORPUS[0]),
+        ] {
+            let fails = policy_case(&s, 0, &p, Some(&base));
+            assert!(fails.is_empty(), "{fails:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_walk_conforms_and_makes_progress() {
+        let s = smallest_cell();
+        let (schedules, fails) = exhaustive_sweep(&s, 0, 3, 3, 8);
+        assert!(fails.is_empty(), "{fails:?}");
+        assert!(schedules >= 2, "walk should branch at least once");
+    }
+
+    #[test]
+    fn repro_strings_parse_back() {
+        let s = smallest_cell();
+        let line = repro(&s, 0, &OrderingPolicy::SeededShuffle(7));
+        let spec = line.rsplit(' ').next().unwrap();
+        assert_eq!(
+            spec.parse::<OrderingPolicy>().unwrap(),
+            OrderingPolicy::SeededShuffle(7)
+        );
+        assert!(line.contains("--only"), "{line}");
+    }
+
+    #[test]
+    fn lemma_budget_holds_under_lifo_on_the_classic_cell() {
+        conformance_cell_ordered(3, 2, &OrderingPolicy::Lifo)
+            .expect("3-on-2 must conform under LIFO");
+    }
+}

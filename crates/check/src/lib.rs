@@ -12,24 +12,37 @@
 //!    paths (traced / invariant-checked / reference-scan balancer state),
 //!    diffed bit-for-bit;
 //! 3. [`lemma`] — a conformance sweep checking the real speed balancer
-//!    against Lemma 1's analytic bound over an (N threads, M cores) grid.
+//!    against Lemma 1's analytic bound over an (N threads, M cores) grid;
+//! 4. [`fuzz`] — schedule-space fuzzing: the battery replayed under
+//!    non-FIFO same-instant orderings (LIFO, seeded shuffles, and a
+//!    depth-bounded exhaustive walk), checking everything that must not
+//!    depend on the event queue's tie-break.
 //!
-//! [`run_full_check`] runs all three and is wired to `speedbal-cli check`
-//! and into CI.
+//! [`run_full_check`] runs the first three and is wired to `speedbal-cli
+//! check` and into CI; the fuzzer runs via `speedbal-cli check --fuzz`
+//! and its own CI job.
 
 pub mod diff;
+pub mod fuzz;
 pub mod lemma;
+#[cfg(test)]
+mod props;
 pub mod refqueue;
 
 pub use diff::{diff_repeat, diff_scenarios, migration_log, Fingerprint};
+pub use fuzz::{run_fuzz, FuzzFailure, FuzzOptions, FuzzReport};
 pub use lemma::{
-    conformance_cell, conformance_sweep, weighted_conformance_cell, weighted_conformance_sweep,
+    conformance_cell, conformance_cell_ordered, conformance_sweep, lockstep_cell,
+    weighted_conformance_cell, weighted_conformance_cell_ordered, weighted_conformance_sweep,
     LemmaCell, WeightedLemmaCell,
 };
 pub use refqueue::{
     differential_queue_case, differential_queue_case_with, DeltaProfile, PostedQueue,
     QueueCaseStats,
 };
+// Re-exported so `speedbal-cli check --fuzz --ordering ...` can parse
+// policy specs without depending on speedbal-sim directly.
+pub use speedbal_sim::OrderingPolicy;
 
 use speedbal_apps::WaitMode;
 use speedbal_harness::{run_sweep, Competitor, Machine, Policy, Scenario, SweepJob};
@@ -113,8 +126,10 @@ impl CheckReport {
 /// The scenario battery the differential harness replays: the paper's
 /// running example, an oversubscribed many-thread cell, a LOAD-policy
 /// cell so the observational paths are diffed under a second balancer,
-/// and an open-loop server cell exercising the request/queue machinery.
-fn diff_battery(quick: bool) -> Vec<Scenario> {
+/// an open-loop server cell exercising the request/queue machinery, a
+/// NUMA (Barcelona) cell, and a make -j competitor cell. The same
+/// battery is the schedule-space fuzzer's corpus (see [`fuzz`]).
+pub(crate) fn diff_battery(quick: bool) -> Vec<Scenario> {
     let repeats = if quick { 1 } else { 3 };
     let mut v = vec![
         Scenario::new(
@@ -164,6 +179,30 @@ fn diff_battery(quick: bool) -> Vec<Scenario> {
             Policy::Speed,
             ep().spmd(11, WaitMode::Yield, 0.05),
         )
+        .repeats(repeats),
+        // NUMA cell: Barcelona's multi-socket topology in the quick
+        // battery, so cross-socket migration decisions are diffed (and
+        // schedule-fuzzed) on every CI run, not just in full mode.
+        Scenario::new(
+            Machine::Barcelona,
+            4,
+            Policy::Speed,
+            ep().spmd(6, WaitMode::Yield, 0.05),
+        )
+        .repeats(repeats),
+        // make -j cell: EP sharing the machine with a small parallel
+        // batch build (Figure 6's competitor), so the job chains'
+        // sleep/wake churn is part of the diffed (and fuzzed) stream.
+        Scenario::new(
+            Machine::Uniform(4),
+            0,
+            Policy::Speed,
+            ep().spmd(4, WaitMode::Block, 0.05),
+        )
+        .competitors(vec![Competitor::MakeJ {
+            tasks: 3,
+            jobs_per_task: 3,
+        }])
         .repeats(repeats),
     ];
     if !quick {

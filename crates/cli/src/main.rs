@@ -35,6 +35,19 @@
 //!   check       run the correctness subsystem: event-queue differential
 //!               fuzz, scenario differential replays, and the Lemma 1
 //!               conformance sweep; non-zero exit on any violation
+//!   check --fuzz  schedule-space fuzzing: replay the scenario battery
+//!               under non-FIFO same-instant orderings (LIFO, seeded
+//!               shuffles, a depth-bounded exhaustive walk) and re-check
+//!               the Lemma budgets under each; minimized failing
+//!               (scenario, repeat, ordering) triples are printed and
+//!               written to the --out file (default fuzz_repros.txt)
+//!
+//! exit codes:
+//!   0  success
+//!   1  runtime error (unknown artifact, scenario failure, ...)
+//!   2  usage error (unknown flag or malformed value)
+//!   3  correctness violation (check / check --fuzz found failures)
+//!   4  I/O error (a requested path could not be read or written)
 //!
 //! options:
 //!   --full           paper-scale runs (scale 0.5, 10 repeats) [default: quick]
@@ -61,10 +74,21 @@
 //!                    speed-sample records (deterministic per seed);
 //!                    aggregates and summaries stay exact
 //!   --out <f>        bench: output path [default: BENCH_sim.json]
+//!                    check --fuzz: repro file path [default: fuzz_repros.txt]
 //!   --check <f>      bench: compare against a committed report instead of
 //!                    writing; fail if ns/step exceeds 2x the committed value
+//!   --fuzz           check: run the schedule-space fuzzer instead of the
+//!                    three standard layers
+//!   --corpus <f>     check --fuzz: shuffle-seed corpus file, one seed per
+//!                    line (decimal or 0x-hex, # comments)
+//!   --only <sub>     check --fuzz: restrict to scenarios whose label
+//!                    contains <sub> (repro mode)
+//!   --repeat <n>     check --fuzz: pin one repeat index (repro mode)
+//!   --ordering <p>   check --fuzz: pin one ordering policy — fifo | lifo |
+//!                    shuffle:SEED | exhaustive:K[:C.C.C] (repro mode)
 //! ```
 
+use speedbal_check::OrderingPolicy;
 use speedbal_harness::experiments::{self, Profile};
 use speedbal_harness::perf;
 use speedbal_harness::{
@@ -72,8 +96,59 @@ use speedbal_harness::{
     sweep_stats, trace_file_path, Machine, Policy,
 };
 use speedbal_trace::{export_chrome_to, render_summary};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Typed runtime failures, each mapped to a documented exit code (see
+/// the module docs): artifact/runtime errors exit 1, correctness
+/// violations 3, I/O errors 4. Usage errors are caught at parse time
+/// and exit 2.
+#[derive(Debug)]
+enum CliError {
+    /// An artifact failed for a non-I/O reason (unknown name, scenario
+    /// contract violation, bench regression, ...).
+    Runtime(String),
+    /// `check` / `check --fuzz` found this many correctness violations.
+    CheckFailed(usize),
+    /// A user-supplied path could not be read or written.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+}
+
+impl CliError {
+    fn io(path: &Path, source: std::io::Error) -> CliError {
+        CliError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Runtime(_) => ExitCode::from(1),
+            CliError::CheckFailed(_) => ExitCode::from(3),
+            CliError::Io { .. } => ExitCode::from(4),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Runtime(msg) => write!(f, "{msg}"),
+            CliError::CheckFailed(n) => write!(f, "{n} correctness violation(s)"),
+            CliError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Runtime(msg)
+    }
+}
 
 #[derive(Debug)]
 struct Options {
@@ -95,6 +170,16 @@ struct Options {
     no_cache: bool,
     /// Fraction of high-volume trace records retained (`trace` artifact).
     trace_sample: f64,
+    /// `check --fuzz`: run the schedule-space fuzzer.
+    fuzz: bool,
+    /// `check --fuzz --corpus`: shuffle-seed corpus file.
+    fuzz_corpus: Option<PathBuf>,
+    /// `check --fuzz --only`: scenario label filter (repro mode).
+    fuzz_only: Option<String>,
+    /// `check --fuzz --repeat`: pinned repeat index (repro mode).
+    fuzz_repeat: Option<usize>,
+    /// `check --fuzz --ordering`: pinned ordering policy (repro mode).
+    fuzz_ordering: Option<OrderingPolicy>,
     artifacts: Vec<String>,
 }
 
@@ -123,6 +208,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut jobs = None;
     let mut no_cache = false;
     let mut trace_sample = 1.0f64;
+    let mut fuzz = false;
+    let mut fuzz_corpus = None;
+    let mut fuzz_only = None;
+    let mut fuzz_repeat = None;
+    let mut fuzz_ordering = None;
     let mut artifacts = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +247,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--quick" => bench_quick = true,
             "--profile" => bench_profile = true,
+            "--fuzz" => fuzz = true,
+            "--corpus" => {
+                let v = it.next().ok_or("--corpus needs a path")?;
+                fuzz_corpus = Some(PathBuf::from(v));
+            }
+            "--only" => {
+                let v = it.next().ok_or("--only needs a label substring")?;
+                fuzz_only = Some(v.clone());
+            }
+            "--repeat" => {
+                let v = it.next().ok_or("--repeat needs an index")?;
+                fuzz_repeat = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --repeat {v}: {e}"))?,
+                );
+            }
+            "--ordering" => {
+                let v = it.next().ok_or("--ordering needs a policy spec")?;
+                fuzz_ordering = Some(
+                    v.parse::<OrderingPolicy>()
+                        .map_err(|e| format!("bad --ordering {v}: {e}"))?,
+                );
+            }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 let n = v
@@ -221,6 +334,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs,
         no_cache,
         trace_sample,
+        fuzz,
+        fuzz_corpus,
+        fuzz_only,
+        fuzz_repeat,
+        fuzz_ordering,
         artifacts,
     })
 }
@@ -228,7 +346,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 /// `speedbal-cli trace <scenario>`: run the named scenario traced under
 /// SPEED and LOAD (or just `--policy`), write one Chrome trace file per
 /// policy × repeat, and print each policy's first-repeat summary.
-fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
+fn run_trace(name: &str, opts: &Options) -> Result<(), CliError> {
     let mut p = opts.profile;
     if !opts.repeats_explicit {
         p.repeats = 1;
@@ -246,11 +364,16 @@ fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
         let s = experiments::trace_scenario(name, policy, p)?.trace_sampled(opts.trace_sample);
         let (result, traces) = run_scenario_with_traces(&s);
         for (r, buf) in traces.iter().enumerate() {
-            let buf = buf.as_ref().expect("trace scenarios always record");
+            let buf = buf.as_ref().ok_or_else(|| {
+                CliError::Runtime(format!(
+                    "trace scenario {name} repeat {r} recorded no buffer \
+                     (harness contract violation)"
+                ))
+            })?;
             let path = trace_file_path(&base, &s.label(), seq as u64, r);
             std::fs::File::create(&path)
                 .and_then(|f| export_chrome_to(buf, f))
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                .map_err(|e| CliError::io(&path, e))?;
             println!("wrote {}", path.display());
         }
         println!(
@@ -274,7 +397,7 @@ fn run_trace(name: &str, opts: &Options) -> Result<(), String> {
 /// against a committed report with 2x tolerance and exit non-zero on
 /// regression (naming the offending cell). `--check` combined with
 /// `--out` also writes the fresh report, so CI can archive it.
-fn run_bench_cmd(opts: &Options) -> Result<(), String> {
+fn run_bench_cmd(opts: &Options) -> Result<(), CliError> {
     let cfg = if opts.bench_quick {
         perf::BenchConfig::quick()
     } else {
@@ -333,14 +456,13 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         );
     }
     if let Some(check) = &opts.bench_check {
-        let text = std::fs::read_to_string(check)
-            .map_err(|e| format!("reading {}: {e}", check.display()))?;
+        let text = std::fs::read_to_string(check).map_err(|e| CliError::io(check, e))?;
         let doc = perf::parse_bench_doc(&text).map_err(|e| format!("{}: {e}", check.display()))?;
         // With an explicit --out, the fresh report is also written (before
         // the verdict, so CI can archive it even when the check fails).
         if let Some(out) = &opts.bench_out {
             std::fs::write(out, report.to_json(doc.before.as_ref()))
-                .map_err(|e| format!("writing {}: {e}", out.display()))?;
+                .map_err(|e| CliError::io(out, e))?;
             eprintln!("wrote fresh report to {}", out.display());
         }
         let verdict = perf::check_against(&report, &doc, 2.0)?;
@@ -357,15 +479,87 @@ fn run_bench_cmd(opts: &Options) -> Result<(), String> {
         .and_then(|t| perf::parse_bench_doc(&t).ok())
         .and_then(|d| d.before)
         .unwrap_or_else(perf::recorded_baseline);
-    std::fs::write(&out, report.to_json(Some(&before)))
-        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    std::fs::write(&out, report.to_json(Some(&before))).map_err(|e| CliError::io(&out, e))?;
     println!("wrote {}", out.display());
     Ok(())
 }
 
+/// Parses a shuffle-seed corpus file: one seed per line, decimal or
+/// `0x`-hex, `#` comments and blank lines ignored.
+fn load_corpus(path: &Path) -> Result<Vec<u64>, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    let mut seeds = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = match line.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(&hex.replace('_', ""), 16),
+            None => line.replace('_', "").parse::<u64>(),
+        };
+        match parsed {
+            Ok(s) => seeds.push(s),
+            Err(e) => {
+                return Err(CliError::Runtime(format!(
+                    "{} line {}: bad seed {line:?}: {e}",
+                    path.display(),
+                    i + 1
+                )))
+            }
+        }
+    }
+    if seeds.is_empty() {
+        return Err(CliError::Runtime(format!(
+            "{}: corpus contains no seeds",
+            path.display()
+        )));
+    }
+    Ok(seeds)
+}
+
+/// `speedbal-cli check --fuzz [--quick] [--corpus f] [--only sub]
+/// [--repeat n] [--ordering p] [--out f]`: run the schedule-space
+/// fuzzer; on failure the minimized repro triples are also written to
+/// the `--out` file (default `fuzz_repros.txt`) for CI to archive.
+fn run_fuzz_cmd(opts: &Options) -> Result<(), CliError> {
+    let mut fo = speedbal_check::FuzzOptions::new(opts.bench_quick);
+    if let Some(path) = &opts.fuzz_corpus {
+        fo.corpus = load_corpus(path)?;
+    }
+    fo.only = opts.fuzz_only.clone();
+    fo.repeat = opts.fuzz_repeat;
+    fo.ordering = opts.fuzz_ordering.clone();
+    eprintln!(
+        "== check --fuzz: schedule-space orderings ({}, {} corpus seeds) ==",
+        if opts.bench_quick { "quick" } else { "full" },
+        fo.corpus.len()
+    );
+    let report = speedbal_check::run_fuzz(&fo);
+    print!("{}", report.render());
+    if report.ok() {
+        return Ok(());
+    }
+    let out = opts
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("fuzz_repros.txt"));
+    let mut doc = String::new();
+    for f in &report.failures {
+        doc.push_str(&format!("# {}\n{}\n", f.detail, f.repro));
+    }
+    std::fs::write(&out, doc).map_err(|e| CliError::io(&out, e))?;
+    eprintln!("wrote minimized repros to {}", out.display());
+    Err(CliError::CheckFailed(report.failures.len()))
+}
+
 /// `speedbal-cli check [--quick]`: run all three layers of the
 /// `speedbal-check` correctness subsystem and fail on any violation.
-fn run_check_cmd(opts: &Options) -> Result<(), String> {
+/// With `--fuzz`, run the schedule-space fuzzer instead.
+fn run_check_cmd(opts: &Options) -> Result<(), CliError> {
+    if opts.fuzz {
+        return run_fuzz_cmd(opts);
+    }
     eprintln!(
         "== check: invariants / differential / Lemma 1 conformance ({}) ==",
         if opts.bench_quick { "quick" } else { "full" }
@@ -375,14 +569,11 @@ fn run_check_cmd(opts: &Options) -> Result<(), String> {
     if report.ok() {
         Ok(())
     } else {
-        Err(format!(
-            "{} correctness violation(s)",
-            report.failures.len()
-        ))
+        Err(CliError::CheckFailed(report.failures.len()))
     }
 }
 
-fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
+fn run_artifact(name: &str, opts: &Options) -> Result<(), CliError> {
     let p = opts.profile;
     if let Some(scenario) = name.strip_prefix("trace:") {
         return run_trace(scenario, opts);
@@ -469,7 +660,7 @@ fn run_artifact(name: &str, opts: &Options) -> Result<(), String> {
                 println!();
             }
         }
-        other => return Err(format!("unknown artifact {other}")),
+        other => return Err(CliError::Runtime(format!("unknown artifact {other}"))),
     }
     Ok(())
 }
@@ -489,12 +680,15 @@ fn main() -> ExitCode {
                  \x20          hetero all\n\
                  \x20          trace <scenario>   (ep-3x2 ep-16x8 ep-hog cg-barrier web-serve)\n\
                  \x20          bench [--quick] [--out f] [--check f]\n\
-                 \x20          check [--quick]"
+                 \x20          check [--quick] [--fuzz [--corpus f] [--only sub]\n\
+                 \x20                           [--repeat n] [--ordering p] [--out f]]\n\
+                 exit codes: 1 runtime error, 2 usage error, 3 correctness violation,\n\
+                 \x20           4 I/O error"
             );
             return if e == "help" {
                 ExitCode::SUCCESS
             } else {
-                ExitCode::FAILURE
+                ExitCode::from(2)
             };
         }
     };
@@ -519,7 +713,7 @@ fn main() -> ExitCode {
     for artifact in &opts.artifacts {
         if let Err(e) = run_artifact(artifact, &opts) {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return e.exit_code();
         }
     }
     // Executor report on stderr: stdout stays byte-identical to a serial,
@@ -632,6 +826,67 @@ mod tests {
             parse(&["--trace-sample", "1.5", "fig1"]).is_err(),
             "rate above 1"
         );
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let o = parse(&["check", "--fuzz", "--quick"]).unwrap();
+        assert!(o.fuzz && o.bench_quick);
+        assert!(o.fuzz_only.is_none() && o.fuzz_ordering.is_none());
+
+        let o = parse(&[
+            "check",
+            "--fuzz",
+            "--only",
+            "uniform2",
+            "--repeat",
+            "1",
+            "--ordering",
+            "shuffle:42",
+            "--corpus",
+            "fuzz/corpus.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.fuzz_only.as_deref(), Some("uniform2"));
+        assert_eq!(o.fuzz_repeat, Some(1));
+        assert_eq!(o.fuzz_ordering, Some(OrderingPolicy::SeededShuffle(42)));
+        assert_eq!(o.fuzz_corpus, Some(PathBuf::from("fuzz/corpus.txt")));
+
+        assert!(parse(&["check", "--fuzz", "--ordering", "sideways"]).is_err());
+        assert!(parse(&["check", "--fuzz", "--repeat", "x"]).is_err());
+        assert!(parse(&["check", "--fuzz", "--corpus"]).is_err());
+    }
+
+    #[test]
+    fn corpus_parser_handles_formats_and_errors() {
+        let dir = std::env::temp_dir().join("speedbal-cli-corpus-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.txt");
+        std::fs::write(&good, "# comment\n42\n0xdead_beef  # inline\n\n7\n").unwrap();
+        assert_eq!(load_corpus(&good).unwrap(), vec![42, 0xdead_beef, 7]);
+
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "42\nnot-a-seed\n").unwrap();
+        assert!(matches!(load_corpus(&bad), Err(CliError::Runtime(_))));
+
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        assert!(matches!(load_corpus(&empty), Err(CliError::Runtime(_))));
+
+        let missing = dir.join("missing.txt");
+        assert!(matches!(load_corpus(&missing), Err(CliError::Io { .. })));
+    }
+
+    #[test]
+    fn cli_errors_map_to_documented_exit_codes() {
+        assert_eq!(CliError::Runtime("x".into()).exit_code(), ExitCode::from(1));
+        assert_eq!(CliError::CheckFailed(3).exit_code(), ExitCode::from(3));
+        let io = CliError::io(
+            Path::new("/nonexistent/x"),
+            std::io::Error::from(std::io::ErrorKind::NotFound),
+        );
+        assert_eq!(io.exit_code(), ExitCode::from(4));
+        assert!(io.to_string().contains("/nonexistent/x"));
     }
 
     #[test]

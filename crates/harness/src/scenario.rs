@@ -14,7 +14,7 @@ use speedbal_machine::{
 };
 use speedbal_metrics::RepeatStats;
 use speedbal_sched::{Balancer, GroupId, SchedConfig, SpawnSpec, System};
-use speedbal_sim::{SimDuration, SimTime};
+use speedbal_sim::{OrderingPolicy, SimDuration, SimTime};
 use speedbal_trace::{export_chrome_to, TraceBuffer, TraceConfig};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -172,6 +172,11 @@ pub struct Scenario {
     /// bit-identical to an unchecked one — but it costs O(tasks) per event,
     /// so it defaults to off.
     pub check: bool,
+    /// Same-instant event ordering for every repeat (see
+    /// `speedbal_sim::ordering`). The default [`OrderingPolicy::Fifo`] is
+    /// the committed bit-identical baseline; non-FIFO policies are the
+    /// schedule-space fuzzer's lever and never feed committed results.
+    pub ordering: OrderingPolicy,
 }
 
 impl Scenario {
@@ -191,6 +196,7 @@ impl Scenario {
             trace: false,
             trace_sample: 1.0,
             check: false,
+            ordering: OrderingPolicy::Fifo,
         }
     }
 
@@ -253,6 +259,13 @@ impl Scenario {
 
     pub fn checked(mut self, on: bool) -> Scenario {
         self.check = on;
+        self
+    }
+
+    /// Overrides the same-instant event ordering (see
+    /// [`Scenario::ordering`]; default FIFO).
+    pub fn ordered(mut self, policy: OrderingPolicy) -> Scenario {
+        self.ordering = policy;
         self
     }
 
@@ -425,11 +438,15 @@ pub fn run_repeat_detailed(s: &Scenario, r: usize, traced: bool) -> (RepeatOutco
         sys.enable_tracing_with(TraceConfig {
             sample_rate: s.trace_sample,
             sample_seed: seed,
+            ordering_tag: (!s.ordering.is_fifo()).then(|| s.ordering.to_string()),
             ..TraceConfig::default()
         });
     }
     if s.check {
         sys.enable_invariant_checks();
+    }
+    if !s.ordering.is_fifo() {
+        sys.set_ordering_policy(s.ordering.clone());
     }
     let g = sys.new_group();
     debug_assert_eq!(g, app_group);

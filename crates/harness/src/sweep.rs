@@ -449,7 +449,7 @@ pub fn scenario_cost(s: &Scenario) -> u64 {
 /// Narrow batches — fewer cells than the worker budget, e.g. one
 /// full-scale scenario run at 5 repeats on an 8-way box — would leave
 /// most of the pool idle at cell granularity, so they are fanned out at
-/// *repeat* granularity instead (see [`run_scenarios_split`]).
+/// *repeat* granularity instead (see `run_scenarios_split`).
 pub fn run_scenarios(scenarios: Vec<Scenario>) -> Vec<ScenarioResult> {
     if !scenarios.is_empty() && scenarios.len() < effective_jobs() {
         return run_scenarios_split(scenarios);

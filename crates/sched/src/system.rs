@@ -39,7 +39,7 @@ use crate::program::{Directive, Program, ProgramCtx};
 use crate::rq::RunQueue;
 use crate::task::{Activity, Task, TaskId, TaskState, TaskTable};
 use speedbal_machine::{CoreId, CostModel, FreqSchedule, Topology};
-use speedbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SlotId};
+use speedbal_sim::{EventQueue, OrderingPolicy, SimDuration, SimRng, SimTime, SlotId};
 use speedbal_trace::{MigrationReason, TraceBuffer, TraceConfig, TraceEvent};
 
 /// Handle to a task group (one application / competing workload).
@@ -667,6 +667,24 @@ impl System {
 
     pub fn total_migrations(&self) -> u64 {
         self.total_migrations
+    }
+
+    /// Selects the same-instant event [`OrderingPolicy`] for the rest of
+    /// the run (see `speedbal_sim::ordering`). The default FIFO keeps the
+    /// committed bit-identical `(time, seq)` contract; non-FIFO policies
+    /// explore other legal serializations of same-instant events — every
+    /// scheduling decision is driven off `events.pop()`, so this one knob
+    /// covers the whole stepping loop. Call before the first step.
+    pub fn set_ordering_policy(&mut self, policy: OrderingPolicy) {
+        self.events.set_ordering(policy);
+    }
+
+    /// The `(choice, arity)` branch-point log of an
+    /// `OrderingPolicy::Exhaustive` run (empty under any other policy);
+    /// feed it to `speedbal_sim::ordering::next_prefix` to enumerate the
+    /// schedule tree.
+    pub fn ordering_log(&self) -> &[(u32, u32)] {
+        self.events.ordering_log()
     }
 
     /// Starts structured event tracing with default settings. Idempotent.

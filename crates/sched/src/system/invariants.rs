@@ -22,6 +22,12 @@
 //!   regresses between checks (the fig6 incident class). Note queued
 //!   vruntimes may legitimately sit *below* the floor (sleeper credit), so
 //!   only the floor itself is constrained.
+//! * **Lag bound** — no Runnable task goes without CPU for more than
+//!   [`System::lag_bound`]: its queue's weighted scheduling period times a
+//!   fixed slack ("no task starves by more than a slice", weight-aware).
+//!   Found by the schedule-space fuzzer's design review: a lost dispatch
+//!   or a task skipped by a corrupted queue key passes every structural
+//!   mirror check above while the victim silently starves.
 //!
 //! Checks run at three hook points — post-step, post-migration and
 //! post-balance-tick — and cost a single branch when disabled. Enable them
@@ -38,9 +44,21 @@ use std::sync::OnceLock;
 pub(crate) struct CheckState {
     /// Last observed `min_vruntime` floor per core.
     floors: Vec<u64>,
+    /// Per-task progress watermark for the lag-bound check: the task's
+    /// exec total when it last made progress (or was not Runnable), and
+    /// when that was observed.
+    waiting: Vec<(u64, SimTime)>,
     /// Number of hook invocations so far.
     checks_run: u64,
 }
+
+/// Slack multiplier on the weighted scheduling period before the lag
+/// bound trips. Absorbs everything that legitimately delays a turn
+/// without hiding real starvation: DVFS-throttled cores stretch a slice
+/// by the inverse speed (up to ~4x on the throttle ratchet), balancer
+/// `post_migration_block` holds a queue briefly, and a freshly migrated
+/// task may wait out one full period on its new queue.
+const LAG_SLACK: u64 = 8;
 
 /// True iff `SPEEDBAL_CHECK` is set to anything but `0` (cached: the env
 /// cannot meaningfully change mid-process, and `System::new` is on some
@@ -59,9 +77,36 @@ impl System {
         if self.check.is_none() {
             self.check = Some(Box::new(CheckState {
                 floors: vec![0; self.cores.len()],
+                waiting: Vec::new(),
                 checks_run: 0,
             }));
         }
+    }
+
+    /// The starvation bound the checker holds each Runnable task to:
+    /// `LAG_SLACK` (8) weighted scheduling periods of its current queue.
+    /// With equal weights one period is `max(sched_latency,
+    /// nr_running × min_granularity)` — the window within which CFS's
+    /// round-robin gives everyone a slice — and a low-weight (niced)
+    /// task is allowed proportionally longer (`⌈ΣW/w⌉` periods),
+    /// mirroring weighted fair queueing.
+    pub fn lag_bound(&self, t: TaskId) -> SimDuration {
+        let c = self.tasks.core[t.0].0;
+        let core = &self.cores[c];
+        let nr = core.queue.len() + usize::from(core.current.is_some());
+        let period = self
+            .cfg
+            .sched_latency
+            .max(self.cfg.min_granularity * nr as u64);
+        let queue_weight: u64 = core
+            .queue
+            .iter()
+            .chain(core.current)
+            .map(|id| u64::from(self.tasks.weight[id.0]))
+            .sum();
+        let own = u64::from(self.tasks.weight[t.0]).max(1);
+        let ratio = queue_weight.div_ceil(own).max(1);
+        period * (ratio * LAG_SLACK)
     }
 
     /// True iff invariant checking is on.
@@ -204,6 +249,7 @@ impl System {
     /// any breach. Caller has already verified `self.check.is_some()`.
     pub(crate) fn invariant_tick(&mut self, point: &str) {
         let mut violations = self.check_invariants();
+        let now = self.now();
         let mut state = self.check.take().expect("invariant_tick without state");
         state.floors.resize(self.cores.len(), 0);
         for (c, core) in self.cores.iter().enumerate() {
@@ -215,6 +261,31 @@ impl System {
                 ));
             }
             state.floors[c] = floor;
+        }
+        // Lag bound: a task continuously Runnable since `since` whose exec
+        // total has not moved must get CPU within its weighted period.
+        // Any progress, state change, or suspension resets the watermark.
+        for i in 0..self.tasks.len() {
+            let exec = self.tasks.exec_total_at(i, now).as_nanos();
+            if i >= state.waiting.len() {
+                state.waiting.push((exec, now));
+                continue;
+            }
+            let starvable = self.tasks.state[i] == TaskState::Runnable && !self.tasks.suspended[i];
+            if !starvable || state.waiting[i].0 != exec {
+                state.waiting[i] = (exec, now);
+                continue;
+            }
+            let waited = now.saturating_since(state.waiting[i].1);
+            let bound = self.lag_bound(TaskId(i));
+            if waited > bound {
+                violations.push(format!(
+                    "lag: {} Runnable on core {:?} without CPU for {waited} \
+                     (weighted bound {bound})",
+                    TaskId(i),
+                    self.tasks.core[i]
+                ));
+            }
         }
         state.checks_run += 1;
         self.check = Some(state);
@@ -360,6 +431,52 @@ mod tests {
         sys.spawn(SpawnSpec::new(compute(10), "a", g));
         sys.tasks.exec_total[0] += SimDuration::from_nanos(1);
         sys.run_to_quiescence();
+    }
+
+    #[test]
+    fn starved_runnable_task_trips_the_lag_bound() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(2000), "a", g));
+        sys.spawn(SpawnSpec::new(compute(2000), "b", g));
+        // Starve "b" in a way every *structural* mirror is blind to: push
+        // its queue key and its stored vruntime — consistently — into the
+        // far future, as a bug that mis-scales a weight or mangles a key
+        // would. The queue/table mirror check stays green; only the lag
+        // bound can see the task never getting CPU.
+        let key = sys.tasks.vruntime[1];
+        assert!(sys.cores[0].queue.dequeue(key, TaskId(1)));
+        let far = 1 << 40;
+        sys.tasks.vruntime[1] = far;
+        sys.cores[0].queue.enqueue(far, TaskId(1));
+        assert!(
+            sys.check_invariants().is_empty(),
+            "the starved state must pass every structural check"
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.run_until(SimTime::from_millis(3000));
+        }))
+        .expect_err("starvation must trip the lag bound");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("lag:"), "got: {msg}");
+    }
+
+    #[test]
+    fn lag_bound_is_weight_aware() {
+        let mut sys = checked_system(1);
+        let g = sys.new_group();
+        sys.spawn(SpawnSpec::new(compute(100), "fat", g));
+        sys.spawn(SpawnSpec::new(compute(100), "nice", g).weight(128));
+        let fat = sys.lag_bound(TaskId(0));
+        let nice = sys.lag_bound(TaskId(1));
+        // queue weight 1152: fat's share ratio is ceil(1152/1024) = 2,
+        // nice's is ceil(1152/128) = 9 — the light task gets ~4.5x the
+        // wait budget of the heavy one.
+        assert!(
+            nice >= fat * 4,
+            "a weight-128 task must be allowed a weight-inverse wait \
+             budget: {nice} vs {fat}"
+        );
     }
 
     #[test]

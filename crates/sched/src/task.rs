@@ -1,15 +1,15 @@
 //! Task state: everything the scheduler and the balancers know about one
 //! thread.
 //!
-//! Storage is a struct-of-arrays [`TaskTable`]: the fields the dispatch /
+//! Storage is a struct-of-arrays `TaskTable`: the fields the dispatch /
 //! deschedule path touches on every event (state, core, vruntime, weight,
 //! activity, accounting timestamps) live in dense parallel vectors, while
 //! rarely-touched identity and bookkeeping fields (name, affinity, program,
-//! counters) sit in a per-task [`TaskCold`] record. One simulation step
+//! counters) sit in a per-task `TaskCold` record. One simulation step
 //! touches a handful of hot arrays instead of striding across ~250-byte
 //! task structs, which keeps the working set of the event loop inside a few
-//! cache lines. [`Task`] survives as the spawn-time record that
-//! [`TaskTable::push`] scatters into the arrays.
+//! cache lines. `Task` survives as the spawn-time record that
+//! `TaskTable::push` scatters into the arrays.
 
 use crate::cond::CondId;
 use crate::program::Program;

@@ -7,8 +7,8 @@
 //!
 //! # Structure
 //!
-//! Events live in a hierarchical timing wheel: [`LEVELS`] levels of
-//! [`WHEEL_SLOTS`] buckets each, every level [`LEVEL_BITS`] bits wider than
+//! Events live in a hierarchical timing wheel: `LEVELS` levels of
+//! `WHEEL_SLOTS` buckets each, every level `LEVEL_BITS` bits wider than
 //! the one below, with a `u64` occupancy bitmap per level so finding the
 //! next non-empty bucket is a rotate plus a trailing-zeros count. All
 //! entries are nodes in one slab (`nodes` + free list) and a bucket is just
@@ -65,6 +65,8 @@
 //! replaced (proved continuously by the differential fuzz in
 //! `speedbal-check`).
 
+use crate::ordering::OrderingPolicy;
+use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -154,6 +156,37 @@ impl PartialOrd for EarlyRef {
     }
 }
 
+/// Engine state for a non-FIFO [`OrderingPolicy`]. `None` on the queue
+/// means FIFO: the entire reordering machinery stays off the hot path.
+#[derive(Debug)]
+enum ReorderState {
+    Lifo,
+    Shuffle(SimRng),
+    Exhaustive {
+        /// Batches wider than `k` are served FIFO (arity 1), keeping
+        /// the choice tree finite.
+        k: u32,
+        /// Branch choices to replay, consumed left to right; running
+        /// off the end falls back to choice 0 (FIFO-first descent).
+        prefix: Vec<u32>,
+        /// Next prefix position to consume.
+        cursor: usize,
+        /// `(choice, arity)` actually taken at each branch point.
+        log: Vec<(u32, u32)>,
+    },
+}
+
+/// One same-instant event pulled out of the queue for reordered
+/// service. `slot` is the owning slot (or [`NO_SLOT`]); `event` is
+/// `None` once the entry is served — or killed by a same-instant
+/// cancel/re-arm of its slot, exactly as a demotion would have killed
+/// it under FIFO had the cancel popped first.
+#[derive(Debug)]
+struct StashEntry<E> {
+    slot: u32,
+    event: Option<E>,
+}
+
 /// One wheel level: 64 bucket list heads. The occupancy bitmaps live in a
 /// flat array on the queue itself ([`EventQueue::occ`]) so the candidate
 /// scan touches one cache line instead of eight.
@@ -238,6 +271,20 @@ pub struct EventQueue<E> {
     dead: usize,
     /// Reusable index buffer for compaction passes.
     scratch: Vec<u32>,
+    /// Same-instant ordering engine; `None` = the FIFO default.
+    reorder: Option<ReorderState>,
+    /// The instant currently being served out of order: every pending
+    /// event at `stash_time`, pulled via the FIFO path (so pull order
+    /// is seq order). Only ever non-empty under a non-FIFO policy.
+    stash: Vec<StashEntry<E>>,
+    /// Live (not yet served or killed) stash entries.
+    stash_live: usize,
+    /// The instant the stash holds.
+    stash_time: SimTime,
+    /// Slot of the most recently FIFO-popped event ([`NO_SLOT`] for
+    /// plain events): how the reordered pull remembers which slot each
+    /// stashed entry belongs to.
+    served_slot: u32,
     next_seq: u64,
     now: SimTime,
     cancellations: u64,
@@ -278,6 +325,11 @@ impl<E> EventQueue<E> {
             lane_memo_valid: false,
             dead: 0,
             scratch: Vec::new(),
+            reorder: None,
+            stash: Vec::new(),
+            stash_live: 0,
+            stash_time: SimTime::ZERO,
+            served_slot: NO_SLOT,
             next_seq: 0,
             now: SimTime::ZERO,
             cancellations: 0,
@@ -290,9 +342,10 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending *live* events.
+    /// Number of pending *live* events (a stashed same-instant event
+    /// awaiting reordered service is still pending).
     pub fn len(&self) -> usize {
-        self.count - self.dead
+        self.count - self.dead + self.stash_live
     }
 
     /// True iff no live events are pending.
@@ -342,6 +395,41 @@ impl<E> EventQueue<E> {
         self.slots[slot.0 as usize].is_some()
     }
 
+    /// Selects the same-instant [`OrderingPolicy`]. Must be called while
+    /// no instant is mid-service (in practice: before the run starts).
+    /// [`OrderingPolicy::Fifo`] disengages the reordering machinery
+    /// entirely — the queue is bit-identical to one that never had a
+    /// policy set.
+    pub fn set_ordering(&mut self, policy: OrderingPolicy) {
+        assert!(
+            self.stash_live == 0,
+            "ordering policy changed while an instant is mid-service"
+        );
+        self.stash.clear();
+        self.reorder = match policy {
+            OrderingPolicy::Fifo => None,
+            OrderingPolicy::Lifo => Some(ReorderState::Lifo),
+            OrderingPolicy::SeededShuffle(seed) => Some(ReorderState::Shuffle(SimRng::new(seed))),
+            OrderingPolicy::Exhaustive { k, prefix } => Some(ReorderState::Exhaustive {
+                k: k.max(1),
+                prefix,
+                cursor: 0,
+                log: Vec::new(),
+            }),
+        };
+    }
+
+    /// The `(choice, arity)` decision log of an
+    /// [`OrderingPolicy::Exhaustive`] run: one entry per same-instant
+    /// branch point (batches of one, and batches wider than `k`, are
+    /// served FIFO and not logged). Empty under every other policy.
+    pub fn ordering_log(&self) -> &[(u32, u32)] {
+        match &self.reorder {
+            Some(ReorderState::Exhaustive { log, .. }) => log,
+            _ => &[],
+        }
+    }
+
     fn assert_future(&self, at: SimTime, event: &E)
     where
         E: Debug,
@@ -374,6 +462,7 @@ impl<E> EventQueue<E> {
     {
         self.assert_future(at, &event);
         let s = slot.0 as usize;
+        self.stash_kill(s);
         let seq = self.next_seq;
         self.next_seq += 1;
         if let Some(old_seq) = self.slots[s].replace(seq) {
@@ -391,11 +480,37 @@ impl<E> EventQueue<E> {
     /// to a wheel carcass that is skipped (or compacted away) later.
     pub fn cancel_slot(&mut self, slot: SlotId) {
         let s = slot.0 as usize;
+        self.stash_kill(s);
         if let Some(old_seq) = self.slots[s].take() {
             self.demote(s, old_seq);
             self.lane_memo_valid = false;
         }
         self.maybe_compact();
+    }
+
+    /// Kills the stash's live entry for slot `s`, if any. A handler that
+    /// cancels or re-arms a slot mid-instant must prevent the slot's
+    /// not-yet-served same-instant event from firing — under FIFO the
+    /// demotion does this; under reordering the entry has already been
+    /// pulled into the stash, so it is killed in place. This matches the
+    /// legal serialization in which the cancelling handler runs before
+    /// the cancelled event. No-op (one load and branch) under FIFO,
+    /// where the stash is always empty.
+    #[inline]
+    fn stash_kill(&mut self, s: usize) {
+        if self.stash_live == 0 {
+            return;
+        }
+        // A slot has at most one pending event, so at most one live
+        // stash entry can belong to it.
+        for entry in &mut self.stash {
+            if entry.slot == s as u32 && entry.event.is_some() {
+                entry.event = None;
+                self.stash_live -= 1;
+                self.cancellations += 1;
+                return;
+            }
+        }
     }
 
     /// Moves a superseded/cancelled lane entry into the wheel as a dead
@@ -854,6 +969,7 @@ impl<E> EventQueue<E> {
         self.slots[s] = None;
         self.lane_memo_valid = false;
         self.count -= 1;
+        self.served_slot = s as u32;
         debug_assert!(time >= self.now, "queue order violated");
         self.now = time;
         ScheduledEvent { time, event }
@@ -865,6 +981,7 @@ impl<E> EventQueue<E> {
     fn finish_node(&mut self, i: u32) -> ScheduledEvent<E> {
         let (time, _slot, event) = self.take_node(i);
         debug_assert!(_slot == NO_SLOT, "live slot entry outside the lane");
+        self.served_slot = NO_SLOT;
         debug_assert!(time >= self.now, "queue order violated");
         self.now = time;
         ScheduledEvent { time, event }
@@ -890,8 +1007,20 @@ impl<E> EventQueue<E> {
         })
     }
 
-    /// Time of the earliest pending live event, if any.
+    /// Time of the earliest pending live event, if any. An instant
+    /// mid-reordered-service reports its own time until its last
+    /// stashed event is served.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.stash_live > 0 {
+            return Some(self.stash_time);
+        }
+        self.peek_time_queue()
+    }
+
+    /// [`EventQueue::peek_time`] over the queue containers only,
+    /// ignoring the reorder stash (whose entries are counterfactually
+    /// already popped).
+    fn peek_time_queue(&mut self) -> Option<SimTime> {
         let lane = self.lane_min();
         if let Some((t, seq, _)) = lane {
             if t < self.wheel_lb && self.precedes_pending(t, seq) {
@@ -973,7 +1102,22 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest live event and advances the clock to its time.
+    /// Under a non-FIFO [`OrderingPolicy`] the event served is the
+    /// policy's pick among every live event at the earliest instant;
+    /// the clock still advances identically (reordering permutes
+    /// within instants, never across them).
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.reorder.is_some() {
+            return self.pop_reordered();
+        }
+        self.pop_fifo()
+    }
+
+    /// The committed `(time, seq)` FIFO pop. This *is* [`EventQueue::pop`]
+    /// when no reordering policy is set, and the pull primitive of
+    /// [`EventQueue::pop_reordered`] when one is.
+    #[inline]
+    fn pop_fifo(&mut self) -> Option<ScheduledEvent<E>> {
         let lane = self.lane_min();
         if let Some((t, seq, s)) = lane {
             // Fast path: the lane minimum provably precedes all wheel
@@ -1066,6 +1210,87 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Policy-directed pop: pulls every live event of the earliest
+    /// pending instant into the stash via the FIFO path (so pull order
+    /// is seq order), then serves the policy's pick among the live
+    /// stash entries. The merge step re-runs on every pop of the open
+    /// instant, so same-instant late-comers scheduled by handlers of
+    /// already-served events join the candidate set — a legal pick,
+    /// since their causes have fired, exactly as the FIFO batch would
+    /// have appended them.
+    fn pop_reordered(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.stash_live == 0 {
+            self.stash.clear();
+            match self.peek_time_queue() {
+                Some(t) => self.stash_time = t,
+                None => return None,
+            }
+        }
+        while self.peek_time_queue() == Some(self.stash_time) {
+            let e = self.pop_fifo().expect("peeked event vanished");
+            debug_assert_eq!(e.time, self.stash_time);
+            self.stash.push(StashEntry {
+                slot: self.served_slot,
+                event: Some(e.event),
+            });
+            self.stash_live += 1;
+        }
+        let n = self.stash_live;
+        debug_assert!(n > 0, "stash_live out of sync with the stash");
+        let pick = match self
+            .reorder
+            .as_mut()
+            .expect("reordered pop without a policy")
+        {
+            ReorderState::Lifo => n - 1,
+            ReorderState::Shuffle(rng) => {
+                // Singleton batches draw nothing: the rng stream
+                // advances only at real choice points.
+                if n == 1 {
+                    0
+                } else {
+                    rng.next_below(n as u64) as usize
+                }
+            }
+            ReorderState::Exhaustive {
+                k,
+                prefix,
+                cursor,
+                log,
+            } => {
+                // Only real branch points consume the prefix and are
+                // logged; singleton batches and batches wider than `k`
+                // serve FIFO without growing the tree.
+                if n == 1 || n as u32 > *k {
+                    0
+                } else {
+                    let arity = n as u32;
+                    let choice = prefix.get(*cursor).copied().unwrap_or(0).min(arity - 1);
+                    log.push((choice, arity));
+                    *cursor += 1;
+                    choice as usize
+                }
+            }
+        };
+        // `pick` indexes the still-live stash entries in pull (seq)
+        // order.
+        let mut live_idx = 0;
+        for entry in &mut self.stash {
+            if entry.event.is_some() {
+                if live_idx == pick {
+                    let event = entry.event.take().expect("liveness checked above");
+                    self.stash_live -= 1;
+                    return Some(ScheduledEvent {
+                        time: self.stash_time,
+                        event,
+                    });
+                }
+                live_idx += 1;
+            }
+        }
+        unreachable!("stash_live counted more live entries than stored")
+    }
+
     /// Discards every pending event (used when tearing a simulation down
     /// early).
     pub fn clear(&mut self) {
@@ -1087,6 +1312,8 @@ impl<E> EventQueue<E> {
         self.lane_event.iter_mut().for_each(|e| *e = None);
         self.lane_memo_valid = false;
         self.dead = 0;
+        self.stash.clear();
+        self.stash_live = 0;
     }
 
     /// Exhaustively checks the queue's internal invariants, returning every
@@ -1236,6 +1463,27 @@ impl<E> EventQueue<E> {
                 violations.push(format!(
                     "slot {i} armed (seq {:?}) but owns {live} live entries",
                     armed
+                ));
+            }
+        }
+        // The reorder stash: the live counter matches, the stash is
+        // empty under FIFO, and no armed slot also has a live stashed
+        // event (re-arming kills the stashed entry first).
+        let stash_live = self.stash.iter().filter(|e| e.event.is_some()).count();
+        if stash_live != self.stash_live {
+            violations.push(format!(
+                "stash-live counter {} != {} live stash entries",
+                self.stash_live, stash_live
+            ));
+        }
+        if self.reorder.is_none() && self.stash_live != 0 {
+            violations.push("live stash entries under the FIFO policy".into());
+        }
+        for e in &self.stash {
+            if e.event.is_some() && e.slot != NO_SLOT && self.slots[e.slot as usize].is_some() {
+                violations.push(format!(
+                    "slot {} armed while its same-instant event awaits reordered service",
+                    e.slot
                 ));
             }
         }
@@ -1609,6 +1857,248 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, "b");
         assert_eq!(q.pop(), None);
     }
+
+    // ------------------------------------------------------------------
+    // Same-instant ordering policies (see `crate::ordering`).
+
+    fn drain<E>(q: &mut EventQueue<E>) -> Vec<(SimTime, E)> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time, e.event))
+            .collect()
+    }
+
+    #[test]
+    fn explicit_fifo_policy_is_the_default_behavior() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Fifo);
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lifo_reverses_each_instant_but_never_crosses_instants() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Lifo);
+        let t1 = SimTime::from_millis(1);
+        let t2 = SimTime::from_millis(2);
+        for i in 0..4 {
+            q.schedule(t1, i);
+            q.schedule(t2, 10 + i);
+        }
+        let order = drain(&mut q);
+        assert_eq!(
+            order,
+            vec![
+                (t1, 3),
+                (t1, 2),
+                (t1, 1),
+                (t1, 0),
+                (t2, 13),
+                (t2, 12),
+                (t2, 11),
+                (t2, 10),
+            ]
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_per_instant_permutation() {
+        let run = |seed: u64| {
+            let mut q = EventQueue::new();
+            q.set_ordering(OrderingPolicy::SeededShuffle(seed));
+            let t = SimTime::from_micros(9);
+            for i in 0..32 {
+                q.schedule(t, i);
+            }
+            q.schedule(SimTime::from_micros(10), 99);
+            drain(&mut q)
+        };
+        let a = run(1);
+        assert_eq!(a, run(1), "same seed replays bit-identically");
+        let mut events: Vec<i32> = a[..32].iter().map(|&(_, e)| e).collect();
+        assert_eq!(a[32].1, 99, "later instants never mix in");
+        events.sort_unstable();
+        assert_eq!(events, (0..32).collect::<Vec<_>>(), "a permutation");
+        assert_ne!(a, run(2), "different seeds explore different orders");
+    }
+
+    #[test]
+    fn reordered_peek_len_and_validate_mid_instant() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Lifo);
+        let t = SimTime::from_millis(3);
+        for i in 0..3 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_millis(7), 9);
+        assert_eq!(q.pop().unwrap().event, 2);
+        // Two stashed events remain at t; they are still pending.
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(t));
+        assert!(q.validate().is_empty(), "{:?}", q.validate());
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 0);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.pop().unwrap().event, 9);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_mid_instant_kills_the_stashed_entry() {
+        // Under FIFO the cancel would come too late ("doomed" pops
+        // before the canceller could run), but under LIFO the cancel
+        // handler runs first — the stashed entry must die exactly as a
+        // queue-resident one would.
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Lifo);
+        let s = q.alloc_slot();
+        let t = SimTime::from_micros(5);
+        q.schedule_in_slot(s, t, "doomed");
+        q.schedule(t, "canceller");
+        assert_eq!(q.pop().unwrap().event, "canceller");
+        q.cancel_slot(s);
+        assert!(!q.slot_armed(s));
+        assert_eq!(q.cancellations(), 1);
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert!(q.validate().is_empty(), "{:?}", q.validate());
+    }
+
+    #[test]
+    fn rearm_mid_instant_supersedes_the_stashed_entry() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Lifo);
+        let s = q.alloc_slot();
+        let t = SimTime::from_micros(5);
+        q.schedule_in_slot(s, t, "old");
+        q.schedule(t, "rearmer");
+        assert_eq!(q.pop().unwrap().event, "rearmer");
+        q.schedule_in_slot(s, SimTime::from_micros(8), "new");
+        assert!(q.validate().is_empty(), "{:?}", q.validate());
+        let order = drain(&mut q);
+        assert_eq!(order, vec![(SimTime::from_micros(8), "new")]);
+    }
+
+    #[test]
+    fn same_instant_latecomers_join_the_open_instant() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Lifo);
+        let t = SimTime::from_micros(77);
+        q.schedule(t, 0);
+        q.schedule(t, 1);
+        assert_eq!(q.pop().unwrap().event, 1);
+        // A handler of event 1 schedules two more at the same instant:
+        // they are candidates of the still-open instant.
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn exhaustive_replays_prefixes_and_logs_branch_points() {
+        let run = |prefix: Vec<u32>| {
+            let mut q = EventQueue::new();
+            q.set_ordering(OrderingPolicy::Exhaustive { k: 3, prefix });
+            let t = SimTime::from_millis(1);
+            for i in 0..3 {
+                q.schedule(t, i);
+            }
+            q.schedule(SimTime::from_millis(2), 9); // singleton: not logged
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+            (order, q.ordering_log().to_vec())
+        };
+        let (order, log) = run(vec![]);
+        assert_eq!(order, vec![0, 1, 2, 9], "empty prefix descends FIFO-first");
+        assert_eq!(log, vec![(0, 3), (0, 2)]);
+        let (order, log) = run(vec![2, 1]);
+        assert_eq!(order, vec![2, 1, 0, 9]);
+        assert_eq!(log, vec![(2, 3), (1, 2)]);
+        // A prefix choice past the arity clamps instead of panicking.
+        let (order, _) = run(vec![9, 9]);
+        assert_eq!(order, vec![2, 1, 0, 9]);
+    }
+
+    #[test]
+    fn exhaustive_enumeration_visits_every_permutation_once() {
+        let run = |prefix: Vec<u32>| {
+            let mut q = EventQueue::new();
+            q.set_ordering(OrderingPolicy::Exhaustive { k: 4, prefix });
+            let t = SimTime::from_millis(1);
+            for i in 0..3 {
+                q.schedule(t, i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.event).collect();
+            (order, q.ordering_log().to_vec())
+        };
+        let mut schedules = Vec::new();
+        let mut prefix = Some(Vec::new());
+        while let Some(p) = prefix {
+            let (order, log) = run(p);
+            schedules.push(order);
+            prefix = crate::ordering::next_prefix(&log);
+        }
+        schedules.sort();
+        let expect = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        assert_eq!(schedules, expect, "3! distinct schedules, each once");
+    }
+
+    #[test]
+    fn exhaustive_batches_wider_than_k_fall_back_to_fifo() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Exhaustive {
+            k: 2,
+            prefix: vec![],
+        });
+        let t = SimTime::from_millis(1);
+        for i in 0..5 {
+            q.schedule(t, i);
+        }
+        // 5 > k: FIFO until the live batch shrinks to k.
+        assert_eq!(q.pop().unwrap().event, 0);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert!(q.ordering_log().is_empty());
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert_eq!(q.ordering_log(), &[(0, 2)]);
+        assert_eq!(q.pop().unwrap().event, 4);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reordering_respects_advance_to_and_clear() {
+        let mut q = EventQueue::new();
+        q.set_ordering(OrderingPolicy::Lifo);
+        let t = SimTime::from_millis(4);
+        q.schedule(t, 0);
+        q.schedule(t, 1);
+        q.advance_to(SimTime::from_millis(2));
+        assert_eq!(q.pop().unwrap().event, 1);
+        // The open instant still holds a pending event: advancing past
+        // it must panic, same as FIFO would.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.advance_to(SimTime::from_millis(9));
+        }));
+        assert!(err.is_err(), "advance_to skipped a stashed event");
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert!(q.validate().is_empty(), "{:?}", q.validate());
+    }
 }
 
 #[cfg(test)]
@@ -1637,6 +2127,64 @@ mod proptests {
                 }
                 last = Some((e.time, i));
             }
+        }
+
+        /// Explicitly setting the FIFO ordering policy is a bit-exact
+        /// no-op: for any same-instant collision pattern the policy'd
+        /// queue pops the identical `(time, event)` sequence as an
+        /// untouched queue — the pre-ordering-machinery contract.
+        #[test]
+        fn explicit_fifo_policy_replays_identically(
+            times in proptest::collection::vec(0u64..50, 1..150)
+        ) {
+            let mut plain = EventQueue::new();
+            let mut fifo = EventQueue::new();
+            fifo.set_ordering(OrderingPolicy::Fifo);
+            for (i, t) in times.iter().enumerate() {
+                plain.schedule(SimTime::from_nanos(*t), i);
+                fifo.schedule(SimTime::from_nanos(*t), i);
+            }
+            loop {
+                let a = plain.pop().map(|e| (e.time, e.event));
+                let b = fifo.pop().map(|e| (e.time, e.event));
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// A seeded shuffle never invents, drops, or time-travels an
+        /// event: the drain stays sorted by time and every instant's
+        /// batch is a permutation of the FIFO batch at that instant.
+        #[test]
+        fn shuffle_permutes_within_instants_only(
+            times in proptest::collection::vec(0u64..40, 1..150),
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut shuf = EventQueue::new();
+            shuf.set_ordering(OrderingPolicy::SeededShuffle(seed));
+            for (i, t) in times.iter().enumerate() {
+                shuf.schedule(SimTime::from_nanos(*t), i);
+            }
+            // Reference batches straight from the input.
+            let mut expected: std::collections::BTreeMap<u64, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (i, t) in times.iter().enumerate() {
+                expected.entry(*t).or_default().push(i);
+            }
+            let mut got: std::collections::BTreeMap<u64, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            let mut last = SimTime::ZERO;
+            while let Some(e) = shuf.pop() {
+                prop_assert!(e.time >= last, "shuffle time-travelled");
+                last = e.time;
+                got.entry(e.time.as_nanos()).or_default().push(e.event);
+            }
+            for batch in got.values_mut() {
+                batch.sort_unstable();
+            }
+            prop_assert_eq!(got, expected);
         }
 
         /// The clock equals the time of the last popped event and never
@@ -1748,6 +2296,73 @@ mod proptests {
                 }
             }
             prop_assert_eq!(fired, ref_fired);
+        }
+
+        /// A seeded shuffle serves exactly the same per-instant multiset
+        /// of events as FIFO — reordering permutes within instants,
+        /// never across them — and the clock stays monotone.
+        #[test]
+        fn shuffle_preserves_per_instant_multisets(
+            times in proptest::collection::vec(0u64..60, 1..150),
+            seed in 0u64..u64::MAX
+        ) {
+            let mut fifo = EventQueue::new();
+            let mut shuf = EventQueue::new();
+            shuf.set_ordering(OrderingPolicy::SeededShuffle(seed));
+            for (i, t) in times.iter().enumerate() {
+                fifo.schedule(SimTime::from_nanos(*t), i);
+                shuf.schedule(SimTime::from_nanos(*t), i);
+            }
+            let mut a: Vec<(SimTime, usize)> = Vec::new();
+            while let Some(e) = fifo.pop() {
+                a.push((e.time, e.event));
+            }
+            let mut b: Vec<(SimTime, usize)> = Vec::new();
+            let mut last = SimTime::ZERO;
+            while let Some(e) = shuf.pop() {
+                prop_assert!(e.time >= last, "clock regressed");
+                last = e.time;
+                b.push((e.time, e.event));
+            }
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        /// Slot arming and cancelling under a shuffle keep the queue's
+        /// internal invariants intact and the clock monotone — the
+        /// reordered analogue of `slot_arming_matches_heap_posting`.
+        #[test]
+        fn slot_ops_under_shuffle_stay_consistent(
+            ops in proptest::collection::vec((0u8..4, 0u8..4, 0u64..50), 1..250),
+            seed in 0u64..u64::MAX
+        ) {
+            const N_SLOTS: usize = 4;
+            let mut q = EventQueue::new();
+            q.set_ordering(OrderingPolicy::SeededShuffle(seed));
+            let slots: Vec<SlotId> = (0..N_SLOTS).map(|_| q.alloc_slot()).collect();
+            let mut max_seen = SimTime::ZERO;
+            for (op, slot, dt) in ops {
+                let at = q.now() + crate::time::SimDuration::from_nanos(dt);
+                match op {
+                    0 => q.schedule(at, 0u8),
+                    1 => q.schedule_in_slot(slots[slot as usize], at, 1u8),
+                    2 => q.cancel_slot(slots[slot as usize]),
+                    _ => {
+                        if let Some(e) = q.pop() {
+                            prop_assert!(e.time >= max_seen, "clock regressed");
+                            max_seen = e.time;
+                        }
+                    }
+                }
+                let v = q.validate();
+                prop_assert!(v.is_empty(), "violations: {:?}", v);
+            }
+            while let Some(e) = q.pop() {
+                prop_assert!(e.time >= max_seen, "clock regressed");
+                max_seen = e.time;
+            }
+            prop_assert!(q.is_empty());
         }
     }
 }

@@ -20,9 +20,11 @@
 #![deny(clippy::perf)]
 
 pub mod events;
+pub mod ordering;
 pub mod rng;
 pub mod time;
 
 pub use events::{EventQueue, ScheduledEvent, SlotId};
+pub use ordering::OrderingPolicy;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -27,6 +27,10 @@ pub struct TraceConfig {
     pub sample_rate: f64,
     /// Seed for the deterministic sampling decision stream.
     pub sample_seed: u64,
+    /// Same-instant ordering-policy tag of the traced run, rendered in
+    /// the summary header. `None` (the default, and every FIFO run) adds
+    /// nothing — committed FIFO summaries stay byte-identical.
+    pub ordering_tag: Option<String>,
 }
 
 impl Default for TraceConfig {
@@ -36,6 +40,7 @@ impl Default for TraceConfig {
             sample_interval: SimDuration::from_millis(100),
             sample_rate: 1.0,
             sample_seed: 0,
+            ordering_tag: None,
         }
     }
 }

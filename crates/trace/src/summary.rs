@@ -17,6 +17,9 @@ pub fn render_summary(buf: &TraceBuffer) -> String {
         None => speedbal_sim::SimDuration::ZERO,
     };
     let _ = writeln!(out, "trace summary ({span} of simulated time)");
+    if let Some(tag) = buf.config().ordering_tag.as_deref() {
+        let _ = writeln!(out, "  same-instant ordering: {tag} (non-FIFO fuzz run)");
+    }
     let _ = writeln!(
         out,
         "  records retained {}  dropped {}",
